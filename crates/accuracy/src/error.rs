@@ -1,0 +1,47 @@
+use hsconas_space::SpaceError;
+use std::fmt;
+
+/// Error type for accuracy-oracle queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccuracyError {
+    /// The queried architecture does not fit the oracle's skeleton.
+    Space(SpaceError),
+}
+
+impl fmt::Display for AccuracyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccuracyError::Space(e) => write!(f, "space error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AccuracyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccuracyError::Space(e) => Some(e),
+        }
+    }
+}
+
+impl From<SpaceError> for AccuracyError {
+    fn from(e: SpaceError) -> Self {
+        AccuracyError::Space(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_space_error() {
+        use std::error::Error;
+        let e: AccuracyError = SpaceError::ArchMismatch {
+            detail: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("space error"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,83 @@
+//! # hsconas-accuracy
+//!
+//! ImageNet accuracy oracle substitute for the HSCoNAS search space.
+//!
+//! ## Substitution rationale (documented in DESIGN.md)
+//!
+//! The paper evaluates `ACC(arch)` by training a weight-sharing supernet on
+//! ImageNet and evaluating subnets with inherited weights. Training on
+//! ImageNet is out of scope for this reproduction, so this crate provides a
+//! deterministic *surrogate oracle* with the properties the NAS algorithms
+//! actually rely on:
+//!
+//! * accuracy increases with network capacity (width, depth, kernel size)
+//!   with **diminishing returns** — the capacity term is exponential-decay
+//!   shaped, calibrated so the widest layout-A network lands near the
+//!   Table I HSCoNet-A accuracies and layout-B near HSCoNet-B;
+//! * **skip connections reduce effective depth** and therefore accuracy —
+//!   a free lunch is impossible;
+//! * a **bottleneck penalty** punishes strangling any single layer, so the
+//!   optimal channel allocation is non-uniform but bounded below;
+//! * a small deterministic per-architecture noise term (seeded by the
+//!   architecture fingerprint) models the evaluation variance of
+//!   weight-sharing supernets without breaking reproducibility.
+//!
+//! The [`AccuracyModel`] trait abstracts the oracle so the search
+//! algorithms are generic: the real-training path (`hsconas-supernet`)
+//! provides an alternative implementation backed by an actual trained
+//! supernet on the synthetic dataset.
+//!
+//! ## Example
+//!
+//! ```
+//! use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+//! use hsconas_space::{Arch, SearchSpace};
+//!
+//! let space = SearchSpace::hsconas_a();
+//! let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+//! let err = oracle.top1_error(&Arch::widest(20)).unwrap();
+//! assert!(err > 20.0 && err < 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod surrogate;
+
+pub use error::AccuracyError;
+pub use surrogate::SurrogateAccuracy;
+
+use hsconas_space::Arch;
+
+/// An oracle mapping architectures to (simulated) ImageNet test error.
+pub trait AccuracyModel {
+    /// Top-1 test error in percent (lower is better).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccuracyError`] if the architecture does not match the
+    /// model's skeleton.
+    fn top1_error(&self, arch: &Arch) -> Result<f64, AccuracyError>;
+
+    /// Top-5 test error in percent, derived from top-1 by the linear fit
+    /// of the Table I baselines (`top5 ≈ 0.73 · top1 − 10.6`, clamped to
+    /// at least 0.5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`AccuracyModel::top1_error`].
+    fn top5_error(&self, arch: &Arch) -> Result<f64, AccuracyError> {
+        Ok((0.73 * self.top1_error(arch)? - 10.6).max(0.5))
+    }
+
+    /// Top-1 accuracy in percent (`100 − top-1 error`), the `ACC` term of
+    /// the paper's Eq. 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`AccuracyModel::top1_error`].
+    fn accuracy(&self, arch: &Arch) -> Result<f64, AccuracyError> {
+        Ok(100.0 - self.top1_error(arch)?)
+    }
+}

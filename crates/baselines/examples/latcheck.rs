@@ -1,0 +1,23 @@
+//! Prints simulated vs paper latencies for every baseline on all devices.
+
+use hsconas_baselines::zoo::all_baselines;
+use hsconas_hwsim::DeviceSpec;
+
+fn main() {
+    let devices = DeviceSpec::paper_devices();
+    println!(
+        "{:24} {:>18} {:>18} {:>18}",
+        "model", "GPU sim/paper", "CPU sim/paper", "Edge sim/paper"
+    );
+    for model in all_baselines() {
+        let mut cols = Vec::new();
+        for (i, dev) in devices.iter().enumerate() {
+            let sim = dev.network_time_us(&model.network) / 1000.0;
+            cols.push(format!("{:6.1}/{:6.1}", sim, model.paper_latency_ms[i]));
+        }
+        println!(
+            "{:24} {:>18} {:>18} {:>18}",
+            model.name, cols[0], cols[1], cols[2]
+        );
+    }
+}

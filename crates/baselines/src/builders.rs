@@ -1,0 +1,188 @@
+//! Block-level builders shared by the zoo models.
+
+use hsconas_hwsim::{KernelDesc, OpDesc};
+
+/// Tracks the running feature-map state while a model is being assembled.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor {
+    /// Current channel count.
+    pub channels: usize,
+    /// Current square spatial resolution.
+    pub resolution: usize,
+}
+
+impl Cursor {
+    /// Starts at the network input.
+    pub fn input(resolution: usize, channels: usize) -> Self {
+        Cursor {
+            channels,
+            resolution,
+        }
+    }
+}
+
+/// A plain convolution `c_in → c_out`, updating the cursor.
+pub fn conv(cursor: &mut Cursor, c_out: usize, kernel: usize, stride: usize) -> OpDesc {
+    let res_in = cursor.resolution;
+    let res_out = res_in / stride;
+    let op = OpDesc::new(
+        format!("conv{kernel}x{kernel}s{stride}-{}-{}", cursor.channels, c_out),
+        vec![KernelDesc::conv(
+            cursor.channels,
+            c_out,
+            kernel,
+            res_in,
+            res_out,
+            1,
+        )],
+    );
+    cursor.channels = c_out;
+    cursor.resolution = res_out;
+    op
+}
+
+/// An MBConv / inverted-residual block (MobileNetV2-style):
+/// expand pointwise (skipped when `expand == 1`), depthwise `k×k`
+/// (stride `s`), project pointwise. `se` adds a squeeze-excitation pair of
+/// tiny dense kernels (negligible MACs, extra launches).
+pub fn mbconv(
+    cursor: &mut Cursor,
+    c_out: usize,
+    expand: usize,
+    kernel: usize,
+    stride: usize,
+    se: bool,
+) -> OpDesc {
+    let c_mid = cursor.channels * expand;
+    mbconv_mid(cursor, c_out, c_mid, kernel, stride, se)
+}
+
+/// An MBConv block with an absolute mid (expanded) channel count, as the
+/// MobileNetV3 specification table uses.
+pub fn mbconv_mid(
+    cursor: &mut Cursor,
+    c_out: usize,
+    c_mid: usize,
+    kernel: usize,
+    stride: usize,
+    se: bool,
+) -> OpDesc {
+    let c_in = cursor.channels;
+    let res_in = cursor.resolution;
+    let res_out = res_in / stride;
+    let mut kernels = Vec::new();
+    if c_mid != c_in {
+        kernels.push(KernelDesc::conv(c_in, c_mid, 1, res_in, res_in, 1));
+    }
+    kernels.push(KernelDesc::conv(c_mid, c_mid, kernel, res_in, res_out, c_mid));
+    if se {
+        let c_se = (c_mid / 4).max(1);
+        kernels.push(KernelDesc::conv(c_mid, c_se, 1, 1, 1, 1));
+        kernels.push(KernelDesc::conv(c_se, c_mid, 1, 1, 1, 1));
+    }
+    kernels.push(KernelDesc::conv(c_mid, c_out, 1, res_out, res_out, 1));
+    let op = OpDesc::new(
+        format!(
+            "mbconv-m{c_mid}-k{kernel}-s{stride}-{c_in}-{c_out}{}",
+            if se { "-se" } else { "" }
+        ),
+        kernels,
+    );
+    cursor.channels = c_out;
+    cursor.resolution = res_out;
+    op
+}
+
+/// A ShuffleNetV2 unit (stride 1 or 2) with depthwise kernel `k`,
+/// mirroring the lowering in `hsconas-hwsim`.
+pub fn shuffle_unit(cursor: &mut Cursor, c_out: usize, kernel: usize, stride: usize) -> OpDesc {
+    let c_in = cursor.channels;
+    let res_in = cursor.resolution;
+    let res_out = res_in / stride;
+    let b_out = c_out / 2;
+    let mut kernels = Vec::new();
+    if stride == 2 {
+        kernels.push(KernelDesc::conv(c_in, c_in, kernel, res_in, res_out, c_in));
+        kernels.push(KernelDesc::conv(c_in, b_out, 1, res_out, res_out, 1));
+        kernels.push(KernelDesc::conv(c_in, b_out, 1, res_in, res_in, 1));
+    } else {
+        kernels.push(KernelDesc::conv(c_in / 2, b_out, 1, res_in, res_in, 1));
+    }
+    kernels.push(KernelDesc::conv(b_out, b_out, kernel, res_in, res_out, b_out));
+    kernels.push(KernelDesc::conv(b_out, b_out, 1, res_out, res_out, 1));
+    let op = OpDesc::new(
+        format!("shuffle-k{kernel}-s{stride}-{c_in}-{c_out}"),
+        kernels,
+    );
+    cursor.channels = c_out;
+    cursor.resolution = res_out;
+    op
+}
+
+/// One DARTS separable-convolution op (`sep_conv` applies
+/// depthwise+pointwise twice), at constant channels/resolution.
+pub fn sep_conv(channels: usize, kernel: usize, resolution: usize) -> Vec<KernelDesc> {
+    let mut v = Vec::with_capacity(4);
+    for _ in 0..2 {
+        v.push(KernelDesc::conv(
+            channels, channels, kernel, resolution, resolution, channels,
+        ));
+        v.push(KernelDesc::conv(channels, channels, 1, resolution, resolution, 1));
+    }
+    v
+}
+
+/// The classifier head: global pool + linear layer.
+pub fn classifier(cursor: &Cursor, classes: usize) -> OpDesc {
+    OpDesc::new(
+        "classifier",
+        vec![KernelDesc::conv(cursor.channels, classes, 1, 1, 1, 1)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_updates_cursor() {
+        let mut c = Cursor::input(224, 3);
+        let op = conv(&mut c, 32, 3, 2);
+        assert_eq!(c.channels, 32);
+        assert_eq!(c.resolution, 112);
+        // 112² · 3 · 32 · 9
+        assert_eq!(op.total_macs(), 112.0 * 112.0 * 3.0 * 32.0 * 9.0);
+    }
+
+    #[test]
+    fn mbconv_kernel_counts() {
+        let mut c = Cursor::input(56, 24);
+        let plain = mbconv(&mut c, 32, 6, 3, 2, false);
+        assert_eq!(plain.kernels.len(), 3);
+        let mut c2 = Cursor::input(56, 24);
+        let with_se = mbconv(&mut c2, 32, 6, 3, 2, true);
+        assert_eq!(with_se.kernels.len(), 5);
+        let mut c3 = Cursor::input(56, 24);
+        let no_expand = mbconv(&mut c3, 24, 1, 3, 1, false);
+        assert_eq!(no_expand.kernels.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_unit_stride_variants() {
+        let mut c = Cursor::input(28, 128);
+        let s1 = shuffle_unit(&mut c, 128, 3, 1);
+        assert_eq!(s1.kernels.len(), 3);
+        assert_eq!(c.resolution, 28);
+        let s2 = shuffle_unit(&mut c, 256, 3, 2);
+        assert_eq!(s2.kernels.len(), 5);
+        assert_eq!(c.resolution, 14);
+        assert_eq!(c.channels, 256);
+    }
+
+    #[test]
+    fn sep_conv_is_four_kernels() {
+        let v = sep_conv(48, 3, 28);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().filter(|k| k.depthwise).count(), 2);
+    }
+}

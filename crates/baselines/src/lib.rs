@@ -1,0 +1,35 @@
+//! # hsconas-baselines
+//!
+//! The comparison model zoo of Table I: op-level descriptions of the
+//! manually-designed and NAS-found baselines, lowered to
+//! [`hsconas_hwsim::NetworkDesc`] so the same simulated devices measure
+//! them and the searched HSCoNets.
+//!
+//! Each model carries its **published** ImageNet top-1/top-5 error and the
+//! **paper-reported** latencies on the three devices as metadata: like the
+//! paper itself, we do not retrain baselines — we reproduce the *latency*
+//! comparison on our simulated hardware and cite accuracy.
+//!
+//! Architectural descriptions are faithful at the block level (operator
+//! sequence, channel widths, strides, kernel sizes) with small
+//! approximations documented per builder; a unit test per model checks the
+//! MAC count lands near the published figure.
+//!
+//! ## Example
+//!
+//! ```
+//! use hsconas_baselines::zoo;
+//!
+//! let models = zoo::all_baselines();
+//! assert_eq!(models.len(), 11);
+//! let mbv2 = zoo::mobilenet_v2();
+//! assert!((mbv2.network.total_macs() / 1e6 - 300.0).abs() < 75.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builders;
+pub mod zoo;
+
+pub use zoo::BaselineModel;

@@ -1,0 +1,172 @@
+//! Criterion benchmarks, one per paper artifact, measuring the runtime of
+//! each experiment harness's core computation at reduced sampling budgets.
+//!
+//! Run with `cargo bench -p hsconas-bench`. These complement the
+//! `src/bin/*` binaries (which regenerate the actual tables/figures): the
+//! benches document how expensive each stage of the pipeline is, which is
+//! itself one of the paper's claims (hardware modeling is cheap, search is
+//! cheap once the supernet exists).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsconas_bench::{ablation, fig2, fig3, fig4, fig5, fig6, table1};
+use hsconas_evo::EvolutionConfig;
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_latency::LatencyPredictor;
+use hsconas_space::{Arch, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Fig. 2: cost-model + simulated-measurement throughput.
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_scatter_50_archs", |b| {
+        b.iter(|| black_box(fig2::run(1, 50)))
+    });
+}
+
+/// Fig. 3: latency predictor calibration and validation.
+fn bench_fig3(c: &mut Criterion) {
+    let config = fig3::Fig3Config {
+        calibration_archs: 20,
+        repeats: 2,
+        validation_archs: 20,
+    };
+    c.bench_function("fig3_calibrate_and_validate", |b| {
+        b.iter(|| black_box(fig3::run(1, &config)))
+    });
+    // single-prediction latency (the quantity that replaces on-device
+    // measurement inside the search loop)
+    let space = SearchSpace::hsconas_a();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut predictor =
+        LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 20, 2, &mut rng).unwrap();
+    let archs = space.sample_n(64, &mut rng);
+    let mut i = 0;
+    c.bench_function("fig3_single_prediction", |b| {
+        b.iter(|| {
+            i = (i + 1) % archs.len();
+            black_box(predictor.predict_us(&archs[i]).unwrap())
+        })
+    });
+    // versus an actual simulated on-device measurement
+    let device = DeviceSpec::edge_xavier();
+    let nets: Vec<_> = archs
+        .iter()
+        .map(|a| lower_arch(space.skeleton(), a).unwrap())
+        .collect();
+    let mut j = 0;
+    c.bench_function("fig3_on_device_measurement", |b| {
+        b.iter(|| {
+            j = (j + 1) % nets.len();
+            black_box(device.measure_network(&nets[j], &mut rng))
+        })
+    });
+}
+
+/// Fig. 4: uniform-vs-dynamic scaling comparison at small budget.
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_uniform_vs_dynamic", |b| {
+        b.iter(|| black_box(fig4::run(1, 3, 9)))
+    });
+}
+
+/// Fig. 5: progressive shrinking.
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_progressive_shrinking", |b| {
+        b.iter(|| black_box(fig5::run(1, 5)))
+    });
+}
+
+/// Fig. 6: one EA search on the edge device.
+fn bench_fig6(c: &mut Criterion) {
+    let config = EvolutionConfig {
+        generations: 5,
+        population: 16,
+        parents: 6,
+        ..Default::default()
+    };
+    c.bench_function("fig6_evolutionary_search", |b| {
+        b.iter(|| black_box(fig6::run_evolution(1, config)))
+    });
+}
+
+/// Table I: baseline rows (simulating all 11 baselines on 3 devices).
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_baseline_rows", |b| {
+        b.iter(|| black_box(hsconas::report::baseline_rows()))
+    });
+    let fast = hsconas::PipelineConfig::fast_test();
+    let mut group = c.benchmark_group("table1_full");
+    group.sample_size(10);
+    group.bench_function("table1_fast_budget", |b| {
+        b.iter(|| black_box(table1::run(1, &fast)))
+    });
+    group.finish();
+}
+
+/// Ablations: bias on/off and search strategies.
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("ablation_bias", |b| {
+        b.iter(|| black_box(ablation::bias(1, 10)))
+    });
+    c.bench_function("ablation_search_strategies", |b| {
+        b.iter(|| black_box(ablation::search(1, 60)))
+    });
+}
+
+/// Extensions: energy-constrained search and batch sweep.
+fn bench_extensions(c: &mut Criterion) {
+    let small = EvolutionConfig {
+        generations: 4,
+        population: 12,
+        parents: 4,
+        ..Default::default()
+    };
+    c.bench_function("extension_energy_search", |b| {
+        b.iter(|| black_box(hsconas_bench::extension_energy::run(1, small)))
+    });
+    c.bench_function("extension_batch_sweep", |b| {
+        b.iter(|| black_box(hsconas_bench::extension_batch::run()))
+    });
+    c.bench_function("ablation_proxy_guidance", |b| {
+        b.iter(|| black_box(hsconas_bench::ablation_proxy::run(1, small)))
+    });
+}
+
+/// Core-kernel micro-benchmarks backing the harness numbers.
+fn bench_kernels(c: &mut Criterion) {
+    let space = SearchSpace::hsconas_a();
+    let mut rng = StdRng::seed_from_u64(3);
+    let archs = space.sample_n(64, &mut rng);
+    let mut i = 0;
+    c.bench_function("space_sample", |b| {
+        b.iter(|| black_box(space.sample(&mut rng)))
+    });
+    c.bench_function("space_arch_cost", |b| {
+        b.iter(|| {
+            i = (i + 1) % archs.len();
+            black_box(hsconas_space::cost::arch_cost(space.skeleton(), &archs[i]).unwrap())
+        })
+    });
+    c.bench_function("hwsim_lower_arch", |b| {
+        b.iter(|| {
+            i = (i + 1) % archs.len();
+            black_box(lower_arch(space.skeleton(), &archs[i]).unwrap())
+        })
+    });
+    let _ = Arch::widest(20);
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_table1,
+    bench_ablations,
+    bench_extensions,
+    bench_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,474 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! * [`bias`] — the Eq. 3 bias term on vs off (how much of Fig. 3's
+//!   accuracy comes from `B`);
+//! * [`search`] — EA vs random search vs greedy local search at an equal
+//!   evaluation budget;
+//! * [`shrink`] — EA in the shrunk space vs the full space at an equal
+//!   evaluation budget.
+
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_evo::{
+    aging_evolution, AgingConfig, EvolutionConfig, EvolutionSearch, Objective, TradeoffObjective,
+};
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_latency::{rmse, LatencyPredictor};
+use hsconas_shrink::{ProgressiveShrinking, ShrinkConfig};
+use hsconas_space::{Arch, Gene, SearchSpace};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Bias-term ablation result for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasAblation {
+    /// Device name.
+    pub device: String,
+    /// RMSE with the calibrated bias, ms.
+    pub rmse_with_bias_ms: f64,
+    /// RMSE with `B = 0`, ms.
+    pub rmse_without_bias_ms: f64,
+}
+
+/// Runs the bias ablation: validates Eq. 2 with and without Eq. 3 on
+/// held-out architectures.
+pub fn bias(seed: u64, validation_archs: usize) -> Vec<BiasAblation> {
+    let space = SearchSpace::hsconas_a();
+    DeviceSpec::paper_devices()
+        .into_iter()
+        .map(|device| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut with = LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut rng)
+                .expect("calibration");
+            let mut without = LatencyPredictor::without_bias(device.clone(), &space);
+            let mut pred_with = Vec::new();
+            let mut pred_without = Vec::new();
+            let mut measured = Vec::new();
+            for _ in 0..validation_archs {
+                let arch = space.sample(&mut rng);
+                pred_with.push(with.predict_ms(&arch).expect("valid"));
+                pred_without.push(without.predict_ms(&arch).expect("valid"));
+                let net = lower_arch(space.skeleton(), &arch).expect("valid");
+                measured.push(device.measure_network_mean(&net, 3, &mut rng) / 1000.0);
+            }
+            BiasAblation {
+                device: device.name.clone(),
+                rmse_with_bias_ms: rmse(&pred_with, &measured),
+                rmse_without_bias_ms: rmse(&pred_without, &measured),
+            }
+        })
+        .collect()
+}
+
+/// Renders the bias ablation.
+pub fn render_bias(results: &[BiasAblation]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation — latency-model bias term B (Eq. 3)\n");
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>14} {:>8}\n",
+        "device", "RMSE with B", "RMSE w/o B", "ratio"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<16} {:>12.3}ms {:>12.3}ms {:>7.0}x\n",
+            r.device,
+            r.rmse_with_bias_ms,
+            r.rmse_without_bias_ms,
+            r.rmse_without_bias_ms / r.rmse_with_bias_ms.max(1e-9)
+        ));
+    }
+    out
+}
+
+/// Search-algorithm ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchAblation {
+    /// Strategy name.
+    pub strategy: String,
+    /// Best objective value found.
+    pub best_score: f64,
+    /// Architectures evaluated.
+    pub evaluations: usize,
+}
+
+fn edge_objective(
+    seed: u64,
+) -> (
+    SearchSpace,
+    impl Objective,
+) {
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+    let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut predictor =
+        LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration");
+    let objective = TradeoffObjective::new(
+        move |arch: &Arch| oracle.accuracy(arch).map_err(|e| e.to_string()),
+        move |arch: &Arch| predictor.predict_ms(arch).map_err(|e| e.to_string()),
+        34.0,
+        -20.0,
+    );
+    (space, objective)
+}
+
+/// Runs EA vs random search vs greedy local search under an equal
+/// architecture-evaluation budget.
+pub fn search(seed: u64, budget: usize) -> Vec<SearchAblation> {
+    let mut results = Vec::new();
+
+    // EA sized so generations × population ≈ budget.
+    {
+        let (space, mut objective) = edge_objective(seed);
+        let population = 20.min(budget);
+        let generations = (budget / population).max(1);
+        let config = EvolutionConfig {
+            generations,
+            population,
+            parents: (population / 3).max(2),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let result = EvolutionSearch::new(space, config)
+            .run(&mut objective, &mut rng)
+            .expect("ea");
+        results.push(SearchAblation {
+            strategy: "evolutionary".into(),
+            best_score: result.best_evaluation.score,
+            evaluations: budget,
+        });
+    }
+
+    // Random search.
+    {
+        let (space, mut objective) = edge_objective(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        let best = (0..budget)
+            .map(|_| {
+                let arch = space.sample(&mut rng);
+                objective.evaluate(&arch).expect("valid").score
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        results.push(SearchAblation {
+            strategy: "random".into(),
+            best_score: best,
+            evaluations: budget,
+        });
+    }
+
+    // Aging (regularized) evolution, Real et al. 2019 — the paper's cited
+    // evidence for EA over RL.
+    {
+        let (space, mut objective) = edge_objective(seed);
+        let population = 20.min(budget);
+        let config = AgingConfig {
+            population,
+            tournament: (population / 4).max(2),
+            cycles: budget.saturating_sub(population),
+        };
+        let mut rng = StdRng::seed_from_u64(seed + 4);
+        let result = aging_evolution(&space, config, &mut objective, &mut rng).expect("aging");
+        results.push(SearchAblation {
+            strategy: "aging-evolution".into(),
+            best_score: result.best_evaluation.score,
+            evaluations: result.evaluations,
+        });
+    }
+
+    // Greedy local search: random start, then single-gene hill climbing.
+    {
+        let (space, mut objective) = edge_objective(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 3);
+        let mut current = space.sample(&mut rng);
+        let mut current_score = objective.evaluate(&current).expect("valid").score;
+        let mut used = 1;
+        while used < budget {
+            let layer = rng.gen_range(0..current.len());
+            let ops = space.allowed_ops(layer);
+            let scales = space.allowed_scales(layer);
+            let gene = Gene::new(
+                ops[rng.gen_range(0..ops.len())],
+                scales[rng.gen_range(0..scales.len())],
+            );
+            let mut candidate = current.clone();
+            candidate.set_gene(layer, gene).expect("in range");
+            let score = objective.evaluate(&candidate).expect("valid").score;
+            used += 1;
+            if score > current_score {
+                current = candidate;
+                current_score = score;
+            }
+        }
+        results.push(SearchAblation {
+            strategy: "local".into(),
+            best_score: current_score,
+            evaluations: budget,
+        });
+    }
+    results
+}
+
+/// Renders the search ablation.
+pub fn render_search(results: &[SearchAblation]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation — search strategy at equal evaluation budget\n");
+    out.push_str(&format!("{:<14} {:>8} {:>12}\n", "strategy", "best F", "evals"));
+    for r in results {
+        out.push_str(&format!(
+            "{:<14} {:>8.2} {:>12}\n",
+            r.strategy, r.best_score, r.evaluations
+        ));
+    }
+    out
+}
+
+/// Optimality ablation result: search vs exhaustive ground truth on a
+/// restricted space small enough to enumerate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalityAblation {
+    /// The true optimum's objective value (exhaustive enumeration).
+    pub optimum: f64,
+    /// Architectures in the enumerated space.
+    pub space_size: usize,
+    /// Best objective per strategy at the given budget.
+    pub strategies: Vec<SearchAblation>,
+}
+
+/// Pins all but `free_layers` layers of the edge objective's space to a
+/// sampled template, enumerates the remainder exhaustively, and measures
+/// how close EA / aging / random get at `budget` evaluations.
+pub fn optimality(seed: u64, free_layers: usize, budget: usize) -> OptimalityAblation {
+    assert!(
+        (1..=3).contains(&free_layers),
+        "enumeration is only tractable for 1-3 free layers"
+    );
+    let (full_space, mut objective) = edge_objective(seed);
+    // pin layers free_layers.. to a fixed template
+    let mut rng = StdRng::seed_from_u64(seed + 20);
+    let template = full_space.sample(&mut rng);
+    let mut space = full_space;
+    for l in free_layers..template.len() {
+        let g = template.genes()[l];
+        space = space
+            .restrict_op(l, g.op)
+            .expect("template op is a candidate")
+            .restrict_scales(l, &[g.scale])
+            .expect("template scale is a candidate");
+    }
+    let all = hsconas_space::enumerate(&space, 200_000).expect("restricted space enumerates");
+    let optimum = all
+        .iter()
+        .map(|a| objective.evaluate(a).expect("valid").score)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    let mut strategies = Vec::new();
+    {
+        let population = 20.min(budget);
+        let config = EvolutionConfig {
+            generations: (budget / population).max(1),
+            population,
+            parents: (population / 3).max(2),
+            ..Default::default()
+        };
+        let mut ea_rng = StdRng::seed_from_u64(seed + 21);
+        let result = EvolutionSearch::new(space.clone(), config)
+            .run(&mut objective, &mut ea_rng)
+            .expect("ea");
+        strategies.push(SearchAblation {
+            strategy: "evolutionary".into(),
+            best_score: result.best_evaluation.score,
+            evaluations: budget,
+        });
+    }
+    {
+        let population = 20.min(budget);
+        let config = AgingConfig {
+            population,
+            tournament: (population / 4).max(2),
+            cycles: budget.saturating_sub(population),
+        };
+        let mut ag_rng = StdRng::seed_from_u64(seed + 22);
+        let result =
+            aging_evolution(&space, config, &mut objective, &mut ag_rng).expect("aging");
+        strategies.push(SearchAblation {
+            strategy: "aging-evolution".into(),
+            best_score: result.best_evaluation.score,
+            evaluations: result.evaluations,
+        });
+    }
+    {
+        let mut rs_rng = StdRng::seed_from_u64(seed + 23);
+        let best = (0..budget)
+            .map(|_| {
+                let arch = space.sample(&mut rs_rng);
+                objective.evaluate(&arch).expect("valid").score
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        strategies.push(SearchAblation {
+            strategy: "random".into(),
+            best_score: best,
+            evaluations: budget,
+        });
+    }
+    OptimalityAblation {
+        optimum,
+        space_size: all.len(),
+        strategies,
+    }
+}
+
+/// Renders the optimality ablation.
+pub fn render_optimality(result: &OptimalityAblation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablation — search vs exhaustive optimum ({} architectures)\n",
+        result.space_size
+    ));
+    out.push_str(&format!("{:<16} {:>10} {:>12}\n", "strategy", "best F", "gap to opt"));
+    out.push_str(&format!(
+        "{:<16} {:>10.3} {:>12}\n",
+        "exhaustive", result.optimum, "--"
+    ));
+    for s in &result.strategies {
+        out.push_str(&format!(
+            "{:<16} {:>10.3} {:>12.3}\n",
+            s.strategy,
+            s.best_score,
+            result.optimum - s.best_score
+        ));
+    }
+    out
+}
+
+/// Shrinking ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkAblation {
+    /// Best objective when searching the progressively shrunk space.
+    pub with_shrink: f64,
+    /// Best objective when searching the full space with the same EA
+    /// budget.
+    pub without_shrink: f64,
+    /// Extra evaluations spent on shrinking itself.
+    pub shrink_evaluations: usize,
+}
+
+/// Runs the shrinking ablation.
+pub fn shrink(seed: u64, samples_per_subspace: usize, ea: EvolutionConfig) -> ShrinkAblation {
+    // with shrinking
+    let with_shrink = {
+        let (space, mut objective) = edge_objective(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 10);
+        let result = ProgressiveShrinking::new(ShrinkConfig {
+            samples_per_subspace,
+            ..Default::default()
+        })
+        .run(space, &mut objective, &mut rng, |_, _| Ok(()))
+        .expect("shrink");
+        EvolutionSearch::new(result.space, ea)
+            .run(&mut objective, &mut rng)
+            .expect("ea")
+            .best_evaluation
+            .score
+    };
+    let without_shrink = {
+        let (space, mut objective) = edge_objective(seed);
+        let mut rng = StdRng::seed_from_u64(seed + 10);
+        EvolutionSearch::new(space, ea)
+            .run(&mut objective, &mut rng)
+            .expect("ea")
+            .best_evaluation
+            .score
+    };
+    ShrinkAblation {
+        with_shrink,
+        without_shrink,
+        shrink_evaluations: samples_per_subspace * 5 * 8,
+    }
+}
+
+/// Renders the shrinking ablation.
+pub fn render_shrink(result: &ShrinkAblation) -> String {
+    format!(
+        "Ablation — progressive space shrinking\n\
+         EA in shrunk space : best F = {:.2} (plus {} shrink evals)\n\
+         EA in full space   : best F = {:.2}\n",
+        result.with_shrink, result.shrink_evaluations, result.without_shrink
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bias_term_improves_rmse_by_an_order() {
+        for r in bias(1, 30) {
+            assert!(
+                r.rmse_without_bias_ms > 3.0 * r.rmse_with_bias_ms,
+                "{}: {} vs {}",
+                r.device,
+                r.rmse_without_bias_ms,
+                r.rmse_with_bias_ms
+            );
+        }
+    }
+
+    #[test]
+    fn ea_beats_random_at_equal_budget() {
+        let results = search(2, 200);
+        let by = |name: &str| results.iter().find(|r| r.strategy == name).unwrap();
+        assert!(
+            by("evolutionary").best_score >= by("random").best_score,
+            "EA {} vs random {}",
+            by("evolutionary").best_score,
+            by("random").best_score
+        );
+        assert!(
+            by("aging-evolution").best_score >= by("random").best_score,
+            "aging {} vs random {}",
+            by("aging-evolution").best_score,
+            by("random").best_score
+        );
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn searches_approach_the_exhaustive_optimum() {
+        // 2 free layers → 2500 archs; budget 400 evaluations.
+        let result = optimality(3, 2, 400);
+        assert_eq!(result.space_size, 2500);
+        for s in &result.strategies {
+            let gap = result.optimum - s.best_score;
+            assert!(gap >= -1e-9, "{} beat the exhaustive optimum?!", s.strategy);
+            // the objective scale is ~70 points, so 1.5 is a ~2% gap
+            assert!(
+                gap < 1.5,
+                "{} gap to optimum {gap} too large at this budget",
+                s.strategy
+            );
+        }
+        let text = render_optimality(&result);
+        assert!(text.contains("exhaustive"));
+    }
+
+    #[test]
+    fn shrink_ablation_runs_and_reports() {
+        let ea = EvolutionConfig {
+            generations: 4,
+            population: 12,
+            parents: 4,
+            ..Default::default()
+        };
+        let result = shrink(3, 8, ea);
+        assert!(result.with_shrink.is_finite());
+        assert!(result.without_shrink.is_finite());
+        let text = render_shrink(&result);
+        assert!(text.contains("shrunk space"));
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        assert!(render_bias(&bias(4, 10)).contains("Eq. 3"));
+        assert!(render_search(&search(5, 60)).contains("strategy"));
+    }
+}

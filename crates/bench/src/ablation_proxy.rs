@@ -1,0 +1,196 @@
+//! Ablation: hardware-aware vs hardware-agnostic search guidance — the
+//! paper's *core* thesis, isolated.
+//!
+//! Two identical EA runs on the edge device differ only in the latency
+//! signal inside Eq. 1:
+//!
+//! * **hardware-aware** — the calibrated Eq. 2–3 predictor;
+//! * **FLOPs proxy** — latency estimated as `k · FLOPs`, with `k` fitted
+//!   on the same calibration measurements (the best a hardware-agnostic
+//!   metric can do).
+//!
+//! Both winners are then measured on the *actual* simulated device. The
+//! FLOPs-guided search systematically misjudges which architectures are
+//! fast (Fig. 2's decorrelation), so its winner misses the constraint
+//! and/or sacrifices more accuracy.
+
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_evo::{EvolutionConfig, EvolutionSearch, TradeoffObjective};
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_latency::LatencyPredictor;
+use hsconas_space::cost::arch_cost;
+use hsconas_space::{Arch, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One arm's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProxyPoint {
+    /// Arm label.
+    pub label: String,
+    /// Top-1 surrogate error of the winner, percent.
+    pub top1_error: f64,
+    /// The latency the guiding signal *believed*, ms.
+    pub believed_latency_ms: f64,
+    /// The winner's actual simulated device latency, ms.
+    pub actual_latency_ms: f64,
+}
+
+/// The ablation result.
+#[derive(Debug, Clone)]
+pub struct ProxyResult {
+    /// Hardware-aware and FLOPs-proxy arms.
+    pub points: Vec<ProxyPoint>,
+    /// The latency constraint, ms.
+    pub target_ms: f64,
+}
+
+/// Runs both arms on the edge device (T = 34 ms).
+pub fn run(seed: u64, config: EvolutionConfig) -> ProxyResult {
+    let target_ms = 34.0;
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+    let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Fit the FLOPs proxy on the same measurements the predictor uses:
+    // k = mean(measured latency / FLOPs) over calibration samples.
+    let mut k_sum = 0.0;
+    let m = 40;
+    for _ in 0..m {
+        let arch = space.sample(&mut rng);
+        let net = lower_arch(space.skeleton(), &arch).expect("valid");
+        let measured_ms = device.measure_network_mean(&net, 3, &mut rng) / 1000.0;
+        let flops = arch_cost(space.skeleton(), &arch).expect("valid").total_flops();
+        k_sum += measured_ms / flops;
+    }
+    let k = k_sum / m as f64;
+
+    let mut points = Vec::new();
+    // Arm 1: hardware-aware (Eq. 2-3).
+    {
+        let mut cal_rng = StdRng::seed_from_u64(seed);
+        let mut predictor =
+            LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut cal_rng)
+                .expect("calibration");
+        let oracle2 = oracle.clone();
+        let mut objective = TradeoffObjective::new(
+            move |arch: &Arch| oracle2.accuracy(arch).map_err(|e| e.to_string()),
+            move |arch: &Arch| predictor.predict_ms(arch).map_err(|e| e.to_string()),
+            target_ms,
+            -20.0,
+        );
+        let mut search_rng = StdRng::seed_from_u64(seed + 1);
+        let result = EvolutionSearch::new(space.clone(), config)
+            .run(&mut objective, &mut search_rng)
+            .expect("search");
+        let net = lower_arch(space.skeleton(), &result.best_arch).expect("valid");
+        points.push(ProxyPoint {
+            label: "hardware-aware".into(),
+            top1_error: oracle.top1_error(&result.best_arch).expect("valid"),
+            believed_latency_ms: result.best_evaluation.latency_ms,
+            actual_latency_ms: device.network_time_us(&net) / 1000.0,
+        });
+    }
+    // Arm 2: FLOPs proxy.
+    {
+        let skeleton = space.skeleton().clone();
+        let oracle2 = oracle.clone();
+        let mut objective = TradeoffObjective::new(
+            move |arch: &Arch| oracle2.accuracy(arch).map_err(|e| e.to_string()),
+            move |arch: &Arch| {
+                let flops = arch_cost(&skeleton, arch)
+                    .map_err(|e| e.to_string())?
+                    .total_flops();
+                Ok(k * flops)
+            },
+            target_ms,
+            -20.0,
+        );
+        let mut search_rng = StdRng::seed_from_u64(seed + 1);
+        let result = EvolutionSearch::new(space.clone(), config)
+            .run(&mut objective, &mut search_rng)
+            .expect("search");
+        let net = lower_arch(space.skeleton(), &result.best_arch).expect("valid");
+        points.push(ProxyPoint {
+            label: "flops-proxy".into(),
+            top1_error: oracle.top1_error(&result.best_arch).expect("valid"),
+            believed_latency_ms: result.best_evaluation.latency_ms,
+            actual_latency_ms: device.network_time_us(&net) / 1000.0,
+        });
+    }
+    ProxyResult { points, target_ms }
+}
+
+/// Renders the comparison.
+pub fn render(result: &ProxyResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablation — hardware-aware vs FLOPs-proxy guidance (edge, T = {} ms)\n",
+        result.target_ms
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>14} {:>13} {:>10}\n",
+        "guidance", "top-1", "believed(ms)", "actual(ms)", "miss"
+    ));
+    for p in &result.points {
+        out.push_str(&format!(
+            "{:<16} {:>8.1} {:>14.1} {:>13.1} {:>9.0}%\n",
+            p.label,
+            p.top1_error,
+            p.believed_latency_ms,
+            p.actual_latency_ms,
+            (p.actual_latency_ms / p.believed_latency_ms - 1.0) * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EvolutionConfig {
+        EvolutionConfig {
+            generations: 8,
+            population: 24,
+            parents: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hardware_aware_believes_correctly_proxy_does_not() {
+        let result = run(1, small());
+        let by = |l: &str| result.points.iter().find(|p| p.label == l).unwrap();
+        let aware = by("hardware-aware");
+        let proxy = by("flops-proxy");
+        let aware_miss = (aware.actual_latency_ms / aware.believed_latency_ms - 1.0).abs();
+        let proxy_miss = (proxy.actual_latency_ms / proxy.believed_latency_ms - 1.0).abs();
+        assert!(aware_miss < 0.05, "hardware-aware miss {aware_miss}");
+        assert!(
+            proxy_miss > aware_miss,
+            "proxy should misjudge more: {proxy_miss} vs {aware_miss}"
+        );
+    }
+
+    #[test]
+    fn hardware_aware_lands_closer_to_the_constraint() {
+        let result = run(2, small());
+        let by = |l: &str| result.points.iter().find(|p| p.label == l).unwrap();
+        let aware_gap =
+            (by("hardware-aware").actual_latency_ms - result.target_ms).abs();
+        let proxy_gap = (by("flops-proxy").actual_latency_ms - result.target_ms).abs();
+        assert!(
+            aware_gap <= proxy_gap + 1.0,
+            "aware {aware_gap} vs proxy {proxy_gap}"
+        );
+    }
+
+    #[test]
+    fn render_shows_miss_column() {
+        let text = render(&run(3, small()));
+        assert!(text.contains("miss"));
+        assert!(text.contains("flops-proxy"));
+    }
+}

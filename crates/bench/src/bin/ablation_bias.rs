@@ -1,0 +1,10 @@
+//! Ablation: the latency-model bias term B (Eq. 3) on vs off.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_bias [--seed N]`
+
+use hsconas_bench::{ablation, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    print!("{}", ablation::render_bias(&ablation::bias(seed, 200)));
+}

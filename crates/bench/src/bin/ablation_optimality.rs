@@ -1,0 +1,12 @@
+//! Ablation: how close do the search strategies get to the exhaustive
+//! optimum on a restricted (enumerable) slice of the space?
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_optimality [--seed N]`
+
+use hsconas_bench::{ablation, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let result = ablation::optimality(seed, 2, 1000);
+    print!("{}", ablation::render_optimality(&result));
+}

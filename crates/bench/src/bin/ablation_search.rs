@@ -1,0 +1,12 @@
+//! Ablation: EA vs random search vs greedy local search at an equal
+//! evaluation budget (1000 architecture evaluations, the paper's EA
+//! budget of 20 generations x 50 population).
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_search [--seed N]`
+
+use hsconas_bench::{ablation, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    print!("{}", ablation::render_search(&ablation::search(seed, 1000)));
+}

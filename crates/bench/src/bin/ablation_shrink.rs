@@ -1,0 +1,12 @@
+//! Ablation: EA in the progressively shrunk space vs the full space.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_shrink [--seed N]`
+
+use hsconas_bench::{ablation, seed_from_args};
+use hsconas_evo::EvolutionConfig;
+
+fn main() {
+    let seed = seed_from_args();
+    let result = ablation::shrink(seed, 100, EvolutionConfig::default());
+    print!("{}", ablation::render_shrink(&result));
+}

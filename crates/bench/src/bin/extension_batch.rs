@@ -1,0 +1,10 @@
+//! Extension: per-image latency vs batch size on each simulated device —
+//! the justification for the paper's batch-size choices (32/1/16).
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin extension_batch`
+
+use hsconas_bench::extension_batch;
+
+fn main() {
+    print!("{}", extension_batch::render(&extension_batch::run()));
+}

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 3: latency-model fit (Eq. 2-3) per device.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin fig3_latency_model [--seed N]`
+
+use hsconas_bench::{fig3, plot, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let results = fig3::run(seed, &fig3::Fig3Config::default());
+    print!("{}", fig3::render(&results));
+    for r in &results {
+        println!();
+        print!(
+            "{}",
+            plot::parity_plot(
+                &r.points,
+                60,
+                14,
+                &format!("{}: measured(ms, y) vs estimated(ms, x)", r.device)
+            )
+        );
+    }
+}

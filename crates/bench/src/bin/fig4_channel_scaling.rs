@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4: conventional vs dynamic channel scaling.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin fig4_channel_scaling [--seed N]`
+
+use hsconas_bench::{fig4, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let result = fig4::run(seed, 20, 50);
+    print!("{}", fig4::render(&result));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 5: the progressive space-shrinking trajectory.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin fig5_space_shrinking [--seed N]`
+
+use hsconas_bench::{fig5, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let result = fig5::run(seed, 100);
+    print!("{}", fig5::render(&result));
+}

@@ -1,0 +1,26 @@
+//! Seed sweep for the Fig. 6 (left) shrink-vs-naive comparison: the
+//! margin is noise-prone at tiny scale, so report several seeds.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_seed_sweep`
+
+use hsconas_bench::fig6;
+
+fn main() {
+    println!("seed   naive  shrink  winner");
+    let mut shrink_wins = 0;
+    let seeds = [1u64, 2, 3, 5, 8, 2021];
+    for &seed in &seeds {
+        let r = fig6::run_shrink_vs_naive(seed, 300);
+        let winner = if r.shrink_accuracy >= r.naive_accuracy {
+            shrink_wins += 1;
+            "shrink"
+        } else {
+            "naive"
+        };
+        println!(
+            "{seed:<6} {:.3}  {:.3}   {winner}",
+            r.naive_accuracy, r.shrink_accuracy
+        );
+    }
+    println!("\nshrink wins {shrink_wins}/{} seeds", seeds.len());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 6 (left): supernet accuracy with progressive shrinking
+//! vs naive training at an equal step budget, on the real-training
+//! substrate (tiny space + synthetic dataset).
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_shrink_vs_naive [--seed N]`
+
+use hsconas_bench::{fig6, seed_from_args};
+
+fn main() {
+    let seed = seed_from_args();
+    let result = fig6::run_shrink_vs_naive(seed, 300);
+    print!("{}", fig6::render_shrink_vs_naive(&result));
+}

@@ -1,0 +1,69 @@
+//! Runs every experiment in sequence — the one-command regeneration of
+//! EXPERIMENTS.md's numbers. Heavier searches use the paper budgets, so
+//! expect a few minutes in release mode.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin run_all_experiments [--seed N]`
+
+use hsconas::PipelineConfig;
+use hsconas_bench::*;
+use hsconas_evo::EvolutionConfig;
+
+fn main() {
+    let seed = seed_from_args();
+    let divider = "=".repeat(72);
+
+    println!("{divider}\nFIG 2\n{divider}");
+    print!("{}", fig2::render(&fig2::run(seed, 512)));
+
+    println!("{divider}\nFIG 3\n{divider}");
+    print!("{}", fig3::render(&fig3::run(seed, &fig3::Fig3Config::default())));
+
+    println!("{divider}\nFIG 4\n{divider}");
+    print!("{}", fig4::render(&fig4::run(seed, 20, 50)));
+
+    println!("{divider}\nFIG 5\n{divider}");
+    print!("{}", fig5::render(&fig5::run(seed, 100)));
+
+    println!("{divider}\nFIG 6 (top/bottom)\n{divider}");
+    print!(
+        "{}",
+        fig6::render_evolution(&fig6::run_evolution(seed, EvolutionConfig::default()))
+    );
+
+    println!("{divider}\nFIG 6 (left)\n{divider}");
+    print!(
+        "{}",
+        fig6::render_shrink_vs_naive(&fig6::run_shrink_vs_naive(seed, 300))
+    );
+
+    println!("{divider}\nTABLE I\n{divider}");
+    print!("{}", table1::render(&table1::run(seed, &PipelineConfig::default())));
+
+    println!("{divider}\nABLATIONS\n{divider}");
+    print!("{}", ablation::render_bias(&ablation::bias(seed, 200)));
+    println!();
+    print!("{}", ablation::render_search(&ablation::search(seed, 1000)));
+    println!();
+    print!(
+        "{}",
+        ablation::render_shrink(&ablation::shrink(seed, 100, EvolutionConfig::default()))
+    );
+    println!();
+    print!(
+        "{}",
+        ablation::render_optimality(&ablation::optimality(seed, 2, 1000))
+    );
+    println!();
+    print!(
+        "{}",
+        ablation_proxy::render(&ablation_proxy::run(seed, EvolutionConfig::default()))
+    );
+
+    println!("{divider}\nEXTENSIONS\n{divider}");
+    print!(
+        "{}",
+        extension_energy::render(&extension_energy::run(seed, EvolutionConfig::default()))
+    );
+    println!();
+    print!("{}", extension_batch::render(&extension_batch::run()));
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table I: the full comparison of baselines and searched
+//! HSCoNets across GPU / CPU / Edge, with paper-vs-simulated deltas and a
+//! check of the paper's headline claims.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin table1_comparison [--seed N]`
+
+use hsconas::PipelineConfig;
+use hsconas_bench::{seed_from_args, table1};
+
+fn main() {
+    let seed = seed_from_args();
+    let result = table1::run(seed, &PipelineConfig::default());
+    print!("{}", table1::render(&result));
+    let failures = table1::check_headline_claims(&result);
+    if failures.is_empty() {
+        println!("\nheadline claims: all hold");
+    } else {
+        println!("\nheadline claims: FAILED");
+        for f in failures {
+            println!("  - {f}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Extension experiment (the paper's stated future work): searching under
+//! a **power/energy constraint** in addition to latency.
+//!
+//! Protocol: on the edge device, run three searches with the paper's EA —
+//! latency-only (Eq. 1), energy-only, and joint latency+energy (the
+//! multi-constraint objective) — then report each winner's latency,
+//! energy, and accuracy. The joint search should find an architecture
+//! meeting *both* budgets at a small accuracy cost.
+
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_evo::{
+    Constraint, EvolutionConfig, EvolutionSearch, MultiConstraintObjective, Objective,
+};
+use hsconas_hwsim::{lower_arch, DeviceSpec, PowerModel};
+use hsconas_latency::LatencyPredictor;
+use hsconas_space::{Arch, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One search arm's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyPoint {
+    /// Arm label.
+    pub label: String,
+    /// Top-1 surrogate error, percent.
+    pub top1_error: f64,
+    /// Simulated latency, ms.
+    pub latency_ms: f64,
+    /// Simulated energy per inference, mJ.
+    pub energy_mj: f64,
+}
+
+/// The extension experiment result.
+#[derive(Debug, Clone)]
+pub struct EnergyResult {
+    /// The three arms: latency-only, energy-only, joint.
+    pub points: Vec<EnergyPoint>,
+    /// Latency budget, ms.
+    pub latency_target_ms: f64,
+    /// Energy budget, mJ.
+    pub energy_target_mj: f64,
+}
+
+fn measure(space: &SearchSpace, arch: &Arch, device: &DeviceSpec) -> (f64, f64) {
+    let net = lower_arch(space.skeleton(), arch).expect("valid arch");
+    let pm = PowerModel::for_device(device);
+    (
+        device.network_time_us(&net) / 1000.0,
+        pm.network_energy_mj(device, &net),
+    )
+}
+
+/// Runs the three arms on the edge device.
+pub fn run(seed: u64, config: EvolutionConfig) -> EnergyResult {
+    let latency_target_ms = 34.0;
+    let energy_target_mj = 110.0;
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+    let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+
+    let make_latency_metric = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut predictor =
+            LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut rng)
+                .expect("calibration");
+        move |arch: &Arch| predictor.predict_ms(arch).map_err(|e| e.to_string())
+    };
+    let make_energy_metric = || {
+        let space = space.clone();
+        let device = device.clone();
+        let pm = PowerModel::for_device(&device);
+        move |arch: &Arch| {
+            let net = lower_arch(space.skeleton(), arch).map_err(|e| e.to_string())?;
+            Ok(pm.network_energy_mj(&device, &net))
+        }
+    };
+    let acc = {
+        let oracle = oracle.clone();
+        move |arch: &Arch| oracle.accuracy(arch).map_err(|e| e.to_string())
+    };
+
+    let mut points = Vec::new();
+    let arms: Vec<(&str, Vec<Constraint>)> = vec![
+        (
+            "latency-only",
+            vec![Constraint::new(
+                "latency_ms",
+                make_latency_metric(seed),
+                latency_target_ms,
+                -20.0,
+            )],
+        ),
+        (
+            "energy-only",
+            vec![Constraint::new(
+                "energy_mj",
+                make_energy_metric(),
+                energy_target_mj,
+                -20.0,
+            )],
+        ),
+        (
+            "latency+energy",
+            vec![
+                Constraint::new(
+                    "latency_ms",
+                    make_latency_metric(seed),
+                    latency_target_ms,
+                    -20.0,
+                ),
+                Constraint::new("energy_mj", make_energy_metric(), energy_target_mj, -20.0),
+            ],
+        ),
+    ];
+    for (label, constraints) in arms {
+        let mut objective = MultiConstraintObjective::new(acc.clone(), constraints);
+        let mut rng = StdRng::seed_from_u64(seed + 100);
+        let result = EvolutionSearch::new(space.clone(), config)
+            .run(&mut objective, &mut rng)
+            .expect("search");
+        let _ = objective.evaluate(&result.best_arch);
+        let (latency_ms, energy_mj) = measure(&space, &result.best_arch, &device);
+        points.push(EnergyPoint {
+            label: label.into(),
+            top1_error: oracle.top1_error(&result.best_arch).expect("valid"),
+            latency_ms,
+            energy_mj,
+        });
+    }
+    EnergyResult {
+        points,
+        latency_target_ms,
+        energy_target_mj,
+    }
+}
+
+/// Renders the comparison.
+pub fn render(result: &EnergyResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Extension — energy-constrained search (edge, T = {} ms, E = {} mJ)\n",
+        result.latency_target_ms, result.energy_target_mj
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>9} {:>11}\n",
+        "objective", "top-1", "lat(ms)", "energy(mJ)"
+    ));
+    for p in &result.points {
+        out.push_str(&format!(
+            "{:<16} {:>8.1} {:>9.1} {:>11.0}\n",
+            p.label, p.top1_error, p.latency_ms, p.energy_mj
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EvolutionConfig {
+        EvolutionConfig {
+            generations: 8,
+            population: 24,
+            parents: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn joint_search_respects_both_budgets() {
+        let result = run(1, small());
+        let joint = result
+            .points
+            .iter()
+            .find(|p| p.label == "latency+energy")
+            .unwrap();
+        assert!(
+            joint.latency_ms <= result.latency_target_ms * 1.25,
+            "joint latency {}",
+            joint.latency_ms
+        );
+        assert!(
+            joint.energy_mj <= result.energy_target_mj * 1.25,
+            "joint energy {}",
+            joint.energy_mj
+        );
+    }
+
+    #[test]
+    fn single_constraint_arms_track_their_own_metric() {
+        let result = run(2, small());
+        let by = |l: &str| result.points.iter().find(|p| p.label == l).unwrap();
+        let lat_only = by("latency-only");
+        assert!(
+            (lat_only.latency_ms - result.latency_target_ms).abs()
+                / result.latency_target_ms
+                < 0.3,
+            "latency-only arm at {} ms",
+            lat_only.latency_ms
+        );
+    }
+
+    #[test]
+    fn render_lists_three_arms() {
+        let text = render(&run(3, small()));
+        assert!(text.contains("latency-only"));
+        assert!(text.contains("energy-only"));
+        assert!(text.contains("latency+energy"));
+    }
+}

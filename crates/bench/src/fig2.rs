@@ -1,0 +1,191 @@
+//! Fig. 2 reproduction: architectures with the same FLOPs or parameter
+//! count differ significantly in runtime latency, so hardware-agnostic
+//! metrics are inadequate latency proxies.
+//!
+//! The harness samples architectures uniformly, records (FLOPs, Params,
+//! simulated on-device latency) triples per device, reports the
+//! correlations, and — the paper's key visual — the latency *spread*
+//! within narrow FLOPs bins.
+
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_latency::{pearson, spearman};
+use hsconas_space::cost::arch_cost;
+use hsconas_space::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sampled architecture's data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Total multiply-accumulates, millions.
+    pub mflops: f64,
+    /// Total parameters, millions.
+    pub mparams: f64,
+    /// Simulated on-device latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Per-device result.
+#[derive(Debug, Clone)]
+pub struct DeviceScatter {
+    /// Device name.
+    pub device: String,
+    /// Sampled points.
+    pub points: Vec<Point>,
+    /// Pearson correlation of latency with FLOPs.
+    pub pearson_flops: f64,
+    /// Spearman rank correlation of latency with FLOPs.
+    pub spearman_flops: f64,
+    /// Pearson correlation of latency with parameter count.
+    pub pearson_params: f64,
+    /// Spearman rank correlation of latency with parameter count.
+    pub spearman_params: f64,
+    /// Maximum relative latency spread (max/min − 1) among architectures
+    /// within ±5% FLOPs of each other — the paper's "significantly differ"
+    /// observation quantified.
+    pub max_iso_flops_spread: f64,
+}
+
+/// Runs the Fig. 2 experiment: `n` uniform samples per device.
+pub fn run(seed: u64, n: usize) -> Vec<DeviceScatter> {
+    let space = SearchSpace::hsconas_a();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let archs = space.sample_n(n, &mut rng);
+    let costs: Vec<(f64, f64)> = archs
+        .iter()
+        .map(|a| {
+            let c = arch_cost(space.skeleton(), a).expect("arch from the space");
+            (c.total_flops() / 1e6, c.total_params() / 1e6)
+        })
+        .collect();
+    let nets: Vec<_> = archs
+        .iter()
+        .map(|a| lower_arch(space.skeleton(), a).expect("arch from the space"))
+        .collect();
+
+    DeviceSpec::paper_devices()
+        .into_iter()
+        .map(|device| {
+            let mut meas_rng = StdRng::seed_from_u64(seed ^ 0x5ca1ab1e);
+            let points: Vec<Point> = nets
+                .iter()
+                .zip(&costs)
+                .map(|(net, &(mflops, mparams))| Point {
+                    mflops,
+                    mparams,
+                    latency_ms: device.measure_network(net, &mut meas_rng) / 1000.0,
+                })
+                .collect();
+            let lat: Vec<f64> = points.iter().map(|p| p.latency_ms).collect();
+            let flops: Vec<f64> = points.iter().map(|p| p.mflops).collect();
+            let params: Vec<f64> = points.iter().map(|p| p.mparams).collect();
+            DeviceScatter {
+                device: device.name.clone(),
+                pearson_flops: pearson(&flops, &lat),
+                spearman_flops: spearman(&flops, &lat),
+                pearson_params: pearson(&params, &lat),
+                spearman_params: spearman(&params, &lat),
+                max_iso_flops_spread: iso_flops_spread(&points),
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Largest relative latency spread among points whose FLOPs agree within
+/// ±5%.
+fn iso_flops_spread(points: &[Point]) -> f64 {
+    let mut max_spread: f64 = 0.0;
+    for (i, a) in points.iter().enumerate() {
+        let mut lo = a.latency_ms;
+        let mut hi = a.latency_ms;
+        for b in &points[i + 1..] {
+            if (b.mflops / a.mflops - 1.0).abs() <= 0.05 {
+                lo = lo.min(b.latency_ms);
+                hi = hi.max(b.latency_ms);
+            }
+        }
+        if lo > 0.0 {
+            max_spread = max_spread.max(hi / lo - 1.0);
+        }
+    }
+    max_spread
+}
+
+/// Renders the per-device summary the way the paper's caption reads.
+pub fn render(results: &[DeviceScatter]) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 2 — latency vs FLOPs (left) / Params (right)\n");
+    out.push_str(&format!(
+        "{:<16} {:>9} {:>9} {:>10} {:>10} {:>12}\n",
+        "device", "r(FLOPs)", "rho(FLOPs)", "r(Params)", "rho(Params)", "iso-FLOPs"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<16} {:>9.3} {:>9.3} {:>10.3} {:>10.3} {:>10.0}%\n",
+            r.device,
+            r.pearson_flops,
+            r.spearman_flops,
+            r.pearson_params,
+            r.spearman_params,
+            r.max_iso_flops_spread * 100.0
+        ));
+    }
+    out.push_str(
+        "\n(iso-FLOPs = max latency spread among archs within +/-5% FLOPs;\n \
+         large values reproduce the paper's observation that equal-FLOPs\n \
+         architectures differ significantly in latency)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlations_are_positive_but_imperfect() {
+        let results = run(1, 120);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.points.len(), 120);
+            // FLOPs correlates with latency, but far from perfectly —
+            // that is the figure's whole point.
+            assert!(r.pearson_flops > 0.3, "{}: r {}", r.device, r.pearson_flops);
+            assert!(
+                r.spearman_flops < 0.995,
+                "{}: rho {} suspiciously perfect",
+                r.device,
+                r.spearman_flops
+            );
+        }
+    }
+
+    #[test]
+    fn iso_flops_spread_is_substantial() {
+        let results = run(2, 150);
+        for r in &results {
+            assert!(
+                r.max_iso_flops_spread > 0.10,
+                "{}: spread {} too small to support the paper's claim",
+                r.device,
+                r.max_iso_flops_spread
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = run(3, 30);
+        let b = run(3, 30);
+        assert_eq!(a[0].points, b[0].points);
+    }
+
+    #[test]
+    fn render_mentions_devices() {
+        let text = render(&run(4, 20));
+        assert!(text.contains("gpu-gv100"));
+        assert!(text.contains("cpu-xeon-6136"));
+        assert!(text.contains("edge-xavier"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Fig. 4 reproduction: conventional (uniform, post-hoc) channel scaling
+//! vs the paper's dynamic per-layer channel scaling.
+//!
+//! Protocol: on one target device with latency constraint `T`,
+//!
+//! * **conventional** — first search operators only (channel scale pinned
+//!   to 1.0), then sweep a single uniform scaling factor `c ∈ C` across
+//!   all layers and keep the best objective;
+//! * **dynamic** — the full HSCoNAS search over `(op, c)` jointly.
+//!
+//! Dynamic scaling should reach a better accuracy/latency trade-off,
+//! which is the figure's argument for channel-level exploration.
+
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_evo::{EvolutionConfig, EvolutionSearch, Objective, TradeoffObjective};
+use hsconas_hwsim::DeviceSpec;
+use hsconas_latency::LatencyPredictor;
+use hsconas_space::{Arch, ChannelScale, Gene, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One point of the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Label ("uniform c=0.6" or "dynamic").
+    pub label: String,
+    /// Top-1 surrogate error, percent.
+    pub top1_error: f64,
+    /// Predicted latency, milliseconds.
+    pub latency_ms: f64,
+    /// Objective score F(arch, T).
+    pub score: f64,
+}
+
+/// The full Fig. 4 result.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Uniform-scaling sweep, one point per factor.
+    pub uniform: Vec<ScalingPoint>,
+    /// Best uniform point by objective.
+    pub best_uniform: ScalingPoint,
+    /// The dynamic (joint) search result.
+    pub dynamic: ScalingPoint,
+    /// Latency target used.
+    pub target_ms: f64,
+}
+
+fn evaluate(
+    objective: &mut dyn Objective,
+    oracle: &SurrogateAccuracy,
+    arch: &Arch,
+    label: String,
+) -> ScalingPoint {
+    let eval = objective.evaluate(arch).expect("valid arch");
+    ScalingPoint {
+        label,
+        top1_error: oracle.top1_error(arch).expect("valid arch"),
+        latency_ms: eval.latency_ms,
+        score: eval.score,
+    }
+}
+
+/// Runs the comparison on the edge device with the paper's 34 ms target.
+pub fn run(seed: u64, generations: usize, population: usize) -> Fig4Result {
+    let target_ms = 34.0;
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+    let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut predictor =
+        LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration");
+    let oracle_for_obj = oracle.clone();
+    let mut objective = TradeoffObjective::new(
+        move |arch: &Arch| oracle_for_obj.accuracy(arch).map_err(|e| e.to_string()),
+        move |arch: &Arch| predictor.predict_ms(arch).map_err(|e| e.to_string()),
+        target_ms,
+        -20.0,
+    );
+    let config = EvolutionConfig {
+        generations,
+        population,
+        parents: (population / 3).max(2),
+        ..Default::default()
+    };
+
+    // Conventional: operator-only search at full width...
+    let op_only = {
+        let mut s = space.clone();
+        for l in 0..s.num_layers() {
+            s = s
+                .restrict_scales(l, &[ChannelScale::FULL])
+                .expect("full scale is a candidate");
+        }
+        s
+    };
+    let op_result = EvolutionSearch::new(op_only, config)
+        .run(&mut objective, &mut rng)
+        .expect("operator-only search");
+    // ...then a uniform scaling sweep on the found operator assignment.
+    let mut uniform = Vec::new();
+    for factor in ChannelScale::all() {
+        let mut arch = op_result.best_arch.clone();
+        for l in 0..arch.len() {
+            let op = arch.genes()[l].op;
+            arch.set_gene(l, Gene::new(op, factor)).expect("in range");
+        }
+        uniform.push(evaluate(
+            &mut objective,
+            &oracle,
+            &arch,
+            format!("uniform c={factor}"),
+        ));
+    }
+    let best_uniform = uniform
+        .iter()
+        .max_by(|a, b| a.score.partial_cmp(&b.score).expect("comparable"))
+        .expect("ten factors")
+        .clone();
+
+    // Dynamic: joint (op, c) search in the full space.
+    let dyn_result = EvolutionSearch::new(space, config)
+        .run(&mut objective, &mut rng)
+        .expect("dynamic search");
+    let dynamic = evaluate(
+        &mut objective,
+        &oracle,
+        &dyn_result.best_arch,
+        "dynamic".into(),
+    );
+
+    Fig4Result {
+        uniform,
+        best_uniform,
+        dynamic,
+        target_ms,
+    }
+}
+
+/// Renders the sweep plus the headline comparison.
+pub fn render(result: &Fig4Result) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig. 4 — conventional vs dynamic channel scaling (edge, T = {} ms)\n",
+        result.target_ms
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>8} {:>9} {:>8}\n",
+        "config", "top-1", "lat(ms)", "F"
+    ));
+    for p in &result.uniform {
+        out.push_str(&format!(
+            "{:<18} {:>8.1} {:>9.1} {:>8.2}\n",
+            p.label, p.top1_error, p.latency_ms, p.score
+        ));
+    }
+    out.push_str(&format!(
+        "{:<18} {:>8.1} {:>9.1} {:>8.2}   <- best uniform\n",
+        result.best_uniform.label,
+        result.best_uniform.top1_error,
+        result.best_uniform.latency_ms,
+        result.best_uniform.score
+    ));
+    out.push_str(&format!(
+        "{:<18} {:>8.1} {:>9.1} {:>8.2}   <- dynamic (HSCoNAS)\n",
+        result.dynamic.label,
+        result.dynamic.top1_error,
+        result.dynamic.latency_ms,
+        result.dynamic.score
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_beats_best_uniform() {
+        let result = run(1, 15, 40);
+        assert!(
+            result.dynamic.score >= result.best_uniform.score,
+            "dynamic {} should match or beat uniform {}",
+            result.dynamic.score,
+            result.best_uniform.score
+        );
+        assert_eq!(result.uniform.len(), 10);
+    }
+
+    #[test]
+    fn uniform_sweep_monotone_in_latency() {
+        let result = run(2, 4, 12);
+        for pair in result.uniform.windows(2) {
+            assert!(
+                pair[0].latency_ms <= pair[1].latency_ms + 1e-9,
+                "uniform latency must rise with the factor"
+            );
+        }
+    }
+
+    #[test]
+    fn render_labels_both_lines() {
+        let text = render(&run(3, 3, 9));
+        assert!(text.contains("best uniform"));
+        assert!(text.contains("dynamic (HSCoNAS)"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Fig. 5 reproduction: the progressive space-shrinking pipeline — the
+//! initial space `A`, the first shrink `A_ss^1st` (layers 20→17), and the
+//! second shrink `A_ss^2nd` (layers 16→13), each stage cutting the space
+//! size by roughly three orders of magnitude while evaluating only
+//! `5 × 4` subspaces instead of `5⁴`.
+
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_evo::TradeoffObjective;
+use hsconas_hwsim::DeviceSpec;
+use hsconas_latency::LatencyPredictor;
+use hsconas_shrink::{ProgressiveShrinking, ShrinkConfig, ShrinkResult};
+use hsconas_space::{Arch, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The Fig. 5 result: the shrink record plus the space-size trajectory.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// `log10 |A|` of the initial space.
+    pub initial_log10: f64,
+    /// The shrink record (stages, per-layer decisions, sizes).
+    pub shrink: ShrinkResult,
+    /// Subspaces evaluated by the progressive method (`5 × 4` per stage).
+    pub subspaces_evaluated: usize,
+    /// Subspaces a joint four-layer evaluation would need (`5⁴` per stage).
+    pub subspaces_joint: usize,
+}
+
+/// Runs progressive shrinking on the edge device with the paper's
+/// schedule; `samples_per_subspace` tunes runtime (paper: 100).
+pub fn run(seed: u64, samples_per_subspace: usize) -> Fig5Result {
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+    let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut predictor =
+        LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration");
+    let mut objective = TradeoffObjective::new(
+        move |arch: &Arch| oracle.accuracy(arch).map_err(|e| e.to_string()),
+        move |arch: &Arch| predictor.predict_ms(arch).map_err(|e| e.to_string()),
+        34.0,
+        -20.0,
+    );
+    let config = ShrinkConfig {
+        samples_per_subspace,
+        ..Default::default()
+    };
+    let initial_log10 = space.log10_size();
+    let shrink = ProgressiveShrinking::new(config.clone())
+        .run(space, &mut objective, &mut rng, |_, _| Ok(()))
+        .expect("shrinking");
+    let per_stage_layers = config.stages.iter().map(|s| s.len()).collect::<Vec<_>>();
+    let subspaces_evaluated = per_stage_layers.iter().map(|l| 5 * l).sum();
+    let subspaces_joint = per_stage_layers.iter().map(|l| 5usize.pow(*l as u32)).sum();
+    Fig5Result {
+        initial_log10,
+        shrink,
+        subspaces_evaluated,
+        subspaces_joint,
+    }
+}
+
+/// Renders the shrink trajectory and per-layer decisions.
+pub fn render(result: &Fig5Result) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 5 — progressive space shrinking\n");
+    out.push_str(&format!(
+        "initial space      : 10^{:.2} architectures\n",
+        result.initial_log10
+    ));
+    for stage in &result.shrink.stages {
+        out.push_str(&format!(
+            "after stage {} (A_ss^{}): 10^{:.2}  (-{:.2} orders)\n",
+            stage.stage + 1,
+            if stage.stage == 0 { "1st" } else { "2nd" },
+            stage.log10_size_after,
+            stage.orders_removed()
+        ));
+        for d in &stage.decisions {
+            let quality_list = d
+                .qualities
+                .iter()
+                .map(|(op, q)| format!("{op}:{q:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "  layer {:>2} -> {:<12} ({quality_list})\n",
+                d.layer + 1,
+                d.chosen.to_string()
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "subspace evaluations: {} (progressive) vs {} (joint per-stage)\n",
+        result.subspaces_evaluated, result.subspaces_joint
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_stage_removes_about_three_orders() {
+        let result = run(1, 15);
+        assert_eq!(result.shrink.stages.len(), 2);
+        for stage in &result.shrink.stages {
+            let orders = stage.orders_removed();
+            assert!(
+                (2.5..=3.0).contains(&orders),
+                "stage {} removed {orders} orders (expected ~2.8)",
+                stage.stage
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_count_matches_paper_complexity_claim() {
+        let result = run(2, 5);
+        assert_eq!(result.subspaces_evaluated, 2 * 5 * 4);
+        assert_eq!(result.subspaces_joint, 2 * 625);
+    }
+
+    #[test]
+    fn final_space_has_eight_fixed_layers() {
+        let result = run(3, 10);
+        assert_eq!(result.shrink.space.fixed_layers().len(), 8);
+        // layers 12..=19 fixed (the paper's 13th..20th)
+        for l in 12..20 {
+            assert_eq!(result.shrink.space.allowed_ops(l).len(), 1, "layer {l}");
+        }
+        for l in 0..12 {
+            assert_eq!(result.shrink.space.allowed_ops(l).len(), 5, "layer {l}");
+        }
+    }
+
+    #[test]
+    fn render_shows_trajectory() {
+        let text = render(&run(4, 5));
+        assert!(text.contains("A_ss^1st"));
+        assert!(text.contains("A_ss^2nd"));
+        assert!(text.contains("subspace evaluations"));
+    }
+}

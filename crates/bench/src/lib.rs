@@ -1,0 +1,69 @@
+//! # hsconas-bench
+//!
+//! The experiment harness: one module per paper artifact (figure or
+//! table), each exposing a typed `run` function and a `render` function
+//! that prints the same rows/series the paper reports. The `src/bin`
+//! binaries are thin wrappers; the Criterion benches in `benches/` measure
+//! the runtime of each harness's core computation.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Fig. 2 — latency vs FLOPs / Params decorrelation |
+//! | [`fig3`] | Fig. 3 — latency-model RMSE and correlation |
+//! | [`fig4`] | Fig. 4 — uniform vs dynamic channel scaling |
+//! | [`fig5`] | Fig. 5 — progressive space shrinking |
+//! | [`fig6`] | Fig. 6 — EA scatter / histogram and shrink-vs-naive training |
+//! | [`table1`] | Table I — full comparison |
+//! | [`ablation`] | Design-choice ablations (bias term, search algorithm, shrinking) |
+//! | [`extension_energy`] | Future-work extension: energy-constrained search |
+//! | [`ablation_proxy`] | Hardware-aware vs FLOPs-proxy search guidance |
+//! | [`extension_batch`] | Batch-size utilization sweep (the paper's batch choices) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod ablation_proxy;
+pub mod extension_batch;
+pub mod extension_energy;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod plot;
+pub mod fig6;
+pub mod table1;
+
+/// Parses an optional `--seed N` command-line argument, defaulting to the
+/// fixed seed every experiment binary uses for reproducibility.
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--seed")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(2021)
+}
+
+/// Renders a simple ASCII histogram line (used by the Fig. 6 bottom
+/// reproduction).
+pub fn ascii_bar(count: usize, max: usize, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let filled = (count * width).div_ceil(max.max(1)).min(width);
+    "#".repeat(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_bar_scales() {
+        assert_eq!(ascii_bar(10, 10, 10), "##########");
+        assert_eq!(ascii_bar(5, 10, 10), "#####");
+        assert_eq!(ascii_bar(0, 10, 10), "");
+        assert_eq!(ascii_bar(1, 100, 10), "#");
+        assert_eq!(ascii_bar(3, 0, 10), "");
+    }
+}

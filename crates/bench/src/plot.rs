@@ -1,0 +1,138 @@
+//! Minimal ASCII plotting for the figure reproductions: scatter plots
+//! rendered into fixed-size character grids, so every figure binary can
+//! show the same visual the paper prints, directly in the terminal.
+
+/// Renders a scatter plot of `points` into a `width × height` character
+/// grid with axis ranges derived from the data. Multiple points in one
+/// cell escalate the glyph (`·` → `o` → `#`).
+pub fn scatter(points: &[(f64, f64)], width: usize, height: usize, title: &str) -> String {
+    assert!(width >= 8 && height >= 4, "plot area too small");
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if points.is_empty() {
+        out.push_str("(no points)\n");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // avoid degenerate ranges
+    if x_max - x_min < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if y_max - y_min < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![0u32; width]; height];
+    for &(x, y) in points {
+        let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] += 1;
+    }
+    for (i, row) in grid.iter().enumerate() {
+        // y-axis labels on first, middle, last rows
+        let label = if i == 0 {
+            format!("{y_max:8.1} |")
+        } else if i == height - 1 {
+            format!("{y_min:8.1} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        for &count in row {
+            out.push(match count {
+                0 => ' ',
+                1 => '.',
+                2..=3 => 'o',
+                _ => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("         +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "          {:<width$.1}{:>rest$.1}\n",
+        x_min,
+        x_max,
+        width = width / 2,
+        rest = width - width / 2
+    ));
+    out
+}
+
+/// Renders predicted-vs-measured points with a `y = x` reference line
+/// (the Fig. 3 panel layout).
+pub fn parity_plot(points: &[(f64, f64)], width: usize, height: usize, title: &str) -> String {
+    // overlay the diagonal by adding synthetic reference points
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        lo = lo.min(x.min(y));
+        hi = hi.max(x.max(y));
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return scatter(points, width, height, title);
+    }
+    let mut txt = scatter(points, width, height, title);
+    txt.push_str(&format!(
+        "(ideal fit is the diagonal from {lo:.1} to {hi:.1}; tight clustering = low RMSE)\n"
+    ));
+    txt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
+        let text = scatter(&pts, 40, 10, "test plot");
+        let lines: Vec<&str> = text.lines().collect();
+        // title + height rows + axis + labels
+        assert_eq!(lines.len(), 1 + 10 + 2);
+        assert!(lines[0].contains("test plot"));
+        assert!(text.contains('.') || text.contains('o'));
+    }
+
+    #[test]
+    fn extremes_land_in_corners() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0)];
+        let text = scatter(&pts, 20, 6, "corners");
+        let lines: Vec<&str> = text.lines().collect();
+        // top row ends with the max point, bottom row starts with the min
+        assert!(lines[1].trim_end().ends_with('.'), "{text}");
+        assert!(lines[6].contains('.'), "{text}");
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let text = scatter(&[], 20, 6, "empty");
+        assert!(text.contains("no points"));
+    }
+
+    #[test]
+    fn dense_cells_escalate_glyphs() {
+        let pts = vec![(0.5, 0.5); 10];
+        let text = scatter(&pts, 10, 5, "dense");
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_panics() {
+        scatter(&[(0.0, 0.0)], 2, 2, "x");
+    }
+
+    #[test]
+    fn parity_mentions_diagonal() {
+        let pts = vec![(1.0, 1.1), (2.0, 2.05)];
+        let text = parity_plot(&pts, 20, 6, "fit");
+        assert!(text.contains("diagonal"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Sweeps the trade-off coefficient β for the GPU-A search to pick the
+//! default that best reproduces Table I's accuracy/latency balance.
+
+use hsconas::{search_for_device, PipelineConfig};
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_hwsim::DeviceSpec;
+use hsconas_space::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    for beta in [-10.0, -20.0, -40.0, -80.0] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = PipelineConfig {
+            beta,
+            ..PipelineConfig::default()
+        };
+        let space = SearchSpace::hsconas_a();
+        let outcome =
+            search_for_device(space.clone(), DeviceSpec::gpu_gv100(), 9.0, &config, &mut rng)
+                .unwrap();
+        let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+        println!(
+            "beta {beta:>6}: err {:.1}  lat {:.2} ms  score {:.2}",
+            oracle.top1_error(&outcome.best_arch).unwrap(),
+            outcome.best.latency_ms,
+            outcome.best.score
+        );
+    }
+}

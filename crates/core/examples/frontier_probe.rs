@@ -1,0 +1,48 @@
+//! Probes the accuracy/latency frontier on GPU for uniform-scaled archs
+//! and a few structured variants, to sanity-check what the EA can reach.
+
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_space::{Arch, ChannelScale, Gene, OpKind, SearchSpace};
+
+fn main() {
+    let space = SearchSpace::hsconas_a();
+    let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+    let gpu = DeviceSpec::gpu_gv100();
+    for t in (3..=10u8).rev() {
+        let mut arch = Arch::widest(20);
+        for l in 0..20 {
+            arch.set_gene(
+                l,
+                Gene::new(OpKind::Shuffle3, ChannelScale::from_tenths(t).unwrap()),
+            )
+            .unwrap();
+        }
+        let net = lower_arch(space.skeleton(), &arch).unwrap();
+        println!(
+            "uniform {:.1}: err {:.1}  gpu {:.2} ms",
+            t as f64 / 10.0,
+            oracle.top1_error(&arch).unwrap(),
+            gpu.network_time_us(&net) / 1000.0
+        );
+    }
+    // skip k stride-1 layers in stage order from front
+    for skips in [2, 4, 6] {
+        let mut arch = Arch::widest(20);
+        let mut done = 0;
+        for l in [1, 2, 3, 5, 6, 7] {
+            if done >= skips {
+                break;
+            }
+            arch.set_gene(l, Gene::new(OpKind::Skip, ChannelScale::FULL))
+                .unwrap();
+            done += 1;
+        }
+        let net = lower_arch(space.skeleton(), &arch).unwrap();
+        println!(
+            "{skips} skips: err {:.1}  gpu {:.2} ms",
+            oracle.top1_error(&arch).unwrap(),
+            gpu.network_time_us(&net) / 1000.0
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Full-budget Table I smoke run (release mode): prints the complete table
+//! with the paper's search hyper-parameters.
+
+use hsconas::{render_table, table_one, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2021);
+    let config = PipelineConfig::default();
+    let rows = table_one(&config, &mut rng).expect("table generation");
+    println!("{}", render_table(&rows));
+}

@@ -1,0 +1,212 @@
+//! The `hsconas` command-line tool: run searches, regenerate the
+//! comparison table, and re-measure saved models without writing code.
+//!
+//! ```text
+//! hsconas search --device edge --target-ms 34 [--layout a|b] [--seed N] [--fast] [--out FILE]
+//! hsconas table [--fast] [--seed N] [--out FILE]
+//! hsconas baselines
+//! hsconas measure --model FILE
+//! ```
+
+use hsconas::persist::{load_json, save_json, SavedModel};
+use hsconas::{render_table, search_for_device, table_one, PipelineConfig};
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_latency::LatencyPredictor;
+use hsconas_space::{ChannelLayout, NetworkSkeleton, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("search") => cmd_search(&args[1..]),
+        Some("table") => cmd_table(&args[1..]),
+        Some("baselines") => cmd_baselines(),
+        Some("measure") => cmd_measure(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: hsconas <search|table|baselines|measure> [options]\n\
+                 \n\
+                 search    --device gpu|cpu|edge --target-ms N [--layout a|b] [--seed N] [--fast] [--out FILE]\n\
+                 table     [--fast] [--seed N] [--out FILE]\n\
+                 baselines\n\
+                 measure   --model FILE\n\
+                 profile   --device gpu|cpu|edge --out FILE [--seed N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
+    match name {
+        "gpu" => Ok(DeviceSpec::gpu_gv100()),
+        "cpu" => Ok(DeviceSpec::cpu_xeon_6136()),
+        "edge" => Ok(DeviceSpec::edge_xavier()),
+        other => Err(format!("unknown device '{other}' (use gpu|cpu|edge)")),
+    }
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let device_name = flag(args, "--device").ok_or("--device is required")?;
+    let device = device_by_name(&device_name)?;
+    let target_ms: f64 = flag(args, "--target-ms")
+        .ok_or("--target-ms is required")?
+        .parse()
+        .map_err(|e| format!("--target-ms: {e}"))?;
+    let layout = match flag(args, "--layout").as_deref() {
+        None | Some("a") => ChannelLayout::A,
+        Some("b") => ChannelLayout::B,
+        Some(other) => return Err(format!("unknown layout '{other}' (use a|b)")),
+    };
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(2021);
+    let config = if has_flag(args, "--fast") {
+        PipelineConfig::fast_test()
+    } else {
+        PipelineConfig::default()
+    };
+    let space = SearchSpace::full(NetworkSkeleton::imagenet(layout));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = search_for_device(space.clone(), device.clone(), target_ms, &config, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+    let top1 = oracle
+        .top1_error(&outcome.best_arch)
+        .map_err(|e| e.to_string())?;
+    println!("architecture : {}", outcome.best_arch);
+    println!("top-1 error  : {top1:.1}%");
+    println!(
+        "latency      : {:.1} ms on {} (target {target_ms} ms)",
+        outcome.best.latency_ms, device.name
+    );
+    println!("objective F  : {:.2}", outcome.best.score);
+    if let Some(path) = flag(args, "--out") {
+        let saved = SavedModel {
+            name: format!("search-{device_name}-{target_ms}ms"),
+            target_device: device.name.clone(),
+            target_ms,
+            arch: outcome.best_arch,
+            top1_error: top1,
+            latency_ms: outcome.best.latency_ms,
+            seed,
+        };
+        save_json(&saved, &path).map_err(|e| e.to_string())?;
+        println!("saved        : {path}");
+    }
+    Ok(())
+}
+
+fn cmd_table(args: &[String]) -> Result<(), String> {
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(2021);
+    let config = if has_flag(args, "--fast") {
+        PipelineConfig::fast_test()
+    } else {
+        PipelineConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = table_one(&config, &mut rng).map_err(|e| e.to_string())?;
+    print!("{}", render_table(&rows));
+    if let Some(path) = flag(args, "--out") {
+        hsconas::persist::save_table(&rows, &path).map_err(|e| e.to_string())?;
+        println!("saved: {path}");
+    }
+    Ok(())
+}
+
+fn cmd_baselines() -> Result<(), String> {
+    print!("{}", render_table(&hsconas::report::baseline_rows()));
+    Ok(())
+}
+
+/// Calibrates a latency predictor for one device and saves the profiled
+/// LUT + bias snapshot, so later searches can skip the measurement phase.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let device_name = flag(args, "--device").ok_or("--device is required")?;
+    let device = device_by_name(&device_name)?;
+    let out = flag(args, "--out").ok_or("--out is required")?;
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(2021);
+    let space = SearchSpace::hsconas_a();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut predictor = LatencyPredictor::calibrate(device, &space, 100, 5, &mut rng)
+        .map_err(|e| e.to_string())?;
+    // profile broadly so the snapshot covers most configurations
+    for arch in space.sample_n(200, &mut rng) {
+        predictor.predict_us(&arch).map_err(|e| e.to_string())?;
+    }
+    let snapshot = predictor.export();
+    println!(
+        "profiled {} operator configurations, bias B = {:.2} ms",
+        snapshot.lut.entries.len(),
+        snapshot.bias_us / 1000.0
+    );
+    save_json(&snapshot, &out).map_err(|e| e.to_string())?;
+    println!("saved: {out}");
+    Ok(())
+}
+
+fn cmd_measure(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--model").ok_or("--model is required")?;
+    let model: SavedModel = load_json(&path).map_err(|e| e.to_string())?;
+    println!("model        : {}", model.name);
+    println!("architecture : {}", model.arch);
+    // Re-measure on all devices; infer the layout from the arch via both
+    // skeletons (exactly one will accept the widths).
+    let layouts = [ChannelLayout::A, ChannelLayout::B];
+    let skeleton = layouts
+        .iter()
+        .map(|&l| NetworkSkeleton::imagenet(l))
+        .find(|s| s.num_layers() == model.arch.len())
+        .ok_or("architecture does not fit any known skeleton")?;
+    let net = lower_arch(&skeleton, &model.arch).map_err(|e| e.to_string())?;
+    for device in DeviceSpec::paper_devices() {
+        let pm = hsconas_hwsim::PowerModel::for_device(&device);
+        let fp = hsconas_hwsim::memory_footprint(&device, &net);
+        println!(
+            "{:<16}: {:.1} ms   {:.0} mJ   {:.1} MiB",
+            device.name,
+            device.network_time_us(&net) / 1000.0,
+            pm.network_energy_mj(&device, &net),
+            fp.total_mib()
+        );
+    }
+    // per-operator latency breakdown on the model's target device
+    let target = DeviceSpec::paper_devices()
+        .into_iter()
+        .find(|d| d.name == model.target_device)
+        .unwrap_or_else(DeviceSpec::edge_xavier);
+    println!("\nper-operator breakdown on {} (us):", target.name);
+    for op in &net.ops {
+        println!("  {:<24} {:>10.1}", op.name, target.op_time_us(op));
+    }
+    println!(
+        "  {:<24} {:>10.1}",
+        "(inter-op + fixed)",
+        (net.ops.len() - 1) as f64 * target.inter_op_overhead_us + target.fixed_overhead_us
+    );
+    Ok(())
+}

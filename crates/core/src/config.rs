@@ -1,0 +1,85 @@
+//! Pipeline configuration.
+
+use hsconas_evo::EvolutionConfig;
+use hsconas_shrink::ShrinkConfig;
+
+/// End-to-end search configuration. `Default` reproduces the paper's
+/// settings; the `fast_test` preset scales the sampling budgets down for
+/// unit/integration tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Architectures sampled to calibrate the latency bias `B` (the `M`
+    /// of Eq. 3).
+    pub calibration_archs: usize,
+    /// On-device measurement repeats per calibration architecture.
+    pub calibration_repeats: usize,
+    /// Trade-off coefficient β of Eq. 1 (must be negative).
+    pub beta: f64,
+    /// Whether to run progressive space shrinking before the EA.
+    pub shrink: bool,
+    /// Shrinking schedule.
+    pub shrink_config: ShrinkConfig,
+    /// Evolutionary-search hyper-parameters.
+    pub evolution: EvolutionConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            calibration_archs: 100,
+            calibration_repeats: 5,
+            beta: -20.0,
+            shrink: true,
+            shrink_config: ShrinkConfig::default(),
+            evolution: EvolutionConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A configuration with drastically reduced sampling budgets for tests.
+    pub fn fast_test() -> Self {
+        PipelineConfig {
+            calibration_archs: 20,
+            calibration_repeats: 2,
+            beta: -20.0,
+            shrink: true,
+            shrink_config: ShrinkConfig {
+                stages: vec![vec![19, 18], vec![17, 16]],
+                samples_per_subspace: 25,
+            },
+            evolution: EvolutionConfig {
+                generations: 12,
+                population: 30,
+                parents: 10,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.evolution.generations, 20);
+        assert_eq!(c.evolution.population, 50);
+        assert_eq!(c.evolution.parents, 20);
+        assert_eq!(c.evolution.crossover_prob, 0.25);
+        assert_eq!(c.evolution.mutation_prob, 0.25);
+        assert_eq!(c.shrink_config.samples_per_subspace, 100);
+        assert!(c.beta < 0.0);
+        assert!(c.shrink);
+    }
+
+    #[test]
+    fn fast_test_is_smaller() {
+        let fast = PipelineConfig::fast_test();
+        let full = PipelineConfig::default();
+        assert!(fast.calibration_archs < full.calibration_archs);
+        assert!(fast.evolution.population < full.evolution.population);
+    }
+}

@@ -1,0 +1,148 @@
+//! Persistence of search results: discovered architectures and comparison
+//! tables are saved as JSON so an expensive search can be re-measured,
+//! re-rendered, or deployed without rerunning the pipeline.
+
+use crate::{PipelineError, TableRow};
+use hsconas_space::{Arch, SpaceError};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// A saved search outcome: everything needed to reproduce the discovered
+/// model's row in a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Model name (e.g. "HSCoNet-Edge-A").
+    pub name: String,
+    /// Device the search targeted.
+    pub target_device: String,
+    /// Latency constraint used, milliseconds.
+    pub target_ms: f64,
+    /// The discovered architecture.
+    pub arch: Arch,
+    /// Top-1 error at save time, percent.
+    pub top1_error: f64,
+    /// Predicted latency at save time, milliseconds.
+    pub latency_ms: f64,
+    /// Seed that produced this result.
+    pub seed: u64,
+}
+
+/// Serializes a value to pretty JSON at `path`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] wrapping the I/O or serialization failure.
+pub fn save_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), PipelineError> {
+    let json = serde_json::to_string_pretty(value).map_err(to_pipeline_error)?;
+    fs::write(path.as_ref(), json).map_err(|e| {
+        to_pipeline_error(format!("write {}: {e}", path.as_ref().display()))
+    })?;
+    Ok(())
+}
+
+/// Deserializes a value from JSON at `path`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] wrapping the I/O or deserialization failure.
+pub fn load_json<T: for<'de> Deserialize<'de>>(
+    path: impl AsRef<Path>,
+) -> Result<T, PipelineError> {
+    let json = fs::read_to_string(path.as_ref()).map_err(|e| {
+        to_pipeline_error(format!("read {}: {e}", path.as_ref().display()))
+    })?;
+    serde_json::from_str(&json).map_err(to_pipeline_error)
+}
+
+/// Saves a full comparison table.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on I/O or serialization failure.
+pub fn save_table(rows: &[TableRow], path: impl AsRef<Path>) -> Result<(), PipelineError> {
+    save_json(&rows.to_vec(), path)
+}
+
+/// Loads a previously saved comparison table.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on I/O or deserialization failure.
+pub fn load_table(path: impl AsRef<Path>) -> Result<Vec<TableRow>, PipelineError> {
+    load_json(path)
+}
+
+fn to_pipeline_error(e: impl std::fmt::Display) -> PipelineError {
+    PipelineError::Space(SpaceError::ArchMismatch {
+        detail: format!("persistence: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::baseline_rows;
+    use hsconas_space::SearchSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hsconas-persist-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn saved_model_roundtrip() {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SavedModel {
+            name: "HSCoNet-Edge-A".into(),
+            target_device: "edge-xavier".into(),
+            target_ms: 34.0,
+            arch: space.sample(&mut rng),
+            top1_error: 25.7,
+            latency_ms: 34.3,
+            seed: 2021,
+        };
+        let path = tmp("model");
+        save_json(&model, &path).unwrap();
+        let loaded: SavedModel = load_json(&path).unwrap();
+        assert_eq!(loaded, model);
+        assert!(space.contains(&loaded.arch), "arch survives the roundtrip");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let rows = baseline_rows();
+        let path = tmp("table");
+        save_table(&rows, &path).unwrap();
+        let loaded = load_table(&path).unwrap();
+        assert_eq!(loaded.len(), rows.len());
+        for (a, b) in loaded.iter().zip(&rows) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.top1_error, b.top1_error);
+            for i in 0..3 {
+                // floats survive JSON up to formatting precision
+                assert!((a.latency_ms[i] - b.latency_ms[i]).abs() < 1e-9);
+            }
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let result: Result<SavedModel, _> = load_json("/nonexistent/hsconas.json");
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn load_corrupt_json_errors() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "{not json").unwrap();
+        let result: Result<SavedModel, _> = load_json(&path);
+        assert!(result.is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

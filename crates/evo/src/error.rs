@@ -1,0 +1,63 @@
+use hsconas_space::SpaceError;
+use std::fmt;
+
+/// Error type for the evolutionary search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvoError {
+    /// The objective function failed to evaluate an architecture.
+    Objective {
+        /// Explanation from the underlying oracle or predictor.
+        detail: String,
+    },
+    /// A search-space operation failed.
+    Space(SpaceError),
+    /// The search configuration is inconsistent.
+    InvalidConfig {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EvoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvoError::Objective { detail } => write!(f, "objective evaluation failed: {detail}"),
+            EvoError::Space(e) => write!(f, "space error: {e}"),
+            EvoError::InvalidConfig { detail } => {
+                write!(f, "invalid search configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvoError::Space(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpaceError> for EvoError {
+    fn from(e: SpaceError) -> Self {
+        EvoError::Space(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = EvoError::Objective {
+            detail: "oracle died".into(),
+        };
+        assert!(e.to_string().contains("oracle died"));
+        assert!(e.source().is_none());
+        let s: EvoError = SpaceError::EmptyCandidates { layer: 1 }.into();
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,57 @@
+//! # hsconas-evo
+//!
+//! The multi-objective evolutionary architecture search of §III-D.
+//!
+//! * [`objective`] implements the paper's Eq. 1,
+//!   `F(arch, T) = ACC(arch) + β · |LAT(arch)/T − 1|` with `β < 0`, behind
+//!   an [`Objective`] trait so the search is generic over how accuracy and
+//!   latency are obtained (surrogate oracle, trained supernet, latency
+//!   predictor, or raw device measurements).
+//! * [`search`] implements the EA with the paper's hyper-parameters
+//!   (20 generations, population 50, 20 parents, crossover and mutation
+//!   each with probability 0.25), exploring both the operator level and the
+//!   channel level, and records per-generation history for the Fig. 6
+//!   scatter/histogram reproduction.
+//!
+//! ## Example
+//!
+//! ```
+//! use hsconas_evo::{EvolutionConfig, EvolutionSearch, Evaluation, Objective, EvoError};
+//! use hsconas_space::{Arch, SearchSpace};
+//! use rand::SeedableRng;
+//!
+//! /// A toy objective: prefer wide layers.
+//! struct Widest;
+//! impl Objective for Widest {
+//!     fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+//!         let score = arch.genes().iter().map(|g| g.scale.fraction()).sum::<f64>();
+//!         Ok(Evaluation { score, accuracy: 0.0, latency_ms: 0.0 })
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), EvoError> {
+//! let space = SearchSpace::tiny(10);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let config = EvolutionConfig { generations: 5, population: 16, parents: 4, ..Default::default() };
+//! let mut search = EvolutionSearch::new(space, config);
+//! let result = search.run(&mut Widest, &mut rng)?;
+//! assert!(result.best_evaluation.score > 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod aging;
+pub mod multi;
+pub mod objective;
+pub mod search;
+
+pub use aging::{aging_evolution, AgingConfig, AgingResult};
+pub use error::EvoError;
+pub use multi::{Constraint, MultiConstraintObjective, MultiEvaluation};
+pub use objective::{Evaluation, Objective, TradeoffObjective};
+pub use search::{EvolutionConfig, EvolutionSearch, GenerationStats, SearchResult};

@@ -1,0 +1,216 @@
+//! Multi-constraint objective — the generalization the paper's conclusion
+//! sketches ("incorporate different hardware constraints like power
+//! consumption"). Eq. 1 becomes
+//! `F = ACC + Σ_i β_i · |M_i(arch)/T_i − 1|` over an arbitrary list of
+//! constrained metrics (latency, energy, memory, ...), each with its own
+//! target and negative trade-off coefficient.
+
+use crate::{Evaluation, EvoError, Objective};
+use hsconas_space::Arch;
+use std::collections::HashMap;
+
+/// One constrained metric.
+pub struct Constraint {
+    /// Metric name for diagnostics ("latency_ms", "energy_mj", ...).
+    pub name: String,
+    /// Evaluates the metric for an architecture.
+    pub metric: Box<dyn FnMut(&Arch) -> Result<f64, String>>,
+    /// The target value `T_i`.
+    pub target: f64,
+    /// Trade-off coefficient `β_i < 0`.
+    pub beta: f64,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta >= 0` or `target <= 0`.
+    pub fn new(
+        name: impl Into<String>,
+        metric: impl FnMut(&Arch) -> Result<f64, String> + 'static,
+        target: f64,
+        beta: f64,
+    ) -> Self {
+        assert!(beta < 0.0, "constraint beta must be negative");
+        assert!(target > 0.0, "constraint target must be positive");
+        Constraint {
+            name: name.into(),
+            metric: Box::new(metric),
+            target,
+            beta,
+        }
+    }
+}
+
+impl std::fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Constraint")
+            .field("name", &self.name)
+            .field("target", &self.target)
+            .field("beta", &self.beta)
+            .finish()
+    }
+}
+
+/// Evaluation extended with the per-constraint metric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiEvaluation {
+    /// The scalar objective and standard fields (latency_ms holds the
+    /// *first* constraint's value for compatibility with the search
+    /// history plots).
+    pub evaluation: Evaluation,
+    /// `(name, value)` for every constraint, in declaration order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// The multi-constraint objective with memoization.
+pub struct MultiConstraintObjective<A>
+where
+    A: FnMut(&Arch) -> Result<f64, String>,
+{
+    accuracy_pct: A,
+    constraints: Vec<Constraint>,
+    cache: HashMap<u64, MultiEvaluation>,
+}
+
+impl<A> MultiConstraintObjective<A>
+where
+    A: FnMut(&Arch) -> Result<f64, String>,
+{
+    /// Creates the objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraints` is empty.
+    pub fn new(accuracy_pct: A, constraints: Vec<Constraint>) -> Self {
+        assert!(
+            !constraints.is_empty(),
+            "need at least one constraint (use TradeoffObjective for plain Eq. 1)"
+        );
+        MultiConstraintObjective {
+            accuracy_pct,
+            constraints,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Full evaluation including all metric values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvoError::Objective`] if any metric fails.
+    pub fn evaluate_full(&mut self, arch: &Arch) -> Result<MultiEvaluation, EvoError> {
+        let key = arch.fingerprint();
+        if let Some(cached) = self.cache.get(&key) {
+            return Ok(cached.clone());
+        }
+        let accuracy =
+            (self.accuracy_pct)(arch).map_err(|detail| EvoError::Objective { detail })?;
+        let mut score = accuracy;
+        let mut metrics = Vec::with_capacity(self.constraints.len());
+        for c in &mut self.constraints {
+            let value = (c.metric)(arch).map_err(|detail| EvoError::Objective { detail })?;
+            score += c.beta * (value / c.target - 1.0).abs();
+            metrics.push((c.name.clone(), value));
+        }
+        let result = MultiEvaluation {
+            evaluation: Evaluation {
+                score,
+                accuracy,
+                latency_ms: metrics.first().map(|(_, v)| *v).unwrap_or(0.0),
+            },
+            metrics,
+        };
+        self.cache.insert(key, result.clone());
+        Ok(result)
+    }
+}
+
+impl<A> Objective for MultiConstraintObjective<A>
+where
+    A: FnMut(&Arch) -> Result<f64, String>,
+{
+    fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+        Ok(self.evaluate_full(arch)?.evaluation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> Arch {
+        Arch::widest(20)
+    }
+
+    #[test]
+    fn score_sums_all_penalties() {
+        let mut obj = MultiConstraintObjective::new(
+            |_| Ok(75.0),
+            vec![
+                Constraint::new("latency", |_| Ok(40.0), 20.0, -10.0), // ratio 2 → penalty 10
+                Constraint::new("energy", |_| Ok(15.0), 10.0, -4.0),   // ratio 1.5 → penalty 2
+            ],
+        );
+        let result = obj.evaluate_full(&arch()).unwrap();
+        assert!((result.evaluation.score - (75.0 - 10.0 - 2.0)).abs() < 1e-9);
+        assert_eq!(result.metrics.len(), 2);
+        assert_eq!(result.evaluation.latency_ms, 40.0);
+    }
+
+    #[test]
+    fn meeting_all_targets_gives_pure_accuracy() {
+        let mut obj = MultiConstraintObjective::new(
+            |_| Ok(80.0),
+            vec![
+                Constraint::new("latency", |_| Ok(20.0), 20.0, -10.0),
+                Constraint::new("energy", |_| Ok(10.0), 10.0, -10.0),
+            ],
+        );
+        assert_eq!(obj.evaluate(&arch()).unwrap().score, 80.0);
+    }
+
+    #[test]
+    fn memoizes() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let calls = Rc::new(Cell::new(0));
+        let c = calls.clone();
+        let mut obj = MultiConstraintObjective::new(
+            move |_| {
+                c.set(c.get() + 1);
+                Ok(75.0)
+            },
+            vec![Constraint::new("latency", |_| Ok(20.0), 20.0, -1.0)],
+        );
+        obj.evaluate(&arch()).unwrap();
+        obj.evaluate(&arch()).unwrap();
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn metric_failure_propagates() {
+        let mut obj = MultiConstraintObjective::new(
+            |_| Ok(75.0),
+            vec![Constraint::new("boom", |_| Err("meter broke".into()), 1.0, -1.0)],
+        );
+        assert!(matches!(
+            obj.evaluate(&arch()),
+            Err(EvoError::Objective { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one constraint")]
+    fn empty_constraints_panic() {
+        let _ = MultiConstraintObjective::new(|_: &Arch| Ok(0.0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn positive_beta_panics() {
+        let _ = Constraint::new("x", |_: &Arch| Ok(1.0), 1.0, 1.0);
+    }
+}

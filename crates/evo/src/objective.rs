@@ -1,0 +1,197 @@
+//! The multi-objective score of Eq. 1:
+//! `F(arch, T) = ACC(arch) + β · |LAT(arch)/T − 1|`, `β < 0`.
+
+use crate::EvoError;
+use hsconas_space::Arch;
+use std::collections::HashMap;
+
+/// The result of evaluating one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// The objective value `F(arch, T)` (higher is better).
+    pub score: f64,
+    /// Top-1 accuracy in percent (the `ACC` term).
+    pub accuracy: f64,
+    /// Latency in milliseconds (the `LAT` term).
+    pub latency_ms: f64,
+}
+
+/// An architecture-scoring oracle. Implementations may be stateful
+/// (memoized LUTs, trained supernets), hence `&mut self`.
+pub trait Objective {
+    /// Evaluates one architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvoError::Objective`] if the underlying oracle fails.
+    fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError>;
+}
+
+/// The paper's accuracy/latency trade-off objective with memoization.
+///
+/// Generic over two closures so any combination of accuracy oracle and
+/// latency source can be plugged in without trait gymnastics.
+pub struct TradeoffObjective<A, L>
+where
+    A: FnMut(&Arch) -> Result<f64, String>,
+    L: FnMut(&Arch) -> Result<f64, String>,
+{
+    accuracy_pct: A,
+    latency_ms: L,
+    target_ms: f64,
+    beta: f64,
+    cache: HashMap<u64, Evaluation>,
+}
+
+impl<A, L> TradeoffObjective<A, L>
+where
+    A: FnMut(&Arch) -> Result<f64, String>,
+    L: FnMut(&Arch) -> Result<f64, String>,
+{
+    /// The paper does not publish its β; `-20` percentage points of
+    /// accuracy per 100% latency-constraint violation gives the latency
+    /// term enough weight that the EA concentrates near the target
+    /// (Fig. 6 bottom) without drowning the accuracy signal.
+    pub const DEFAULT_BETA: f64 = -20.0;
+
+    /// Creates the objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta >= 0` (the paper requires β < 0) or
+    /// `target_ms <= 0`.
+    pub fn new(accuracy_pct: A, latency_ms: L, target_ms: f64, beta: f64) -> Self {
+        assert!(beta < 0.0, "Eq. 1 requires beta < 0");
+        assert!(target_ms > 0.0, "latency target must be positive");
+        TradeoffObjective {
+            accuracy_pct,
+            latency_ms,
+            target_ms,
+            beta,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The latency target `T` in milliseconds.
+    pub fn target_ms(&self) -> f64 {
+        self.target_ms
+    }
+
+    /// The trade-off coefficient β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of distinct architectures evaluated so far.
+    pub fn evaluated_count(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl<A, L> Objective for TradeoffObjective<A, L>
+where
+    A: FnMut(&Arch) -> Result<f64, String>,
+    L: FnMut(&Arch) -> Result<f64, String>,
+{
+    fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+        let key = arch.fingerprint();
+        if let Some(cached) = self.cache.get(&key) {
+            return Ok(*cached);
+        }
+        let accuracy =
+            (self.accuracy_pct)(arch).map_err(|detail| EvoError::Objective { detail })?;
+        let latency_ms =
+            (self.latency_ms)(arch).map_err(|detail| EvoError::Objective { detail })?;
+        let score = accuracy + self.beta * (latency_ms / self.target_ms - 1.0).abs();
+        let eval = Evaluation {
+            score,
+            accuracy,
+            latency_ms,
+        };
+        self.cache.insert(key, eval);
+        Ok(eval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn arch(n: usize) -> Arch {
+        Arch::widest(n)
+    }
+
+    #[test]
+    fn score_peaks_at_target_latency() {
+        // Fixed accuracy; latency varies: the best score is at LAT == T.
+        let make = |lat: f64| {
+            let mut obj = TradeoffObjective::new(
+                |_| Ok(75.0),
+                move |_| Ok(lat),
+                30.0,
+                TradeoffObjective::<fn(&Arch) -> Result<f64, String>, fn(&Arch) -> Result<f64, String>>::DEFAULT_BETA,
+            );
+            obj.evaluate(&arch(20)).unwrap().score
+        };
+        let at_target = make(30.0);
+        assert!(at_target > make(20.0), "faster than T is also penalized");
+        assert!(at_target > make(40.0), "slower than T is penalized");
+        assert_eq!(at_target, 75.0);
+    }
+
+    #[test]
+    fn penalty_is_symmetric_in_ratio() {
+        let make = |lat: f64| {
+            let mut obj = TradeoffObjective::new(|_| Ok(75.0), move |_| Ok(lat), 30.0, -10.0);
+            obj.evaluate(&arch(20)).unwrap().score
+        };
+        // |20/30 - 1| == |40/30 - 1| == 1/3
+        assert!((make(20.0) - make(40.0)).abs() < 1e-9);
+        assert!((make(20.0) - (75.0 - 10.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memoizes_by_fingerprint() {
+        let calls = Rc::new(Cell::new(0));
+        let c = calls.clone();
+        let mut obj = TradeoffObjective::new(
+            move |_| {
+                c.set(c.get() + 1);
+                Ok(75.0)
+            },
+            |_| Ok(30.0),
+            30.0,
+            -1.0,
+        );
+        let a = arch(20);
+        obj.evaluate(&a).unwrap();
+        obj.evaluate(&a).unwrap();
+        obj.evaluate(&a).unwrap();
+        assert_eq!(calls.get(), 1);
+        assert_eq!(obj.evaluated_count(), 1);
+    }
+
+    #[test]
+    fn propagates_oracle_failure() {
+        let mut obj =
+            TradeoffObjective::new(|_| Err("acc broke".to_string()), |_| Ok(1.0), 1.0, -1.0);
+        match obj.evaluate(&arch(20)) {
+            Err(EvoError::Objective { detail }) => assert!(detail.contains("acc broke")),
+            other => panic!("expected objective error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta < 0")]
+    fn nonnegative_beta_panics() {
+        let _ = TradeoffObjective::new(|_: &Arch| Ok(0.0), |_: &Arch| Ok(1.0), 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_panics() {
+        let _ = TradeoffObjective::new(|_: &Arch| Ok(0.0), |_: &Arch| Ok(1.0), 0.0, -1.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Generational evolutionary search over `(op, c)` genomes (§III-D).
+
+use crate::{Evaluation, EvoError, Objective};
+use hsconas_space::{Arch, Gene, SearchSpace};
+use rand::Rng;
+
+/// EA hyper-parameters. `Default` reproduces the paper's settings:
+/// 20 generations, population 50, 20 parents, crossover probability 0.25,
+/// mutation probability 0.25.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionConfig {
+    /// Number of generations.
+    pub generations: usize,
+    /// Population size per generation.
+    pub population: usize,
+    /// Number of top individuals kept as parents (elitism + mating pool).
+    pub parents: usize,
+    /// Probability that an offspring is produced by crossover.
+    pub crossover_prob: f64,
+    /// Probability that an offspring is mutated.
+    pub mutation_prob: f64,
+    /// Per-gene resampling probability when a mutation occurs.
+    pub gene_mutation_rate: f64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            generations: 20,
+            population: 50,
+            parents: 20,
+            crossover_prob: 0.25,
+            mutation_prob: 0.25,
+            gene_mutation_rate: 0.1,
+        }
+    }
+}
+
+impl EvolutionConfig {
+    fn validate(&self) -> Result<(), EvoError> {
+        if self.population == 0 || self.generations == 0 {
+            return Err(EvoError::InvalidConfig {
+                detail: "population and generations must be positive".into(),
+            });
+        }
+        if self.parents == 0 || self.parents > self.population {
+            return Err(EvoError::InvalidConfig {
+                detail: format!(
+                    "parents ({}) must be in 1..=population ({})",
+                    self.parents, self.population
+                ),
+            });
+        }
+        for (name, p) in [
+            ("crossover_prob", self.crossover_prob),
+            ("mutation_prob", self.mutation_prob),
+            ("gene_mutation_rate", self.gene_mutation_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(EvoError::InvalidConfig {
+                    detail: format!("{name} = {p} outside [0, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One scored individual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual {
+    /// The architecture.
+    pub arch: Arch,
+    /// Its evaluation.
+    pub evaluation: Evaluation,
+}
+
+/// Statistics for one generation (feeds the Fig. 6 scatter and histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// Zero-based generation index.
+    pub generation: usize,
+    /// All individuals of this generation, sorted best-first.
+    pub individuals: Vec<Individual>,
+}
+
+impl GenerationStats {
+    /// The best objective value in this generation.
+    pub fn best_score(&self) -> f64 {
+        self.individuals
+            .first()
+            .map(|i| i.evaluation.score)
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// All latencies in this generation (for the Fig. 6 histogram).
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.individuals
+            .iter()
+            .map(|i| i.evaluation.latency_ms)
+            .collect()
+    }
+}
+
+/// Result of a completed search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The best architecture found across all generations.
+    pub best_arch: Arch,
+    /// Its evaluation.
+    pub best_evaluation: Evaluation,
+    /// Per-generation history.
+    pub history: Vec<GenerationStats>,
+}
+
+/// The evolutionary search engine.
+#[derive(Debug, Clone)]
+pub struct EvolutionSearch {
+    space: SearchSpace,
+    config: EvolutionConfig,
+}
+
+impl EvolutionSearch {
+    /// Creates a search over `space` with the given configuration.
+    pub fn new(space: SearchSpace, config: EvolutionConfig) -> Self {
+        EvolutionSearch { space, config }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Runs the search to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvoError`] if the configuration is invalid or the
+    /// objective fails.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        objective: &mut dyn Objective,
+        rng: &mut R,
+    ) -> Result<SearchResult, EvoError> {
+        self.config.validate()?;
+        let mut population: Vec<Individual> = self
+            .space
+            .sample_n(self.config.population, rng)
+            .into_iter()
+            .map(|arch| {
+                let evaluation = objective.evaluate(&arch)?;
+                Ok(Individual { arch, evaluation })
+            })
+            .collect::<Result<_, EvoError>>()?;
+        sort_desc(&mut population);
+
+        let mut history = Vec::with_capacity(self.config.generations + 1);
+        history.push(GenerationStats {
+            generation: 0,
+            individuals: population.clone(),
+        });
+
+        for generation in 1..=self.config.generations {
+            let parents: Vec<Individual> =
+                population[..self.config.parents.min(population.len())].to_vec();
+            let mut next: Vec<Individual> = parents.clone();
+            // Track fingerprints so clone offspring (frequent at the
+            // paper's low crossover/mutation probabilities) don't crowd
+            // the population; a duplicate gets one forced gene mutation.
+            let mut seen: std::collections::HashSet<u64> =
+                next.iter().map(|i| i.arch.fingerprint()).collect();
+            while next.len() < self.config.population {
+                let mut arch = self.make_offspring(&parents, rng);
+                for _ in 0..4 {
+                    if !seen.contains(&arch.fingerprint()) {
+                        break;
+                    }
+                    let layer = rng.gen_range(0..arch.len());
+                    self.mutate_gene(&mut arch, layer, rng);
+                }
+                seen.insert(arch.fingerprint());
+                let evaluation = objective.evaluate(&arch)?;
+                next.push(Individual { arch, evaluation });
+            }
+            sort_desc(&mut next);
+            population = next;
+            history.push(GenerationStats {
+                generation,
+                individuals: population.clone(),
+            });
+        }
+
+        let best = history
+            .iter()
+            .flat_map(|g| g.individuals.first())
+            .max_by(|a, b| {
+                a.evaluation
+                    .score
+                    .partial_cmp(&b.evaluation.score)
+                    .expect("scores are comparable")
+            })
+            .expect("at least one generation")
+            .clone();
+        Ok(SearchResult {
+            best_arch: best.arch,
+            best_evaluation: best.evaluation,
+            history,
+        })
+    }
+
+    /// Produces one offspring: clone a random parent, apply crossover with
+    /// probability `crossover_prob` (uniform per-gene mixing with a second
+    /// parent), then mutation with probability `mutation_prob` (each gene
+    /// independently resampled with `gene_mutation_rate`, from the space's
+    /// per-layer candidate sets so restricted subspaces are respected).
+    /// Both the operator and the channel level evolve, as §III-D requires.
+    fn make_offspring<R: Rng + ?Sized>(&self, parents: &[Individual], rng: &mut R) -> Arch {
+        let p1 = &parents[rng.gen_range(0..parents.len())].arch;
+        let mut child = p1.clone();
+        if rng.gen_bool(self.config.crossover_prob) {
+            let p2 = &parents[rng.gen_range(0..parents.len())].arch;
+            for layer in 0..child.len() {
+                if rng.gen_bool(0.5) {
+                    let gene = p2.genes()[layer];
+                    child.set_gene(layer, gene).expect("same length");
+                }
+            }
+        }
+        if rng.gen_bool(self.config.mutation_prob) {
+            let mut mutated_any = false;
+            for layer in 0..child.len() {
+                if rng.gen_bool(self.config.gene_mutation_rate) {
+                    self.mutate_gene(&mut child, layer, rng);
+                    mutated_any = true;
+                }
+            }
+            if !mutated_any {
+                // Guarantee the mutation event changes at least one gene.
+                let layer = rng.gen_range(0..child.len());
+                self.mutate_gene(&mut child, layer, rng);
+            }
+        }
+        child
+    }
+
+    fn mutate_gene<R: Rng + ?Sized>(&self, arch: &mut Arch, layer: usize, rng: &mut R) {
+        let ops = self.space.allowed_ops(layer);
+        let scales = self.space.allowed_scales(layer);
+        let gene = Gene::new(
+            ops[rng.gen_range(0..ops.len())],
+            scales[rng.gen_range(0..scales.len())],
+        );
+        arch.set_gene(layer, gene).expect("layer in range");
+    }
+}
+
+fn sort_desc(population: &mut [Individual]) {
+    population.sort_by(|a, b| {
+        b.evaluation
+            .score
+            .partial_cmp(&a.evaluation.score)
+            .expect("scores are comparable")
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsconas_space::OpKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Objective that rewards wide channels — has a known global optimum
+    /// (every gene at scale 1.0).
+    struct WidthObjective;
+    impl Objective for WidthObjective {
+        fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+            let score = arch
+                .genes()
+                .iter()
+                .map(|g| g.scale.fraction())
+                .sum::<f64>();
+            Ok(Evaluation {
+                score,
+                accuracy: score,
+                latency_ms: 1.0,
+            })
+        }
+    }
+
+    #[test]
+    fn search_improves_over_random_init() {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = EvolutionConfig {
+            generations: 10,
+            population: 30,
+            parents: 10,
+            ..Default::default()
+        };
+        let mut search = EvolutionSearch::new(space, config);
+        let result = search.run(&mut WidthObjective, &mut rng).unwrap();
+        let init_best = result.history[0].best_score();
+        let final_best = result.history.last().unwrap().best_score();
+        assert!(final_best > init_best, "{final_best} <= {init_best}");
+        assert_eq!(result.history.len(), 11);
+        // With 20 layers the optimum is 20.0 and random init averages 11;
+        // even a short run should close most of the gap.
+        assert!(final_best > 14.5, "final best {final_best}");
+    }
+
+    #[test]
+    fn elitism_makes_best_monotone() {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut search = EvolutionSearch::new(
+            space,
+            EvolutionConfig {
+                generations: 8,
+                population: 20,
+                parents: 5,
+                ..Default::default()
+            },
+        );
+        let result = search.run(&mut WidthObjective, &mut rng).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for g in &result.history {
+            assert!(g.best_score() >= prev, "best score regressed");
+            prev = g.best_score();
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let space = SearchSpace::hsconas_a();
+        let config = EvolutionConfig {
+            generations: 3,
+            population: 10,
+            parents: 4,
+            ..Default::default()
+        };
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            EvolutionSearch::new(space.clone(), config)
+                .run(&mut WidthObjective, &mut rng)
+                .unwrap()
+                .best_arch
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn respects_restricted_subspace() {
+        let space = SearchSpace::hsconas_a()
+            .restrict_op(19, OpKind::Shuffle5)
+            .unwrap()
+            .restrict_op(18, OpKind::Xception)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut search = EvolutionSearch::new(
+            space.clone(),
+            EvolutionConfig {
+                generations: 5,
+                population: 16,
+                parents: 6,
+                mutation_prob: 1.0,
+                ..Default::default()
+            },
+        );
+        let result = search.run(&mut WidthObjective, &mut rng).unwrap();
+        for g in &result.history {
+            for ind in &g.individuals {
+                assert_eq!(ind.arch.genes()[19].op, OpKind::Shuffle5);
+                assert_eq!(ind.arch.genes()[18].op, OpKind::Xception);
+            }
+        }
+        assert!(space.contains(&result.best_arch));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let space = SearchSpace::tiny(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        for config in [
+            EvolutionConfig {
+                population: 0,
+                ..Default::default()
+            },
+            EvolutionConfig {
+                parents: 100,
+                population: 10,
+                ..Default::default()
+            },
+            EvolutionConfig {
+                crossover_prob: 1.5,
+                ..Default::default()
+            },
+        ] {
+            let mut s = EvolutionSearch::new(space.clone(), config);
+            assert!(s.run(&mut WidthObjective, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn history_population_sizes() {
+        let space = SearchSpace::tiny(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = EvolutionConfig {
+            generations: 4,
+            population: 12,
+            parents: 3,
+            ..Default::default()
+        };
+        let result = EvolutionSearch::new(space, config)
+            .run(&mut WidthObjective, &mut rng)
+            .unwrap();
+        for g in &result.history {
+            assert_eq!(g.individuals.len(), 12);
+            assert_eq!(g.latencies_ms().len(), 12);
+        }
+    }
+
+    #[test]
+    fn objective_failure_propagates() {
+        struct Failing;
+        impl Objective for Failing {
+            fn evaluate(&mut self, _: &Arch) -> Result<Evaluation, EvoError> {
+                Err(EvoError::Objective {
+                    detail: "boom".into(),
+                })
+            }
+        }
+        let space = SearchSpace::tiny(10);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut s = EvolutionSearch::new(space, EvolutionConfig::default());
+        assert!(s.run(&mut Failing, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the evolutionary search: population invariants must
+//! hold for arbitrary valid configurations and seeds.
+
+use hsconas_evo::{Evaluation, EvoError, EvolutionConfig, EvolutionSearch, Objective};
+use hsconas_space::{Arch, OpKind, SearchSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic toy objective: rewards wide scales and op diversity.
+struct Toy;
+impl Objective for Toy {
+    fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+        let width: f64 = arch.genes().iter().map(|g| g.scale.fraction()).sum();
+        let distinct = arch
+            .genes()
+            .iter()
+            .map(|g| g.op)
+            .collect::<std::collections::HashSet<_>>()
+            .len() as f64;
+        Ok(Evaluation {
+            score: width + distinct,
+            accuracy: width,
+            latency_ms: 30.0 + width,
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any valid configuration: full population every generation,
+    /// members all inside the space, best score monotone (elitism), and
+    /// history length = generations + 1.
+    #[test]
+    fn population_invariants(
+        generations in 1usize..6,
+        population in 4usize..20,
+        parents_frac in 2usize..4,
+        seed in 0u64..500,
+    ) {
+        let parents = (population / parents_frac).max(1);
+        let config = EvolutionConfig {
+            generations,
+            population,
+            parents,
+            ..Default::default()
+        };
+        let space = SearchSpace::tiny(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = EvolutionSearch::new(space.clone(), config)
+            .run(&mut Toy, &mut rng)
+            .unwrap();
+        prop_assert_eq!(result.history.len(), generations + 1);
+        let mut prev_best = f64::NEG_INFINITY;
+        for g in &result.history {
+            prop_assert_eq!(g.individuals.len(), population);
+            for ind in &g.individuals {
+                prop_assert!(space.contains(&ind.arch));
+            }
+            // sorted best-first
+            for pair in g.individuals.windows(2) {
+                prop_assert!(pair[0].evaluation.score >= pair[1].evaluation.score);
+            }
+            prop_assert!(g.best_score() >= prev_best);
+            prev_best = g.best_score();
+        }
+        prop_assert!(space.contains(&result.best_arch));
+        prop_assert_eq!(result.best_evaluation.score, prev_best);
+    }
+
+    /// Restricting a layer is always respected by every individual the
+    /// search ever creates.
+    #[test]
+    fn restrictions_never_violated(
+        op_idx in 0usize..5,
+        layer in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let op = OpKind::from_index(op_idx).unwrap();
+        let space = SearchSpace::tiny(4).restrict_op(layer, op).unwrap();
+        let config = EvolutionConfig {
+            generations: 3,
+            population: 8,
+            parents: 3,
+            mutation_prob: 1.0,
+            crossover_prob: 1.0,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = EvolutionSearch::new(space, config).run(&mut Toy, &mut rng).unwrap();
+        for g in &result.history {
+            for ind in &g.individuals {
+                prop_assert_eq!(ind.arch.genes()[layer].op, op);
+            }
+        }
+    }
+
+    /// Same seed, same result — regardless of configuration.
+    #[test]
+    fn determinism(seed in 0u64..200) {
+        let config = EvolutionConfig {
+            generations: 2,
+            population: 6,
+            parents: 2,
+            ..Default::default()
+        };
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            EvolutionSearch::new(SearchSpace::tiny(4), config)
+                .run(&mut Toy, &mut rng)
+                .unwrap()
+                .best_arch
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

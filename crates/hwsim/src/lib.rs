@@ -1,0 +1,55 @@
+//! # hsconas-hwsim
+//!
+//! An analytical hardware device simulator standing in for the paper's
+//! physical testbed (Nvidia Quadro GV100 GPU, Intel Xeon Gold 6136 CPU,
+//! Nvidia Jetson Xavier edge device).
+//!
+//! ## Why a simulator is a faithful substitute
+//!
+//! The paper's latency-modeling contribution (§III-A) needs a ground-truth
+//! latency *oracle* with three properties:
+//!
+//! 1. per-operator latency is a **nonlinear** function of compute and memory
+//!    traffic (so FLOPs alone cannot predict it — Fig. 2);
+//! 2. whole-network latency exceeds the sum of isolated per-operator
+//!    latencies by framework/communication overheads (the bias `B` of
+//!    Eq. 3);
+//! 3. measurements are **noisy**.
+//!
+//! This crate implements exactly those properties with a roofline model:
+//! each kernel takes `max(compute_time, memory_time) + launch_overhead`,
+//! where compute throughput degrades for small kernels (utilization knee)
+//! and for depthwise convolutions, and whole-network measurements add
+//! inter-layer overheads plus multiplicative Gaussian noise.
+//!
+//! ## Example
+//!
+//! ```
+//! use hsconas_hwsim::{lower_arch, DeviceSpec};
+//! use hsconas_space::{Arch, SearchSpace};
+//! use rand::SeedableRng;
+//!
+//! let space = SearchSpace::hsconas_a();
+//! let net = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+//! let gpu = DeviceSpec::gpu_gv100();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let latency_ms = gpu.measure_network(&net, &mut rng) / 1000.0;
+//! assert!(latency_ms > 0.1 && latency_ms < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod lower;
+pub mod memory;
+pub mod network;
+pub mod parallel;
+pub mod power;
+
+pub use device::{DeviceKind, DeviceSpec};
+pub use lower::{lower_arch, lower_layer};
+pub use memory::{memory_footprint, MemoryFootprint};
+pub use network::{KernelDesc, NetworkDesc, OpDesc};
+pub use parallel::measure_networks_parallel;
+pub use power::PowerModel;

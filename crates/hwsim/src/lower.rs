@@ -1,0 +1,188 @@
+//! Lowering search-space architectures to simulator network descriptions.
+
+use crate::{KernelDesc, NetworkDesc, OpDesc};
+use hsconas_space::{resolve_geometry, Arch, LayerGeom, NetworkSkeleton, OpKind, SpaceError};
+
+/// Lowers one searchable layer to its kernel launches.
+///
+/// Mirrors the block structure in `hsconas-nn`:
+/// ShuffleNetV2 units decompose into pointwise/depthwise convolutions
+/// (batch-norm and activation costs ride along inside the kernels' byte
+/// counts and are negligible in MACs); skip is free (stride 1) or a cheap
+/// pooling pass (stride 2).
+pub fn lower_layer(geom: &LayerGeom) -> OpDesc {
+    let h_in = geom.resolution_in;
+    let h_out = geom.resolution_out();
+    let (c_in, c_out) = (geom.c_in, geom.c_out);
+    let name = format!("layer{}:{}", geom.index, geom.op);
+    let mut kernels = Vec::new();
+    match (geom.op, geom.stride) {
+        (OpKind::Skip, 1) => {}
+        (OpKind::Skip, _) => {
+            // 2×2 average pool ≈ one MAC per input element, pure memory op.
+            kernels.push(KernelDesc::dense(
+                (h_in * h_in * c_in) as f64,
+                4.0 * ((h_in * h_in * c_in) as f64 + (h_out * h_out * c_out) as f64),
+                0.0,
+            ));
+        }
+        (op, stride) => {
+            let b_in = (c_in / 2).max(1);
+            let b_out = (c_out / 2).max(1);
+            let k = op.kernel().expect("parametric op has a kernel");
+            if stride == 2 {
+                // Left branch: dw k stride-2 over c_in, then pw to b_out.
+                kernels.push(KernelDesc::conv(c_in, c_in, k, h_in, h_out, c_in));
+                kernels.push(KernelDesc::conv(c_in, b_out, 1, h_out, h_out, 1));
+            }
+            match op {
+                OpKind::Shuffle3 | OpKind::Shuffle5 | OpKind::Shuffle7 => {
+                    let r_in = if stride == 2 { c_in } else { b_in };
+                    kernels.push(KernelDesc::conv(r_in, b_out, 1, h_in, h_in, 1));
+                    kernels.push(KernelDesc::conv(b_out, b_out, k, h_in, h_out, b_out));
+                    kernels.push(KernelDesc::conv(b_out, b_out, 1, h_out, h_out, 1));
+                }
+                OpKind::Xception => {
+                    let r_in = if stride == 2 { c_in } else { b_in };
+                    kernels.push(KernelDesc::conv(r_in, r_in, 3, h_in, h_out, r_in));
+                    kernels.push(KernelDesc::conv(r_in, b_out, 1, h_out, h_out, 1));
+                    for _ in 0..2 {
+                        kernels.push(KernelDesc::conv(b_out, b_out, 3, h_out, h_out, b_out));
+                        kernels.push(KernelDesc::conv(b_out, b_out, 1, h_out, h_out, 1));
+                    }
+                }
+                OpKind::Skip => unreachable!("handled above"),
+            }
+        }
+    }
+    OpDesc::new(name, kernels)
+}
+
+/// Lowers the skeleton's fixed stem convolution.
+pub fn lower_stem(skeleton: &NetworkSkeleton) -> OpDesc {
+    let out_res = skeleton.input_resolution / 2;
+    OpDesc::new(
+        "stem",
+        vec![KernelDesc::conv(
+            skeleton.input_channels,
+            skeleton.stem_channels,
+            3,
+            skeleton.input_resolution,
+            out_res,
+            1,
+        )],
+    )
+}
+
+/// Lowers the skeleton's fixed head (1×1 conv, global pool, classifier).
+pub fn lower_head(skeleton: &NetworkSkeleton, last_c: usize, final_res: usize) -> OpDesc {
+    OpDesc::new(
+        "head",
+        vec![
+            KernelDesc::conv(last_c, skeleton.head_channels, 1, final_res, final_res, 1),
+            // classifier as a 1×1 "conv" at resolution 1
+            KernelDesc::conv(skeleton.head_channels, skeleton.num_classes, 1, 1, 1, 1),
+        ],
+    )
+}
+
+/// Lowers a full architecture (stem + searchable layers + head).
+///
+/// # Errors
+///
+/// Returns [`SpaceError`] if the architecture does not match the skeleton.
+pub fn lower_arch(skeleton: &NetworkSkeleton, arch: &Arch) -> Result<NetworkDesc, SpaceError> {
+    let geoms = resolve_geometry(skeleton, arch)?;
+    let mut ops = Vec::with_capacity(geoms.len() + 2);
+    ops.push(lower_stem(skeleton));
+    for geom in &geoms {
+        ops.push(lower_layer(geom));
+    }
+    let final_res = geoms
+        .last()
+        .map(|g| g.resolution_out())
+        .unwrap_or(skeleton.input_resolution / 2);
+    let last_c = geoms
+        .last()
+        .map(|g| g.c_out)
+        .unwrap_or(skeleton.stem_channels);
+    ops.push(lower_head(skeleton, last_c, final_res));
+    Ok(NetworkDesc::new(format!("arch-{:016x}", arch.fingerprint()), ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsconas_space::cost::arch_cost;
+    use hsconas_space::{ChannelScale, Gene, SearchSpace};
+
+    #[test]
+    fn lowered_macs_match_cost_model_scale() {
+        // The simulator lowering and the cost model decompose blocks the
+        // same way, so their MAC totals must agree closely (cost model adds
+        // small batch-norm FLOPs).
+        let space = SearchSpace::hsconas_a();
+        let arch = Arch::widest(20);
+        let net = lower_arch(space.skeleton(), &arch).unwrap();
+        let cost = arch_cost(space.skeleton(), &arch).unwrap();
+        let ratio = net.total_macs() / cost.total_flops();
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn op_count_is_layers_plus_stem_and_head() {
+        let space = SearchSpace::hsconas_a();
+        let net = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+        assert_eq!(net.ops.len(), 22);
+        assert_eq!(net.ops[0].name, "stem");
+        assert_eq!(net.ops[21].name, "head");
+    }
+
+    #[test]
+    fn skip_stride1_has_no_kernels() {
+        let space = SearchSpace::hsconas_a();
+        let mut arch = Arch::widest(20);
+        arch.set_gene(2, Gene::new(OpKind::Skip, ChannelScale::FULL))
+            .unwrap();
+        let net = lower_arch(space.skeleton(), &arch).unwrap();
+        assert!(net.ops[3].kernels.is_empty()); // ops[0] is the stem
+    }
+
+    #[test]
+    fn stride2_layers_emit_left_branch() {
+        let space = SearchSpace::hsconas_a();
+        let net = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+        // layer 0 (ops[1]) is stride 2: left dw + left pw + 3 right kernels
+        assert_eq!(net.ops[1].kernels.len(), 5);
+        // layer 1 (ops[2]) is stride 1: 3 right kernels only
+        assert_eq!(net.ops[2].kernels.len(), 3);
+    }
+
+    #[test]
+    fn depthwise_kernels_are_flagged() {
+        let space = SearchSpace::hsconas_a();
+        let net = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+        let dw_count: usize = net
+            .ops
+            .iter()
+            .flat_map(|o| &o.kernels)
+            .filter(|k| k.depthwise)
+            .count();
+        // one dw per stride-1 layer (16) + two per stride-2 layer (4)
+        assert_eq!(dw_count, 16 + 8);
+    }
+
+    #[test]
+    fn name_is_fingerprint_stable() {
+        let space = SearchSpace::hsconas_a();
+        let a = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+        let b = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+        assert_eq!(a.name, b.name);
+    }
+
+    #[test]
+    fn mismatched_arch_rejected() {
+        let space = SearchSpace::hsconas_a();
+        assert!(lower_arch(space.skeleton(), &Arch::widest(5)).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Memory-footprint model: peak activation memory and total weight
+//! storage for a network on a device — the second "different hardware
+//! constraint" (after power) that the paper's conclusion anticipates.
+//! Edge deployments are routinely memory-bound before they are
+//! latency-bound, so the multi-constraint search can bound this too.
+
+use crate::{DeviceSpec, NetworkDesc};
+
+/// Memory footprint of one inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryFootprint {
+    /// Peak transient activation memory, bytes (the largest single
+    /// operator's activation traffic at the device's batch size — a
+    /// standard upper-bound proxy for allocator high-water mark).
+    pub peak_activation_bytes: f64,
+    /// Total parameter storage, bytes.
+    pub weight_bytes: f64,
+}
+
+impl MemoryFootprint {
+    /// Total footprint (weights resident + peak activations), bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.peak_activation_bytes + self.weight_bytes
+    }
+
+    /// Total footprint in mebibytes.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() / (1024.0 * 1024.0)
+    }
+}
+
+/// Computes the memory footprint of `net` on `device` (batch-dependent).
+pub fn memory_footprint(device: &DeviceSpec, net: &NetworkDesc) -> MemoryFootprint {
+    let batch = device.batch as f64;
+    let peak_activation_bytes = net
+        .ops
+        .iter()
+        .map(|op| {
+            op.kernels
+                .iter()
+                .map(|k| k.activation_bytes * batch)
+                .fold(0.0, f64::max)
+        })
+        .fold(0.0, f64::max);
+    let weight_bytes = net
+        .ops
+        .iter()
+        .flat_map(|o| &o.kernels)
+        .map(|k| k.weight_bytes)
+        .sum();
+    MemoryFootprint {
+        peak_activation_bytes,
+        weight_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_arch;
+    use hsconas_space::{Arch, ChannelScale, Gene, OpKind, SearchSpace};
+
+    #[test]
+    fn widest_arch_footprint_is_plausible() {
+        let space = SearchSpace::hsconas_a();
+        let net = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+        for device in DeviceSpec::paper_devices() {
+            let fp = memory_footprint(&device, &net);
+            // weights: a few MiB of f32 parameters (batch-independent)
+            assert!(
+                fp.weight_bytes > 1e6 && fp.weight_bytes < 1e8,
+                "{}: weights {}",
+                device.name,
+                fp.weight_bytes
+            );
+            assert!(fp.peak_activation_bytes > 0.0);
+            assert!(fp.total_mib() > 1.0 && fp.total_mib() < 2048.0);
+        }
+    }
+
+    #[test]
+    fn batch_scales_activations_not_weights() {
+        let space = SearchSpace::hsconas_a();
+        let net = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+        let mut b1 = DeviceSpec::edge_xavier();
+        b1.batch = 1;
+        let mut b16 = DeviceSpec::edge_xavier();
+        b16.batch = 16;
+        let f1 = memory_footprint(&b1, &net);
+        let f16 = memory_footprint(&b16, &net);
+        assert!((f16.peak_activation_bytes / f1.peak_activation_bytes - 16.0).abs() < 1e-9);
+        assert_eq!(f1.weight_bytes, f16.weight_bytes);
+    }
+
+    #[test]
+    fn narrowing_reduces_footprint() {
+        let space = SearchSpace::hsconas_a();
+        let device = DeviceSpec::edge_xavier();
+        let mut narrow = Arch::widest(20);
+        for l in 0..20 {
+            narrow
+                .set_gene(
+                    l,
+                    Gene::new(OpKind::Shuffle3, ChannelScale::from_tenths(4).unwrap()),
+                )
+                .unwrap();
+        }
+        let wide_fp = memory_footprint(
+            &device,
+            &lower_arch(space.skeleton(), &Arch::widest(20)).unwrap(),
+        );
+        let narrow_fp =
+            memory_footprint(&device, &lower_arch(space.skeleton(), &narrow).unwrap());
+        assert!(narrow_fp.total_bytes() < wide_fp.total_bytes());
+        assert!(narrow_fp.weight_bytes < wide_fp.weight_bytes);
+    }
+
+    /// Memory plugs into the multi-constraint objective like any metric —
+    /// the full three-constraint (latency + energy + memory) search of the
+    /// paper's future-work section.
+    #[test]
+    fn usable_as_search_constraint() {
+        let space = SearchSpace::hsconas_a();
+        let device = DeviceSpec::edge_xavier();
+        let net = lower_arch(space.skeleton(), &Arch::widest(20)).unwrap();
+        let fp = memory_footprint(&device, &net);
+        // the metric closure shape used by evo::Constraint
+        let space2 = space.clone();
+        let device2 = device.clone();
+        let mut metric = move |arch: &Arch| -> Result<f64, String> {
+            let net = lower_arch(space2.skeleton(), arch).map_err(|e| e.to_string())?;
+            Ok(memory_footprint(&device2, &net).total_mib())
+        };
+        let v = metric(&Arch::widest(20)).unwrap();
+        assert!((v - fp.total_mib()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Device-independent description of a network as a sequence of operators,
+//! each a list of compute kernels. Both search-space architectures
+//! ([`crate::lower_arch`]) and the baseline model zoo lower to this form,
+//! so one simulator serves every experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// One compute kernel (a single convolution / matmul launch).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Multiply-accumulate operations for one *batch-1* inference.
+    pub macs: f64,
+    /// Bytes of activation traffic (input + output) for one batch-1
+    /// inference.
+    pub activation_bytes: f64,
+    /// Bytes of weight traffic (read once per launch, independent of batch).
+    pub weight_bytes: f64,
+    /// Whether this is a depthwise convolution (poor arithmetic intensity;
+    /// simulated with a device-specific efficiency discount).
+    pub depthwise: bool,
+}
+
+impl KernelDesc {
+    /// A standard (dense) kernel from MAC count, activation bytes, and
+    /// weight bytes.
+    pub fn dense(macs: f64, activation_bytes: f64, weight_bytes: f64) -> Self {
+        KernelDesc {
+            macs,
+            activation_bytes,
+            weight_bytes,
+            depthwise: false,
+        }
+    }
+
+    /// A depthwise kernel.
+    pub fn depthwise(macs: f64, activation_bytes: f64, weight_bytes: f64) -> Self {
+        KernelDesc {
+            macs,
+            activation_bytes,
+            weight_bytes,
+            depthwise: true,
+        }
+    }
+
+    /// Convenience constructor for a convolution kernel:
+    /// `c_in × c_out × k² MACs` per output pixel at `out_res²`, activation
+    /// traffic for input and output feature maps (4-byte floats), weight
+    /// traffic for the filter bank.
+    pub fn conv(
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        in_res: usize,
+        out_res: usize,
+        groups: usize,
+    ) -> Self {
+        let macs = (out_res * out_res) as f64
+            * (c_in / groups.max(1)) as f64
+            * c_out as f64
+            * (kernel * kernel) as f64;
+        let act = 4.0 * ((in_res * in_res * c_in) as f64 + (out_res * out_res * c_out) as f64);
+        let weights = 4.0 * (c_in / groups.max(1)) as f64 * c_out as f64 * (kernel * kernel) as f64;
+        KernelDesc {
+            macs,
+            activation_bytes: act,
+            weight_bytes: weights,
+            depthwise: groups > 1 && groups == c_in && c_in == c_out,
+        }
+    }
+}
+
+/// One operator: a named group of kernels that executes as a unit
+/// (a ShuffleNet block, the stem, the classifier head, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpDesc {
+    /// Human-readable operator name for reports.
+    pub name: String,
+    /// The kernels launched by this operator, in order.
+    pub kernels: Vec<KernelDesc>,
+}
+
+impl OpDesc {
+    /// Creates an operator description.
+    pub fn new(name: impl Into<String>, kernels: Vec<KernelDesc>) -> Self {
+        OpDesc {
+            name: name.into(),
+            kernels,
+        }
+    }
+
+    /// Total MACs across kernels (batch 1).
+    pub fn total_macs(&self) -> f64 {
+        self.kernels.iter().map(|k| k.macs).sum()
+    }
+}
+
+/// A whole network as an ordered operator sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkDesc {
+    /// Network name for reports.
+    pub name: String,
+    /// Operators in execution order.
+    pub ops: Vec<OpDesc>,
+}
+
+impl NetworkDesc {
+    /// Creates a network description.
+    pub fn new(name: impl Into<String>, ops: Vec<OpDesc>) -> Self {
+        NetworkDesc {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// Total MACs for one batch-1 inference.
+    pub fn total_macs(&self) -> f64 {
+        self.ops.iter().map(|o| o.total_macs()).sum()
+    }
+
+    /// Total kernel count.
+    pub fn kernel_count(&self) -> usize {
+        self.ops.iter().map(|o| o.kernels.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_kernel_macs() {
+        // 1x1 conv, 8 -> 16 channels at 4x4: 4*4*8*16 = 2048 MACs
+        let k = KernelDesc::conv(8, 16, 1, 4, 4, 1);
+        assert_eq!(k.macs, 2048.0);
+        assert!(!k.depthwise);
+        assert_eq!(k.weight_bytes, 4.0 * 8.0 * 16.0);
+    }
+
+    #[test]
+    fn depthwise_detection() {
+        let k = KernelDesc::conv(16, 16, 3, 8, 8, 16);
+        assert!(k.depthwise);
+        // grouped but not depthwise
+        let g = KernelDesc::conv(16, 32, 3, 8, 8, 4);
+        assert!(!g.depthwise);
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let op = OpDesc::new(
+            "block",
+            vec![
+                KernelDesc::dense(100.0, 10.0, 5.0),
+                KernelDesc::depthwise(50.0, 10.0, 5.0),
+            ],
+        );
+        assert_eq!(op.total_macs(), 150.0);
+        let net = NetworkDesc::new("n", vec![op.clone(), op]);
+        assert_eq!(net.total_macs(), 300.0);
+        assert_eq!(net.kernel_count(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Parallel measurement harness: measuring many candidate networks on a
+//! simulated device using scoped worker threads. Latency-model
+//! calibration and Fig. 2/3-style sweeps measure hundreds of networks;
+//! this spreads them across cores while keeping results deterministic
+//! (each network gets its own seed derived from the caller's base seed,
+//! so the thread schedule cannot change any number).
+
+use crate::{DeviceSpec, NetworkDesc};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Measures every network `repeats` times on `device`, in parallel, and
+/// returns the mean latencies (microseconds) in input order.
+///
+/// Determinism: measurement `i` uses `StdRng::seed_from_u64(base_seed ^ i)`
+/// regardless of which worker executes it.
+///
+/// # Panics
+///
+/// Panics if `repeats == 0`.
+pub fn measure_networks_parallel(
+    device: &DeviceSpec,
+    nets: &[NetworkDesc],
+    repeats: usize,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<f64> {
+    assert!(repeats > 0, "need at least one measurement repeat");
+    let threads = threads.max(1).min(nets.len().max(1));
+    let results = Mutex::new(vec![0.0f64; nets.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= nets.len() {
+                    break;
+                }
+                let mut rng = StdRng::seed_from_u64(base_seed ^ (i as u64).wrapping_mul(0x9E37));
+                let mean = device.measure_network_mean(&nets[i], repeats, &mut rng);
+                results.lock()[i] = mean;
+            });
+        }
+    })
+    .expect("measurement worker panicked");
+    results.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_arch;
+    use hsconas_space::SearchSpace;
+
+    fn sample_nets(n: usize) -> Vec<NetworkDesc> {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(1);
+        space
+            .sample_n(n, &mut rng)
+            .iter()
+            .map(|a| lower_arch(space.skeleton(), a).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let device = DeviceSpec::cpu_xeon_6136();
+        let nets = sample_nets(12);
+        let parallel = measure_networks_parallel(&device, &nets, 3, 42, 4);
+        // sequential reference with the same per-index seeding
+        let sequential: Vec<f64> = nets
+            .iter()
+            .enumerate()
+            .map(|(i, net)| {
+                let mut rng = StdRng::seed_from_u64(42 ^ (i as u64).wrapping_mul(0x9E37));
+                device.measure_network_mean(net, 3, &mut rng)
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let device = DeviceSpec::edge_xavier();
+        let nets = sample_nets(9);
+        let one = measure_networks_parallel(&device, &nets, 2, 7, 1);
+        let many = measure_networks_parallel(&device, &nets, 2, 7, 8);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let device = DeviceSpec::gpu_gv100();
+        assert!(measure_networks_parallel(&device, &[], 1, 0, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat")]
+    fn zero_repeats_panics() {
+        let device = DeviceSpec::gpu_gv100();
+        measure_networks_parallel(&device, &sample_nets(1), 0, 0, 1);
+    }
+}

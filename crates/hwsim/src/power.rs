@@ -1,0 +1,169 @@
+//! Energy / power modeling — the paper's stated future work ("we plan to
+//! extend HSCoNAS, which will incorporate different hardware constraints
+//! like power consumption"). This module implements that extension for
+//! the simulated devices so the multi-constraint search can be exercised.
+//!
+//! The model is the standard architectural energy decomposition:
+//! `E = Σ_kernels (macs · e_mac / efficiency + bytes · e_byte) + P_idle · t`
+//! — dynamic compute energy (depthwise ops pay their efficiency discount
+//! in energy as they do in time), memory-traffic energy, and a static
+//! leakage/idle term proportional to the latency.
+
+use crate::{DeviceKind, DeviceSpec, KernelDesc, NetworkDesc};
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Dynamic energy per dense MAC, picojoules.
+    pub pj_per_mac: f64,
+    /// Energy per byte of activation/weight traffic, picojoules.
+    pub pj_per_byte: f64,
+    /// Idle / static power, watts.
+    pub idle_watts: f64,
+    /// Extra energy multiplier for depthwise kernels (poor data reuse).
+    pub depthwise_energy_factor: f64,
+}
+
+impl PowerModel {
+    /// An energy model matched to a device class. Coefficients follow the
+    /// usual architectural rules of thumb: server GPUs spend ~10 pJ per
+    /// fp32 MAC and hundreds of watts idle; CPUs tens of pJ per MAC;
+    /// embedded SoCs sit in between on efficiency with far lower static
+    /// power.
+    pub fn for_device(device: &DeviceSpec) -> Self {
+        match device.kind {
+            DeviceKind::Gpu => PowerModel {
+                pj_per_mac: 10.0,
+                pj_per_byte: 80.0,
+                idle_watts: 30.0,
+                depthwise_energy_factor: 2.0,
+            },
+            DeviceKind::Cpu => PowerModel {
+                pj_per_mac: 35.0,
+                pj_per_byte: 60.0,
+                idle_watts: 12.0,
+                depthwise_energy_factor: 1.3,
+            },
+            DeviceKind::Edge => PowerModel {
+                pj_per_mac: 6.0,
+                pj_per_byte: 40.0,
+                idle_watts: 3.0,
+                depthwise_energy_factor: 1.6,
+            },
+        }
+    }
+
+    /// Dynamic energy of one kernel for one inference at the device's
+    /// batch size, millijoules.
+    pub fn kernel_energy_mj(&self, kernel: &KernelDesc, batch: usize) -> f64 {
+        let factor = if kernel.depthwise {
+            self.depthwise_energy_factor
+        } else {
+            1.0
+        };
+        let macs = kernel.macs * batch as f64;
+        let bytes = kernel.activation_bytes * batch as f64 + kernel.weight_bytes;
+        (macs * self.pj_per_mac * factor + bytes * self.pj_per_byte) * 1e-9
+    }
+
+    /// Total energy of one inference (dynamic + static), millijoules.
+    /// The static term integrates idle power over the device's simulated
+    /// latency for this network.
+    pub fn network_energy_mj(&self, device: &DeviceSpec, net: &NetworkDesc) -> f64 {
+        let dynamic: f64 = net
+            .ops
+            .iter()
+            .flat_map(|o| &o.kernels)
+            .map(|k| self.kernel_energy_mj(k, device.batch))
+            .sum();
+        let latency_s = device.network_time_us(net) * 1e-6;
+        dynamic + self.idle_watts * latency_s * 1e3
+    }
+
+    /// Average power draw during one inference, watts.
+    pub fn network_power_w(&self, device: &DeviceSpec, net: &NetworkDesc) -> f64 {
+        let energy_j = self.network_energy_mj(device, net) * 1e-3;
+        let latency_s = device.network_time_us(net) * 1e-6;
+        energy_j / latency_s.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpDesc;
+
+    fn sample_net(scale: usize) -> NetworkDesc {
+        NetworkDesc::new(
+            "n",
+            vec![OpDesc::new(
+                "op",
+                vec![KernelDesc::conv(16 * scale, 16 * scale, 3, 28, 28, 1)],
+            )],
+        )
+    }
+
+    #[test]
+    fn energy_positive_and_monotone_in_work() {
+        for device in DeviceSpec::paper_devices() {
+            let pm = PowerModel::for_device(&device);
+            let small = pm.network_energy_mj(&device, &sample_net(1));
+            let large = pm.network_energy_mj(&device, &sample_net(2));
+            assert!(small > 0.0, "{}", device.name);
+            // total energy includes a static term proportional to latency,
+            // so it grows monotonically but sub-linearly in kernel work
+            assert!(large > small, "{}: {small} vs {large}", device.name);
+            // the dynamic part alone scales with MACs exactly
+            let k1 = KernelDesc::conv(16, 16, 3, 28, 28, 1);
+            let k2 = KernelDesc::conv(32, 32, 3, 28, 28, 1);
+            let d1 = pm.kernel_energy_mj(&k1, device.batch);
+            let d2 = pm.kernel_energy_mj(&k2, device.batch);
+            assert!(d2 > 2.0 * d1, "{}: dynamic {d1} vs {d2}", device.name);
+        }
+    }
+
+    #[test]
+    fn depthwise_costs_more_energy_per_mac() {
+        let device = DeviceSpec::edge_xavier();
+        let pm = PowerModel::for_device(&device);
+        let dense = KernelDesc::dense(1e6, 0.0, 0.0);
+        let dw = KernelDesc::depthwise(1e6, 0.0, 0.0);
+        assert!(pm.kernel_energy_mj(&dw, 1) > pm.kernel_energy_mj(&dense, 1));
+    }
+
+    #[test]
+    fn edge_device_has_lowest_dynamic_energy_per_mac() {
+        // The embedded SoC is the most efficient per unit of compute; at
+        // the *network* level batching lets the GPU amortize its idle
+        // power, so only the dynamic term has a device-independent
+        // ordering.
+        let kernel = KernelDesc::dense(1e6, 0.0, 0.0);
+        let per_mac: Vec<(String, f64)> = DeviceSpec::paper_devices()
+            .into_iter()
+            .map(|d| {
+                let pm = PowerModel::for_device(&d);
+                (d.name.clone(), pm.kernel_energy_mj(&kernel, 1))
+            })
+            .collect();
+        let edge = per_mac.iter().find(|(n, _)| n.contains("edge")).unwrap();
+        for (name, e) in &per_mac {
+            if !name.contains("edge") {
+                assert!(edge.1 < *e, "edge {} vs {name} {e}", edge.1);
+            }
+        }
+    }
+
+    #[test]
+    fn average_power_is_physical() {
+        for device in DeviceSpec::paper_devices() {
+            let pm = PowerModel::for_device(&device);
+            let w = pm.network_power_w(&device, &sample_net(1));
+            assert!(
+                w > pm.idle_watts && w < 1000.0,
+                "{}: {w} W",
+                device.name
+            );
+        }
+    }
+}

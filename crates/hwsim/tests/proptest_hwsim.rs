@@ -1,0 +1,94 @@
+//! Property tests for the device simulator: physical sanity must hold for
+//! arbitrary kernels and networks.
+
+use hsconas_hwsim::{DeviceSpec, KernelDesc, NetworkDesc, OpDesc, PowerModel};
+use proptest::prelude::*;
+
+fn kernel_strategy() -> impl Strategy<Value = KernelDesc> {
+    (
+        1.0e3..1.0e9f64,
+        0.0..1.0e7f64,
+        0.0..1.0e6f64,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(macs, act, weights, dw)| {
+            if dw {
+                KernelDesc::depthwise(macs, act, weights)
+            } else {
+                KernelDesc::dense(macs, act, weights)
+            }
+        })
+}
+
+fn net_strategy() -> impl Strategy<Value = NetworkDesc> {
+    proptest::collection::vec(proptest::collection::vec(kernel_strategy(), 1..5), 1..8).prop_map(
+        |ops| {
+            NetworkDesc::new(
+                "prop",
+                ops.into_iter()
+                    .enumerate()
+                    .map(|(i, kernels)| OpDesc::new(format!("op{i}"), kernels))
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel time is finite, positive, at least the launch overhead, and
+    /// at least the memory-roofline time.
+    #[test]
+    fn kernel_time_physical(kernel in kernel_strategy()) {
+        for device in DeviceSpec::paper_devices() {
+            let t = device.kernel_time_us(&kernel);
+            prop_assert!(t.is_finite() && t > 0.0);
+            prop_assert!(t >= device.launch_overhead_us);
+            let bytes = kernel.activation_bytes * device.batch as f64 + kernel.weight_bytes;
+            prop_assert!(t >= bytes / device.mem_bytes_per_us, "memory roofline violated");
+        }
+    }
+
+    /// Adding MACs to a kernel never makes it faster.
+    #[test]
+    fn kernel_time_monotone_in_macs(kernel in kernel_strategy(), factor in 1.1..4.0f64) {
+        let mut bigger = kernel;
+        bigger.macs *= factor;
+        for device in DeviceSpec::paper_devices() {
+            prop_assert!(
+                device.kernel_time_us(&bigger) >= device.kernel_time_us(&kernel) * 0.999,
+                "{}", device.name
+            );
+        }
+    }
+
+    /// Network time equals the op-time sum plus exactly the structural
+    /// overheads, and the energy model yields finite positive energy.
+    #[test]
+    fn network_time_decomposition(net in net_strategy()) {
+        for device in DeviceSpec::paper_devices() {
+            let op_sum: f64 = net.ops.iter().map(|o| device.op_time_us(o)).sum();
+            let expected = op_sum
+                + (net.ops.len() - 1) as f64 * device.inter_op_overhead_us
+                + device.fixed_overhead_us;
+            let got = device.network_time_us(&net);
+            prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0));
+            let pm = PowerModel::for_device(&device);
+            let e = pm.network_energy_mj(&device, &net);
+            prop_assert!(e.is_finite() && e > 0.0);
+        }
+    }
+
+    /// Measurement noise is unbiased: the mean of many measurements
+    /// approaches the deterministic time.
+    #[test]
+    fn measurement_mean_unbiased(net in net_strategy(), seed in 0u64..200) {
+        use rand::SeedableRng;
+        let device = DeviceSpec::cpu_xeon_6136();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mean = device.measure_network_mean(&net, 300, &mut rng);
+        let base = device.network_time_us(&net);
+        prop_assert!((mean / base - 1.0).abs() < 0.02, "mean {} base {}", mean, base);
+    }
+}

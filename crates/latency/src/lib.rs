@@ -1,0 +1,45 @@
+//! # hsconas-latency
+//!
+//! The paper's hardware performance model (§III-A):
+//!
+//! * **Eq. 2** — `LAT(arch) = Σ_l lat(op^l) + B`: predicted latency is the
+//!   sum of per-operator latencies from a profiled lookup table plus a
+//!   device-specific communication bias.
+//! * **Eq. 3** — `B = mean_i (LAT⁺(arch_i) − Σ_l lat(op^l_i))`: the bias is
+//!   calibrated as the mean gap between on-device measurements and LUT sums
+//!   over `M` sampled architectures.
+//!
+//! The crate also provides the evaluation metrics the paper reports:
+//! RMSE (Fig. 3 quotes 0.1 / 0.5 / 1.7 ms for CPU / GPU / Edge) and the
+//! correlation coefficients behind the Fig. 2 / Fig. 3 scatter plots.
+//!
+//! ## Example
+//!
+//! ```
+//! use hsconas_latency::LatencyPredictor;
+//! use hsconas_hwsim::DeviceSpec;
+//! use hsconas_space::SearchSpace;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let space = SearchSpace::hsconas_a();
+//! let device = DeviceSpec::cpu_xeon_6136();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut predictor = LatencyPredictor::calibrate(device, &space, 20, 3, &mut rng)?;
+//! let arch = space.sample(&mut rng);
+//! let ms = predictor.predict_ms(&arch)?;
+//! assert!(ms > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lut;
+pub mod metrics;
+pub mod predictor;
+
+pub use lut::{LatencyLut, LutSnapshot};
+pub use metrics::{pearson, rmse, spearman};
+pub use predictor::{LatencyPredictor, PredictorSnapshot};

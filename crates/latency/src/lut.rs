@@ -1,0 +1,219 @@
+//! The per-operator latency lookup table of Eq. 2.
+//!
+//! Each entry records the *isolated* execution time of one concrete layer
+//! configuration `(layer, op, c_in, c_out)` on one device — what a
+//! profiling pass over the operator zoo produces. Entries are filled
+//! lazily and memoized, so only configurations that actually occur are
+//! profiled (the full table over the paper space would have
+//! `20 × 5 × 10 × 10 = 10,000` entries; lazy filling keeps calibration
+//! fast).
+
+use hsconas_hwsim::lower::{lower_head, lower_layer, lower_stem};
+use hsconas_hwsim::DeviceSpec;
+use hsconas_space::{resolve_geometry, Arch, NetworkSkeleton, OpKind, SpaceError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Key identifying one profiled operator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LutKey {
+    /// Zero-based layer index.
+    pub layer: usize,
+    /// Operator kind.
+    pub op: OpKind,
+    /// Input channel count.
+    pub c_in: usize,
+    /// Output channel count.
+    pub c_out: usize,
+}
+
+/// A serializable snapshot of a profiled LUT (see [`LatencyLut::export`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LutSnapshot {
+    /// Name of the device the entries were profiled on.
+    pub device_name: String,
+    /// Profiled stem latency, microseconds.
+    pub stem_us: f64,
+    /// Profiled operator entries.
+    pub entries: Vec<(LutKey, f64)>,
+}
+
+/// A lazily filled per-operator latency table for one device.
+#[derive(Debug, Clone)]
+pub struct LatencyLut {
+    device: DeviceSpec,
+    skeleton: NetworkSkeleton,
+    entries: HashMap<LutKey, f64>,
+    stem_us: f64,
+}
+
+impl LatencyLut {
+    /// Creates an empty LUT for a device and skeleton. The fixed stem is
+    /// profiled eagerly (it is identical for every architecture).
+    pub fn new(device: DeviceSpec, skeleton: NetworkSkeleton) -> Self {
+        let stem_us = device.op_time_us(&lower_stem(&skeleton));
+        LatencyLut {
+            device,
+            skeleton,
+            entries: HashMap::new(),
+            stem_us,
+        }
+    }
+
+    /// The device this table was profiled on.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Number of profiled operator configurations so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no operator has been profiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exports the profiled entries for persistence (paired with the
+    /// device name so a table is never replayed against the wrong
+    /// hardware).
+    pub fn export(&self) -> LutSnapshot {
+        LutSnapshot {
+            device_name: self.device.name.clone(),
+            stem_us: self.stem_us,
+            entries: self.entries.iter().map(|(k, v)| (*k, *v)).collect(),
+        }
+    }
+
+    /// Restores previously profiled entries into this table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the snapshot's device name if it does not match this
+    /// table's device.
+    pub fn import(&mut self, snapshot: LutSnapshot) -> Result<usize, String> {
+        if snapshot.device_name != self.device.name {
+            return Err(snapshot.device_name);
+        }
+        let count = snapshot.entries.len();
+        self.stem_us = snapshot.stem_us;
+        self.entries.extend(snapshot.entries);
+        Ok(count)
+    }
+
+    /// Sum of per-operator LUT latencies for `arch` (the `Σ_l op^l` term of
+    /// Eq. 2), including the fixed stem and head, in microseconds.
+    /// Profiles and memoizes any configuration not seen before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] if the architecture does not fit the skeleton.
+    pub fn op_sum_us(&mut self, arch: &Arch) -> Result<f64, SpaceError> {
+        let geoms = resolve_geometry(&self.skeleton, arch)?;
+        let mut total = self.stem_us;
+        for geom in &geoms {
+            let key = LutKey {
+                layer: geom.index,
+                op: geom.op,
+                c_in: geom.c_in,
+                c_out: geom.c_out,
+            };
+            let device = &self.device;
+            let t = *self
+                .entries
+                .entry(key)
+                .or_insert_with(|| device.op_time_us(&lower_layer(geom)));
+            total += t;
+        }
+        let final_res = geoms
+            .last()
+            .map(|g| g.resolution_out())
+            .unwrap_or(self.skeleton.input_resolution / 2);
+        let last_c = geoms
+            .last()
+            .map(|g| g.c_out)
+            .unwrap_or(self.skeleton.stem_channels);
+        total += self
+            .device
+            .op_time_us(&lower_head(&self.skeleton, last_c, final_res));
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsconas_space::SearchSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_lut() -> LatencyLut {
+        let space = SearchSpace::hsconas_a();
+        LatencyLut::new(DeviceSpec::cpu_xeon_6136(), space.skeleton().clone())
+    }
+
+    #[test]
+    fn op_sum_is_deterministic_and_memoized() {
+        let mut lut = make_lut();
+        let arch = Arch::widest(20);
+        let a = lut.op_sum_us(&arch).unwrap();
+        let entries_after_first = lut.len();
+        let b = lut.op_sum_us(&arch).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(lut.len(), entries_after_first, "second query adds no entries");
+        assert!(entries_after_first <= 20);
+    }
+
+    #[test]
+    fn distinct_archs_share_entries() {
+        let mut lut = make_lut();
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(1);
+        for arch in space.sample_n(20, &mut rng) {
+            lut.op_sum_us(&arch).unwrap();
+        }
+        // far fewer entries than 20 archs × 20 layers
+        assert!(lut.len() < 400);
+        assert!(!lut.is_empty());
+    }
+
+    #[test]
+    fn op_sum_underestimates_network_time() {
+        // Eq. 2's point: the LUT sum misses the communication overheads.
+        let mut lut = make_lut();
+        let arch = Arch::widest(20);
+        let sum = lut.op_sum_us(&arch).unwrap();
+        let space = SearchSpace::hsconas_a();
+        let net = hsconas_hwsim::lower_arch(space.skeleton(), &arch).unwrap();
+        let full = lut.device().network_time_us(&net);
+        assert!(full > sum, "{full} <= {sum}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_device_guard() {
+        let mut lut = make_lut();
+        let arch = Arch::widest(20);
+        let reference = lut.op_sum_us(&arch).unwrap();
+        let snapshot = lut.export();
+        assert_eq!(snapshot.entries.len(), lut.len());
+        // a fresh LUT answers identically after import, with no profiling
+        let space = SearchSpace::hsconas_a();
+        let mut fresh = LatencyLut::new(DeviceSpec::cpu_xeon_6136(), space.skeleton().clone());
+        let imported = fresh.import(snapshot.clone()).unwrap();
+        assert_eq!(imported, lut.len());
+        assert_eq!(fresh.op_sum_us(&arch).unwrap(), reference);
+        // importing onto the wrong device is refused
+        let mut wrong = LatencyLut::new(DeviceSpec::gpu_gv100(), space.skeleton().clone());
+        assert_eq!(
+            wrong.import(snapshot),
+            Err("cpu-xeon-6136".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_arch() {
+        let mut lut = make_lut();
+        assert!(lut.op_sum_us(&Arch::widest(3)).is_err());
+    }
+}

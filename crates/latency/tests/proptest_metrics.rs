@@ -1,0 +1,58 @@
+//! Property tests for the regression metrics.
+
+use hsconas_latency::{pearson, rmse, spearman};
+use proptest::prelude::*;
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e3..1.0e3f64, 2..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// RMSE is non-negative, zero iff identical, and symmetric.
+    #[test]
+    fn rmse_properties(a in series()) {
+        prop_assert_eq!(rmse(&a, &a), 0.0);
+        let shifted: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        let forward = rmse(&a, &shifted);
+        let backward = rmse(&shifted, &a);
+        prop_assert!((forward - 1.0).abs() < 1e-9);
+        prop_assert!((forward - backward).abs() < 1e-12);
+    }
+
+    /// Correlations live in [-1, 1] and are invariant to positive affine
+    /// transforms of either argument.
+    #[test]
+    fn correlation_bounds_and_invariance(a in series(), scale in 0.1..10.0f64, shift in -100.0..100.0f64) {
+        // build a second series deterministically from the first
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v * 0.5 + (i as f64)).collect();
+        let r = pearson(&a, &b);
+        let rho = spearman(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {}", r);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "rho = {}", rho);
+        let a2: Vec<f64> = a.iter().map(|v| v * scale + shift).collect();
+        prop_assert!((pearson(&a2, &b) - r).abs() < 1e-6);
+        prop_assert!((spearman(&a2, &b) - rho).abs() < 1e-9);
+    }
+
+    /// Self-correlation is 1 for any non-constant series.
+    #[test]
+    fn self_correlation(a in series()) {
+        let constant = a.iter().all(|&v| v == a[0]);
+        if !constant {
+            prop_assert!((pearson(&a, &a) - 1.0).abs() < 1e-9);
+            prop_assert!((spearman(&a, &a) - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(pearson(&a, &a), 0.0);
+        }
+    }
+
+    /// Negating one series negates the Pearson correlation.
+    #[test]
+    fn antisymmetry(a in series()) {
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + i as f64).collect();
+        let neg: Vec<f64> = b.iter().map(|v| -v).collect();
+        prop_assert!((pearson(&a, &b) + pearson(&a, &neg)).abs() < 1e-9);
+    }
+}

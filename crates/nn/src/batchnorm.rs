@@ -1,0 +1,386 @@
+//! Batch normalization over the channel axis of NCHW tensors.
+
+use crate::layer::{BnMode, Layer, ParamVisitor};
+use crate::NnError;
+use hsconas_tensor::{Tensor, TensorError};
+
+/// 2-D batch normalization with learnable scale (`gamma`) and shift
+/// (`beta`) and exponentially averaged running statistics for evaluation.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<Cache>,
+    /// `Some(n)` while in [`BnMode::Accumulate`]: `n` batches have been
+    /// folded into the cumulative-average running statistics so far.
+    accumulate_count: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    normalized: Tensor,
+    batch_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels with the
+    /// conventional `eps = 1e-5` and running-average `momentum = 0.1`.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::full([1, channels, 1, 1], 1.0),
+            beta: Tensor::zeros([1, channels, 1, 1]),
+            grad_gamma: Tensor::zeros([1, channels, 1, 1]),
+            grad_beta: Tensor::zeros([1, channels, 1, 1]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+            accumulate_count: None,
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(), NnError> {
+        if input.shape().c != self.channels {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "batchnorm",
+                expected: vec![input.shape().n, self.channels, input.shape().h, input.shape().w],
+                actual: input.shape().to_vec(),
+            }));
+        }
+        Ok(())
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        self.check_input(input)?;
+        let s = input.shape();
+        let count = (s.n * s.h * s.w) as f32;
+        let mut out = Tensor::zeros(s);
+
+        if train {
+            // Batch statistics per channel.
+            let mut mean = vec![0.0f32; self.channels];
+            let mut var = vec![0.0f32; self.channels];
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            mean[c] += input.at(n, c, h, w);
+                        }
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= count;
+            }
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            let d = input.at(n, c, h, w) - mean[c];
+                            var[c] += d * d;
+                        }
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= count;
+            }
+            let std: Vec<f32> = var.iter().map(|v| (v + self.eps).sqrt()).collect();
+
+            let mut normalized = Tensor::zeros(s);
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    let g = self.gamma.at(0, c, 0, 0);
+                    let b = self.beta.at(0, c, 0, 0);
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            let xn = (input.at(n, c, h, w) - mean[c]) / std[c];
+                            *normalized.at_mut(n, c, h, w) = xn;
+                            *out.at_mut(n, c, h, w) = g * xn + b;
+                        }
+                    }
+                }
+            }
+            if let Some(count) = self.accumulate_count {
+                // Cumulative average: after k batches the running stats are
+                // exactly the mean of those k batches' statistics.
+                let k = count as f32;
+                for c in 0..self.channels {
+                    self.running_mean[c] = (self.running_mean[c] * k + mean[c]) / (k + 1.0);
+                    self.running_var[c] = (self.running_var[c] * k + var[c]) / (k + 1.0);
+                }
+                self.accumulate_count = Some(count + 1);
+            } else {
+                for c in 0..self.channels {
+                    self.running_mean[c] =
+                        (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                    self.running_var[c] =
+                        (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+                }
+            }
+            self.cache = Some(Cache {
+                normalized,
+                batch_std: std,
+            });
+        } else {
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    let g = self.gamma.at(0, c, 0, 0);
+                    let b = self.beta.at(0, c, 0, 0);
+                    let std = (self.running_var[c] + self.eps).sqrt();
+                    let mean = self.running_mean[c];
+                    for h in 0..s.h {
+                        for w in 0..s.w {
+                            *out.at_mut(n, c, h, w) =
+                                g * (input.at(n, c, h, w) - mean) / std + b;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "BatchNorm2d" })?;
+        let s = grad_out.shape();
+        if s != cache.normalized.shape() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "batchnorm_backward",
+                expected: cache.normalized.shape().to_vec(),
+                actual: s.to_vec(),
+            }));
+        }
+        let count = (s.n * s.h * s.w) as f32;
+        // Accumulate dGamma, dBeta, and the per-channel sums needed for the
+        // standard batch-norm input gradient.
+        let mut sum_dy = vec![0.0f32; self.channels];
+        let mut sum_dy_xn = vec![0.0f32; self.channels];
+        for n in 0..s.n {
+            for c in 0..s.c {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        let dy = grad_out.at(n, c, h, w);
+                        sum_dy[c] += dy;
+                        sum_dy_xn[c] += dy * cache.normalized.at(n, c, h, w);
+                    }
+                }
+            }
+        }
+        for c in 0..self.channels {
+            *self.grad_gamma.at_mut(0, c, 0, 0) += sum_dy_xn[c];
+            *self.grad_beta.at_mut(0, c, 0, 0) += sum_dy[c];
+        }
+        let mut grad_in = Tensor::zeros(s);
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let g = self.gamma.at(0, c, 0, 0);
+                let std = cache.batch_std[c];
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        let dy = grad_out.at(n, c, h, w);
+                        let xn = cache.normalized.at(n, c, h, w);
+                        *grad_in.at_mut(n, c, h, w) = g / std
+                            * (dy - sum_dy[c] / count - xn * sum_dy_xn[c] / count);
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut ParamVisitor) {
+        // Batch-norm parameters are conventionally exempt from weight decay.
+        f(&mut self.gamma, &mut self.grad_gamma, false);
+        f(&mut self.beta, &mut self.grad_beta, false);
+    }
+
+    fn set_bn_mode(&mut self, mode: BnMode) {
+        match mode {
+            BnMode::Accumulate => {
+                self.running_mean.fill(0.0);
+                self.running_var.fill(0.0);
+                self.accumulate_count = Some(0);
+            }
+            BnMode::Normal => self.accumulate_count = None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsconas_tensor::rng::SmallRng;
+
+    #[test]
+    fn train_forward_normalizes() {
+        let mut rng = SmallRng::new(1);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn([4, 3, 5, 5], 3.0, &mut rng).map(|v| v + 2.0);
+        let y = bn.forward(&x, true).unwrap();
+        // each channel of y should have ~zero mean and ~unit variance
+        let s = y.shape();
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for n in 0..s.n {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        vals.push(y.at(n, c, h, w));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = SmallRng::new(2);
+        let mut bn = BatchNorm2d::new(2);
+        // Train on many batches so running stats converge to data stats.
+        for _ in 0..200 {
+            let x = Tensor::randn([8, 2, 4, 4], 2.0, &mut rng).map(|v| v + 1.0);
+            bn.forward(&x, true).unwrap();
+        }
+        let x = Tensor::randn([8, 2, 4, 4], 2.0, &mut rng).map(|v| v + 1.0);
+        let y = bn.forward(&x, false).unwrap();
+        let mean: f32 = y.sum() / y.len() as f32;
+        assert!(mean.abs() < 0.1, "eval mean {mean}");
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::zeros([1, 4, 2, 2]);
+        assert!(bn.forward(&x, true).is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut bn = BatchNorm2d::new(2);
+        assert!(bn.backward(&Tensor::zeros([1, 2, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn backward_finite_difference() {
+        let mut rng = SmallRng::new(3);
+        let x = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
+        let mask = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            let y = bn.forward(x, true).unwrap();
+            y.data().iter().zip(mask.data()).map(|(a, b)| a * b).sum()
+        };
+        let mut bn = BatchNorm2d::new(2);
+        loss(&mut bn, &x);
+        let grad_in = bn.backward(&mask).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 11, 17, 23, 35] {
+            // fresh layer each evaluation so running stats don't interfere
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp = loss(&mut BatchNorm2d::new(2), &xp);
+            let fm = loss(&mut BatchNorm2d::new(2), &xm);
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grad_in.data()[idx];
+            assert!((num - ana).abs() < 5e-2, "idx {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn accumulate_mode_yields_exact_mean_of_batches() {
+        let mut rng = SmallRng::new(9);
+        let mut bn = BatchNorm2d::new(2);
+        // pollute stats first
+        for _ in 0..5 {
+            let x = Tensor::randn([4, 2, 3, 3], 5.0, &mut rng).map(|v| v + 10.0);
+            bn.forward(&x, true).unwrap();
+        }
+        // recalibrate on a fixed set of batches
+        bn.set_bn_mode(BnMode::Accumulate);
+        let batches: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn([4, 2, 3, 3], 1.0, &mut rng))
+            .collect();
+        for b in &batches {
+            bn.forward(b, true).unwrap();
+        }
+        bn.set_bn_mode(BnMode::Normal);
+        // rerunning the same recalibration must give identical eval output
+        let probe = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
+        let y1 = bn.forward(&probe, false).unwrap();
+        bn.set_bn_mode(BnMode::Accumulate);
+        for b in &batches {
+            bn.forward(b, true).unwrap();
+        }
+        bn.set_bn_mode(BnMode::Normal);
+        let y2 = bn.forward(&probe, false).unwrap();
+        assert_eq!(y1, y2, "recalibration must be idempotent");
+        // and the stats must be near the batches' true statistics (≈0 mean)
+        let y = bn.forward(&probe, false).unwrap();
+        let mean = y.sum() / y.len() as f32;
+        assert!(mean.abs() < 0.3, "recalibrated eval mean {mean}");
+    }
+
+    #[test]
+    fn normal_mode_still_uses_ema_after_recalibration() {
+        let mut rng = SmallRng::new(10);
+        let mut bn = BatchNorm2d::new(1);
+        bn.set_bn_mode(BnMode::Accumulate);
+        bn.forward(&Tensor::randn([4, 1, 3, 3], 1.0, &mut rng), true)
+            .unwrap();
+        bn.set_bn_mode(BnMode::Normal);
+        // one EMA update must not fully replace the stats (momentum 0.1)
+        let shifted = Tensor::randn([4, 1, 3, 3], 1.0, &mut rng).map(|v| v + 100.0);
+        bn.forward(&shifted, true).unwrap();
+        assert!(bn.running_mean[0] < 50.0, "EMA jumped: {}", bn.running_mean[0]);
+    }
+
+    #[test]
+    fn gamma_beta_gradients() {
+        let mut rng = SmallRng::new(4);
+        let x = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        let y = bn.forward(&x, true).unwrap();
+        let ones = Tensor::full(y.shape(), 1.0);
+        bn.backward(&ones).unwrap();
+        // dBeta = sum(dy) = N*H*W per channel
+        let mut checked = 0;
+        bn.visit_params(&mut |p, g, decay| {
+            assert!(!decay, "bn params must not decay");
+            if p.at(0, 0, 0, 0) == 0.0 {
+                // beta starts at zero → this is the beta/grad_beta pair
+                assert!((g.at(0, 0, 0, 0) - 18.0).abs() < 1e-3);
+                checked += 1;
+            }
+        });
+        assert_eq!(checked, 1);
+    }
+}

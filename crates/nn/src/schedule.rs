@@ -1,0 +1,103 @@
+//! Cosine learning-rate schedule with linear warm-up (§IV-A of the paper:
+//! "a learning rate of 0.5 annealed down to zero following the cosine
+//! schedule", with a five-epoch warm-up for from-scratch training).
+
+/// Cosine annealing from a base learning rate to zero over a fixed number
+/// of steps, with an optional linear warm-up prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineSchedule {
+    base_lr: f32,
+    warmup_steps: usize,
+    total_steps: usize,
+}
+
+impl CosineSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_steps == 0` or `warmup_steps >= total_steps`.
+    pub fn new(base_lr: f32, warmup_steps: usize, total_steps: usize) -> Self {
+        assert!(total_steps > 0, "total_steps must be positive");
+        assert!(
+            warmup_steps < total_steps,
+            "warmup must be shorter than the schedule"
+        );
+        CosineSchedule {
+            base_lr,
+            warmup_steps,
+            total_steps,
+        }
+    }
+
+    /// Learning rate at `step` (clamped to the end of the schedule).
+    pub fn lr(&self, step: usize) -> f32 {
+        if step < self.warmup_steps {
+            // Linear ramp from base_lr / warmup to base_lr.
+            return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let step = step.min(self.total_steps);
+        let progress =
+            (step - self.warmup_steps) as f32 / (self.total_steps - self.warmup_steps) as f32;
+        0.5 * self.base_lr * (1.0 + (std::f32::consts::PI * progress).cos())
+    }
+
+    /// The configured base learning rate.
+    pub fn base_lr(&self) -> f32 {
+        self.base_lr
+    }
+
+    /// Total step count.
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_base_without_warmup() {
+        let s = CosineSchedule::new(0.5, 0, 100);
+        assert!((s.lr(0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn anneals_to_zero() {
+        let s = CosineSchedule::new(0.5, 0, 100);
+        assert!(s.lr(100) < 1e-6);
+        assert!(s.lr(1000) < 1e-6, "clamped past the end");
+    }
+
+    #[test]
+    fn halfway_is_half() {
+        let s = CosineSchedule::new(0.4, 0, 100);
+        assert!((s.lr(50) - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = CosineSchedule::new(1.0, 10, 110);
+        assert!((s.lr(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr(4) - 0.5).abs() < 1e-6);
+        assert!((s.lr(9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotonically_decreasing_after_warmup() {
+        let s = CosineSchedule::new(0.5, 5, 105);
+        let mut prev = f32::INFINITY;
+        for step in 5..=105 {
+            let lr = s.lr(step);
+            assert!(lr <= prev + 1e-7, "step {step}: {lr} > {prev}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_longer_than_total_panics() {
+        CosineSchedule::new(0.5, 100, 100);
+    }
+}

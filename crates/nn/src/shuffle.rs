@@ -1,0 +1,63 @@
+//! Channel shuffle as a layer.
+
+use crate::layer::{Layer, ParamVisitor};
+use crate::NnError;
+use hsconas_tensor::Tensor;
+
+/// ShuffleNet channel shuffle; the backward pass applies the inverse
+/// permutation.
+#[derive(Debug, Clone)]
+pub struct ChannelShuffle {
+    groups: usize,
+}
+
+impl ChannelShuffle {
+    /// Creates a shuffle layer with the given group count.
+    pub fn new(groups: usize) -> Self {
+        ChannelShuffle { groups }
+    }
+
+    /// The configured group count.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl Layer for ChannelShuffle {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
+        Ok(input.channel_shuffle(self.groups)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        Ok(grad_out.channel_unshuffle(self.groups)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut ParamVisitor) {}
+
+    fn name(&self) -> &'static str {
+        "ChannelShuffle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsconas_tensor::rng::SmallRng;
+
+    #[test]
+    fn forward_backward_inverse() {
+        let mut rng = SmallRng::new(1);
+        let x = Tensor::randn([2, 8, 3, 3], 1.0, &mut rng);
+        let mut sh = ChannelShuffle::new(2);
+        let y = sh.forward(&x, true).unwrap();
+        // Treat y as the gradient: backward must undo the permutation.
+        let back = sh.backward(&y).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn rejects_indivisible_groups() {
+        let mut sh = ChannelShuffle::new(3);
+        assert!(sh.forward(&Tensor::zeros([1, 4, 1, 1]), false).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Subspace quality `Q(A_sub)` — Definition 1 of the paper.
+
+use hsconas_evo::{EvoError, Objective};
+use hsconas_space::SearchSpace;
+use rand::Rng;
+
+/// Estimates `Q(A_sub) = (1/N) Σ F(arch_i, T)` over `n` architectures
+/// sampled uniformly from `space` (Eq. 4). The paper fixes `N = 100`,
+/// "proven to be sufficient" by the design-space analysis it cites.
+///
+/// # Errors
+///
+/// Returns [`EvoError`] if the objective fails on any sample.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn subspace_quality<R: Rng + ?Sized>(
+    space: &SearchSpace,
+    objective: &mut dyn Objective,
+    n: usize,
+    rng: &mut R,
+) -> Result<f64, EvoError> {
+    assert!(n > 0, "quality estimation needs at least one sample");
+    let mut total = 0.0;
+    for _ in 0..n {
+        let arch = space.sample(rng);
+        total += objective.evaluate(&arch)?.score;
+    }
+    Ok(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsconas_evo::Evaluation;
+    use hsconas_space::{Arch, OpKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Scores +1 per Xception gene: subspaces fixing layers to Xception
+    /// have strictly higher quality.
+    struct XceptionLover;
+    impl Objective for XceptionLover {
+        fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+            let score = arch
+                .genes()
+                .iter()
+                .filter(|g| g.op == OpKind::Xception)
+                .count() as f64;
+            Ok(Evaluation {
+                score,
+                accuracy: 0.0,
+                latency_ms: 0.0,
+            })
+        }
+    }
+
+    #[test]
+    fn quality_ranks_subspaces_correctly() {
+        let space = SearchSpace::hsconas_a();
+        let good = space.restrict_op(19, OpKind::Xception).unwrap();
+        let bad = space.restrict_op(19, OpKind::Skip).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let q_good = subspace_quality(&good, &mut XceptionLover, 100, &mut rng).unwrap();
+        let q_bad = subspace_quality(&bad, &mut XceptionLover, 100, &mut rng).unwrap();
+        assert!(
+            q_good > q_bad + 0.5,
+            "Q(good) {q_good} must clearly beat Q(bad) {q_bad}"
+        );
+    }
+
+    #[test]
+    fn quality_is_mean_of_scores() {
+        struct Constant;
+        impl Objective for Constant {
+            fn evaluate(&mut self, _: &Arch) -> Result<Evaluation, EvoError> {
+                Ok(Evaluation {
+                    score: 4.25,
+                    accuracy: 0.0,
+                    latency_ms: 0.0,
+                })
+            }
+        }
+        let space = SearchSpace::tiny(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = subspace_quality(&space, &mut Constant, 17, &mut rng).unwrap();
+        assert!((q - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_samples_reduce_variance() {
+        let space = SearchSpace::hsconas_a();
+        let estimate = |n: usize, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            subspace_quality(&space, &mut XceptionLover, n, &mut rng).unwrap()
+        };
+        let spread = |n: usize| {
+            let vals: Vec<f64> = (0..10).map(|s| estimate(n, s)).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        assert!(spread(100) < spread(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panic() {
+        let space = SearchSpace::tiny(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = subspace_quality(&space, &mut XceptionLover, 0, &mut rng);
+    }
+}

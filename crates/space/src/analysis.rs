@@ -1,0 +1,161 @@
+//! Search-space analytics: architecture distances, population diversity,
+//! and exhaustive enumeration of small (restricted) spaces — the ground
+//! truth the search-quality ablations compare against.
+
+use crate::{Arch, Gene, SearchSpace};
+
+/// Hamming-style distance between two architectures: number of layers
+/// whose operator differs plus number whose scale differs (each layer can
+/// contribute 0, 1, or 2).
+///
+/// # Panics
+///
+/// Panics if the architectures have different lengths.
+pub fn arch_distance(a: &Arch, b: &Arch) -> usize {
+    assert_eq!(a.len(), b.len(), "architectures must have equal length");
+    a.genes()
+        .iter()
+        .zip(b.genes())
+        .map(|(ga, gb)| (ga.op != gb.op) as usize + (ga.scale != gb.scale) as usize)
+        .sum()
+}
+
+/// Mean pairwise [`arch_distance`] of a population (0 for fewer than two
+/// members) — the diversity statistic used to monitor EA convergence.
+pub fn population_diversity(population: &[Arch]) -> f64 {
+    if population.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for (i, a) in population.iter().enumerate() {
+        for b in &population[i + 1..] {
+            total += arch_distance(a, b);
+            pairs += 1;
+        }
+    }
+    total as f64 / pairs as f64
+}
+
+/// Exhaustively enumerates every architecture in `space`.
+///
+/// # Errors
+///
+/// Returns `Err(size)` with the space's `log10` size if it exceeds
+/// `limit` architectures — enumeration is only meant for heavily
+/// restricted spaces (the optimality ablation pins all but a couple of
+/// layers).
+pub fn enumerate(space: &SearchSpace, limit: usize) -> Result<Vec<Arch>, f64> {
+    let log10 = space.log10_size();
+    if log10 > (limit as f64).log10() {
+        return Err(log10);
+    }
+    let layers = space.num_layers();
+    let mut result = vec![Vec::<Gene>::new()];
+    for layer in 0..layers {
+        let mut next = Vec::new();
+        for prefix in &result {
+            for &op in space.allowed_ops(layer) {
+                for &scale in space.allowed_scales(layer) {
+                    let mut genes = prefix.clone();
+                    genes.push(Gene::new(op, scale));
+                    next.push(genes);
+                }
+            }
+        }
+        result = next;
+        if result.len() > limit {
+            return Err(log10);
+        }
+    }
+    Ok(result.into_iter().map(Arch::new).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChannelScale, OpKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_zero_iff_equal() {
+        let space = SearchSpace::tiny(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = space.sample(&mut rng);
+        assert_eq!(arch_distance(&a, &a), 0);
+        let mut b = a.clone();
+        b.set_gene(0, Gene::new(OpKind::Skip, ChannelScale::FULL))
+            .unwrap();
+        let d = arch_distance(&a, &b);
+        assert!(d >= 1 && d <= 2);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let a = space.sample(&mut rng);
+            let b = space.sample(&mut rng);
+            let d = arch_distance(&a, &b);
+            assert_eq!(d, arch_distance(&b, &a));
+            assert!(d <= 2 * a.len());
+        }
+    }
+
+    #[test]
+    fn diversity_of_clones_is_zero() {
+        let space = SearchSpace::tiny(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = space.sample(&mut rng);
+        assert_eq!(population_diversity(&[a.clone(), a.clone(), a]), 0.0);
+        assert_eq!(population_diversity(&[]), 0.0);
+    }
+
+    #[test]
+    fn diversity_of_random_population_is_high() {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pop = space.sample_n(20, &mut rng);
+        // random 20-layer archs differ in almost every gene: expected
+        // distance ≈ 20·(0.8 + 0.9) = 34
+        let d = population_diversity(&pop);
+        assert!(d > 25.0, "diversity {d}");
+    }
+
+    #[test]
+    fn enumerate_counts_match_space_size() {
+        // pin all but one layer: 5 ops × 10 scales = 50 archs
+        let space = SearchSpace::tiny(4);
+        let mut pinned = space.clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        let template = space.sample(&mut rng);
+        for l in 1..4 {
+            let g = template.genes()[l];
+            pinned = pinned
+                .restrict_op(l, g.op)
+                .unwrap()
+                .restrict_scales(l, &[g.scale])
+                .unwrap();
+        }
+        let all = enumerate(&pinned, 1000).unwrap();
+        assert_eq!(all.len(), 50);
+        // all distinct, all members
+        let distinct: std::collections::HashSet<u64> =
+            all.iter().map(|a| a.fingerprint()).collect();
+        assert_eq!(distinct.len(), 50);
+        for a in &all {
+            assert!(pinned.contains(a));
+        }
+    }
+
+    #[test]
+    fn enumerate_refuses_large_spaces() {
+        let space = SearchSpace::hsconas_a();
+        match enumerate(&space, 100_000) {
+            Err(log10) => assert!(log10 > 30.0),
+            Ok(_) => panic!("must refuse to enumerate 10^34 architectures"),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Architecture encoding: `arch = {op^l, c^l}_{l=1..L}` (§III-B).
+
+use crate::{ChannelScale, OpKind, SpaceError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One layer's gene: the chosen operator and channel scaling factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gene {
+    /// Chosen operator `op^l`.
+    pub op: OpKind,
+    /// Chosen channel scaling factor `c^l`.
+    pub scale: ChannelScale,
+}
+
+impl Gene {
+    /// Creates a gene.
+    pub fn new(op: OpKind, scale: ChannelScale) -> Self {
+        Gene { op, scale }
+    }
+}
+
+/// A complete architecture candidate sampled from the supernet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Arch {
+    genes: Vec<Gene>,
+}
+
+impl Arch {
+    /// Creates an architecture from its genes.
+    pub fn new(genes: Vec<Gene>) -> Self {
+        Arch { genes }
+    }
+
+    /// The widest architecture (`op = shuffle3x3`, `c = 1.0`) with `layers`
+    /// layers — a convenient deterministic reference point.
+    pub fn widest(layers: usize) -> Self {
+        Arch {
+            genes: vec![Gene::new(OpKind::Shuffle3, ChannelScale::FULL); layers],
+        }
+    }
+
+    /// The genes, one per layer.
+    pub fn genes(&self) -> &[Gene] {
+        &self.genes
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Returns `true` for a zero-layer architecture.
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// Replaces the gene at `layer`, returning the previous gene.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::IndexOutOfRange`] if `layer` is out of range.
+    pub fn set_gene(&mut self, layer: usize, gene: Gene) -> Result<Gene, SpaceError> {
+        let len = self.genes.len();
+        let slot = self
+            .genes
+            .get_mut(layer)
+            .ok_or(SpaceError::IndexOutOfRange {
+                what: "layer",
+                index: layer,
+                bound: len,
+            })?;
+        Ok(std::mem::replace(slot, gene))
+    }
+
+    /// Flat integer encoding `[op_0, scale_0, op_1, scale_1, …]` used by
+    /// the evolutionary algorithm's genome operations.
+    pub fn encode(&self) -> Vec<usize> {
+        let mut v = Vec::with_capacity(self.genes.len() * 2);
+        for g in &self.genes {
+            v.push(g.op.index());
+            v.push(g.scale.index());
+        }
+        v
+    }
+
+    /// Inverse of [`Arch::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] if the vector has odd length or any index is
+    /// out of range.
+    pub fn decode(encoded: &[usize]) -> Result<Arch, SpaceError> {
+        if encoded.len() % 2 != 0 {
+            return Err(SpaceError::ArchMismatch {
+                detail: format!("encoded length {} is odd", encoded.len()),
+            });
+        }
+        let mut genes = Vec::with_capacity(encoded.len() / 2);
+        for pair in encoded.chunks_exact(2) {
+            let op = OpKind::from_index(pair[0]).ok_or(SpaceError::IndexOutOfRange {
+                what: "operator",
+                index: pair[0],
+                bound: OpKind::ALL.len(),
+            })?;
+            let scale =
+                ChannelScale::from_tenths(pair[1] as u8 + 1).ok_or(SpaceError::IndexOutOfRange {
+                    what: "scale",
+                    index: pair[1],
+                    bound: 10,
+                })?;
+            genes.push(Gene::new(op, scale));
+        }
+        Ok(Arch::new(genes))
+    }
+
+    /// A short stable identifier derived from the genes (used to seed the
+    /// deterministic per-architecture noise in the accuracy oracle).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the encoded genome.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in self.encode() {
+            h ^= v as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, g) in self.genes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}@{}", g.op, g.scale)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_arch() -> Arch {
+        Arch::new(vec![
+            Gene::new(OpKind::Shuffle3, ChannelScale::from_tenths(10).unwrap()),
+            Gene::new(OpKind::Skip, ChannelScale::from_tenths(3).unwrap()),
+            Gene::new(OpKind::Xception, ChannelScale::from_tenths(7).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let a = sample_arch();
+        let e = a.encode();
+        assert_eq!(e.len(), 6);
+        let b = Arch::decode(&e).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(Arch::decode(&[1, 2, 3]).is_err());
+        assert!(Arch::decode(&[9, 0]).is_err());
+        assert!(Arch::decode(&[0, 10]).is_err());
+    }
+
+    #[test]
+    fn set_gene_replaces_and_bounds() {
+        let mut a = sample_arch();
+        let old = a
+            .set_gene(1, Gene::new(OpKind::Shuffle7, ChannelScale::FULL))
+            .unwrap();
+        assert_eq!(old.op, OpKind::Skip);
+        assert_eq!(a.genes()[1].op, OpKind::Shuffle7);
+        assert!(a.set_gene(3, old).is_err());
+    }
+
+    #[test]
+    fn widest_is_full_scale_shuffle3() {
+        let a = Arch::widest(5);
+        assert_eq!(a.len(), 5);
+        for g in a.genes() {
+            assert_eq!(g.op, OpKind::Shuffle3);
+            assert_eq!(g.scale, ChannelScale::FULL);
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_archs() {
+        let a = sample_arch();
+        let mut b = sample_arch();
+        b.set_gene(0, Gene::new(OpKind::Shuffle5, ChannelScale::FULL))
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), sample_arch().fingerprint());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample_arch().to_string();
+        assert!(s.contains("shuffle3x3@1.0"));
+        assert!(s.contains("skip@0.3"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        // Exercise the Serialize/Deserialize derive through a JSON-free
+        // serializer substitute: the encode/decode path plus equality.
+        let a = sample_arch();
+        let encoded = a.encode();
+        assert_eq!(Arch::decode(&encoded).unwrap(), a);
+    }
+}

@@ -1,0 +1,269 @@
+//! Hardware-agnostic cost model: multiply-accumulate (FLOPs) and parameter
+//! counts per layer and for whole architectures.
+//!
+//! These are exactly the metrics Fig. 2 of the paper shows to be *poor*
+//! latency predictors — the cost model exists both to reproduce that figure
+//! and to feed the accuracy surrogate's capacity estimate.
+
+use crate::{resolve_geometry, Arch, LayerGeom, NetworkSkeleton, OpKind, SpaceError};
+use serde::{Deserialize, Serialize};
+
+/// Cost of a single searchable layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Multiply-accumulate operations for one inference at batch 1.
+    pub flops: f64,
+    /// Trainable parameter count.
+    pub params: f64,
+}
+
+impl LayerCost {
+    /// The zero cost.
+    pub const ZERO: LayerCost = LayerCost {
+        flops: 0.0,
+        params: 0.0,
+    };
+
+    fn add(self, other: LayerCost) -> LayerCost {
+        LayerCost {
+            flops: self.flops + other.flops,
+            params: self.params + other.params,
+        }
+    }
+}
+
+/// Cost breakdown of a full architecture (stem + searchable layers + head +
+/// classifier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchCost {
+    /// Per-searchable-layer costs, in layer order.
+    pub layers: Vec<LayerCost>,
+    /// Stem convolution cost.
+    pub stem: LayerCost,
+    /// Head (1×1 convolution + pooling + classifier) cost.
+    pub head: LayerCost,
+}
+
+impl ArchCost {
+    /// Total multiply-accumulates of one inference.
+    pub fn total_flops(&self) -> f64 {
+        self.stem.flops + self.head.flops + self.layers.iter().map(|l| l.flops).sum::<f64>()
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> f64 {
+        self.stem.params + self.head.params + self.layers.iter().map(|l| l.params).sum::<f64>()
+    }
+}
+
+fn conv_cost(c_in: usize, c_out: usize, kernel: usize, out_res: usize, groups: usize) -> LayerCost {
+    let macs = (out_res * out_res) as f64 * (c_in / groups) as f64 * c_out as f64
+        * (kernel * kernel) as f64;
+    let params = (c_in / groups) as f64 * c_out as f64 * (kernel * kernel) as f64;
+    LayerCost {
+        flops: macs,
+        params,
+    }
+}
+
+fn bn_cost(channels: usize, res: usize) -> LayerCost {
+    LayerCost {
+        flops: 2.0 * (res * res * channels) as f64,
+        params: 2.0 * channels as f64,
+    }
+}
+
+/// Cost of one searchable layer with the given geometry.
+pub fn layer_cost(geom: &LayerGeom) -> LayerCost {
+    let h_in = geom.resolution_in;
+    let h_out = geom.resolution_out();
+    let (c_in, c_out) = (geom.c_in, geom.c_out);
+    match (geom.op, geom.stride) {
+        (OpKind::Skip, 1) => LayerCost::ZERO,
+        (OpKind::Skip, _) => LayerCost {
+            // 2×2 average pool: one MAC-equivalent per input element.
+            flops: (h_in * h_in * c_in) as f64,
+            params: 0.0,
+        },
+        (op, stride) => {
+            let b_in = (c_in / 2).max(1);
+            let b_out = (c_out / 2).max(1);
+            let k = op.kernel().expect("parametric op has a kernel");
+            let mut cost = LayerCost::ZERO;
+            if stride == 2 {
+                // Left branch: dw k (stride 2) on c_in, then pw to b_out.
+                cost = cost
+                    .add(conv_cost(c_in, c_in, k, h_out, c_in))
+                    .add(bn_cost(c_in, h_out))
+                    .add(conv_cost(c_in, b_out, 1, h_out, 1))
+                    .add(bn_cost(b_out, h_out));
+            }
+            match op {
+                OpKind::Shuffle3 | OpKind::Shuffle5 | OpKind::Shuffle7 => {
+                    let (r_in, pw1_res) = if stride == 2 { (c_in, h_in) } else { (b_in, h_in) };
+                    cost = cost
+                        .add(conv_cost(r_in, b_out, 1, pw1_res, 1))
+                        .add(bn_cost(b_out, pw1_res))
+                        .add(conv_cost(b_out, b_out, k, h_out, b_out))
+                        .add(bn_cost(b_out, h_out))
+                        .add(conv_cost(b_out, b_out, 1, h_out, 1))
+                        .add(bn_cost(b_out, h_out));
+                }
+                OpKind::Xception => {
+                    let r_in = if stride == 2 { c_in } else { b_in };
+                    // dw3(s) pw, then two more dw3 pw pairs at output res.
+                    cost = cost
+                        .add(conv_cost(r_in, r_in, 3, h_out, r_in))
+                        .add(bn_cost(r_in, h_out))
+                        .add(conv_cost(r_in, b_out, 1, h_out, 1))
+                        .add(bn_cost(b_out, h_out));
+                    for _ in 0..2 {
+                        cost = cost
+                            .add(conv_cost(b_out, b_out, 3, h_out, b_out))
+                            .add(bn_cost(b_out, h_out))
+                            .add(conv_cost(b_out, b_out, 1, h_out, 1))
+                            .add(bn_cost(b_out, h_out));
+                    }
+                }
+                OpKind::Skip => unreachable!("handled above"),
+            }
+            cost
+        }
+    }
+}
+
+/// Full cost breakdown of `arch` within `skeleton`.
+///
+/// # Errors
+///
+/// Returns [`SpaceError::ArchMismatch`] if the architecture's layer count
+/// differs from the skeleton's.
+pub fn arch_cost(skeleton: &NetworkSkeleton, arch: &Arch) -> Result<ArchCost, SpaceError> {
+    let geoms = resolve_geometry(skeleton, arch)?;
+    let layers: Vec<LayerCost> = geoms.iter().map(layer_cost).collect();
+    let stem_res = skeleton.input_resolution / 2;
+    let stem = conv_cost(skeleton.input_channels, skeleton.stem_channels, 3, stem_res, 1)
+        .add(bn_cost(skeleton.stem_channels, stem_res));
+    let final_res = geoms.last().map(|g| g.resolution_out()).unwrap_or(stem_res);
+    let last_c = geoms.last().map(|g| g.c_out).unwrap_or(skeleton.stem_channels);
+    let head = conv_cost(last_c, skeleton.head_channels, 1, final_res, 1)
+        .add(bn_cost(skeleton.head_channels, final_res))
+        .add(LayerCost {
+            // global average pool + classifier
+            flops: (final_res * final_res * skeleton.head_channels) as f64
+                + (skeleton.head_channels * skeleton.num_classes) as f64,
+            params: (skeleton.head_channels * skeleton.num_classes + skeleton.num_classes) as f64,
+        });
+    Ok(ArchCost { layers, stem, head })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChannelLayout, ChannelScale, Gene};
+
+    fn skeleton() -> NetworkSkeleton {
+        NetworkSkeleton::imagenet(ChannelLayout::A)
+    }
+
+    #[test]
+    fn widest_arch_flops_in_mobile_regime() {
+        // The widest layout-A network should land in the few-hundred-MFLOPs
+        // regime typical of the paper's mobile-scale models.
+        let cost = arch_cost(&skeleton(), &Arch::widest(20)).unwrap();
+        let mf = cost.total_flops() / 1e6;
+        assert!(mf > 50.0 && mf < 1000.0, "{mf} MFLOPs");
+        let mp = cost.total_params() / 1e6;
+        assert!(mp > 0.5 && mp < 20.0, "{mp} M params");
+    }
+
+    #[test]
+    fn larger_kernel_costs_more() {
+        let sk = skeleton();
+        let mut a3 = Arch::widest(20);
+        let mut a7 = Arch::widest(20);
+        a3.set_gene(2, Gene::new(OpKind::Shuffle3, ChannelScale::FULL))
+            .unwrap();
+        a7.set_gene(2, Gene::new(OpKind::Shuffle7, ChannelScale::FULL))
+            .unwrap();
+        let c3 = arch_cost(&sk, &a3).unwrap();
+        let c7 = arch_cost(&sk, &a7).unwrap();
+        assert!(c7.total_flops() > c3.total_flops());
+        assert!(c7.total_params() > c3.total_params());
+    }
+
+    #[test]
+    fn xception_is_heavier_than_shuffle3() {
+        let sk = skeleton();
+        let mut ax = Arch::widest(20);
+        ax.set_gene(2, Gene::new(OpKind::Xception, ChannelScale::FULL))
+            .unwrap();
+        let cx = arch_cost(&sk, &ax).unwrap();
+        let c3 = arch_cost(&sk, &Arch::widest(20)).unwrap();
+        assert!(cx.layers[2].flops > c3.layers[2].flops);
+    }
+
+    #[test]
+    fn skip_layer_is_free() {
+        let sk = skeleton();
+        let mut a = Arch::widest(20);
+        a.set_gene(2, Gene::new(OpKind::Skip, ChannelScale::FULL))
+            .unwrap();
+        let c = arch_cost(&sk, &a).unwrap();
+        assert_eq!(c.layers[2], LayerCost::ZERO);
+    }
+
+    #[test]
+    fn stride2_skip_costs_only_pooling() {
+        let sk = skeleton();
+        let mut a = Arch::widest(20);
+        a.set_gene(4, Gene::new(OpKind::Skip, ChannelScale::FULL))
+            .unwrap();
+        let c = arch_cost(&sk, &a).unwrap();
+        assert!(c.layers[4].flops > 0.0);
+        assert_eq!(c.layers[4].params, 0.0);
+        // but still orders of magnitude below a real block
+        let full = arch_cost(&sk, &Arch::widest(20)).unwrap();
+        assert!(c.layers[4].flops < full.layers[4].flops / 10.0);
+    }
+
+    #[test]
+    fn narrower_scale_reduces_cost_monotonically() {
+        let sk = skeleton();
+        let mut prev = 0.0;
+        for t in 1..=10u8 {
+            let mut a = Arch::widest(20);
+            for l in 0..20 {
+                a.set_gene(
+                    l,
+                    Gene::new(OpKind::Shuffle3, ChannelScale::from_tenths(t).unwrap()),
+                )
+                .unwrap();
+            }
+            let f = arch_cost(&sk, &a).unwrap().total_flops();
+            assert!(f > prev, "scale {t}: {f} <= {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn layout_b_costs_more_than_a() {
+        let a = arch_cost(
+            &NetworkSkeleton::imagenet(ChannelLayout::A),
+            &Arch::widest(20),
+        )
+        .unwrap();
+        let b = arch_cost(
+            &NetworkSkeleton::imagenet(ChannelLayout::B),
+            &Arch::widest(20),
+        )
+        .unwrap();
+        assert!(b.total_flops() > a.total_flops());
+        assert!(b.total_params() > a.total_params());
+    }
+
+    #[test]
+    fn wrong_arch_length_rejected() {
+        assert!(arch_cost(&skeleton(), &Arch::widest(3)).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Error type for search-space operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// An architecture does not belong to the space it was used with.
+    ArchMismatch {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// An index (layer, operator, scale) is out of range.
+    IndexOutOfRange {
+        /// What kind of index overflowed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A space restriction would leave a layer without candidates.
+    EmptyCandidates {
+        /// The layer whose candidate set would become empty.
+        layer: usize,
+    },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::ArchMismatch { detail } => {
+                write!(f, "architecture does not match the space: {detail}")
+            }
+            SpaceError::IndexOutOfRange { what, index, bound } => {
+                write!(f, "{what} index {index} out of range (bound {bound})")
+            }
+            SpaceError::EmptyCandidates { layer } => {
+                write!(f, "restriction leaves layer {layer} with no candidates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SpaceError::ArchMismatch {
+            detail: "wrong length".into()
+        }
+        .to_string()
+        .contains("wrong length"));
+        assert!(SpaceError::IndexOutOfRange {
+            what: "layer",
+            index: 25,
+            bound: 20
+        }
+        .to_string()
+        .contains("25"));
+        assert!(SpaceError::EmptyCandidates { layer: 3 }
+            .to_string()
+            .contains("layer 3"));
+    }
+}

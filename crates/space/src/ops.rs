@@ -1,0 +1,116 @@
+//! Candidate operators of the search space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The K = 5 candidate operators in each supernet layer (§IV-B):
+/// ShuffleNetV2 units with depthwise kernel 3/5/7, an Xception-like unit,
+/// and a skip connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// ShuffleNetV2 unit, 3×3 depthwise kernel.
+    Shuffle3,
+    /// ShuffleNetV2 unit, 5×5 depthwise kernel.
+    Shuffle5,
+    /// ShuffleNetV2 unit, 7×7 depthwise kernel.
+    Shuffle7,
+    /// Xception-like unit (three 3×3 depthwise convolutions).
+    Xception,
+    /// Identity skip connection (2×2 average pool in stride-2 slots).
+    Skip,
+}
+
+impl OpKind {
+    /// All candidate operators in canonical index order.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Shuffle3,
+        OpKind::Shuffle5,
+        OpKind::Shuffle7,
+        OpKind::Xception,
+        OpKind::Skip,
+    ];
+
+    /// Canonical index of this operator in [`OpKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Shuffle3 => 0,
+            OpKind::Shuffle5 => 1,
+            OpKind::Shuffle7 => 2,
+            OpKind::Xception => 3,
+            OpKind::Skip => 4,
+        }
+    }
+
+    /// Operator from its canonical index.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `index >= 5`.
+    pub fn from_index(index: usize) -> Option<OpKind> {
+        OpKind::ALL.get(index).copied()
+    }
+
+    /// Depthwise kernel size of the main convolution, if any.
+    pub fn kernel(self) -> Option<usize> {
+        match self {
+            OpKind::Shuffle3 | OpKind::Xception => Some(3),
+            OpKind::Shuffle5 => Some(5),
+            OpKind::Shuffle7 => Some(7),
+            OpKind::Skip => None,
+        }
+    }
+
+    /// Whether the operator carries trainable parameters.
+    pub fn is_parametric(self) -> bool {
+        self != OpKind::Skip
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Shuffle3 => "shuffle3x3",
+            OpKind::Shuffle5 => "shuffle5x5",
+            OpKind::Shuffle7 => "shuffle7x7",
+            OpKind::Xception => "xception",
+            OpKind::Skip => "skip",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, op) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(OpKind::from_index(i), Some(*op));
+        }
+        assert_eq!(OpKind::from_index(5), None);
+    }
+
+    #[test]
+    fn kernels() {
+        assert_eq!(OpKind::Shuffle3.kernel(), Some(3));
+        assert_eq!(OpKind::Shuffle5.kernel(), Some(5));
+        assert_eq!(OpKind::Shuffle7.kernel(), Some(7));
+        assert_eq!(OpKind::Xception.kernel(), Some(3));
+        assert_eq!(OpKind::Skip.kernel(), None);
+    }
+
+    #[test]
+    fn only_skip_is_parameterless() {
+        let free: Vec<_> = OpKind::ALL.iter().filter(|o| !o.is_parametric()).collect();
+        assert_eq!(free, vec![&OpKind::Skip]);
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let names: std::collections::HashSet<String> =
+            OpKind::ALL.iter().map(|o| o.to_string()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Dynamic channel scaling factors (§III-B).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A channel scaling factor from the paper's list
+/// `C = {0.1, 0.2, …, 1.0}`, stored exactly as tenths to keep equality and
+/// hashing well-defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChannelScale(u8);
+
+impl ChannelScale {
+    /// The paper's full factor list, `0.1` through `1.0`.
+    pub fn all() -> Vec<ChannelScale> {
+        (1..=10).map(ChannelScale).collect()
+    }
+
+    /// The identity factor `1.0`.
+    pub const FULL: ChannelScale = ChannelScale(10);
+
+    /// Creates a factor from tenths (`1..=10`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` outside `1..=10`.
+    pub fn from_tenths(tenths: u8) -> Option<ChannelScale> {
+        (1..=10).contains(&tenths).then_some(ChannelScale(tenths))
+    }
+
+    /// The factor in tenths (`1..=10`).
+    pub fn tenths(self) -> u8 {
+        self.0
+    }
+
+    /// Zero-based index into [`ChannelScale::all`].
+    pub fn index(self) -> usize {
+        self.0 as usize - 1
+    }
+
+    /// The factor as a fraction in `(0, 1]`.
+    pub fn fraction(self) -> f64 {
+        self.0 as f64 / 10.0
+    }
+
+    /// Applies the factor to a maximum channel count, rounding to the
+    /// nearest even number and clamping to at least 2 — ShuffleNet units
+    /// split channels in half, so widths must stay even.
+    pub fn apply(self, max_channels: usize) -> usize {
+        let scaled = (max_channels as f64 * self.fraction()).round() as usize;
+        let even = (scaled / 2) * 2;
+        even.max(2).min((max_channels / 2) * 2)
+    }
+}
+
+impl fmt::Display for ChannelScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}", self.fraction())
+    }
+}
+
+impl Default for ChannelScale {
+    fn default() -> Self {
+        ChannelScale::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_ten_factors() {
+        let all = ChannelScale::all();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].fraction(), 0.1);
+        assert_eq!(all[9].fraction(), 1.0);
+        for (i, f) in all.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_tenths_bounds() {
+        assert!(ChannelScale::from_tenths(0).is_none());
+        assert!(ChannelScale::from_tenths(11).is_none());
+        assert_eq!(ChannelScale::from_tenths(5).unwrap().fraction(), 0.5);
+    }
+
+    #[test]
+    fn apply_rounds_even_and_clamps() {
+        let half = ChannelScale::from_tenths(5).unwrap();
+        assert_eq!(half.apply(128), 64);
+        assert_eq!(half.apply(10), 4); // 5 rounds down to even 4
+        let tiny = ChannelScale::from_tenths(1).unwrap();
+        assert_eq!(tiny.apply(8), 2); // 0.8 -> clamped to 2
+        assert_eq!(ChannelScale::FULL.apply(48), 48);
+    }
+
+    #[test]
+    fn apply_never_exceeds_max() {
+        for t in 1..=10 {
+            let f = ChannelScale::from_tenths(t).unwrap();
+            for max in [2usize, 8, 48, 129, 512] {
+                let c = f.apply(max);
+                assert!(c <= max, "scale {f} max {max} -> {c}");
+                assert_eq!(c % 2, 0);
+                assert!(c >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_monotonic_in_scale() {
+        for max in [16usize, 48, 336, 512] {
+            let widths: Vec<usize> = ChannelScale::all().iter().map(|f| f.apply(max)).collect();
+            for pair in widths.windows(2) {
+                assert!(pair[0] <= pair[1], "widths {widths:?} for max {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_one_decimal() {
+        assert_eq!(ChannelScale::from_tenths(3).unwrap().to_string(), "0.3");
+        assert_eq!(ChannelScale::FULL.to_string(), "1.0");
+    }
+}

@@ -1,0 +1,197 @@
+//! The fixed macro-structure ("skeleton") the searchable layers live in.
+
+use serde::{Deserialize, Serialize};
+
+/// The two channel layouts used in the paper's experiments (§IV-B):
+/// `[48, 128, 256, 512]` produces the HSCoNet-A family and
+/// `[68, 168, 336, 672]` the HSCoNet-B family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelLayout {
+    /// Layout `[48, 128, 256, 512]` (HSCoNet-A).
+    A,
+    /// Layout `[68, 168, 336, 672]` (HSCoNet-B).
+    B,
+}
+
+impl ChannelLayout {
+    /// The per-stage maximum channel counts.
+    pub fn stage_channels(self) -> [usize; 4] {
+        match self {
+            ChannelLayout::A => [48, 128, 256, 512],
+            ChannelLayout::B => [68, 168, 336, 672],
+        }
+    }
+}
+
+/// Fixed network macro-structure: a stem convolution, four stages of
+/// searchable layers (each stage opening with a stride-2 layer), a 1×1
+/// head convolution, global average pooling, and a linear classifier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSkeleton {
+    /// Input resolution (square), 224 for ImageNet.
+    pub input_resolution: usize,
+    /// Input image channels (3 for RGB).
+    pub input_channels: usize,
+    /// Stem convolution output channels.
+    pub stem_channels: usize,
+    /// Maximum channels per stage (the `S^l` of §III-B).
+    pub stage_channels: [usize; 4],
+    /// Searchable layers per stage; sums to `L`.
+    pub stage_depths: [usize; 4],
+    /// Channels of the 1×1 convolution before the classifier.
+    pub head_channels: usize,
+    /// Classifier output classes.
+    pub num_classes: usize,
+}
+
+/// Static description of one searchable layer slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSlot {
+    /// Zero-based layer index (the paper numbers layers 1..=20).
+    pub index: usize,
+    /// Stage this layer belongs to (0..4).
+    pub stage: usize,
+    /// Stride of this slot (2 for the first layer of each stage, else 1).
+    pub stride: usize,
+    /// Maximum output channels `S^l`.
+    pub max_channels: usize,
+    /// Input spatial resolution (square) of this slot at full depth.
+    pub resolution_in: usize,
+}
+
+impl NetworkSkeleton {
+    /// The paper's ImageNet skeleton for a given channel layout:
+    /// 224×224 input, 16-channel stem (stride 2), stage depths
+    /// `[4, 4, 8, 4]` (L = 20), 1024-channel head, 1000 classes.
+    pub fn imagenet(layout: ChannelLayout) -> Self {
+        NetworkSkeleton {
+            input_resolution: 224,
+            input_channels: 3,
+            stem_channels: 16,
+            stage_channels: layout.stage_channels(),
+            stage_depths: [4, 4, 8, 4],
+            head_channels: 1024,
+            num_classes: 1000,
+        }
+    }
+
+    /// A reduced skeleton for the real-training substrate: 32×32 input,
+    /// 8-channel stem, stage depths `[2, 2]`-style small stages. Used by
+    /// tests and the synthetic-dataset experiments so supernet training
+    /// finishes in seconds.
+    pub fn tiny(num_classes: usize) -> Self {
+        NetworkSkeleton {
+            input_resolution: 32,
+            input_channels: 3,
+            stem_channels: 8,
+            stage_channels: [16, 32, 64, 64],
+            stage_depths: [1, 1, 1, 1],
+            head_channels: 128,
+            num_classes,
+        }
+    }
+
+    /// Total searchable layer count `L`.
+    pub fn num_layers(&self) -> usize {
+        self.stage_depths.iter().sum()
+    }
+
+    /// Describes every searchable layer slot in order.
+    pub fn layer_slots(&self) -> Vec<LayerSlot> {
+        let mut slots = Vec::with_capacity(self.num_layers());
+        // Stem is stride 2: stage 0 starts at half the input resolution.
+        let mut resolution = self.input_resolution / 2;
+        let mut index = 0;
+        for (stage, (&depth, &channels)) in self
+            .stage_depths
+            .iter()
+            .zip(&self.stage_channels)
+            .enumerate()
+        {
+            for d in 0..depth {
+                let stride = if d == 0 { 2 } else { 1 };
+                slots.push(LayerSlot {
+                    index,
+                    stage,
+                    stride,
+                    max_channels: channels,
+                    resolution_in: resolution,
+                });
+                if stride == 2 {
+                    resolution /= 2;
+                }
+                index += 1;
+            }
+        }
+        slots
+    }
+
+    /// Final feature resolution after all stages.
+    pub fn final_resolution(&self) -> usize {
+        // stem /2 plus one /2 per stage
+        self.input_resolution >> (1 + self.stage_depths.iter().filter(|&&d| d > 0).count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_has_twenty_layers() {
+        let s = NetworkSkeleton::imagenet(ChannelLayout::A);
+        assert_eq!(s.num_layers(), 20);
+        assert_eq!(s.layer_slots().len(), 20);
+    }
+
+    #[test]
+    fn layouts_match_paper() {
+        assert_eq!(ChannelLayout::A.stage_channels(), [48, 128, 256, 512]);
+        assert_eq!(ChannelLayout::B.stage_channels(), [68, 168, 336, 672]);
+    }
+
+    #[test]
+    fn stride2_exactly_at_stage_starts() {
+        let s = NetworkSkeleton::imagenet(ChannelLayout::A);
+        let slots = s.layer_slots();
+        let stride2: Vec<usize> = slots
+            .iter()
+            .filter(|sl| sl.stride == 2)
+            .map(|sl| sl.index)
+            .collect();
+        assert_eq!(stride2, vec![0, 4, 8, 16]);
+    }
+
+    #[test]
+    fn resolution_cascades() {
+        let s = NetworkSkeleton::imagenet(ChannelLayout::A);
+        let slots = s.layer_slots();
+        assert_eq!(slots[0].resolution_in, 112); // after stem
+        assert_eq!(slots[1].resolution_in, 56); // after stage-1 downsample
+        assert_eq!(slots[4].resolution_in, 56);
+        assert_eq!(slots[5].resolution_in, 28);
+        assert_eq!(slots[8].resolution_in, 28);
+        assert_eq!(slots[9].resolution_in, 14);
+        assert_eq!(slots[16].resolution_in, 14);
+        assert_eq!(slots[17].resolution_in, 7);
+        assert_eq!(s.final_resolution(), 7);
+    }
+
+    #[test]
+    fn max_channels_follow_stages() {
+        let s = NetworkSkeleton::imagenet(ChannelLayout::B);
+        let slots = s.layer_slots();
+        assert_eq!(slots[0].max_channels, 68);
+        assert_eq!(slots[7].max_channels, 168);
+        assert_eq!(slots[15].max_channels, 336);
+        assert_eq!(slots[19].max_channels, 672);
+    }
+
+    #[test]
+    fn tiny_skeleton_is_consistent() {
+        let s = NetworkSkeleton::tiny(10);
+        assert_eq!(s.num_layers(), 4);
+        assert_eq!(s.final_resolution(), 1);
+        assert_eq!(s.layer_slots().last().unwrap().resolution_in, 2);
+    }
+}

@@ -1,0 +1,349 @@
+//! The search space `A` and subspace restriction (the object progressive
+//! space shrinking operates on, §III-C).
+
+use crate::{Arch, ChannelScale, Gene, NetworkSkeleton, OpKind, SpaceError};
+use crate::skeleton::ChannelLayout;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A (possibly restricted) architecture search space: a fixed skeleton plus
+/// per-layer candidate operator and channel-scale sets.
+///
+/// The unrestricted paper space has 5 operators × 10 scales in every one of
+/// 20 layers; progressive space shrinking produces subspaces by fixing the
+/// operator choice of individual layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    skeleton: NetworkSkeleton,
+    ops: Vec<Vec<OpKind>>,
+    scales: Vec<Vec<ChannelScale>>,
+}
+
+impl SearchSpace {
+    /// The full paper space over a given skeleton: all five operators and
+    /// all ten scaling factors at every layer.
+    pub fn full(skeleton: NetworkSkeleton) -> Self {
+        let layers = skeleton.num_layers();
+        SearchSpace {
+            skeleton,
+            ops: vec![OpKind::ALL.to_vec(); layers],
+            scales: vec![ChannelScale::all(); layers],
+        }
+    }
+
+    /// The paper's ImageNet space with channel layout A (`[48,128,256,512]`).
+    pub fn hsconas_a() -> Self {
+        Self::full(NetworkSkeleton::imagenet(ChannelLayout::A))
+    }
+
+    /// The paper's ImageNet space with channel layout B (`[68,168,336,672]`).
+    pub fn hsconas_b() -> Self {
+        Self::full(NetworkSkeleton::imagenet(ChannelLayout::B))
+    }
+
+    /// A small space over [`NetworkSkeleton::tiny`] for tests and the
+    /// real-training substrate.
+    pub fn tiny(num_classes: usize) -> Self {
+        Self::full(NetworkSkeleton::tiny(num_classes))
+    }
+
+    /// The underlying skeleton.
+    pub fn skeleton(&self) -> &NetworkSkeleton {
+        &self.skeleton
+    }
+
+    /// Number of searchable layers.
+    pub fn num_layers(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Candidate operators at `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn allowed_ops(&self, layer: usize) -> &[OpKind] {
+        &self.ops[layer]
+    }
+
+    /// Candidate scaling factors at `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn allowed_scales(&self, layer: usize) -> &[ChannelScale] {
+        &self.scales[layer]
+    }
+
+    /// `log10 |A|` — the space is far too large for exact integer types
+    /// (≈ 9.5 × 10³³ for the full paper space).
+    pub fn log10_size(&self) -> f64 {
+        self.ops
+            .iter()
+            .zip(&self.scales)
+            .map(|(o, s)| ((o.len() * s.len()) as f64).log10())
+            .sum()
+    }
+
+    /// Uniformly samples one architecture.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Arch {
+        let genes = self
+            .ops
+            .iter()
+            .zip(&self.scales)
+            .map(|(ops, scales)| {
+                Gene::new(
+                    ops[rng.gen_range(0..ops.len())],
+                    scales[rng.gen_range(0..scales.len())],
+                )
+            })
+            .collect();
+        Arch::new(genes)
+    }
+
+    /// Uniformly samples `n` architectures.
+    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Arch> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Whether `arch` is a member of this (possibly restricted) space.
+    pub fn contains(&self, arch: &Arch) -> bool {
+        arch.len() == self.num_layers()
+            && arch.genes().iter().enumerate().all(|(l, g)| {
+                self.ops[l].contains(&g.op) && self.scales[l].contains(&g.scale)
+            })
+    }
+
+    /// Returns a subspace with layer `layer` restricted to exactly `op`
+    /// (the shrinking step that "fixes" a layer's operator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] if `layer` is out of range or `op` is not
+    /// currently a candidate there.
+    pub fn restrict_op(&self, layer: usize, op: OpKind) -> Result<SearchSpace, SpaceError> {
+        self.restrict_ops(layer, &[op])
+    }
+
+    /// Returns a subspace with layer `layer` restricted to the given
+    /// operator subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::IndexOutOfRange`] for a bad layer index and
+    /// [`SpaceError::EmptyCandidates`] if the intersection with the current
+    /// candidates is empty.
+    pub fn restrict_ops(&self, layer: usize, ops: &[OpKind]) -> Result<SearchSpace, SpaceError> {
+        if layer >= self.num_layers() {
+            return Err(SpaceError::IndexOutOfRange {
+                what: "layer",
+                index: layer,
+                bound: self.num_layers(),
+            });
+        }
+        let kept: Vec<OpKind> = self.ops[layer]
+            .iter()
+            .copied()
+            .filter(|o| ops.contains(o))
+            .collect();
+        if kept.is_empty() {
+            return Err(SpaceError::EmptyCandidates { layer });
+        }
+        let mut next = self.clone();
+        next.ops[layer] = kept;
+        Ok(next)
+    }
+
+    /// Returns a subspace with layer `layer` restricted to the given
+    /// channel-scale subset (used by the uniform-scaling ablation and by
+    /// tests that need a fully pinned path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError::IndexOutOfRange`] for a bad layer index and
+    /// [`SpaceError::EmptyCandidates`] if the intersection with the current
+    /// candidates is empty.
+    pub fn restrict_scales(
+        &self,
+        layer: usize,
+        scales: &[ChannelScale],
+    ) -> Result<SearchSpace, SpaceError> {
+        if layer >= self.num_layers() {
+            return Err(SpaceError::IndexOutOfRange {
+                what: "layer",
+                index: layer,
+                bound: self.num_layers(),
+            });
+        }
+        let kept: Vec<ChannelScale> = self.scales[layer]
+            .iter()
+            .copied()
+            .filter(|s| scales.contains(s))
+            .collect();
+        if kept.is_empty() {
+            return Err(SpaceError::EmptyCandidates { layer });
+        }
+        let mut next = self.clone();
+        next.scales[layer] = kept;
+        Ok(next)
+    }
+
+    /// Returns a subspace whose every layer is pinned to exactly `arch`'s
+    /// genes — a single-architecture space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] if `arch` is not a member of this space.
+    pub fn pin_to(&self, arch: &Arch) -> Result<SearchSpace, SpaceError> {
+        if !self.contains(arch) {
+            return Err(SpaceError::ArchMismatch {
+                detail: "architecture is not a member of the space".into(),
+            });
+        }
+        let mut next = self.clone();
+        for (layer, gene) in arch.genes().iter().enumerate() {
+            next = next
+                .restrict_op(layer, gene.op)?
+                .restrict_scales(layer, &[gene.scale])?;
+        }
+        Ok(next)
+    }
+
+    /// Layers whose operator choice is already fixed to a single candidate.
+    pub fn fixed_layers(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.len() == 1)
+            .map(|(l, _)| l)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_space_size_matches_paper() {
+        // 5^20 * 10^20 ≈ 9.54e33  →  log10 ≈ 33.98
+        let space = SearchSpace::hsconas_a();
+        let expected = 20.0 * (5.0f64).log10() + 20.0;
+        assert!((space.log10_size() - expected).abs() < 1e-9);
+        assert!((10f64.powf(space.log10_size() - 33.0) - 9.54).abs() < 0.1);
+    }
+
+    #[test]
+    fn samples_are_members() {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(1);
+        for arch in space.sample_n(50, &mut rng) {
+            assert!(space.contains(&arch));
+            assert_eq!(arch.len(), 20);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let space = SearchSpace::hsconas_a();
+        let a = space.sample(&mut StdRng::seed_from_u64(7));
+        let b = space.sample(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_covers_all_ops() {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for arch in space.sample_n(100, &mut rng) {
+            for g in arch.genes() {
+                seen.insert(g.op);
+            }
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn restriction_shrinks_size_and_filters_samples() {
+        let space = SearchSpace::hsconas_a();
+        let sub = space.restrict_op(19, OpKind::Shuffle5).unwrap();
+        assert!(sub.log10_size() < space.log10_size());
+        // one layer 5→1 ops: size drops by log10(5)
+        assert!((space.log10_size() - sub.log10_size() - (5.0f64).log10()).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for arch in sub.sample_n(20, &mut rng) {
+            assert_eq!(arch.genes()[19].op, OpKind::Shuffle5);
+        }
+        assert_eq!(sub.fixed_layers(), vec![19]);
+    }
+
+    #[test]
+    fn restriction_errors() {
+        let space = SearchSpace::hsconas_a();
+        assert!(space.restrict_op(20, OpKind::Skip).is_err());
+        let sub = space.restrict_op(0, OpKind::Shuffle3).unwrap();
+        assert!(matches!(
+            sub.restrict_op(0, OpKind::Skip),
+            Err(SpaceError::EmptyCandidates { layer: 0 })
+        ));
+    }
+
+    #[test]
+    fn contains_rejects_restricted_ops() {
+        let space = SearchSpace::hsconas_a();
+        let sub = space.restrict_op(5, OpKind::Xception).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        // Find a sample from the full space violating the restriction.
+        let violating = std::iter::repeat_with(|| space.sample(&mut rng))
+            .find(|a| a.genes()[5].op != OpKind::Xception)
+            .unwrap();
+        assert!(!sub.contains(&violating));
+    }
+
+    #[test]
+    fn restrict_scales_filters_samples() {
+        let space = SearchSpace::hsconas_a();
+        let full_only = ChannelScale::FULL;
+        let mut sub = space.clone();
+        for l in 0..20 {
+            sub = sub.restrict_scales(l, &[full_only]).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        for arch in sub.sample_n(10, &mut rng) {
+            for g in arch.genes() {
+                assert_eq!(g.scale, full_only);
+            }
+        }
+        // size dropped by 10^20
+        assert!((space.log10_size() - sub.log10_size() - 20.0).abs() < 1e-9);
+        assert!(sub.restrict_scales(0, &[]).is_err());
+        assert!(sub
+            .restrict_scales(0, &[ChannelScale::from_tenths(3).unwrap()])
+            .is_err());
+    }
+
+    #[test]
+    fn pin_to_yields_single_arch_space() {
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(12);
+        let arch = space.sample(&mut rng);
+        let pinned = space.pin_to(&arch).unwrap();
+        assert!(pinned.log10_size().abs() < 1e-9);
+        for _ in 0..5 {
+            assert_eq!(pinned.sample(&mut rng), arch);
+        }
+        assert!(space.pin_to(&Arch::widest(3)).is_err());
+    }
+
+    #[test]
+    fn tiny_space_consistency() {
+        let space = SearchSpace::tiny(10);
+        assert_eq!(space.num_layers(), 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let arch = space.sample(&mut rng);
+        assert!(space.contains(&arch));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on the search-space data model: encoding
+//! round-trips, cost-model monotonicity, geometry chaining, and sampling
+//! membership.
+
+use hsconas_space::cost::arch_cost;
+use hsconas_space::{resolve_geometry, Arch, ChannelScale, Gene, OpKind, SearchSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gene_strategy() -> impl Strategy<Value = Gene> {
+    (0usize..5, 1u8..=10).prop_map(|(op, tenths)| {
+        Gene::new(
+            OpKind::from_index(op).unwrap(),
+            ChannelScale::from_tenths(tenths).unwrap(),
+        )
+    })
+}
+
+fn arch_strategy(layers: usize) -> impl Strategy<Value = Arch> {
+    proptest::collection::vec(gene_strategy(), layers).prop_map(Arch::new)
+}
+
+proptest! {
+    /// encode → decode is the identity for any well-formed architecture.
+    #[test]
+    fn encode_decode_roundtrip(arch in arch_strategy(20)) {
+        let decoded = Arch::decode(&arch.encode()).unwrap();
+        prop_assert_eq!(decoded, arch);
+    }
+
+    /// Per-layer output channels always feed the next layer's input.
+    #[test]
+    fn geometry_chains(arch in arch_strategy(20)) {
+        let space = SearchSpace::hsconas_a();
+        let geoms = resolve_geometry(space.skeleton(), &arch).unwrap();
+        prop_assert_eq!(geoms.len(), 20);
+        for pair in geoms.windows(2) {
+            prop_assert_eq!(pair[0].c_out, pair[1].c_in);
+        }
+        for g in &geoms {
+            prop_assert!(g.c_out >= 2);
+            prop_assert_eq!(g.c_out % 2, 0);
+        }
+    }
+
+    /// Costs are finite and non-negative for every architecture.
+    #[test]
+    fn costs_are_sane(arch in arch_strategy(20)) {
+        let space = SearchSpace::hsconas_a();
+        let cost = arch_cost(space.skeleton(), &arch).unwrap();
+        prop_assert!(cost.total_flops().is_finite());
+        prop_assert!(cost.total_params().is_finite());
+        prop_assert!(cost.total_flops() > 0.0);
+        prop_assert!(cost.total_params() > 0.0);
+        for layer in &cost.layers {
+            prop_assert!(layer.flops >= 0.0);
+            prop_assert!(layer.params >= 0.0);
+        }
+    }
+
+    /// Widening one layer's scale never decreases total FLOPs.
+    #[test]
+    fn widening_never_reduces_flops(
+        arch in arch_strategy(20),
+        layer in 0usize..20,
+    ) {
+        let space = SearchSpace::hsconas_a();
+        let gene = arch.genes()[layer];
+        if gene.scale == ChannelScale::FULL {
+            return Ok(());
+        }
+        let mut wider = arch.clone();
+        let next = ChannelScale::from_tenths(gene.scale.tenths() + 1).unwrap();
+        wider.set_gene(layer, Gene::new(gene.op, next)).unwrap();
+        let base = arch_cost(space.skeleton(), &arch).unwrap().total_flops();
+        let more = arch_cost(space.skeleton(), &wider).unwrap().total_flops();
+        prop_assert!(more >= base, "widening layer {} reduced flops {} -> {}", layer, base, more);
+    }
+
+    /// Uniform samples from any single-op restriction stay in the subspace.
+    #[test]
+    fn restricted_sampling_respects_restriction(
+        layer in 0usize..20,
+        op_idx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let space = SearchSpace::hsconas_a();
+        let op = OpKind::from_index(op_idx).unwrap();
+        let sub = space.restrict_op(layer, op).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arch = sub.sample(&mut rng);
+        prop_assert_eq!(arch.genes()[layer].op, op);
+        prop_assert!(sub.contains(&arch));
+        prop_assert!(space.contains(&arch), "subspace must be nested in the full space");
+    }
+
+    /// Fingerprints are stable and sensitive to any gene change.
+    #[test]
+    fn fingerprint_changes_with_any_gene(
+        arch in arch_strategy(20),
+        layer in 0usize..20,
+    ) {
+        let fp = arch.fingerprint();
+        prop_assert_eq!(fp, arch.clone().fingerprint());
+        let gene = arch.genes()[layer];
+        let flipped_op = OpKind::from_index((gene.op.index() + 1) % 5).unwrap();
+        let mut other = arch.clone();
+        other.set_gene(layer, Gene::new(flipped_op, gene.scale)).unwrap();
+        prop_assert_ne!(fp, other.fingerprint());
+    }
+}

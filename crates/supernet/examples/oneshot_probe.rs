@@ -1,0 +1,45 @@
+//! Probes one-shot training transfer under different space restrictions.
+
+use hsconas_data::SyntheticDataset;
+use hsconas_space::{Arch, ChannelScale, SearchSpace};
+use hsconas_supernet::{Supernet, SupernetTrainer, TrainConfig};
+use hsconas_tensor::rng::SmallRng;
+
+fn main() {
+    let data = SyntheticDataset::new(4, 32, 31);
+    let full = SearchSpace::tiny(4);
+    let ops_only = {
+        let mut s = full.clone();
+        for l in 0..4 {
+            s = s.restrict_scales(l, &[ChannelScale::FULL]).unwrap();
+        }
+        s
+    };
+    let half_up = {
+        let mut s = full.clone();
+        let scales: Vec<ChannelScale> = ChannelScale::all().into_iter().skip(4).collect();
+        for l in 0..4 {
+            s = s.restrict_scales(l, &scales).unwrap();
+        }
+        s
+    };
+    for (name, space) in [("full", &full), ("ops-only", &ops_only), ("scale>=0.5", &half_up)] {
+        for steps in [150usize, 400, 800] {
+            let mut rng = SmallRng::new(32);
+            let net = Supernet::build(space.skeleton(), &mut rng).unwrap();
+            let mut trainer = SupernetTrainer::new(
+                net,
+                TrainConfig {
+                    steps,
+                    batch_size: 8,
+                    base_lr: 0.08,
+                    warmup_steps: 10,
+                    augment_pad: 0,
+                },
+            );
+            trainer.train(space, &data, &mut rng).unwrap();
+            let acc = trainer.evaluate(&Arch::widest(4), &data, 4).unwrap();
+            println!("{name:<12} steps {steps:>4}: widest acc {acc:.3}");
+        }
+    }
+}

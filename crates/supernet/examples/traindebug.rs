@@ -1,0 +1,44 @@
+//! Debug harness for supernet training convergence.
+
+use hsconas_data::SyntheticDataset;
+use hsconas_nn::{Sgd, SoftmaxCrossEntropy};
+use hsconas_space::{Arch, SearchSpace};
+use hsconas_supernet::model::{Supernet, SupernetParams};
+use hsconas_tensor::rng::SmallRng;
+
+fn main() {
+    let space = SearchSpace::tiny(4);
+    let data = SyntheticDataset::new(4, 32, 1);
+    let mut rng = SmallRng::new(2);
+    let mut net = Supernet::build(space.skeleton(), &mut rng).unwrap();
+    let mut loss_fn = SoftmaxCrossEntropy::new();
+    let arch = Arch::widest(4);
+    for lr in [0.2f32, 0.1, 0.05, 0.01] {
+        let mut net2 = Supernet::build(space.skeleton(), &mut rng).unwrap();
+        let mut opt = Sgd::paper_defaults();
+        let mut losses = Vec::new();
+        for step in 0..60 {
+            let (batch, labels) = data.batch(16, (step * 16) as u64);
+            let logits = net2.forward(&batch, &arch, true).unwrap();
+            let loss = loss_fn.forward(&logits, &labels).unwrap();
+            let grad = loss_fn.backward().unwrap();
+            net2.backward(&grad).unwrap();
+            opt.step(&mut SupernetParams(&mut net2), lr);
+            losses.push(loss);
+        }
+        let early: f32 = losses[..5].iter().sum::<f32>() / 5.0;
+        let late: f32 = losses[55..].iter().sum::<f32>() / 5.0;
+        // eval
+        let mut correct = 0.0;
+        for b in 0..4 {
+            let (batch, labels) = data.batch(16, 1_000_000 + b * 16);
+            let logits = net2.forward(&batch, &arch, false).unwrap();
+            correct += SoftmaxCrossEntropy::accuracy(&logits, &labels);
+        }
+        println!(
+            "lr {lr}: early {early:.3} late {late:.3} acc {:.3}",
+            correct / 4.0
+        );
+    }
+    let _ = (net.param_count(), &mut net);
+}

@@ -1,0 +1,68 @@
+use hsconas_nn::NnError;
+use hsconas_space::SpaceError;
+use std::fmt;
+
+/// Error type for supernet construction, training, and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupernetError {
+    /// An underlying layer operation failed.
+    Nn(NnError),
+    /// A search-space operation failed.
+    Space(SpaceError),
+    /// The supernet and a query disagree structurally.
+    Structure {
+        /// Explanation of the structural mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SupernetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupernetError::Nn(e) => write!(f, "layer error: {e}"),
+            SupernetError::Space(e) => write!(f, "space error: {e}"),
+            SupernetError::Structure { detail } => write!(f, "structure mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SupernetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SupernetError::Nn(e) => Some(e),
+            SupernetError::Space(e) => Some(e),
+            SupernetError::Structure { .. } => None,
+        }
+    }
+}
+
+impl From<NnError> for SupernetError {
+    fn from(e: NnError) -> Self {
+        SupernetError::Nn(e)
+    }
+}
+
+impl From<SpaceError> for SupernetError {
+    fn from(e: SpaceError) -> Self {
+        SupernetError::Space(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e: SupernetError = NnError::MissingForwardCache { layer: "X" }.into();
+        assert!(e.to_string().contains("layer error"));
+        assert!(e.source().is_some());
+        let s: SupernetError = SpaceError::EmptyCandidates { layer: 0 }.into();
+        assert!(s.to_string().contains("space error"));
+        let t = SupernetError::Structure {
+            detail: "bad".into(),
+        };
+        assert!(t.source().is_none());
+    }
+}

@@ -1,0 +1,449 @@
+//! 2-D convolution forward and backward kernels (standard, grouped, and
+//! depthwise) built on [`crate::im2col`] and [`crate::matmul`].
+//!
+//! Weights are stored as `[c_out, c_in / groups, k, k]` tensors. Depthwise
+//! convolution is the special case `groups == c_in == c_out`.
+
+use crate::im2col::{col2im, im2col, ConvGeom};
+use crate::matmul::{matmul_a_bt, matmul_accumulate, matmul_at_b};
+use crate::{Shape4, Tensor, TensorError};
+
+/// Static parameters of a convolution operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Input channel count.
+    pub c_in: usize,
+    /// Output channel count.
+    pub c_out: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on all sides.
+    pub pad: usize,
+    /// Number of groups; must divide both `c_in` and `c_out`.
+    pub groups: usize,
+}
+
+impl Conv2dParams {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when any parameter is zero
+    /// or `groups` does not divide the channel counts.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let bad = |detail: String| TensorError::InvalidDimension {
+            op: "conv2d",
+            detail,
+        };
+        if self.c_in == 0 || self.c_out == 0 || self.kernel == 0 || self.stride == 0 {
+            return Err(bad(format!("zero-sized parameter: {self:?}")));
+        }
+        if self.groups == 0 || self.c_in % self.groups != 0 || self.c_out % self.groups != 0 {
+            return Err(bad(format!(
+                "groups {} must divide c_in {} and c_out {}",
+                self.groups, self.c_in, self.c_out
+            )));
+        }
+        Ok(())
+    }
+
+    /// Expected weight tensor shape `[c_out, c_in/groups, k, k]`.
+    pub fn weight_shape(&self) -> Shape4 {
+        Shape4::new(self.c_out, self.c_in / self.groups, self.kernel, self.kernel)
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad).saturating_sub(self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad).saturating_sub(self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    fn geom(&self, h: usize, w: usize) -> ConvGeom {
+        ConvGeom {
+            channels: self.c_in / self.groups,
+            in_h: h,
+            in_w: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+}
+
+/// Computes the convolution forward pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if `params` are inconsistent or the input /
+/// weight shapes do not match them.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    params: &Conv2dParams,
+) -> Result<Tensor, TensorError> {
+    params.validate()?;
+    let ishape = input.shape();
+    if ishape.c != params.c_in {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_forward(input)",
+            expected: vec![ishape.n, params.c_in, ishape.h, ishape.w],
+            actual: ishape.to_vec(),
+        });
+    }
+    if weight.shape() != params.weight_shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_forward(weight)",
+            expected: params.weight_shape().to_vec(),
+            actual: weight.shape().to_vec(),
+        });
+    }
+    let geom = params.geom(ishape.h, ishape.w);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let cols = oh * ow;
+    let cinpg = params.c_in / params.groups;
+    let coutpg = params.c_out / params.groups;
+    let krows = cinpg * params.kernel * params.kernel;
+
+    let mut out = Tensor::zeros([ishape.n, params.c_out, oh, ow]);
+    let mut col = vec![0.0f32; krows * cols];
+    let in_plane = ishape.h * ishape.w;
+    let out_plane = oh * ow;
+
+    for n in 0..ishape.n {
+        for g in 0..params.groups {
+            let in_off = (n * params.c_in + g * cinpg) * in_plane;
+            im2col(&input.data()[in_off..in_off + cinpg * in_plane], &geom, &mut col);
+            let w_off = g * coutpg * krows;
+            let o_off = (n * params.c_out + g * coutpg) * out_plane;
+            matmul_accumulate(
+                &weight.data()[w_off..w_off + coutpg * krows],
+                &col,
+                &mut out.data_mut()[o_off..o_off + coutpg * out_plane],
+                coutpg,
+                krows,
+                cols,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input tensor.
+    pub input: Tensor,
+    /// Gradient with respect to the weight tensor.
+    pub weight: Tensor,
+}
+
+/// Computes input and weight gradients for a convolution.
+///
+/// `grad_out` must have the shape produced by [`conv2d_forward`] for the
+/// same `input` and `params`.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] on any shape inconsistency.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    params: &Conv2dParams,
+) -> Result<Conv2dGrads, TensorError> {
+    params.validate()?;
+    let ishape = input.shape();
+    let geom = params.geom(ishape.h, ishape.w);
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let expected_out = Shape4::new(ishape.n, params.c_out, oh, ow);
+    if grad_out.shape() != expected_out {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward(grad_out)",
+            expected: expected_out.to_vec(),
+            actual: grad_out.shape().to_vec(),
+        });
+    }
+    if weight.shape() != params.weight_shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward(weight)",
+            expected: params.weight_shape().to_vec(),
+            actual: weight.shape().to_vec(),
+        });
+    }
+    let cols = oh * ow;
+    let cinpg = params.c_in / params.groups;
+    let coutpg = params.c_out / params.groups;
+    let krows = cinpg * params.kernel * params.kernel;
+    let in_plane = ishape.h * ishape.w;
+    let out_plane = oh * ow;
+
+    let mut grad_in = Tensor::zeros(ishape);
+    let mut grad_w = Tensor::zeros(params.weight_shape());
+    let mut col = vec![0.0f32; krows * cols];
+    let mut dcol = vec![0.0f32; krows * cols];
+
+    for n in 0..ishape.n {
+        for g in 0..params.groups {
+            let in_off = (n * params.c_in + g * cinpg) * in_plane;
+            let w_off = g * coutpg * krows;
+            let o_off = (n * params.c_out + g * coutpg) * out_plane;
+            let dout = &grad_out.data()[o_off..o_off + coutpg * out_plane];
+
+            // dW += dOut (coutpg × cols) · colᵀ (cols × krows)
+            im2col(&input.data()[in_off..in_off + cinpg * in_plane], &geom, &mut col);
+            matmul_a_bt(
+                dout,
+                &col,
+                &mut grad_w.data_mut()[w_off..w_off + coutpg * krows],
+                coutpg,
+                cols,
+                krows,
+            );
+
+            // dCol = Wᵀ (krows × coutpg) · dOut (coutpg × cols)
+            dcol.fill(0.0);
+            matmul_at_b(
+                &weight.data()[w_off..w_off + coutpg * krows],
+                dout,
+                &mut dcol,
+                coutpg,
+                krows,
+                cols,
+            );
+            col2im(
+                &dcol,
+                &geom,
+                &mut grad_in.data_mut()[in_off..in_off + cinpg * in_plane],
+            );
+        }
+    }
+    Ok(Conv2dGrads {
+        input: grad_in,
+        weight: grad_w,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SmallRng;
+
+    fn naive_conv(input: &Tensor, weight: &Tensor, p: &Conv2dParams) -> Tensor {
+        let s = input.shape();
+        let (oh, ow) = p.out_hw(s.h, s.w);
+        let cinpg = p.c_in / p.groups;
+        let coutpg = p.c_out / p.groups;
+        let mut out = Tensor::zeros([s.n, p.c_out, oh, ow]);
+        for n in 0..s.n {
+            for co in 0..p.c_out {
+                let g = co / coutpg;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..cinpg {
+                            for ky in 0..p.kernel {
+                                for kx in 0..p.kernel {
+                                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                                    let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= s.h as isize || ix >= s.w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += input.at(n, g * cinpg + ci, iy as usize, ix as usize)
+                                        * weight.at(co, ci, ky, kx);
+                                }
+                            }
+                        }
+                        *out.at_mut(n, co, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_standard() {
+        let mut rng = SmallRng::new(1);
+        let p = Conv2dParams {
+            c_in: 4,
+            c_out: 6,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        };
+        let x = Tensor::randn([2, 4, 7, 5], 1.0, &mut rng);
+        let w = Tensor::randn(p.weight_shape(), 0.5, &mut rng);
+        let got = conv2d_forward(&x, &w, &p).unwrap();
+        assert_close(&got, &naive_conv(&x, &w, &p), 1e-3);
+    }
+
+    #[test]
+    fn forward_matches_naive_strided_grouped() {
+        let mut rng = SmallRng::new(2);
+        let p = Conv2dParams {
+            c_in: 6,
+            c_out: 4,
+            kernel: 5,
+            stride: 2,
+            pad: 2,
+            groups: 2,
+        };
+        let x = Tensor::randn([1, 6, 9, 8], 1.0, &mut rng);
+        let w = Tensor::randn(p.weight_shape(), 0.5, &mut rng);
+        let got = conv2d_forward(&x, &w, &p).unwrap();
+        assert_close(&got, &naive_conv(&x, &w, &p), 1e-3);
+    }
+
+    #[test]
+    fn forward_matches_naive_depthwise() {
+        let mut rng = SmallRng::new(3);
+        let p = Conv2dParams {
+            c_in: 8,
+            c_out: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 8,
+        };
+        let x = Tensor::randn([2, 8, 6, 6], 1.0, &mut rng);
+        let w = Tensor::randn(p.weight_shape(), 0.5, &mut rng);
+        let got = conv2d_forward(&x, &w, &p).unwrap();
+        assert_close(&got, &naive_conv(&x, &w, &p), 1e-3);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let p = Conv2dParams {
+            c_in: 5,
+            c_out: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 2,
+        };
+        assert!(p.validate().is_err());
+        let p2 = Conv2dParams {
+            c_in: 0,
+            c_out: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        };
+        assert!(p2.validate().is_err());
+    }
+
+    #[test]
+    fn wrong_input_channels_rejected() {
+        let p = Conv2dParams {
+            c_in: 4,
+            c_out: 4,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            groups: 1,
+        };
+        let x = Tensor::zeros([1, 3, 4, 4]);
+        let w = Tensor::zeros(p.weight_shape());
+        assert!(conv2d_forward(&x, &w, &p).is_err());
+    }
+
+    /// Finite-difference gradient check of both input and weight gradients.
+    #[test]
+    fn backward_finite_difference() {
+        let mut rng = SmallRng::new(5);
+        let p = Conv2dParams {
+            c_in: 3,
+            c_out: 4,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+            groups: 1,
+        };
+        let x = Tensor::randn([1, 3, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(p.weight_shape(), 0.5, &mut rng);
+        // loss = sum(conv(x, w) * m) for a fixed random mask m
+        let y0 = conv2d_forward(&x, &w, &p).unwrap();
+        let m = Tensor::randn(y0.shape(), 1.0, &mut rng);
+        let grads = conv2d_backward(&x, &w, &m, &p).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor| -> f32 {
+            let y = conv2d_forward(x, w, &p).unwrap();
+            y.data().iter().zip(m.data()).map(|(a, b)| a * b).sum()
+        };
+        // check a sample of coordinates for input gradient
+        for idx in [0usize, 7, 23, 40, 74] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            let ana = grads.input.data()[idx];
+            assert!((num - ana).abs() < 5e-2, "input[{idx}]: {num} vs {ana}");
+        }
+        // and weight gradient
+        for idx in [0usize, 10, 33, 57, 100] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            let ana = grads.weight.data()[idx];
+            assert!((num - ana).abs() < 5e-2, "weight[{idx}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn backward_finite_difference_depthwise() {
+        let mut rng = SmallRng::new(6);
+        let p = Conv2dParams {
+            c_in: 4,
+            c_out: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 4,
+        };
+        let x = Tensor::randn([1, 4, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(p.weight_shape(), 0.5, &mut rng);
+        let y0 = conv2d_forward(&x, &w, &p).unwrap();
+        let m = Tensor::randn(y0.shape(), 1.0, &mut rng);
+        let grads = conv2d_backward(&x, &w, &m, &p).unwrap();
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor| -> f32 {
+            let y = conv2d_forward(x, w, &p).unwrap();
+            y.data().iter().zip(m.data()).map(|(a, b)| a * b).sum()
+        };
+        for idx in [0usize, 5, 17, 31] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            let ana = grads.weight.data()[idx];
+            assert!((num - ana).abs() < 5e-2, "weight[{idx}]: {num} vs {ana}");
+        }
+        for idx in [0usize, 13, 29, 63] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            let ana = grads.input.data()[idx];
+            assert!((num - ana).abs() < 5e-2, "input[{idx}]: {num} vs {ana}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Every fallible public function in this crate returns
+/// `Result<_, TensorError>`. The variants carry enough context to diagnose
+/// shape mismatches without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an expected shape) disagree.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape the operation expected.
+        expected: Vec<usize>,
+        /// Shape the operation received.
+        actual: Vec<usize>,
+    },
+    /// A dimension parameter is invalid (zero size, non-divisible groups, ...).
+    InvalidDimension {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Explanation of which dimension constraint was violated.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
+            ),
+            TensorError::InvalidDimension { op, detail } => {
+                write!(f, "invalid dimension in {op}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            expected: vec![1, 2],
+            actual: vec![2, 1],
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[1, 2]"));
+        assert!(s.contains("[2, 1]"));
+    }
+
+    #[test]
+    fn display_invalid_dimension() {
+        let e = TensorError::InvalidDimension {
+            op: "conv2d",
+            detail: "groups must divide channels".into(),
+        };
+        assert!(e.to_string().contains("conv2d"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,235 @@
+//! im2col / col2im lowering for 2-D convolution.
+//!
+//! `im2col` unrolls convolution receptive fields into the columns of a
+//! matrix so convolution becomes one matrix multiplication; `col2im`
+//! scatters gradients back, which is exactly the transpose operation and is
+//! used by the convolution backward pass.
+
+/// Geometry of a 2-D convolution over one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels seen by this lowering (channels per group).
+    pub channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on all four sides.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height after convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad).saturating_sub(self.kernel) / self.stride + 1
+    }
+
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad).saturating_sub(self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the lowered matrix (`channels * kernel * kernel`).
+    pub fn col_rows(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the lowered matrix (`out_h * out_w`).
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Unrolls one image (`channels * in_h * in_w`, CHW) into the column matrix
+/// `out` of shape `(col_rows, col_cols)`.
+///
+/// # Panics
+///
+/// Panics if `img` or `out` have wrong lengths.
+pub fn im2col(img: &[f32], geom: &ConvGeom, out: &mut [f32]) {
+    assert_eq!(img.len(), geom.channels * geom.in_h * geom.in_w);
+    assert_eq!(out.len(), geom.col_rows() * geom.col_cols());
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let cols = oh * ow;
+    let mut row = 0;
+    for c in 0..geom.channels {
+        let plane = &img[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
+        for kh in 0..geom.kernel {
+            for kw in 0..geom.kernel {
+                let dst = &mut out[row * cols..(row + 1) * cols];
+                let mut idx = 0;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        dst[idx..idx + ow].fill(0.0);
+                        idx += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        dst[idx] = if ix < 0 || ix >= geom.in_w as isize {
+                            0.0
+                        } else {
+                            plane[iy * geom.in_w + ix as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-adds a column matrix back into an image buffer (the adjoint of
+/// [`im2col`]). `img` is accumulated into, not overwritten.
+///
+/// # Panics
+///
+/// Panics if `col` or `img` have wrong lengths.
+pub fn col2im(col: &[f32], geom: &ConvGeom, img: &mut [f32]) {
+    assert_eq!(img.len(), geom.channels * geom.in_h * geom.in_w);
+    assert_eq!(col.len(), geom.col_rows() * geom.col_cols());
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let cols = oh * ow;
+    let mut row = 0;
+    for c in 0..geom.channels {
+        let plane_off = c * geom.in_h * geom.in_w;
+        for kh in 0..geom.kernel {
+            for kw in 0..geom.kernel {
+                let src = &col[row * cols..(row + 1) * cols];
+                let mut idx = 0;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + kh) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= geom.in_h as isize {
+                        idx += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kw) as isize - geom.pad as isize;
+                        if ix >= 0 && ix < geom.in_w as isize {
+                            img[plane_off + iy * geom.in_w + ix as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SmallRng;
+
+    #[test]
+    fn geom_output_sizes() {
+        let g = ConvGeom {
+            channels: 3,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(g.out_h(), 8);
+        assert_eq!(g.out_w(), 8);
+        let g2 = ConvGeom { stride: 2, ..g };
+        assert_eq!(g2.out_h(), 4);
+        let g3 = ConvGeom {
+            kernel: 5,
+            pad: 2,
+            ..g
+        };
+        assert_eq!(g3.out_h(), 8);
+    }
+
+    #[test]
+    fn identity_kernel_1x1() {
+        // 1x1 kernel, stride 1, no pad: im2col is the identity layout.
+        let g = ConvGeom {
+            channels: 2,
+            in_h: 3,
+            in_w: 3,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let img: Vec<f32> = (0..18).map(|v| v as f32).collect();
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&img, &g, &mut col);
+        assert_eq!(col, img);
+    }
+
+    #[test]
+    fn known_3x3_patch() {
+        // Single channel 3x3 image, 3x3 kernel, pad 1 -> 9 columns; the
+        // center column (output position (1,1)) must be the full image.
+        let g = ConvGeom {
+            channels: 1,
+            in_h: 3,
+            in_w: 3,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let img: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&img, &g, &mut col);
+        let center: Vec<f32> = (0..9).map(|r| col[r * 9 + 4]).collect();
+        assert_eq!(center, img);
+        // Top-left output's first kernel row lies fully in padding.
+        assert_eq!(col[0], 0.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let g = ConvGeom {
+            channels: 3,
+            in_h: 6,
+            in_w: 5,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let mut rng = SmallRng::new(4);
+        let x: Vec<f32> = (0..g.channels * g.in_h * g.in_w)
+            .map(|_| rng.next_normal() as f32)
+            .collect();
+        let y: Vec<f32> = (0..g.col_rows() * g.col_cols())
+            .map(|_| rng.next_normal() as f32)
+            .collect();
+        let mut cx = vec![0.0; y.len()];
+        im2col(&x, &g, &mut cx);
+        let lhs: f32 = cx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut xy = vec![0.0; x.len()];
+        col2im(&y, &g, &mut xy);
+        let rhs: f32 = x.iter().zip(&xy).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates() {
+        let g = ConvGeom {
+            channels: 1,
+            in_h: 2,
+            in_w: 2,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let col = vec![1.0; 4];
+        let mut img = vec![1.0; 4];
+        col2im(&col, &g, &mut img);
+        assert_eq!(img, vec![2.0; 4]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Dense single-precision matrix multiplication kernels.
+//!
+//! Matrices are plain row-major `&[f32]` slices with explicit dimensions;
+//! the convolution kernels in [`crate::conv`] lower onto these via im2col.
+//! A cache-blocked loop order (`i, k, j`) keeps the inner loop contiguous in
+//! both `b` and `c`, which is all the performance this reproduction needs.
+
+/// `c = a (m×k) · b (k×n)`, overwriting `c` (m×n).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul: a has wrong length");
+    assert_eq!(b.len(), k * n, "matmul: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul: c has wrong length");
+    c.fill(0.0);
+    matmul_accumulate(a, b, c, m, k, n);
+}
+
+/// `c += a (m×k) · b (k×n)`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn matmul_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul: a has wrong length");
+    assert_eq!(b.len(), k * n, "matmul: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul: c has wrong length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += aᵀ (k×m, given as m×k) · b (k×n)` — used for weight gradients.
+///
+/// `a` is stored row-major with shape `(k, m)`; conceptually we compute
+/// `a_transposed · b` where `a_transposed` is `(m, k)`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "matmul_at_b: a has wrong length");
+    assert_eq!(b.len(), k * n, "matmul_at_b: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul_at_b: c has wrong length");
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += a (m×k) · bᵀ (n×k, given row-major)` — used for input gradients.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_a_bt: a has wrong length");
+    assert_eq!(b.len(), n * k, "matmul_a_bt: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul_a_bt: c has wrong length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SmallRng;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_vec(len: usize, rng: &mut SmallRng) -> Vec<f32> {
+        (0..len).map(|_| rng.next_normal() as f32).collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = SmallRng::new(1);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 7, 3), (8, 8, 8), (13, 1, 17)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c = vec![0.0; m * n];
+            matmul(&a, &b, &mut c, m, k, n);
+            let want = naive(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_accumulate_adds() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![1.0; 4];
+        matmul_accumulate(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn at_b_matches_transposed_naive() {
+        let mut rng = SmallRng::new(2);
+        let (k, m, n) = (6, 4, 5);
+        let a = rand_vec(k * m, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c = vec![0.0; m * n];
+        matmul_at_b(&a, &b, &mut c, k, m, n);
+        // transpose a into (m, k) and multiply
+        let mut at = vec![0.0; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                at[i * k + kk] = a[kk * m + i];
+            }
+        }
+        let want = naive(&at, &b, m, k, n);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_transposed_naive() {
+        let mut rng = SmallRng::new(3);
+        let (m, k, n) = (4, 6, 5);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(n * k, &mut rng);
+        let mut c = vec![0.0; m * n];
+        matmul_a_bt(&a, &b, &mut c, m, k, n);
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                bt[kk * n + j] = b[j * k + kk];
+            }
+        }
+        let want = naive(&a, &bt, m, k, n);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn wrong_dims_panic() {
+        let mut c = vec![0.0; 4];
+        matmul(&[1.0; 3], &[1.0; 4], &mut c, 2, 2, 2);
+    }
+}

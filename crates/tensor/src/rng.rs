@@ -1,0 +1,153 @@
+//! A tiny deterministic pseudo-random number generator used for weight
+//! initialization.
+//!
+//! The training stack must be bit-reproducible given a seed, and the tensor
+//! crate should stay dependency-free, so we embed a small
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c)-based generator with
+//! uniform and Gaussian (Box–Muller) sampling. Everything downstream that
+//! needs richer distributions uses the `rand` crate instead.
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+///
+/// # Example
+///
+/// ```
+/// use hsconas_tensor::rng::SmallRng;
+/// let mut a = SmallRng::new(42);
+/// let mut b = SmallRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SmallRng {
+            state: seed,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        self.next_f64() as f32
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_below bound must be positive");
+        (self.next_f64() * bound as f64) as usize % bound
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn next_normal(&mut self) -> f64 {
+        if let Some(v) = self.spare_normal.take() {
+            return v;
+        }
+        // Avoid log(0) by clamping u1 away from zero.
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::new(7);
+        let mut b = SmallRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::new(1);
+        let mut b = SmallRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SmallRng::new(3);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = SmallRng::new(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SmallRng::new(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SmallRng::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn next_below_hits_all_buckets() {
+        let mut r = SmallRng::new(13);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.next_below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SmallRng::new(1).next_below(0);
+    }
+}

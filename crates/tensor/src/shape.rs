@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// A four-dimensional NCHW shape: `(batch, channels, height, width)`.
+///
+/// All tensors in this crate are rank-4; vectors and matrices are represented
+/// with trailing singleton dimensions (e.g. an `(n, c)` matrix is
+/// `[n, c, 1, 1]`). Keeping the rank fixed removes a whole class of
+/// broadcasting bugs from the training stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Batch dimension (`N`).
+    pub n: usize,
+    /// Channel dimension (`C`).
+    pub c: usize,
+    /// Spatial height (`H`).
+    pub h: usize,
+    /// Spatial width (`W`).
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new shape.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hsconas_tensor::Shape4;
+    /// let s = Shape4::new(2, 3, 8, 8);
+    /// assert_eq!(s.len(), 2 * 3 * 8 * 8);
+    /// ```
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape4 { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Returns `true` if the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of element `(n, c, h, w)` in row-major NCHW order.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Shape as a `Vec` (used in error messages).
+    pub fn to_vec(&self) -> Vec<usize> {
+        vec![self.n, self.c, self.h, self.w]
+    }
+}
+
+impl From<[usize; 4]> for Shape4 {
+    fn from(a: [usize; 4]) -> Self {
+        Shape4::new(a[0], a[1], a[2], a[3])
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_row_major() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), s.len() - 1);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Shape4::new(1, 1, 1, 1).len(), 1);
+        assert!(Shape4::new(0, 3, 4, 5).is_empty());
+        assert!(!Shape4::new(1, 3, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn from_array_and_display() {
+        let s: Shape4 = [2, 3, 4, 5].into();
+        assert_eq!(s.to_string(), "[2, 3, 4, 5]");
+        assert_eq!(s.to_vec(), vec![2, 3, 4, 5]);
+    }
+}

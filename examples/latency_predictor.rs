@@ -1,0 +1,65 @@
+//! Scenario: use the hardware performance model (Eq. 2-3) standalone.
+//!
+//! A performance engineer wants cheap latency estimates for candidate
+//! networks without touching the device for every query: profile the
+//! operator LUT once, calibrate the communication bias B from a handful
+//! of end-to-end measurements, then predict any architecture in
+//! microseconds of CPU time. This example calibrates a predictor per
+//! device, validates it against fresh simulated measurements, and
+//! compares specific architectures.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p hsconas --example latency_predictor
+//! ```
+
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_latency::LatencyPredictor;
+use hsconas_space::{Arch, ChannelScale, Gene, OpKind, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = SearchSpace::hsconas_a();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    for device in DeviceSpec::paper_devices() {
+        // Calibrate: M = 100 sampled archs, 5 measurement repeats each.
+        let mut predictor =
+            LatencyPredictor::calibrate(device.clone(), &space, 100, 5, &mut rng)?;
+        let report = predictor.validate(&space, 100, 5, &mut rng)?;
+        println!(
+            "{:<16} bias B = {:>6.2} ms   validation RMSE = {:.3} ms  (r = {:.4})",
+            device.name,
+            predictor.bias_us() / 1000.0,
+            report.rmse_ms,
+            report.pearson
+        );
+
+        // Compare three hand-built candidates on this device.
+        let widest = Arch::widest(20);
+        let mut narrow = widest.clone();
+        let mut big_kernels = widest.clone();
+        for l in 0..20 {
+            narrow.set_gene(
+                l,
+                Gene::new(OpKind::Shuffle3, ChannelScale::from_tenths(5).expect("valid")),
+            )?;
+            big_kernels.set_gene(l, Gene::new(OpKind::Shuffle7, ChannelScale::FULL))?;
+        }
+        for (name, arch) in [
+            ("widest (k3, c=1.0)", &widest),
+            ("narrow (k3, c=0.5)", &narrow),
+            ("big kernels (k7)", &big_kernels),
+        ] {
+            let predicted = predictor.predict_ms(arch)?;
+            let net = lower_arch(space.skeleton(), arch)?;
+            let measured = device.measure_network_mean(&net, 5, &mut rng) / 1000.0;
+            println!(
+                "    {:<20} predicted {:>6.1} ms   measured {:>6.1} ms",
+                name, predicted, measured
+            );
+        }
+    }
+    Ok(())
+}

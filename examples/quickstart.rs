@@ -1,0 +1,61 @@
+//! Quickstart: search a hardware-aware architecture for the edge device
+//! under the paper's 34 ms latency constraint, then report what was found.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p hsconas --example quickstart
+//! ```
+
+use hsconas::{search_for_device, PipelineConfig};
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_hwsim::DeviceSpec;
+use hsconas_space::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. The paper's search space: 20 layers x 5 operators x 10 channel
+    //    scaling factors (|A| ~ 9.5e33).
+    let space = SearchSpace::hsconas_a();
+    println!(
+        "search space: 10^{:.1} architectures over {} layers",
+        space.log10_size(),
+        space.num_layers()
+    );
+
+    // 2. Target hardware: the simulated Jetson-Xavier-class edge device.
+    let device = DeviceSpec::edge_xavier();
+    let target_ms = 34.0;
+
+    // 3. Run the full pipeline: latency-model calibration, progressive
+    //    space shrinking, evolutionary search.
+    let outcome = search_for_device(
+        space.clone(),
+        device,
+        target_ms,
+        &PipelineConfig::default(),
+        &mut rng,
+    )?;
+
+    // 4. Inspect the result.
+    let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+    println!("\ndiscovered architecture:");
+    println!("  {}", outcome.best_arch);
+    println!("  top-1 error : {:.1}%", oracle.top1_error(&outcome.best_arch)?);
+    println!("  latency     : {:.1} ms (target {target_ms} ms)", outcome.best.latency_ms);
+    println!("  objective F : {:.2}", outcome.best.score);
+    println!(
+        "  latency bias B used by the predictor: {:.2} ms",
+        outcome.latency_bias_us / 1000.0
+    );
+    if let Some(shrink) = &outcome.shrink {
+        println!(
+            "  space shrunk from 10^{:.1} to 10^{:.1} before the EA",
+            shrink.stages.first().map(|s| s.log10_size_before).unwrap_or(0.0),
+            shrink.space.log10_size()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! End-to-end integration: the full pipeline (latency calibration →
+//! progressive shrinking → evolutionary search) across all subsystem
+//! crates, for every paper device.
+
+use hsconas::{search_for_device, PipelineConfig};
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_space::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pipeline_meets_constraints_on_all_devices() {
+    let targets = [9.0, 24.0, 34.0];
+    for (device, &target_ms) in DeviceSpec::paper_devices().iter().zip(&targets) {
+        let mut rng = StdRng::seed_from_u64(100);
+        let space = SearchSpace::hsconas_a();
+        let outcome = search_for_device(
+            space.clone(),
+            device.clone(),
+            target_ms,
+            &PipelineConfig::fast_test(),
+            &mut rng,
+        )
+        .unwrap();
+        // the predictor's latency must be near the constraint
+        assert!(
+            outcome.best.latency_ms <= target_ms * 1.15,
+            "{}: {} ms vs target {} ms",
+            device.name,
+            outcome.best.latency_ms,
+            target_ms
+        );
+        // and the *actual* simulated latency must agree with the predictor
+        let net = lower_arch(space.skeleton(), &outcome.best_arch).unwrap();
+        let actual_ms = device.network_time_us(&net) / 1000.0;
+        assert!(
+            (actual_ms / outcome.best.latency_ms - 1.0).abs() < 0.10,
+            "{}: predictor said {} ms, device takes {} ms",
+            device.name,
+            outcome.best.latency_ms,
+            actual_ms
+        );
+        // accuracy stays in the plausible band for the A layout
+        let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+        let err = oracle.top1_error(&outcome.best_arch).unwrap();
+        assert!(
+            (20.0..32.0).contains(&err),
+            "{}: error {err}",
+            device.name
+        );
+    }
+}
+
+#[test]
+fn shrinking_preserves_search_feasibility() {
+    // After the full two-stage shrink, the EA must still find an
+    // architecture meeting the constraint (the shrunk space keeps good
+    // candidates).
+    let mut rng = StdRng::seed_from_u64(7);
+    let config = PipelineConfig {
+        shrink: true,
+        shrink_config: hsconas_shrink::ShrinkConfig {
+            samples_per_subspace: 15,
+            ..Default::default()
+        },
+        ..PipelineConfig::fast_test()
+    };
+    let outcome = search_for_device(
+        SearchSpace::hsconas_a(),
+        DeviceSpec::edge_xavier(),
+        34.0,
+        &config,
+        &mut rng,
+    )
+    .unwrap();
+    let shrink = outcome.shrink.as_ref().unwrap();
+    assert_eq!(shrink.space.fixed_layers().len(), 8);
+    assert!(shrink.space.contains(&outcome.best_arch));
+    assert!(outcome.best.latency_ms <= 34.0 * 1.2);
+}
+
+#[test]
+fn b_layout_reaches_lower_error_than_a() {
+    // The accuracy/latency trade-off between the two channel layouts is
+    // Table I's other axis: layout B buys accuracy with latency.
+    let run = |space: SearchSpace, target: f64| {
+        let mut rng = StdRng::seed_from_u64(21);
+        let outcome = search_for_device(
+            space.clone(),
+            DeviceSpec::cpu_xeon_6136(),
+            target,
+            &PipelineConfig::fast_test(),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+        oracle.top1_error(&outcome.best_arch).unwrap()
+    };
+    let err_a = run(SearchSpace::hsconas_a(), 24.0);
+    let err_b = run(SearchSpace::hsconas_b(), 26.4);
+    assert!(
+        err_b < err_a,
+        "layout B ({err_b}) should reach lower error than A ({err_a})"
+    );
+}

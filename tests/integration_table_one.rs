@@ -1,0 +1,90 @@
+//! Integration: the Table I report pipeline across baselines, devices,
+//! the accuracy oracle, and the search.
+
+use hsconas::{render_table, PipelineConfig, TableGroup};
+use hsconas::report::{baseline_rows, hsconet_rows};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn baselines_preserve_published_error_ordering() {
+    let rows = baseline_rows();
+    let err = |name: &str| {
+        rows.iter()
+            .find(|r| r.name.contains(name))
+            .unwrap()
+            .top1_error
+    };
+    // published ordering spot checks
+    assert!(err("MobileNetV2") > err("MobileNetV3"));
+    assert!(err("DARTS") > err("MnasNet"));
+    assert!(err("FBNet-A") > err("FBNet-B"));
+    assert!(err("FBNet-B") > err("FBNet-C"));
+}
+
+#[test]
+fn hsconet_rows_target_their_devices() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let rows = hsconet_rows(&PipelineConfig::fast_test(), &mut rng).unwrap();
+    assert_eq!(rows.len(), 6);
+    let constraint = |name: &str| -> (usize, f64) {
+        // which latency column is constrained, and to what
+        if name.contains("GPU") {
+            (0, if name.ends_with("A") { 9.0 } else { 12.0 })
+        } else if name.contains("CPU") {
+            (1, if name.ends_with("A") { 24.0 } else { 26.4 })
+        } else {
+            (2, if name.ends_with("A") { 34.0 } else { 52.7 })
+        }
+    };
+    for row in &rows {
+        assert_eq!(row.group, TableGroup::Hsconas);
+        let (col, target) = constraint(&row.name);
+        assert!(
+            row.latency_ms[col] <= target * 1.2,
+            "{}: {} ms vs target {} ms",
+            row.name,
+            row.latency_ms[col],
+            target
+        );
+        assert!(row.top5_error.is_some());
+    }
+    // B-family models must reach lower error than their A counterparts
+    let err = |name: &str| rows.iter().find(|r| r.name == name).unwrap().top1_error;
+    for device in ["GPU", "CPU", "Edge"] {
+        assert!(
+            err(&format!("HSCoNet-{device}-B")) < err(&format!("HSCoNet-{device}-A")),
+            "{device}: B should beat A"
+        );
+    }
+}
+
+#[test]
+fn rendered_table_is_complete() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let mut rows = baseline_rows();
+    rows.extend(hsconet_rows(&PipelineConfig::fast_test(), &mut rng).unwrap());
+    let text = render_table(&rows);
+    for name in [
+        "MobileNetV2",
+        "ShuffleNetV2",
+        "MobileNetV3",
+        "DARTS",
+        "MnasNet-A1",
+        "FBNet-A",
+        "FBNet-B",
+        "FBNet-C",
+        "ProxylessNAS-GPU",
+        "ProxylessNAS-CPU",
+        "ProxylessNAS-Mobile",
+        "HSCoNet-GPU-A",
+        "HSCoNet-CPU-A",
+        "HSCoNet-Edge-A",
+        "HSCoNet-GPU-B",
+        "HSCoNet-CPU-B",
+        "HSCoNet-Edge-B",
+    ] {
+        assert!(text.contains(name), "missing {name}");
+    }
+    assert_eq!(text.lines().count(), 17 + 3 + 1); // rows + section headers + column header
+}

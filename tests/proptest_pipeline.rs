@@ -1,0 +1,87 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! architecture, not just the sampled ones the other tests use.
+
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_space::cost::arch_cost;
+use hsconas_space::{Arch, ChannelScale, Gene, OpKind, SearchSpace};
+use proptest::prelude::*;
+
+fn gene_strategy() -> impl Strategy<Value = Gene> {
+    (0usize..5, 1u8..=10).prop_map(|(op, tenths)| {
+        Gene::new(
+            OpKind::from_index(op).unwrap(),
+            ChannelScale::from_tenths(tenths).unwrap(),
+        )
+    })
+}
+
+fn arch_strategy() -> impl Strategy<Value = Arch> {
+    proptest::collection::vec(gene_strategy(), 20).prop_map(Arch::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every architecture gets a finite positive latency on every device,
+    /// and the deterministic network time is bounded below by the
+    /// structural overheads.
+    #[test]
+    fn latency_is_finite_and_bounded(arch in arch_strategy()) {
+        let space = SearchSpace::hsconas_a();
+        let net = lower_arch(space.skeleton(), &arch).unwrap();
+        for device in DeviceSpec::paper_devices() {
+            let us = device.network_time_us(&net);
+            prop_assert!(us.is_finite());
+            let floor = device.fixed_overhead_us
+                + (net.ops.len() - 1) as f64 * device.inter_op_overhead_us;
+            prop_assert!(us > floor, "{}: {us} <= structural floor {floor}", device.name);
+        }
+    }
+
+    /// Accuracy and latency never contradict each other's units: error in
+    /// (10, 95), top5 < top1, accuracy = 100 - top1.
+    #[test]
+    fn oracle_units_consistent(arch in arch_strategy()) {
+        let space = SearchSpace::hsconas_a();
+        let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+        let top1 = oracle.top1_error(&arch).unwrap();
+        let top5 = oracle.top5_error(&arch).unwrap();
+        let acc = oracle.accuracy(&arch).unwrap();
+        prop_assert!((10.0..=95.0).contains(&top1));
+        prop_assert!(top5 < top1);
+        prop_assert!((acc + top1 - 100.0).abs() < 1e-9);
+    }
+
+    /// The simulator's MAC accounting agrees with the cost model for
+    /// every architecture (not just the widest), within the small
+    /// batch-norm FLOPs the cost model adds.
+    #[test]
+    fn simulator_and_cost_model_agree(arch in arch_strategy()) {
+        let space = SearchSpace::hsconas_a();
+        let net = lower_arch(space.skeleton(), &arch).unwrap();
+        let cost = arch_cost(space.skeleton(), &arch).unwrap();
+        let ratio = net.total_macs() / cost.total_flops();
+        prop_assert!((0.9..=1.05).contains(&ratio), "MAC ratio {ratio}");
+    }
+
+    /// Replacing any gene with a strictly wider scale never reduces the
+    /// deterministic device latency (monotonicity the EA relies on).
+    #[test]
+    fn latency_monotone_in_width(arch in arch_strategy(), layer in 0usize..20) {
+        let space = SearchSpace::hsconas_a();
+        let gene = arch.genes()[layer];
+        if gene.scale == ChannelScale::FULL || gene.op == OpKind::Skip {
+            return Ok(());
+        }
+        let mut wider = arch.clone();
+        wider.set_gene(
+            layer,
+            Gene::new(gene.op, ChannelScale::from_tenths(gene.scale.tenths() + 1).unwrap()),
+        ).unwrap();
+        let device = DeviceSpec::edge_xavier();
+        let base = device.network_time_us(&lower_arch(space.skeleton(), &arch).unwrap());
+        let more = device.network_time_us(&lower_arch(space.skeleton(), &wider).unwrap());
+        prop_assert!(more >= base * 0.999, "widening reduced latency {base} -> {more}");
+    }
+}
