@@ -37,10 +37,7 @@ mod tests {
     #[test]
     fn wraps_space_error() {
         use std::error::Error;
-        let e: AccuracyError = SpaceError::ArchMismatch {
-            detail: "x".into(),
-        }
-        .into();
+        let e: AccuracyError = SpaceError::ArchMismatch { detail: "x".into() }.into();
         assert!(e.to_string().contains("space error"));
         assert!(e.source().is_some());
     }

@@ -1,8 +1,14 @@
 //! Calibration check: prints simulated vs published MAC counts for
 //! every baseline model (used while tuning the zoo specs).
 
-fn main(){
+fn main() {
     for m in hsconas_baselines::zoo::all_baselines() {
-        println!("{:24} sim {:6.0} MMACs  pub {:6.0}  ratio {:.2}", m.name, m.network.total_macs()/1e6, m.published_mmacs, m.network.total_macs()/1e6/m.published_mmacs);
+        println!(
+            "{:24} sim {:6.0} MMACs  pub {:6.0}  ratio {:.2}",
+            m.name,
+            m.network.total_macs() / 1e6,
+            m.published_mmacs,
+            m.network.total_macs() / 1e6 / m.published_mmacs
+        );
     }
 }

@@ -26,7 +26,10 @@ pub fn conv(cursor: &mut Cursor, c_out: usize, kernel: usize, stride: usize) -> 
     let res_in = cursor.resolution;
     let res_out = res_in / stride;
     let op = OpDesc::new(
-        format!("conv{kernel}x{kernel}s{stride}-{}-{}", cursor.channels, c_out),
+        format!(
+            "conv{kernel}x{kernel}s{stride}-{}-{}",
+            cursor.channels, c_out
+        ),
         vec![KernelDesc::conv(
             cursor.channels,
             c_out,
@@ -74,7 +77,9 @@ pub fn mbconv_mid(
     if c_mid != c_in {
         kernels.push(KernelDesc::conv(c_in, c_mid, 1, res_in, res_in, 1));
     }
-    kernels.push(KernelDesc::conv(c_mid, c_mid, kernel, res_in, res_out, c_mid));
+    kernels.push(KernelDesc::conv(
+        c_mid, c_mid, kernel, res_in, res_out, c_mid,
+    ));
     if se {
         let c_se = (c_mid / 4).max(1);
         kernels.push(KernelDesc::conv(c_mid, c_se, 1, 1, 1, 1));
@@ -108,7 +113,9 @@ pub fn shuffle_unit(cursor: &mut Cursor, c_out: usize, kernel: usize, stride: us
     } else {
         kernels.push(KernelDesc::conv(c_in / 2, b_out, 1, res_in, res_in, 1));
     }
-    kernels.push(KernelDesc::conv(b_out, b_out, kernel, res_in, res_out, b_out));
+    kernels.push(KernelDesc::conv(
+        b_out, b_out, kernel, res_in, res_out, b_out,
+    ));
     kernels.push(KernelDesc::conv(b_out, b_out, 1, res_out, res_out, 1));
     let op = OpDesc::new(
         format!("shuffle-k{kernel}-s{stride}-{c_in}-{c_out}"),
@@ -127,7 +134,9 @@ pub fn sep_conv(channels: usize, kernel: usize, resolution: usize) -> Vec<Kernel
         v.push(KernelDesc::conv(
             channels, channels, kernel, resolution, resolution, channels,
         ));
-        v.push(KernelDesc::conv(channels, channels, 1, resolution, resolution, 1));
+        v.push(KernelDesc::conv(
+            channels, channels, 1, resolution, resolution, 1,
+        ));
     }
     v
 }

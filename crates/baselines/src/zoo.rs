@@ -149,7 +149,11 @@ pub fn mobilenet_v3_large() -> BaselineModel {
 /// kernels — and the published MAC total.
 pub fn darts_imagenet() -> BaselineModel {
     let mut c = Cursor::input(224, 3);
-    let mut ops = vec![conv(&mut c, 32, 3, 2), conv(&mut c, 64, 3, 2), conv(&mut c, 64, 3, 2)];
+    let mut ops = vec![
+        conv(&mut c, 32, 3, 2),
+        conv(&mut c, 64, 3, 2),
+        conv(&mut c, 64, 3, 2),
+    ];
     // 14 cells: 5 at 28×28/c64, 4 at 14×14/c128, 5 at 7×7/c256.
     let stages: [(usize, usize, usize); 3] = [(5, 64, 28), (4, 128, 14), (5, 256, 7)];
     for (stage_idx, &(cells, ch, res)) in stages.iter().enumerate() {
@@ -158,10 +162,7 @@ pub fn darts_imagenet() -> BaselineModel {
             for _ in 0..5 {
                 kernels.extend(sep_conv(ch, 3, res));
             }
-            ops.push(OpDesc::new(
-                format!("cell-{stage_idx}-{cell}"),
-                kernels,
-            ));
+            ops.push(OpDesc::new(format!("cell-{stage_idx}-{cell}"), kernels));
         }
         c.channels = ch;
         c.resolution = res;

@@ -157,6 +157,120 @@ fn bench_kernels(c: &mut Criterion) {
     let _ = Arch::widest(20);
 }
 
+/// Register-tiled GEMM throughput on conv-shaped problems, reported both
+/// as criterion timings and as GFLOP/s (2·m·k·n FLOPs per call).
+fn bench_matmul_tiled(c: &mut Criterion) {
+    use hsconas_tensor::matmul::matmul;
+    use std::time::Instant;
+    // (m, k, n): output-channel panel × im2col rows × output pixels — the
+    // shapes the supernet's 3x3 convolutions actually lower to.
+    for (m, k, n) in [(32, 144, 576), (128, 256, 128)] {
+        let mut rng = hsconas_tensor::rng::SmallRng::new(5);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.next_f32() - 0.5).collect();
+        let b_mat: Vec<f32> = (0..k * n).map(|_| rng.next_f32() - 0.5).collect();
+        let mut out = vec![0.0f32; m * n];
+        c.bench_function(&format!("matmul_tiled_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| {
+                matmul(
+                    black_box(&a),
+                    black_box(&b_mat),
+                    black_box(&mut out),
+                    m,
+                    k,
+                    n,
+                );
+            })
+        });
+        // A direct GFLOP/s figure for the PR record.
+        let reps = 200;
+        let start = Instant::now();
+        for _ in 0..reps {
+            matmul(
+                black_box(&a),
+                black_box(&b_mat),
+                black_box(&mut out),
+                m,
+                k,
+                n,
+            );
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let gflops = (2.0 * (m * k * n * reps) as f64) / secs / 1e9;
+        println!("matmul_tiled_{m}x{k}x{n}: {gflops:.2} GFLOP/s");
+    }
+}
+
+/// Batch-parallel convolution (forward + backward) at 1 worker vs the
+/// process default, on a batch big enough to clear the fan-out threshold.
+fn bench_conv2d_batch_parallel(c: &mut Criterion) {
+    use hsconas_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
+    use hsconas_tensor::Tensor;
+    let params = Conv2dParams {
+        c_in: 16,
+        c_out: 32,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        groups: 1,
+    };
+    let mut rng = hsconas_tensor::rng::SmallRng::new(9);
+    let input = Tensor::randn([8, 16, 24, 24], 1.0, &mut rng);
+    let weight = Tensor::randn(params.weight_shape(), 0.1, &mut rng);
+    let out = conv2d_forward(&input, &weight, &params).unwrap();
+    let grad_out = Tensor::full(out.shape(), 1.0);
+    for (label, threads) in [("1thread", 1usize), ("default", 0usize)] {
+        hsconas_par::set_default_threads(threads);
+        c.bench_function(&format!("conv2d_fwd_batch8_{label}"), |b| {
+            b.iter(|| black_box(conv2d_forward(&input, &weight, &params).unwrap()))
+        });
+        c.bench_function(&format!("conv2d_bwd_batch8_{label}"), |b| {
+            b.iter(|| black_box(conv2d_backward(&input, &weight, &grad_out, &params).unwrap()))
+        });
+    }
+    hsconas_par::set_default_threads(0);
+}
+
+/// One EA generation's worth of candidate evaluations, serial vs fanned
+/// out over the worker pool, reported in archs/sec.
+fn bench_ea_generation_parallel(c: &mut Criterion) {
+    use hsconas_evo::{Evaluation, EvoError, Objective, ParallelObjective};
+    use std::time::Instant;
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+    let score = {
+        let space = space.clone();
+        move |arch: &Arch| -> Result<Evaluation, EvoError> {
+            let net = lower_arch(space.skeleton(), arch).map_err(|e| EvoError::Objective {
+                detail: e.to_string(),
+            })?;
+            let latency_ms = device.network_time_us(&net) / 1000.0;
+            let cost =
+                hsconas_space::cost::arch_cost(space.skeleton(), arch).map_err(EvoError::Space)?;
+            let accuracy = 60.0 + 10.0 * (cost.total_flops() / 1e8).tanh();
+            Ok(Evaluation {
+                score: accuracy - 20.0 * (latency_ms / 30.0 - 1.0).abs(),
+                accuracy,
+                latency_ms,
+            })
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(13);
+    let population = space.sample_n(50, &mut rng);
+    for (label, threads) in [("serial", 1usize), ("parallel_default", 0usize)] {
+        let mut objective = ParallelObjective::new(score.clone(), threads);
+        c.bench_function(&format!("ea_generation_50archs_{label}"), |b| {
+            b.iter(|| black_box(objective.evaluate_batch(&population).unwrap()))
+        });
+        let reps = 20;
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(objective.evaluate_batch(&population).unwrap());
+        }
+        let per_sec = (population.len() * reps) as f64 / start.elapsed().as_secs_f64();
+        println!("ea_generation_50archs_{label}: {per_sec:.0} archs/sec");
+    }
+}
+
 criterion_group!(
     benches,
     bench_fig2,
@@ -167,6 +281,9 @@ criterion_group!(
     bench_table1,
     bench_ablations,
     bench_extensions,
-    bench_kernels
+    bench_kernels,
+    bench_matmul_tiled,
+    bench_conv2d_batch_parallel,
+    bench_ea_generation_parallel
 );
 criterion_main!(benches);

@@ -91,12 +91,7 @@ pub struct SearchAblation {
     pub evaluations: usize,
 }
 
-fn edge_objective(
-    seed: u64,
-) -> (
-    SearchSpace,
-    impl Objective,
-) {
+fn edge_objective(seed: u64) -> (SearchSpace, impl Objective) {
     let space = SearchSpace::hsconas_a();
     let device = DeviceSpec::edge_xavier();
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
@@ -212,7 +207,10 @@ pub fn search(seed: u64, budget: usize) -> Vec<SearchAblation> {
 pub fn render_search(results: &[SearchAblation]) -> String {
     let mut out = String::new();
     out.push_str("Ablation — search strategy at equal evaluation budget\n");
-    out.push_str(&format!("{:<14} {:>8} {:>12}\n", "strategy", "best F", "evals"));
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>12}\n",
+        "strategy", "best F", "evals"
+    ));
     for r in results {
         out.push_str(&format!(
             "{:<14} {:>8.2} {:>12}\n",
@@ -288,8 +286,7 @@ pub fn optimality(seed: u64, free_layers: usize, budget: usize) -> OptimalityAbl
             cycles: budget.saturating_sub(population),
         };
         let mut ag_rng = StdRng::seed_from_u64(seed + 22);
-        let result =
-            aging_evolution(&space, config, &mut objective, &mut ag_rng).expect("aging");
+        let result = aging_evolution(&space, config, &mut objective, &mut ag_rng).expect("aging");
         strategies.push(SearchAblation {
             strategy: "aging-evolution".into(),
             best_score: result.best_evaluation.score,
@@ -324,7 +321,10 @@ pub fn render_optimality(result: &OptimalityAblation) -> String {
         "Ablation — search vs exhaustive optimum ({} architectures)\n",
         result.space_size
     ));
-    out.push_str(&format!("{:<16} {:>10} {:>12}\n", "strategy", "best F", "gap to opt"));
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>12}\n",
+        "strategy", "best F", "gap to opt"
+    ));
     out.push_str(&format!(
         "{:<16} {:>10.3} {:>12}\n",
         "exhaustive", result.optimum, "--"

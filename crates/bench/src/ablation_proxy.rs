@@ -61,7 +61,9 @@ pub fn run(seed: u64, config: EvolutionConfig) -> ProxyResult {
         let arch = space.sample(&mut rng);
         let net = lower_arch(space.skeleton(), &arch).expect("valid");
         let measured_ms = device.measure_network_mean(&net, 3, &mut rng) / 1000.0;
-        let flops = arch_cost(space.skeleton(), &arch).expect("valid").total_flops();
+        let flops = arch_cost(space.skeleton(), &arch)
+            .expect("valid")
+            .total_flops();
         k_sum += measured_ms / flops;
     }
     let k = k_sum / m as f64;
@@ -178,8 +180,7 @@ mod tests {
     fn hardware_aware_lands_closer_to_the_constraint() {
         let result = run(2, small());
         let by = |l: &str| result.points.iter().find(|p| p.label == l).unwrap();
-        let aware_gap =
-            (by("hardware-aware").actual_latency_ms - result.target_ms).abs();
+        let aware_gap = (by("hardware-aware").actual_latency_ms - result.target_ms).abs();
         let proxy_gap = (by("flops-proxy").actual_latency_ms - result.target_ms).abs();
         assert!(
             aware_gap <= proxy_gap + 1.0,

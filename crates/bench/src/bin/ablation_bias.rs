@@ -1,10 +1,12 @@
 //! Ablation: the latency-model bias term B (Eq. 3) on vs off.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_bias [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_bias [--seed N] [--threads N]`
 
-use hsconas_bench::{ablation, seed_from_args};
+use hsconas_bench::{ablation, seed_from_args, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     print!("{}", ablation::render_bias(&ablation::bias(seed, 200)));
 }

@@ -1,12 +1,14 @@
 //! Ablation: how close do the search strategies get to the exhaustive
 //! optimum on a restricted (enumerable) slice of the space?
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_optimality [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_optimality [--seed N] [--threads N]`
 
-use hsconas_bench::{ablation, seed_from_args};
+use hsconas_bench::{ablation, seed_from_args, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let result = ablation::optimality(seed, 2, 1000);
     print!("{}", ablation::render_optimality(&result));
 }

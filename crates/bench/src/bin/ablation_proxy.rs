@@ -1,13 +1,15 @@
 //! Ablation: hardware-aware (Eq. 2-3) vs hardware-agnostic (FLOPs proxy)
 //! latency guidance inside the search — the paper's core thesis isolated.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_proxy [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_proxy [--seed N] [--threads N]`
 
-use hsconas_bench::{ablation_proxy, seed_from_args};
+use hsconas_bench::{ablation_proxy, seed_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let result = ablation_proxy::run(seed, EvolutionConfig::default());
     print!("{}", ablation_proxy::render(&result));
 }

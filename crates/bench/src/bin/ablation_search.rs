@@ -2,11 +2,13 @@
 //! evaluation budget (1000 architecture evaluations, the paper's EA
 //! budget of 20 generations x 50 population).
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_search [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_search [--seed N] [--threads N]`
 
-use hsconas_bench::{ablation, seed_from_args};
+use hsconas_bench::{ablation, seed_from_args, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     print!("{}", ablation::render_search(&ablation::search(seed, 1000)));
 }

@@ -1,12 +1,14 @@
 //! Ablation: EA in the progressively shrunk space vs the full space.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_shrink [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_shrink [--seed N] [--threads N]`
 
-use hsconas_bench::{ablation, seed_from_args};
+use hsconas_bench::{ablation, seed_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let result = ablation::shrink(seed, 100, EvolutionConfig::default());
     print!("{}", ablation::render_shrink(&result));
 }

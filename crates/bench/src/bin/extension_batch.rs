@@ -1,10 +1,12 @@
 //! Extension: per-image latency vs batch size on each simulated device —
 //! the justification for the paper's batch-size choices (32/1/16).
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin extension_batch`
+//! Usage: `cargo run --release -p hsconas-bench --bin extension_batch [--threads N]`
 
-use hsconas_bench::extension_batch;
+use hsconas_bench::{extension_batch, threads_from_args};
 
 fn main() {
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     print!("{}", extension_batch::render(&extension_batch::run()));
 }

@@ -1,13 +1,15 @@
 //! Extension (paper future work): search under latency AND energy budgets
 //! on the edge device, comparing single-constraint and joint objectives.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin extension_energy [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin extension_energy [--seed N] [--threads N]`
 
-use hsconas_bench::{extension_energy, seed_from_args};
+use hsconas_bench::{extension_energy, seed_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let result = extension_energy::run(seed, EvolutionConfig::default());
     print!("{}", extension_energy::render(&result));
 }

@@ -1,25 +1,46 @@
 //! Regenerates Fig. 2: latency vs FLOPs / Params decorrelation.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig2_flops_vs_latency [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig2_flops_vs_latency [--seed N] [--threads N]`
 
-use hsconas_bench::{fig2, plot, seed_from_args};
+use hsconas_bench::{fig2, plot, seed_from_args, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let results = fig2::run(seed, 512);
     print!("{}", fig2::render(&results));
     for r in &results {
         let flops: Vec<(f64, f64)> = r.points.iter().map(|p| (p.mflops, p.latency_ms)).collect();
         let params: Vec<(f64, f64)> = r.points.iter().map(|p| (p.mparams, p.latency_ms)).collect();
         println!();
-        print!("{}", plot::scatter(&flops, 60, 14, &format!("{}: latency(ms) vs MFLOPs", r.device)));
-        print!("{}", plot::scatter(&params, 60, 14, &format!("{}: latency(ms) vs MParams", r.device)));
+        print!(
+            "{}",
+            plot::scatter(
+                &flops,
+                60,
+                14,
+                &format!("{}: latency(ms) vs MFLOPs", r.device)
+            )
+        );
+        print!(
+            "{}",
+            plot::scatter(
+                &params,
+                60,
+                14,
+                &format!("{}: latency(ms) vs MParams", r.device)
+            )
+        );
     }
     // emit the raw scatter for external plotting
     println!("\n# device,mflops,mparams,latency_ms");
     for r in &results {
         for p in r.points.iter().take(20) {
-            println!("{},{:.1},{:.2},{:.2}", r.device, p.mflops, p.mparams, p.latency_ms);
+            println!(
+                "{},{:.1},{:.2},{:.2}",
+                r.device, p.mflops, p.mparams, p.latency_ms
+            );
         }
         println!("# ... ({} points total for {})", r.points.len(), r.device);
     }

@@ -1,11 +1,13 @@
 //! Regenerates Fig. 3: latency-model fit (Eq. 2-3) per device.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig3_latency_model [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig3_latency_model [--seed N] [--threads N]`
 
-use hsconas_bench::{fig3, plot, seed_from_args};
+use hsconas_bench::{fig3, plot, seed_from_args, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let results = fig3::run(seed, &fig3::Fig3Config::default());
     print!("{}", fig3::render(&results));
     for r in &results {

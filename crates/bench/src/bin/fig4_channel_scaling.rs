@@ -1,11 +1,13 @@
 //! Regenerates Fig. 4: conventional vs dynamic channel scaling.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig4_channel_scaling [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig4_channel_scaling [--seed N] [--threads N]`
 
-use hsconas_bench::{fig4, seed_from_args};
+use hsconas_bench::{fig4, seed_from_args, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let result = fig4::run(seed, 20, 50);
     print!("{}", fig4::render(&result));
 }

@@ -1,11 +1,13 @@
 //! Regenerates Fig. 5: the progressive space-shrinking trajectory.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig5_space_shrinking [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig5_space_shrinking [--seed N] [--threads N]`
 
-use hsconas_bench::{fig5, seed_from_args};
+use hsconas_bench::{fig5, seed_from_args, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let result = fig5::run(seed, 100);
     print!("{}", fig5::render(&result));
 }

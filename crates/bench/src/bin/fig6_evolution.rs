@@ -1,13 +1,15 @@
 //! Regenerates Fig. 6 (top and bottom): EA latency scatter per generation
 //! and the final latency histogram near the 34 ms edge constraint.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig6_evolution [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_evolution [--seed N] [--threads N]`
 
-use hsconas_bench::{fig6, seed_from_args};
+use hsconas_bench::{fig6, seed_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     // the paper's EA hyper-parameters
     let result = fig6::run_evolution(seed, EvolutionConfig::default());
     print!("{}", fig6::render_evolution(&result));

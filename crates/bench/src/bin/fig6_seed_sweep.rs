@@ -1,11 +1,13 @@
 //! Seed sweep for the Fig. 6 (left) shrink-vs-naive comparison: the
 //! margin is noise-prone at tiny scale, so report several seeds.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig6_seed_sweep`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_seed_sweep [--threads N]`
 
-use hsconas_bench::fig6;
+use hsconas_bench::{fig6, threads_from_args};
 
 fn main() {
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     println!("seed   naive  shrink  winner");
     let mut shrink_wins = 0;
     let seeds = [1u64, 2, 3, 5, 8, 2021];

@@ -2,12 +2,14 @@
 //! vs naive training at an equal step budget, on the real-training
 //! substrate (tiny space + synthetic dataset).
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig6_shrink_vs_naive [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_shrink_vs_naive [--seed N] [--threads N]`
 
-use hsconas_bench::{fig6, seed_from_args};
+use hsconas_bench::{fig6, seed_from_args, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let result = fig6::run_shrink_vs_naive(seed, 300);
     print!("{}", fig6::render_shrink_vs_naive(&result));
 }

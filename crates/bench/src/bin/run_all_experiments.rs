@@ -2,7 +2,7 @@
 //! EXPERIMENTS.md's numbers. Heavier searches use the paper budgets, so
 //! expect a few minutes in release mode.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin run_all_experiments [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin run_all_experiments [--seed N] [--threads N]`
 
 use hsconas::PipelineConfig;
 use hsconas_bench::*;
@@ -10,13 +10,18 @@ use hsconas_evo::EvolutionConfig;
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let divider = "=".repeat(72);
 
     println!("{divider}\nFIG 2\n{divider}");
     print!("{}", fig2::render(&fig2::run(seed, 512)));
 
     println!("{divider}\nFIG 3\n{divider}");
-    print!("{}", fig3::render(&fig3::run(seed, &fig3::Fig3Config::default())));
+    print!(
+        "{}",
+        fig3::render(&fig3::run(seed, &fig3::Fig3Config::default()))
+    );
 
     println!("{divider}\nFIG 4\n{divider}");
     print!("{}", fig4::render(&fig4::run(seed, 20, 50)));
@@ -37,7 +42,10 @@ fn main() {
     );
 
     println!("{divider}\nTABLE I\n{divider}");
-    print!("{}", table1::render(&table1::run(seed, &PipelineConfig::default())));
+    print!(
+        "{}",
+        table1::render(&table1::run(seed, &PipelineConfig::default()))
+    );
 
     println!("{divider}\nABLATIONS\n{divider}");
     print!("{}", ablation::render_bias(&ablation::bias(seed, 200)));

@@ -2,13 +2,15 @@
 //! HSCoNets across GPU / CPU / Edge, with paper-vs-simulated deltas and a
 //! check of the paper's headline claims.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin table1_comparison [--seed N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin table1_comparison [--seed N] [--threads N]`
 
 use hsconas::PipelineConfig;
-use hsconas_bench::{seed_from_args, table1};
+use hsconas_bench::{seed_from_args, table1, threads_from_args};
 
 fn main() {
     let seed = seed_from_args();
+    let threads = threads_from_args();
+    eprintln!("worker pool: {threads} threads (override with --threads N)");
     let result = table1::run(seed, &PipelineConfig::default());
     print!("{}", table1::render(&result));
     let failures = table1::check_headline_claims(&result);

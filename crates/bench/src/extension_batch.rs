@@ -25,7 +25,10 @@ pub struct BatchSweep {
 impl BatchSweep {
     /// Per-image latency at a given batch (`None` if not swept).
     pub fn per_image_ms(&self, batch: usize) -> Option<f64> {
-        self.points.iter().find(|(b, _)| *b == batch).map(|(_, l)| *l)
+        self.points
+            .iter()
+            .find(|(b, _)| *b == batch)
+            .map(|(_, l)| *l)
     }
 }
 

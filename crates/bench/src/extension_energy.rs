@@ -60,9 +60,8 @@ pub fn run(seed: u64, config: EvolutionConfig) -> EnergyResult {
 
     let make_latency_metric = |seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut predictor =
-            LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut rng)
-                .expect("calibration");
+        let mut predictor = LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut rng)
+            .expect("calibration");
         move |arch: &Arch| predictor.predict_ms(arch).map_err(|e| e.to_string())
     };
     let make_energy_metric = || {
@@ -193,9 +192,7 @@ mod tests {
         let by = |l: &str| result.points.iter().find(|p| p.label == l).unwrap();
         let lat_only = by("latency-only");
         assert!(
-            (lat_only.latency_ms - result.latency_target_ms).abs()
-                / result.latency_target_ms
-                < 0.3,
+            (lat_only.latency_ms - result.latency_target_ms).abs() / result.latency_target_ms < 0.3,
             "latency-only arm at {} ms",
             lat_only.latency_ms
         );

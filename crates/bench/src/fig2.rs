@@ -66,14 +66,18 @@ pub fn run(seed: u64, n: usize) -> Vec<DeviceScatter> {
     DeviceSpec::paper_devices()
         .into_iter()
         .map(|device| {
-            let mut meas_rng = StdRng::seed_from_u64(seed ^ 0x5ca1ab1e);
-            let points: Vec<Point> = nets
+            // The sweep fans out over the worker pool; each network gets a
+            // per-index RNG stream so the numbers depend only on `seed`,
+            // never on the thread count (0 = process default).
+            let latencies =
+                hsconas_hwsim::measure_networks_parallel(&device, &nets, 1, seed ^ 0x5ca1ab1e, 0);
+            let points: Vec<Point> = latencies
                 .iter()
                 .zip(&costs)
-                .map(|(net, &(mflops, mparams))| Point {
+                .map(|(&lat_us, &(mflops, mparams))| Point {
                     mflops,
                     mparams,
-                    latency_ms: device.measure_network(net, &mut meas_rng) / 1000.0,
+                    latency_ms: lat_us / 1000.0,
                 })
                 .collect();
             let lat: Vec<f64> = points.iter().map(|p| p.latency_ms).collect();

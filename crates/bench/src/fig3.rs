@@ -47,29 +47,45 @@ pub struct DeviceFit {
 }
 
 /// Runs the Fig. 3 experiment on all three devices.
+///
+/// Calibration and validation measurements both fan out over the shared
+/// worker pool with per-index RNG streams, so results depend only on
+/// `seed` — not on the thread count.
 pub fn run(seed: u64, config: &Fig3Config) -> Vec<DeviceFit> {
     let space = SearchSpace::hsconas_a();
     DeviceSpec::paper_devices()
         .into_iter()
         .map(|device| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut predictor = LatencyPredictor::calibrate(
+            let mut predictor = LatencyPredictor::calibrate_parallel(
                 device.clone(),
                 &space,
                 config.calibration_archs,
                 config.repeats,
-                &mut rng,
+                seed,
+                0,
             )
             .expect("calibration over a valid space");
-            let mut points = Vec::with_capacity(config.validation_archs);
-            for _ in 0..config.validation_archs {
-                let arch = space.sample(&mut rng);
-                let predicted = predictor.predict_ms(&arch).expect("valid arch");
-                let net = lower_arch(space.skeleton(), &arch).expect("valid arch");
-                let measured =
-                    device.measure_network_mean(&net, config.repeats, &mut rng) / 1000.0;
-                points.push((predicted, measured));
-            }
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7a11_da7e);
+            let archs = space.sample_n(config.validation_archs, &mut rng);
+            let nets: Vec<_> = archs
+                .iter()
+                .map(|a| lower_arch(space.skeleton(), a).expect("valid arch"))
+                .collect();
+            let measured_us = hsconas_hwsim::measure_networks_parallel(
+                &device,
+                &nets,
+                config.repeats,
+                seed ^ 0x0dd_ba11,
+                0,
+            );
+            let points: Vec<(f64, f64)> = archs
+                .iter()
+                .zip(&measured_us)
+                .map(|(arch, &m_us)| {
+                    let predicted = predictor.predict_ms(arch).expect("valid arch");
+                    (predicted, m_us / 1000.0)
+                })
+                .collect();
             let predicted: Vec<f64> = points.iter().map(|p| p.0).collect();
             let measured: Vec<f64> = points.iter().map(|p| p.1).collect();
             DeviceFit {

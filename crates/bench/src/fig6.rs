@@ -11,7 +11,7 @@
 use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
 use hsconas_data::SyntheticDataset;
 use hsconas_evo::{
-    Evaluation, EvolutionConfig, EvolutionSearch, EvoError, Objective, SearchResult,
+    Evaluation, EvoError, EvolutionConfig, EvolutionSearch, Objective, SearchResult,
     TradeoffObjective,
 };
 use hsconas_hwsim::DeviceSpec;
@@ -230,7 +230,12 @@ pub fn run_shrink_vs_naive(seed: u64, budget_steps: usize) -> Fig6ShrinkVsNaive 
                 samples_per_subspace: 4,
             });
             let r = single
-                .run(current_space.clone(), &mut objective, &mut quality_rng, |_, _| Ok(()))
+                .run(
+                    current_space.clone(),
+                    &mut objective,
+                    &mut quality_rng,
+                    |_, _| Ok(()),
+                )
                 .expect("shrink stage");
             current_space = r.space;
             let mut ft_rng = SmallRng::new(seed ^ (stage as u64 + 99));

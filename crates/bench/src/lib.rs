@@ -30,8 +30,8 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
-pub mod plot;
 pub mod fig6;
+pub mod plot;
 pub mod table1;
 
 /// Parses an optional `--seed N` command-line argument, defaulting to the
@@ -42,6 +42,25 @@ pub fn seed_from_args() -> u64 {
         .find(|w| w[0] == "--seed")
         .and_then(|w| w[1].parse().ok())
         .unwrap_or(2021)
+}
+
+/// Parses an optional `--threads N` command-line argument and installs it
+/// as the process-wide worker-pool default
+/// ([`hsconas_par::set_default_threads`]). Without the flag — or with
+/// `--threads 0` — the pool sizes itself to the hardware
+/// (`std::thread::available_parallelism`). Returns the resolved count.
+///
+/// Every parallel site merges results in work-item order, so the flag
+/// changes wall-clock time only, never an experiment's numbers.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let requested = args
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(0);
+    hsconas_par::set_default_threads(requested);
+    hsconas_par::default_threads()
 }
 
 /// Renders a simple ASCII histogram line (used by the Fig. 6 bottom

@@ -31,8 +31,8 @@ pub fn run(seed: u64, config: &PipelineConfig) -> Table1Result {
                 .find(|r| r.name == model.name)
                 .expect("baseline row present");
             let mut err = [0.0; 3];
-            for i in 0..3 {
-                err[i] = row.latency_ms[i] / model.paper_latency_ms[i] - 1.0;
+            for (i, e) in err.iter_mut().enumerate() {
+                *e = row.latency_ms[i] / model.paper_latency_ms[i] - 1.0;
             }
             (model.name.clone(), err)
         })

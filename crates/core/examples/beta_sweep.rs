@@ -16,9 +16,14 @@ fn main() {
             ..PipelineConfig::default()
         };
         let space = SearchSpace::hsconas_a();
-        let outcome =
-            search_for_device(space.clone(), DeviceSpec::gpu_gv100(), 9.0, &config, &mut rng)
-                .unwrap();
+        let outcome = search_for_device(
+            space.clone(),
+            DeviceSpec::gpu_gv100(),
+            9.0,
+            &config,
+            &mut rng,
+        )
+        .unwrap();
         let oracle = SurrogateAccuracy::new(space.skeleton().clone());
         println!(
             "beta {beta:>6}: err {:.1}  lat {:.2} ms  score {:.2}",

@@ -29,14 +29,9 @@ fn main() {
     // skip k stride-1 layers in stage order from front
     for skips in [2, 4, 6] {
         let mut arch = Arch::widest(20);
-        let mut done = 0;
-        for l in [1, 2, 3, 5, 6, 7] {
-            if done >= skips {
-                break;
-            }
+        for l in [1, 2, 3, 5, 6, 7].into_iter().take(skips) {
             arch.set_gene(l, Gene::new(OpKind::Skip, ChannelScale::FULL))
                 .unwrap();
-            done += 1;
         }
         let net = lower_arch(space.skeleton(), &arch).unwrap();
         println!(

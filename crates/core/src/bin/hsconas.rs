@@ -45,9 +45,7 @@ fn main() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.windows(2)
-        .find(|w| w[0] == name)
-        .map(|w| w[1].clone())
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -152,8 +150,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         .unwrap_or(2021);
     let space = SearchSpace::hsconas_a();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut predictor = LatencyPredictor::calibrate(device, &space, 100, 5, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let mut predictor =
+        LatencyPredictor::calibrate(device, &space, 100, 5, &mut rng).map_err(|e| e.to_string())?;
     // profile broadly so the snapshot covers most configurations
     for arch in space.sample_n(200, &mut rng) {
         predictor.predict_us(&arch).map_err(|e| e.to_string())?;

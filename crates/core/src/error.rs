@@ -62,10 +62,7 @@ mod tests {
         let e: PipelineError = SpaceError::EmptyCandidates { layer: 2 }.into();
         assert!(e.to_string().contains("space error"));
         assert!(e.source().is_some());
-        let e: PipelineError = EvoError::InvalidConfig {
-            detail: "x".into(),
-        }
-        .into();
+        let e: PipelineError = EvoError::InvalidConfig { detail: "x".into() }.into();
         assert!(e.to_string().contains("search error"));
     }
 }

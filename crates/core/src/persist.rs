@@ -35,9 +35,8 @@ pub struct SavedModel {
 /// Returns [`PipelineError`] wrapping the I/O or serialization failure.
 pub fn save_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), PipelineError> {
     let json = serde_json::to_string_pretty(value).map_err(to_pipeline_error)?;
-    fs::write(path.as_ref(), json).map_err(|e| {
-        to_pipeline_error(format!("write {}: {e}", path.as_ref().display()))
-    })?;
+    fs::write(path.as_ref(), json)
+        .map_err(|e| to_pipeline_error(format!("write {}: {e}", path.as_ref().display())))?;
     Ok(())
 }
 
@@ -46,12 +45,9 @@ pub fn save_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), 
 /// # Errors
 ///
 /// Returns [`PipelineError`] wrapping the I/O or deserialization failure.
-pub fn load_json<T: for<'de> Deserialize<'de>>(
-    path: impl AsRef<Path>,
-) -> Result<T, PipelineError> {
-    let json = fs::read_to_string(path.as_ref()).map_err(|e| {
-        to_pipeline_error(format!("read {}: {e}", path.as_ref().display()))
-    })?;
+pub fn load_json<T: for<'de> Deserialize<'de>>(path: impl AsRef<Path>) -> Result<T, PipelineError> {
+    let json = fs::read_to_string(path.as_ref())
+        .map_err(|e| to_pipeline_error(format!("read {}: {e}", path.as_ref().display())))?;
     serde_json::from_str(&json).map_err(to_pipeline_error)
 }
 
@@ -88,7 +84,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!("hsconas-persist-{name}-{}.json", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "hsconas-persist-{name}-{}.json",
+            std::process::id()
+        ))
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub struct SearchOutcome {
 
 /// Builds the Eq. 1 objective for a device from the surrogate accuracy
 /// oracle and a calibrated latency predictor.
+#[allow(clippy::type_complexity)]
 fn build_objective(
     oracle: SurrogateAccuracy,
     mut predictor: LatencyPredictor,
@@ -119,7 +120,11 @@ mod tests {
             "latency {} ms vs target 34 ms",
             outcome.best.latency_ms
         );
-        assert!(outcome.best.accuracy > 65.0, "accuracy {}", outcome.best.accuracy);
+        assert!(
+            outcome.best.accuracy > 65.0,
+            "accuracy {}",
+            outcome.best.accuracy
+        );
         assert!(outcome.latency_bias_us > 0.0);
         let shrink = outcome.shrink.as_ref().unwrap();
         assert_eq!(shrink.stages.len(), 2);

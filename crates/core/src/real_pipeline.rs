@@ -11,9 +11,7 @@
 
 use crate::PipelineError;
 use hsconas_data::SyntheticDataset;
-use hsconas_evo::{
-    Evaluation, EvoError, EvolutionConfig, EvolutionSearch, Objective,
-};
+use hsconas_evo::{Evaluation, EvoError, EvolutionConfig, EvolutionSearch, Objective};
 use hsconas_hwsim::DeviceSpec;
 use hsconas_latency::LatencyPredictor;
 use hsconas_shrink::{ProgressiveShrinking, ShrinkConfig};
@@ -123,10 +121,7 @@ impl Objective for InheritedWeightObjective<'_> {
             .map_err(|e| EvoError::Objective {
                 detail: e.to_string(),
             })?;
-        let latency_ms = self
-            .predictor
-            .predict_ms(arch)
-            .map_err(EvoError::Space)?;
+        let latency_ms = self.predictor.predict_ms(arch).map_err(EvoError::Space)?;
         let accuracy = 100.0 * acc;
         Ok(Evaluation {
             score: accuracy + self.beta * (latency_ms / self.target_ms - 1.0).abs(),
@@ -159,13 +154,8 @@ pub fn run_real_pipeline(
 
     // 2. latency predictor for the edge device over the tiny space
     let mut search_rng = StdRng::seed_from_u64(seed ^ 0xdead);
-    let mut predictor = LatencyPredictor::calibrate(
-        DeviceSpec::edge_xavier(),
-        &space,
-        20,
-        2,
-        &mut search_rng,
-    )?;
+    let mut predictor =
+        LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 20, 2, &mut search_rng)?;
 
     // 3. progressive shrinking: each stage picks operators by *real*
     //    inherited-weight quality, then fine-tunes in the shrunk space at
@@ -185,7 +175,12 @@ pub fn run_real_pipeline(
                 target_ms: config.target_ms,
                 beta: config.beta,
             };
-            stage.run(current_space.clone(), &mut objective, &mut search_rng, |_, _| Ok(()))?
+            stage.run(
+                current_space.clone(),
+                &mut objective,
+                &mut search_rng,
+                |_, _| Ok(()),
+            )?
         };
         current_space = result.space;
         let mut ft_rng = SmallRng::new(seed ^ (stage_idx as u64 + 1));

@@ -114,12 +114,12 @@ impl SyntheticDataset {
         ];
         let mut img = Tensor::zeros([1, 3, r, r]);
         let scale = std::f32::consts::TAU * freq / r as f32;
-        for c in 0..3 {
+        for (c, &t) in tint.iter().enumerate() {
             for y in 0..r {
                 for x in 0..r {
                     let wave = ((x as f32 * dx + y as f32 * dy) * scale + phase).sin();
                     let noise = rng.next_normal() as f32 * 0.25;
-                    *img.at_mut(0, c, y, x) = wave * tint[c] + noise;
+                    *img.at_mut(0, c, y, x) = wave * t + noise;
                 }
             }
         }
@@ -183,14 +183,14 @@ mod tests {
         let profile = |img: &Tensor| -> [f32; 3] {
             let s = img.shape();
             let mut out = [0.0f32; 3];
-            for c in 0..3 {
+            for (c, o) in out.iter_mut().enumerate() {
                 let mut sum_sq = 0.0;
                 for h in 0..s.h {
                     for w in 0..s.w {
                         sum_sq += img.at(0, c, h, w).powi(2);
                     }
                 }
-                out[c] = (sum_sq / (s.h * s.w) as f32).sqrt();
+                *o = (sum_sq / (s.h * s.w) as f32).sqrt();
             }
             out
         };

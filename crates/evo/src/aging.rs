@@ -137,11 +137,7 @@ mod tests {
     struct Width;
     impl Objective for Width {
         fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
-            let score = arch
-                .genes()
-                .iter()
-                .map(|g| g.scale.fraction())
-                .sum::<f64>();
+            let score = arch.genes().iter().map(|g| g.scale.fraction()).sum::<f64>();
             Ok(Evaluation {
                 score,
                 accuracy: score,
@@ -162,7 +158,11 @@ mod tests {
         let result = aging_evolution(&space, config, &mut Width, &mut rng).unwrap();
         // random 20-layer archs average 11.0; aging evolution should get
         // close to the optimum of 20.
-        assert!(result.best_evaluation.score > 16.0, "{}", result.best_evaluation.score);
+        assert!(
+            result.best_evaluation.score > 16.0,
+            "{}",
+            result.best_evaluation.score
+        );
         assert_eq!(result.evaluations, 320);
     }
 

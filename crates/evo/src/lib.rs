@@ -46,12 +46,14 @@
 mod error;
 
 pub mod aging;
+pub mod memo;
 pub mod multi;
 pub mod objective;
 pub mod search;
 
 pub use aging::{aging_evolution, AgingConfig, AgingResult};
 pub use error::EvoError;
+pub use memo::{MemoObjective, MemoStats, ParallelObjective};
 pub use multi::{Constraint, MultiConstraintObjective, MultiEvaluation};
 pub use objective::{Evaluation, Objective, TradeoffObjective};
 pub use search::{EvolutionConfig, EvolutionSearch, GenerationStats, SearchResult};

@@ -1,0 +1,317 @@
+//! Concurrency-safe evaluation memoization and parallel batch evaluation.
+//!
+//! The EA revisits `(op, c)` genomes constantly — elites survive across
+//! generations and low mutation probabilities produce many clones — so a
+//! memo-cache in front of the objective removes most oracle calls. Unlike
+//! the per-instance `HashMap` inside [`TradeoffObjective`], the cache here
+//! is wrapped in a [`parking_lot::Mutex`] with atomic hit/miss counters,
+//! so one cache can sit in front of an objective whose batch path fans
+//! out over the worker pool.
+//!
+//! [`TradeoffObjective`]: crate::TradeoffObjective
+
+use crate::{Evaluation, EvoError, Objective};
+use hsconas_space::Arch;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache effectiveness counters for a [`MemoObjective`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Evaluations answered from the cache.
+    pub hits: u64,
+    /// Evaluations that had to call the inner objective.
+    pub misses: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups answered from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoizes an inner [`Objective`] by architecture fingerprint.
+///
+/// The cache is lock-protected and the counters are atomic, so the memo
+/// layer itself is safe to consult from the worker pool; the inner
+/// objective is only ever called with `&mut self`, from the thread that
+/// owns the `MemoObjective`. [`evaluate_batch`](Objective::evaluate_batch)
+/// deduplicates the batch before forwarding only the unseen architectures
+/// to the inner objective's batch path — so a parallel inner objective
+/// spends its threads exclusively on new genomes.
+pub struct MemoObjective<O> {
+    inner: O,
+    cache: Mutex<HashMap<u64, Evaluation>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<O: Objective> MemoObjective<O> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: O) -> Self {
+        MemoObjective {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct architectures cached so far.
+    pub fn cached_count(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// The wrapped objective.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner objective.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Objective> Objective for MemoObjective<O> {
+    fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+        let key = arch.fingerprint();
+        if let Some(cached) = self.cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*cached);
+        }
+        let eval = self.inner.evaluate(arch)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().insert(key, eval);
+        Ok(eval)
+    }
+
+    fn evaluate_batch(&mut self, archs: &[Arch]) -> Result<Vec<Evaluation>, EvoError> {
+        // Resolve what we can from the cache and collect the distinct
+        // unseen architectures in first-occurrence order.
+        let mut resolved: Vec<Option<Evaluation>> = Vec::with_capacity(archs.len());
+        let mut todo: Vec<Arch> = Vec::new();
+        let mut todo_index: HashMap<u64, usize> = HashMap::new();
+        {
+            let cache = self.cache.lock();
+            for arch in archs {
+                let key = arch.fingerprint();
+                if let Some(cached) = cache.get(&key) {
+                    resolved.push(Some(*cached));
+                } else {
+                    resolved.push(None);
+                    todo_index.entry(key).or_insert_with(|| {
+                        todo.push(arch.clone());
+                        todo.len() - 1
+                    });
+                }
+            }
+        }
+        let fresh = self.inner.evaluate_batch(&todo)?;
+        debug_assert_eq!(fresh.len(), todo.len());
+        {
+            let mut cache = self.cache.lock();
+            for (arch, eval) in todo.iter().zip(&fresh) {
+                cache.insert(arch.fingerprint(), *eval);
+            }
+        }
+        let misses = todo.len() as u64;
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.hits
+            .fetch_add(archs.len() as u64 - misses, Ordering::Relaxed);
+        Ok(archs
+            .iter()
+            .zip(resolved)
+            .map(|(arch, r)| r.unwrap_or_else(|| fresh[todo_index[&arch.fingerprint()]]))
+            .collect())
+    }
+}
+
+/// A stateless, thread-safe objective built from a `Sync` scoring
+/// function. Single evaluations call the function directly; batches fan
+/// out over the shared worker pool ([`hsconas_par`]) and merge results in
+/// input order, so a search driven through the batch path is bit-identical
+/// to the serial one at any thread count.
+pub struct ParallelObjective<F> {
+    eval: F,
+    threads: usize,
+}
+
+impl<F> ParallelObjective<F>
+where
+    F: Fn(&Arch) -> Result<Evaluation, EvoError> + Sync,
+{
+    /// Creates the objective. `threads == 0` uses the process default
+    /// ([`hsconas_par::default_threads`]).
+    pub fn new(eval: F, threads: usize) -> Self {
+        ParallelObjective { eval, threads }
+    }
+}
+
+impl<F> Objective for ParallelObjective<F>
+where
+    F: Fn(&Arch) -> Result<Evaluation, EvoError> + Sync,
+{
+    fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+        (self.eval)(arch)
+    }
+
+    fn evaluate_batch(&mut self, archs: &[Arch]) -> Result<Vec<Evaluation>, EvoError> {
+        let eval = &self.eval;
+        hsconas_par::par_map(archs, self.threads, |_, arch| eval(arch))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch_with_tail(scale_steps: usize) -> Arch {
+        // Distinct fingerprints: narrow the first `scale_steps` layers.
+        let mut a = Arch::widest(10);
+        let scales = hsconas_space::ChannelScale::all();
+        for layer in 0..scale_steps.min(10) {
+            let mut gene = a.genes()[layer];
+            gene.scale = scales[layer % scales.len()];
+            a.set_gene(layer, gene).unwrap();
+        }
+        a
+    }
+
+    fn width_eval(arch: &Arch) -> Result<Evaluation, EvoError> {
+        let score = arch.genes().iter().map(|g| g.scale.fraction()).sum::<f64>();
+        Ok(Evaluation {
+            score,
+            accuracy: score,
+            latency_ms: 1.0,
+        })
+    }
+
+    struct Counting {
+        calls: std::rc::Rc<std::cell::Cell<usize>>,
+    }
+    impl Objective for Counting {
+        fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+            self.calls.set(self.calls.get() + 1);
+            width_eval(arch)
+        }
+    }
+
+    #[test]
+    fn memo_hits_skip_inner_and_count() {
+        let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut memo = MemoObjective::new(Counting {
+            calls: calls.clone(),
+        });
+        let a = arch_with_tail(0);
+        let b = arch_with_tail(3);
+        assert_eq!(memo.evaluate(&a).unwrap(), memo.evaluate(&a).unwrap());
+        memo.evaluate(&b).unwrap();
+        memo.evaluate(&a).unwrap();
+        assert_eq!(calls.get(), 2, "two distinct archs, two inner calls");
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+        assert_eq!(memo.cached_count(), 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memo_batch_dedups_within_batch() {
+        let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut memo = MemoObjective::new(Counting {
+            calls: calls.clone(),
+        });
+        let a = arch_with_tail(0);
+        let b = arch_with_tail(2);
+        memo.evaluate(&a).unwrap();
+        // Batch: one cached, one new appearing twice.
+        let evals = memo
+            .evaluate_batch(&[b.clone(), a.clone(), b.clone()])
+            .unwrap();
+        assert_eq!(calls.get(), 2, "b evaluated once despite appearing twice");
+        assert_eq!(evals[0], evals[2]);
+        assert_eq!(evals[0], width_eval(&b).unwrap());
+        assert_eq!(evals[1], width_eval(&a).unwrap());
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+    }
+
+    #[test]
+    fn memo_batch_propagates_inner_error() {
+        struct Failing;
+        impl Objective for Failing {
+            fn evaluate(&mut self, _: &Arch) -> Result<Evaluation, EvoError> {
+                Err(EvoError::Objective {
+                    detail: "boom".into(),
+                })
+            }
+        }
+        let mut memo = MemoObjective::new(Failing);
+        assert!(memo.evaluate_batch(&[arch_with_tail(0)]).is_err());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_in_order() {
+        let archs: Vec<Arch> = (0..17).map(arch_with_tail).collect();
+        let mut par = ParallelObjective::new(width_eval, 4);
+        let batch = par.evaluate_batch(&archs).unwrap();
+        let serial: Vec<Evaluation> = archs.iter().map(|a| width_eval(a).unwrap()).collect();
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn parallel_batch_reports_first_error_by_index() {
+        let eval = |arch: &Arch| -> Result<Evaluation, EvoError> {
+            let narrow = arch
+                .genes()
+                .iter()
+                .filter(|g| g.scale.fraction() < 1.0)
+                .count();
+            if narrow >= 2 {
+                Err(EvoError::Objective {
+                    detail: format!("narrow={narrow}"),
+                })
+            } else {
+                width_eval(arch)
+            }
+        };
+        let archs: Vec<Arch> = (0..6).map(arch_with_tail).collect();
+        let mut par = ParallelObjective::new(eval, 3);
+        match par.evaluate_batch(&archs) {
+            Err(EvoError::Objective { detail }) => {
+                // Index 2 is the first failing arch regardless of schedule.
+                assert_eq!(detail, "narrow=2");
+            }
+            other => panic!("expected deterministic first error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_over_parallel_composes() {
+        let mut obj = MemoObjective::new(ParallelObjective::new(width_eval, 4));
+        let archs: Vec<Arch> = (0..8).map(|i| arch_with_tail(i % 4)).collect();
+        let batch = obj.evaluate_batch(&archs).unwrap();
+        let serial: Vec<Evaluation> = archs.iter().map(|a| width_eval(a).unwrap()).collect();
+        assert_eq!(batch, serial);
+        let stats = obj.stats();
+        assert_eq!(stats.misses, 4, "four distinct genomes");
+        assert_eq!(stats.hits, 4, "four repeats answered by the cache");
+    }
+}

@@ -9,12 +9,15 @@ use crate::{Evaluation, EvoError, Objective};
 use hsconas_space::Arch;
 use std::collections::HashMap;
 
+/// A boxed metric evaluator: maps an architecture to a metric value.
+pub type MetricFn = Box<dyn FnMut(&Arch) -> Result<f64, String>>;
+
 /// One constrained metric.
 pub struct Constraint {
     /// Metric name for diagnostics ("latency_ms", "energy_mj", ...).
     pub name: String,
     /// Evaluates the metric for an architecture.
-    pub metric: Box<dyn FnMut(&Arch) -> Result<f64, String>>,
+    pub metric: MetricFn,
     /// The target value `T_i`.
     pub target: f64,
     /// Trade-off coefficient `β_i < 0`.
@@ -194,7 +197,12 @@ mod tests {
     fn metric_failure_propagates() {
         let mut obj = MultiConstraintObjective::new(
             |_| Ok(75.0),
-            vec![Constraint::new("boom", |_| Err("meter broke".into()), 1.0, -1.0)],
+            vec![Constraint::new(
+                "boom",
+                |_| Err("meter broke".into()),
+                1.0,
+                -1.0,
+            )],
         );
         assert!(matches!(
             obj.evaluate(&arch()),

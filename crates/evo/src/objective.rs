@@ -25,6 +25,20 @@ pub trait Objective {
     ///
     /// Returns [`EvoError::Objective`] if the underlying oracle fails.
     fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError>;
+
+    /// Evaluates a batch of architectures, returning evaluations in input
+    /// order. The default implementation is a serial loop; thread-safe
+    /// objectives (e.g. [`crate::ParallelObjective`]) override it to fan
+    /// the batch out over the shared worker pool. The search engine calls
+    /// this with each generation's freshly generated candidates, so the
+    /// override is where EA populations gain parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in input order if any evaluation fails.
+    fn evaluate_batch(&mut self, archs: &[Arch]) -> Result<Vec<Evaluation>, EvoError> {
+        archs.iter().map(|arch| self.evaluate(arch)).collect()
+    }
 }
 
 /// The paper's accuracy/latency trade-off objective with memoization.
@@ -131,7 +145,10 @@ mod tests {
                 |_| Ok(75.0),
                 move |_| Ok(lat),
                 30.0,
-                TradeoffObjective::<fn(&Arch) -> Result<f64, String>, fn(&Arch) -> Result<f64, String>>::DEFAULT_BETA,
+                TradeoffObjective::<
+                    fn(&Arch) -> Result<f64, String>,
+                    fn(&Arch) -> Result<f64, String>,
+                >::DEFAULT_BETA,
             );
             obj.evaluate(&arch(20)).unwrap().score
         };

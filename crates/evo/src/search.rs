@@ -133,6 +133,14 @@ impl EvolutionSearch {
 
     /// Runs the search to completion.
     ///
+    /// Each generation's candidates are produced serially from `rng`
+    /// (mutation/crossover decisions consume the stream in a fixed order)
+    /// and then scored in one [`Objective::evaluate_batch`] call. With the
+    /// default serial batch this is exactly the classic loop; an objective
+    /// that overrides the batch path (e.g. [`crate::ParallelObjective`])
+    /// evaluates the generation across the worker pool while the result —
+    /// merged in candidate order — stays bit-identical at any thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`EvoError`] if the configuration is invalid or the
@@ -143,15 +151,8 @@ impl EvolutionSearch {
         rng: &mut R,
     ) -> Result<SearchResult, EvoError> {
         self.config.validate()?;
-        let mut population: Vec<Individual> = self
-            .space
-            .sample_n(self.config.population, rng)
-            .into_iter()
-            .map(|arch| {
-                let evaluation = objective.evaluate(&arch)?;
-                Ok(Individual { arch, evaluation })
-            })
-            .collect::<Result<_, EvoError>>()?;
+        let init = self.space.sample_n(self.config.population, rng);
+        let mut population = evaluate_into_individuals(objective, init)?;
         sort_desc(&mut population);
 
         let mut history = Vec::with_capacity(self.config.generations + 1);
@@ -169,7 +170,8 @@ impl EvolutionSearch {
             // the population; a duplicate gets one forced gene mutation.
             let mut seen: std::collections::HashSet<u64> =
                 next.iter().map(|i| i.arch.fingerprint()).collect();
-            while next.len() < self.config.population {
+            let mut offspring: Vec<Arch> = Vec::with_capacity(self.config.population - next.len());
+            while next.len() + offspring.len() < self.config.population {
                 let mut arch = self.make_offspring(&parents, rng);
                 for _ in 0..4 {
                     if !seen.contains(&arch.fingerprint()) {
@@ -179,9 +181,9 @@ impl EvolutionSearch {
                     self.mutate_gene(&mut arch, layer, rng);
                 }
                 seen.insert(arch.fingerprint());
-                let evaluation = objective.evaluate(&arch)?;
-                next.push(Individual { arch, evaluation });
+                offspring.push(arch);
             }
+            next.extend(evaluate_into_individuals(objective, offspring)?);
             sort_desc(&mut next);
             population = next;
             history.push(GenerationStats {
@@ -254,6 +256,21 @@ impl EvolutionSearch {
     }
 }
 
+/// Scores `archs` through the objective's batch path and pairs the
+/// evaluations back up with their architectures in input order.
+fn evaluate_into_individuals(
+    objective: &mut dyn Objective,
+    archs: Vec<Arch>,
+) -> Result<Vec<Individual>, EvoError> {
+    let evaluations = objective.evaluate_batch(&archs)?;
+    debug_assert_eq!(evaluations.len(), archs.len());
+    Ok(archs
+        .into_iter()
+        .zip(evaluations)
+        .map(|(arch, evaluation)| Individual { arch, evaluation })
+        .collect())
+}
+
 fn sort_desc(population: &mut [Individual]) {
     population.sort_by(|a, b| {
         b.evaluation
@@ -275,11 +292,7 @@ mod tests {
     struct WidthObjective;
     impl Objective for WidthObjective {
         fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
-            let score = arch
-                .genes()
-                .iter()
-                .map(|g| g.scale.fraction())
-                .sum::<f64>();
+            let score = arch.genes().iter().map(|g| g.scale.fraction()).sum::<f64>();
             Ok(Evaluation {
                 score,
                 accuracy: score,
@@ -347,6 +360,49 @@ mod tests {
                 .best_arch
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn batched_parallel_objective_matches_serial_search_exactly() {
+        use crate::{MemoObjective, ParallelObjective};
+        let space = SearchSpace::hsconas_a();
+        let config = EvolutionConfig {
+            generations: 5,
+            population: 16,
+            parents: 6,
+            ..Default::default()
+        };
+        let width = |arch: &Arch| -> Result<Evaluation, EvoError> {
+            let score = arch.genes().iter().map(|g| g.scale.fraction()).sum::<f64>();
+            Ok(Evaluation {
+                score,
+                accuracy: score,
+                latency_ms: 1.0,
+            })
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let serial = EvolutionSearch::new(space.clone(), config)
+            .run(&mut WidthObjective, &mut rng)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut memo_par = MemoObjective::new(ParallelObjective::new(width, 4));
+        let parallel = EvolutionSearch::new(space, config)
+            .run(&mut memo_par, &mut rng)
+            .unwrap();
+        assert_eq!(
+            serial, parallel,
+            "thread count / memo must not change results"
+        );
+        let before = memo_par.stats();
+        assert!(before.misses > 0);
+        assert_eq!(
+            before.misses,
+            memo_par.cached_count() as u64,
+            "each distinct genome evaluated exactly once"
+        );
+        // The winner was scored during the search, so re-scoring it is a hit.
+        memo_par.evaluate(&parallel.best_arch).unwrap();
+        assert_eq!(memo_par.stats().hits, before.hits + 1);
     }
 
     #[test]

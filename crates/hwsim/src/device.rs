@@ -262,7 +262,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let base = dev.network_time_us(&net);
         let n = 2000;
-        let samples: Vec<f64> = (0..n).map(|_| dev.measure_network(&net, &mut rng)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| dev.measure_network(&net, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let std = (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
         assert!((mean / base - 1.0).abs() < 0.01, "mean {mean} base {base}");

@@ -107,7 +107,10 @@ pub fn lower_arch(skeleton: &NetworkSkeleton, arch: &Arch) -> Result<NetworkDesc
         .map(|g| g.c_out)
         .unwrap_or(skeleton.stem_channels);
     ops.push(lower_head(skeleton, last_c, final_res));
-    Ok(NetworkDesc::new(format!("arch-{:016x}", arch.fingerprint()), ops))
+    Ok(NetworkDesc::new(
+        format!("arch-{:016x}", arch.fingerprint()),
+        ops,
+    ))
 }
 
 #[cfg(test)]

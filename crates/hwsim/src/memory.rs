@@ -109,8 +109,7 @@ mod tests {
             &device,
             &lower_arch(space.skeleton(), &Arch::widest(20)).unwrap(),
         );
-        let narrow_fp =
-            memory_footprint(&device, &lower_arch(space.skeleton(), &narrow).unwrap());
+        let narrow_fp = memory_footprint(&device, &lower_arch(space.skeleton(), &narrow).unwrap());
         assert!(narrow_fp.total_bytes() < wide_fp.total_bytes());
         assert!(narrow_fp.weight_bytes < wide_fp.weight_bytes);
     }
@@ -127,7 +126,7 @@ mod tests {
         // the metric closure shape used by evo::Constraint
         let space2 = space.clone();
         let device2 = device.clone();
-        let mut metric = move |arch: &Arch| -> Result<f64, String> {
+        let metric = move |arch: &Arch| -> Result<f64, String> {
             let net = lower_arch(space2.skeleton(), arch).map_err(|e| e.to_string())?;
             Ok(memory_footprint(&device2, &net).total_mib())
         };

@@ -1,12 +1,11 @@
 //! Parallel measurement harness: measuring many candidate networks on a
-//! simulated device using scoped worker threads. Latency-model
-//! calibration and Fig. 2/3-style sweeps measure hundreds of networks;
-//! this spreads them across cores while keeping results deterministic
-//! (each network gets its own seed derived from the caller's base seed,
-//! so the thread schedule cannot change any number).
+//! simulated device over the shared worker pool ([`hsconas_par`]).
+//! Latency-model calibration and Fig. 2/3-style sweeps measure hundreds
+//! of networks; this spreads them across cores while keeping results
+//! deterministic (each network gets its own seed derived from the
+//! caller's base seed, so the thread schedule cannot change any number).
 
 use crate::{DeviceSpec, NetworkDesc};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -14,7 +13,8 @@ use rand::SeedableRng;
 /// returns the mean latencies (microseconds) in input order.
 ///
 /// Determinism: measurement `i` uses `StdRng::seed_from_u64(base_seed ^ i)`
-/// regardless of which worker executes it.
+/// regardless of which worker executes it. `threads == 0` uses the
+/// process default ([`hsconas_par::default_threads`]).
 ///
 /// # Panics
 ///
@@ -27,24 +27,10 @@ pub fn measure_networks_parallel(
     threads: usize,
 ) -> Vec<f64> {
     assert!(repeats > 0, "need at least one measurement repeat");
-    let threads = threads.max(1).min(nets.len().max(1));
-    let results = Mutex::new(vec![0.0f64; nets.len()]);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= nets.len() {
-                    break;
-                }
-                let mut rng = StdRng::seed_from_u64(base_seed ^ (i as u64).wrapping_mul(0x9E37));
-                let mean = device.measure_network_mean(&nets[i], repeats, &mut rng);
-                results.lock()[i] = mean;
-            });
-        }
+    hsconas_par::par_map(nets, threads, |i, net| {
+        let mut rng = StdRng::seed_from_u64(base_seed ^ (i as u64).wrapping_mul(0x9E37));
+        device.measure_network_mean(net, repeats, &mut rng)
     })
-    .expect("measurement worker panicked");
-    results.into_inner()
 }
 
 #[cfg(test)]

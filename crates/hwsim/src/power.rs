@@ -159,11 +159,7 @@ mod tests {
         for device in DeviceSpec::paper_devices() {
             let pm = PowerModel::for_device(&device);
             let w = pm.network_power_w(&device, &sample_net(1));
-            assert!(
-                w > pm.idle_watts && w < 1000.0,
-                "{}: {w} W",
-                device.name
-            );
+            assert!(w > pm.idle_watts && w < 1000.0, "{}: {w} W", device.name);
         }
     }
 }

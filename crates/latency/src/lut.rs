@@ -161,7 +161,11 @@ mod tests {
         let entries_after_first = lut.len();
         let b = lut.op_sum_us(&arch).unwrap();
         assert_eq!(a, b);
-        assert_eq!(lut.len(), entries_after_first, "second query adds no entries");
+        assert_eq!(
+            lut.len(),
+            entries_after_first,
+            "second query adds no entries"
+        );
         assert!(entries_after_first <= 20);
     }
 
@@ -205,10 +209,7 @@ mod tests {
         assert_eq!(fresh.op_sum_us(&arch).unwrap(), reference);
         // importing onto the wrong device is refused
         let mut wrong = LatencyLut::new(DeviceSpec::gpu_gv100(), space.skeleton().clone());
-        assert_eq!(
-            wrong.import(snapshot),
-            Err("cpu-xeon-6136".to_string())
-        );
+        assert_eq!(wrong.import(snapshot), Err("cpu-xeon-6136".to_string()));
     }
 
     #[test]

@@ -3,10 +3,10 @@
 use crate::lut::LutSnapshot;
 use crate::metrics::{pearson, rmse};
 use crate::LatencyLut;
-use serde::{Deserialize, Serialize};
 use hsconas_hwsim::{lower_arch, DeviceSpec};
 use hsconas_space::{Arch, SearchSpace, SpaceError};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// `LAT(arch) = Σ_l lut(op^l) + B` with `B` calibrated per Eq. 3.
 #[derive(Debug, Clone)]
@@ -72,6 +72,59 @@ impl LatencyPredictor {
             let net = lower_arch(space.skeleton(), &arch)?;
             let measured = lut.device().measure_network_mean(&net, repeats, rng);
             gap_sum += measured - lut_sum;
+        }
+        Ok(LatencyPredictor {
+            lut,
+            bias_us: gap_sum / m as f64,
+            calibration_samples: m,
+        })
+    }
+
+    /// Like [`calibrate`](Self::calibrate), but measures the `m`
+    /// calibration architectures across the shared worker pool
+    /// ([`hsconas_par`]; `threads == 0` uses the process default).
+    ///
+    /// Determinism works differently from the serial path: sampling uses
+    /// one stream seeded by `base_seed` while measurement `i` derives its
+    /// own per-index stream, so results depend only on `base_seed` — not
+    /// on the thread count or schedule. The bias therefore differs from
+    /// a serial [`calibrate`](Self::calibrate) run in the noise term but
+    /// agrees in expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] if lowering any sampled architecture fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `repeats == 0`.
+    pub fn calibrate_parallel(
+        device: DeviceSpec,
+        space: &SearchSpace,
+        m: usize,
+        repeats: usize,
+        base_seed: u64,
+        threads: usize,
+    ) -> Result<Self, SpaceError> {
+        assert!(m > 0, "need at least one calibration architecture");
+        assert!(repeats > 0, "need at least one measurement repeat");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed);
+        let archs = space.sample_n(m, &mut rng);
+        let nets = archs
+            .iter()
+            .map(|a| lower_arch(space.skeleton(), a))
+            .collect::<Result<Vec<_>, _>>()?;
+        let measured = hsconas_hwsim::measure_networks_parallel(
+            &device,
+            &nets,
+            repeats,
+            base_seed ^ 0xC2B2_AE3D,
+            threads,
+        );
+        let mut lut = LatencyLut::new(device, space.skeleton().clone());
+        let mut gap_sum = 0.0;
+        for (arch, meas) in archs.iter().zip(&measured) {
+            gap_sum += meas - lut.op_sum_us(arch)?;
         }
         Ok(LatencyPredictor {
             lut,
@@ -196,8 +249,7 @@ mod tests {
         let device = DeviceSpec::cpu_xeon_6136();
         let mut rng = StdRng::seed_from_u64(1);
         let expected = 21.0 * device.inter_op_overhead_us + device.fixed_overhead_us;
-        let predictor =
-            LatencyPredictor::calibrate(device, &space, 30, 3, &mut rng).unwrap();
+        let predictor = LatencyPredictor::calibrate(device, &space, 30, 3, &mut rng).unwrap();
         let bias = predictor.bias_us();
         assert!(
             (bias / expected - 1.0).abs() < 0.05,
@@ -232,6 +284,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_calibration_is_thread_count_invariant() {
+        let space = SearchSpace::hsconas_a();
+        let one =
+            LatencyPredictor::calibrate_parallel(DeviceSpec::cpu_xeon_6136(), &space, 24, 3, 99, 1)
+                .unwrap();
+        let eight =
+            LatencyPredictor::calibrate_parallel(DeviceSpec::cpu_xeon_6136(), &space, 24, 3, 99, 8)
+                .unwrap();
+        assert_eq!(one.bias_us(), eight.bias_us(), "bitwise-identical bias");
+        // And it agrees with the serial protocol's structural overhead.
+        let device = DeviceSpec::cpu_xeon_6136();
+        let expected = 21.0 * device.inter_op_overhead_us + device.fixed_overhead_us;
+        assert!(
+            (one.bias_us() / expected - 1.0).abs() < 0.05,
+            "bias {} vs structural {expected}",
+            one.bias_us()
+        );
+    }
+
+    #[test]
     fn bias_ablation_underestimates() {
         let space = SearchSpace::hsconas_a();
         let device = DeviceSpec::gpu_gv100();
@@ -249,9 +321,8 @@ mod tests {
     fn prediction_is_deterministic_after_calibration() {
         let space = SearchSpace::hsconas_a();
         let mut rng = StdRng::seed_from_u64(4);
-        let mut p =
-            LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 10, 2, &mut rng)
-                .unwrap();
+        let mut p = LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 10, 2, &mut rng)
+            .unwrap();
         let arch = space.sample(&mut rng);
         assert_eq!(p.predict_us(&arch).unwrap(), p.predict_us(&arch).unwrap());
     }
@@ -269,21 +340,18 @@ mod tests {
             original.predict_us(a).unwrap();
         }
         let snapshot = original.export();
-        let mut restored = LatencyPredictor::from_snapshot(
-            DeviceSpec::edge_xavier(),
-            &space,
-            snapshot.clone(),
-        )
-        .unwrap();
+        let mut restored =
+            LatencyPredictor::from_snapshot(DeviceSpec::edge_xavier(), &space, snapshot.clone())
+                .unwrap();
         for a in &archs {
-            assert_eq!(restored.predict_us(a).unwrap(), original.predict_us(a).unwrap());
+            assert_eq!(
+                restored.predict_us(a).unwrap(),
+                original.predict_us(a).unwrap()
+            );
         }
-        assert!(LatencyPredictor::from_snapshot(
-            DeviceSpec::gpu_gv100(),
-            &space,
-            snapshot
-        )
-        .is_err());
+        assert!(
+            LatencyPredictor::from_snapshot(DeviceSpec::gpu_gv100(), &space, snapshot).is_err()
+        );
     }
 
     #[test]

@@ -31,11 +31,13 @@ impl Layer for Relu {
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "Relu" })?;
         if mask.len() != grad_out.len() {
-            return Err(NnError::Tensor(hsconas_tensor::TensorError::ShapeMismatch {
-                op: "relu_backward",
-                expected: vec![mask.len()],
-                actual: vec![grad_out.len()],
-            }));
+            return Err(NnError::Tensor(
+                hsconas_tensor::TensorError::ShapeMismatch {
+                    op: "relu_backward",
+                    expected: vec![mask.len()],
+                    actual: vec![grad_out.len()],
+                },
+            ));
         }
         let mut g = grad_out.clone();
         for (v, &keep) in g.data_mut().iter_mut().zip(mask) {

@@ -57,7 +57,12 @@ impl BatchNorm2d {
         if input.shape().c != self.channels {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 op: "batchnorm",
-                expected: vec![input.shape().n, self.channels, input.shape().h, input.shape().w],
+                expected: vec![
+                    input.shape().n,
+                    self.channels,
+                    input.shape().h,
+                    input.shape().w,
+                ],
                 actual: input.shape().to_vec(),
             }));
         }
@@ -66,6 +71,8 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    // Index loops mirror the NCHW math; iterator chains obscure it here.
+    #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
         self.check_input(input)?;
         let s = input.shape();
@@ -147,8 +154,7 @@ impl Layer for BatchNorm2d {
                     let mean = self.running_mean[c];
                     for h in 0..s.h {
                         for w in 0..s.w {
-                            *out.at_mut(n, c, h, w) =
-                                g * (input.at(n, c, h, w) - mean) / std + b;
+                            *out.at_mut(n, c, h, w) = g * (input.at(n, c, h, w) - mean) / std + b;
                         }
                     }
                 }
@@ -158,10 +164,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::MissingForwardCache { layer: "BatchNorm2d" })?;
+        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "BatchNorm2d",
+        })?;
         let s = grad_out.shape();
         if s != cache.normalized.shape() {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
@@ -199,8 +204,8 @@ impl Layer for BatchNorm2d {
                     for w in 0..s.w {
                         let dy = grad_out.at(n, c, h, w);
                         let xn = cache.normalized.at(n, c, h, w);
-                        *grad_in.at_mut(n, c, h, w) = g / std
-                            * (dy - sum_dy[c] / count - xn * sum_dy_xn[c] / count);
+                        *grad_in.at_mut(n, c, h, w) =
+                            g / std * (dy - sum_dy[c] / count - xn * sum_dy_xn[c] / count);
                     }
                 }
             }
@@ -253,8 +258,7 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-3, "channel {c} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
         }
@@ -360,7 +364,11 @@ mod tests {
         // one EMA update must not fully replace the stats (momentum 0.1)
         let shifted = Tensor::randn([4, 1, 3, 3], 1.0, &mut rng).map(|v| v + 100.0);
         bn.forward(&shifted, true).unwrap();
-        assert!(bn.running_mean[0] < 50.0, "EMA jumped: {}", bn.running_mean[0]);
+        assert!(
+            bn.running_mean[0] < 50.0,
+            "EMA jumped: {}",
+            bn.running_mean[0]
+        );
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl ShuffleUnit {
         if stride != 1 && stride != 2 {
             return Err(invalid(format!("stride must be 1 or 2, got {stride}")));
         }
-        if c_out % 2 != 0 {
+        if !c_out.is_multiple_of(2) {
             return Err(invalid(format!("c_out must be even, got {c_out}")));
         }
         if stride == 1 {
@@ -85,7 +85,7 @@ impl ShuffleUnit {
                     "stride-1 unit must preserve channels ({c_in} != {c_out})"
                 )));
             }
-            if c_in % 2 != 0 {
+            if !c_in.is_multiple_of(2) {
                 return Err(invalid(format!("c_in must be even, got {c_in}")));
             }
         }

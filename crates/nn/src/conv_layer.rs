@@ -63,7 +63,15 @@ impl Conv2d {
     /// Creates a depthwise convolution (`groups == c_in == c_out`) with
     /// "same" padding for odd kernels.
     pub fn depthwise(channels: usize, kernel: usize, stride: usize, rng: &mut SmallRng) -> Self {
-        Self::new(channels, channels, kernel, stride, kernel / 2, channels, rng)
+        Self::new(
+            channels,
+            channels,
+            kernel,
+            stride,
+            kernel / 2,
+            channels,
+            rng,
+        )
     }
 
     /// The layer's static convolution parameters.

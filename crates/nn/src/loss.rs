@@ -35,8 +35,7 @@ impl SoftmaxCrossEntropy {
         let classes = s.c;
         let mut probs = Tensor::zeros(s);
         let mut loss = 0.0f64;
-        for n in 0..s.n {
-            let label = labels[n];
+        for (n, &label) in labels.iter().enumerate() {
             if label >= classes {
                 return Err(NnError::Tensor(TensorError::InvalidDimension {
                     op: "softmax_ce_forward",
@@ -68,15 +67,14 @@ impl SoftmaxCrossEntropy {
     ///
     /// Returns [`NnError::MissingForwardCache`] if called before `forward`.
     pub fn backward(&mut self) -> Result<Tensor, NnError> {
-        let (probs, labels) = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::MissingForwardCache { layer: "SoftmaxCrossEntropy" })?;
+        let (probs, labels) = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "SoftmaxCrossEntropy",
+        })?;
         let s = probs.shape();
         let mut grad = probs.clone();
         let inv_n = 1.0 / s.n as f32;
-        for n in 0..s.n {
-            *grad.at_mut(n, labels[n], 0, 0) -= 1.0;
+        for (n, &label) in labels.iter().enumerate().take(s.n) {
+            *grad.at_mut(n, label, 0, 0) -= 1.0;
         }
         grad.map_inplace(|v| v * inv_n);
         Ok(grad)
@@ -86,14 +84,14 @@ impl SoftmaxCrossEntropy {
     pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
         let s = logits.shape();
         let mut correct = 0;
-        for n in 0..s.n.min(labels.len()) {
+        for (n, &label) in labels.iter().enumerate().take(s.n) {
             let mut best = 0;
             for c in 1..s.c {
                 if logits.at(n, c, 0, 0) > logits.at(n, best, 0, 0) {
                     best = c;
                 }
             }
-            if best == labels[n] {
+            if best == label {
                 correct += 1;
             }
         }

@@ -136,7 +136,10 @@ mod tests {
         let mut rng = SmallRng::new(1);
         let mut s1 = InvertedResidual::new(8, 8, 6, 3, 1, &mut rng).unwrap();
         let x = Tensor::randn([1, 8, 8, 8], 1.0, &mut rng);
-        assert_eq!(s1.forward(&x, false).unwrap().shape().to_vec(), vec![1, 8, 8, 8]);
+        assert_eq!(
+            s1.forward(&x, false).unwrap().shape().to_vec(),
+            vec![1, 8, 8, 8]
+        );
         assert!(s1.has_residual());
         let mut s2 = InvertedResidual::new(8, 16, 6, 5, 2, &mut rng).unwrap();
         assert_eq!(

@@ -60,7 +60,11 @@ impl Sgd {
                 velocities.push(Tensor::zeros(p.shape()));
             }
             let v = &mut velocities[idx];
-            debug_assert_eq!(v.shape(), p.shape(), "parameter order changed between steps");
+            debug_assert_eq!(
+                v.shape(),
+                p.shape(),
+                "parameter order changed between steps"
+            );
             let wd = if decay { weight_decay } else { 0.0 };
             for ((vv, pv), gv) in v
                 .data_mut()

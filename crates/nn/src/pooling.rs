@@ -27,9 +27,9 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let shape = self
-            .cache_shape
-            .ok_or(NnError::MissingForwardCache { layer: "GlobalAvgPool" })?;
+        let shape = self.cache_shape.ok_or(NnError::MissingForwardCache {
+            layer: "GlobalAvgPool",
+        })?;
         Ok(pool::global_avg_pool_backward(shape, grad_out)?)
     }
 

@@ -1,0 +1,244 @@
+//! Shared scoped worker-pool utilities for the NAS hot paths.
+//!
+//! Every parallel site in the workspace (EA population evaluation,
+//! subspace-quality sampling, latency-LUT calibration sweeps, convolution
+//! batch loops) follows the same discipline:
+//!
+//! 1. work items are **generated serially** (so seeded RNG streams are
+//!    untouched by the thread count),
+//! 2. items are dispatched to scoped workers via an atomic index,
+//! 3. results are **merged in item-index order**.
+//!
+//! Per-item work must be a pure function of the item itself; under that
+//! contract every output is bit-identical to the serial loop regardless of
+//! `--threads`. This module generalizes what used to be a private harness
+//! in `hwsim::parallel` so every crate shares one implementation.
+//!
+//! The process-wide default thread count is configurable (the experiment
+//! binaries' `--threads N` flag lands in [`set_default_threads`]); `0` or
+//! an unset default resolves to [`available_threads`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count; 0 means "auto" (use
+/// [`available_threads`]).
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of hardware threads reported by the OS (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Sets the process-wide default worker count used when a call site passes
+/// `threads == 0`. Passing `0` restores "auto" (hardware parallelism).
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The resolved default worker count: the value installed by
+/// [`set_default_threads`], or the hardware parallelism when unset.
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => available_threads(),
+        n => n,
+    }
+}
+
+/// Resolves a per-call `threads` request (`0` = default) against the
+/// amount of work available.
+fn resolve_threads(threads: usize, work_items: usize) -> usize {
+    let requested = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    requested.max(1).min(work_items.max(1))
+}
+
+/// Maps `f` over `items` on a scoped worker pool and returns the results
+/// in item order.
+///
+/// `f` receives `(index, &item)`. With `threads == 0` the process default
+/// applies; `threads == 1` (or a single item) runs inline with no pool.
+/// Results are merged in index order, so for a deterministic `f` the
+/// output is identical across thread counts.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker pool panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+/// Index-space variant of [`par_map`]: runs `f(0..n)` on the pool and
+/// returns results in index order.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map_indices<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, threads, |_, &i| f(i))
+}
+
+/// Consumes `items` (typically disjoint `&mut` sub-slices of one buffer)
+/// and maps each through `f` on the pool, returning results in item
+/// order. Use this when workers must write into pre-partitioned output
+/// memory — e.g. one batch image each — and may also produce a value
+/// (e.g. a per-sample gradient partial) to merge deterministically.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map_owned<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = resolve_threads(threads, items.len());
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i].lock().take().expect("slot taken once");
+                let r = f(i, item);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker pool panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+/// [`par_map_owned`] without results — applies `f` to each owned item.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_for_each<T, F>(items: Vec<T>, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    par_map_owned(items, threads, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let serial = par_map(&items, 1, |i, &x| i * 1000 + x * x);
+        let parallel = par_map(&items, 8, |i, &x| i * 1000 + x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], 3 * 1000 + 9);
+    }
+
+    #[test]
+    fn par_map_indices_matches_direct() {
+        assert_eq!(par_map_indices(5, 4, |i| i * 2), vec![0, 2, 4, 6, 8]);
+        assert!(par_map_indices(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_for_each_writes_disjoint_chunks() {
+        let mut buf = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = buf.chunks_mut(8).collect();
+        par_for_each(chunks, 8, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 8 + j) as u64;
+            }
+        });
+        let want: Vec<u64> = (0..64).collect();
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_default() {
+        set_default_threads(2);
+        assert_eq!(default_threads(), 2);
+        let out = par_map_indices(10, 0, |i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = par_map(&[] as &[usize], 4, |_, &x| x);
+        assert!(out.is_empty());
+        par_for_each(Vec::<usize>::new(), 4, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_indices(4, 2, |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

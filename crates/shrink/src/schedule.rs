@@ -117,11 +117,13 @@ impl ProgressiveShrinking {
             let mut decisions = Vec::with_capacity(layers.len());
             for &layer in layers {
                 if layer >= current.num_layers() {
-                    return Err(EvoError::Space(hsconas_space::SpaceError::IndexOutOfRange {
-                        what: "layer",
-                        index: layer,
-                        bound: current.num_layers(),
-                    }));
+                    return Err(EvoError::Space(
+                        hsconas_space::SpaceError::IndexOutOfRange {
+                            what: "layer",
+                            index: layer,
+                            bound: current.num_layers(),
+                        },
+                    ));
                 }
                 let mut qualities = Vec::new();
                 let mut best: Option<(OpKind, f64, SearchSpace)> = None;
@@ -220,7 +222,11 @@ mod tests {
         }
         assert_eq!(result.space.allowed_ops(19).len(), 1);
         assert_eq!(result.space.allowed_ops(16).len(), 1);
-        assert_eq!(result.space.allowed_ops(15).len(), 5, "unfixed layer untouched");
+        assert_eq!(
+            result.space.allowed_ops(15).len(),
+            5,
+            "unfixed layer untouched"
+        );
     }
 
     #[test]

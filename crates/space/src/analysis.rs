@@ -88,7 +88,7 @@ mod tests {
         b.set_gene(0, Gene::new(OpKind::Skip, ChannelScale::FULL))
             .unwrap();
         let d = arch_distance(&a, &b);
-        assert!(d >= 1 && d <= 2);
+        assert!((1..=2).contains(&d));
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl Arch {
     /// Returns [`SpaceError`] if the vector has odd length or any index is
     /// out of range.
     pub fn decode(encoded: &[usize]) -> Result<Arch, SpaceError> {
-        if encoded.len() % 2 != 0 {
+        if !encoded.len().is_multiple_of(2) {
             return Err(SpaceError::ArchMismatch {
                 detail: format!("encoded length {} is odd", encoded.len()),
             });
@@ -103,12 +103,13 @@ impl Arch {
                 index: pair[0],
                 bound: OpKind::ALL.len(),
             })?;
-            let scale =
-                ChannelScale::from_tenths(pair[1] as u8 + 1).ok_or(SpaceError::IndexOutOfRange {
+            let scale = ChannelScale::from_tenths(pair[1] as u8 + 1).ok_or(
+                SpaceError::IndexOutOfRange {
                     what: "scale",
                     index: pair[1],
                     bound: 10,
-                })?;
+                },
+            )?;
             genes.push(Gene::new(op, scale));
         }
         Ok(Arch::new(genes))

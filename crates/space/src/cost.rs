@@ -57,7 +57,9 @@ impl ArchCost {
 }
 
 fn conv_cost(c_in: usize, c_out: usize, kernel: usize, out_res: usize, groups: usize) -> LayerCost {
-    let macs = (out_res * out_res) as f64 * (c_in / groups) as f64 * c_out as f64
+    let macs = (out_res * out_res) as f64
+        * (c_in / groups) as f64
+        * c_out as f64
         * (kernel * kernel) as f64;
     let params = (c_in / groups) as f64 * c_out as f64 * (kernel * kernel) as f64;
     LayerCost {
@@ -100,7 +102,11 @@ pub fn layer_cost(geom: &LayerGeom) -> LayerCost {
             }
             match op {
                 OpKind::Shuffle3 | OpKind::Shuffle5 | OpKind::Shuffle7 => {
-                    let (r_in, pw1_res) = if stride == 2 { (c_in, h_in) } else { (b_in, h_in) };
+                    let (r_in, pw1_res) = if stride == 2 {
+                        (c_in, h_in)
+                    } else {
+                        (b_in, h_in)
+                    };
                     cost = cost
                         .add(conv_cost(r_in, b_out, 1, pw1_res, 1))
                         .add(bn_cost(b_out, pw1_res))
@@ -142,10 +148,19 @@ pub fn arch_cost(skeleton: &NetworkSkeleton, arch: &Arch) -> Result<ArchCost, Sp
     let geoms = resolve_geometry(skeleton, arch)?;
     let layers: Vec<LayerCost> = geoms.iter().map(layer_cost).collect();
     let stem_res = skeleton.input_resolution / 2;
-    let stem = conv_cost(skeleton.input_channels, skeleton.stem_channels, 3, stem_res, 1)
-        .add(bn_cost(skeleton.stem_channels, stem_res));
+    let stem = conv_cost(
+        skeleton.input_channels,
+        skeleton.stem_channels,
+        3,
+        stem_res,
+        1,
+    )
+    .add(bn_cost(skeleton.stem_channels, stem_res));
     let final_res = geoms.last().map(|g| g.resolution_out()).unwrap_or(stem_res);
-    let last_c = geoms.last().map(|g| g.c_out).unwrap_or(skeleton.stem_channels);
+    let last_c = geoms
+        .last()
+        .map(|g| g.c_out)
+        .unwrap_or(skeleton.stem_channels);
     let head = conv_cost(last_c, skeleton.head_channels, 1, final_res, 1)
         .add(bn_cost(skeleton.head_channels, final_res))
         .add(LayerCost {

@@ -127,8 +127,11 @@ mod tests {
         let sk = skeleton();
         let mut arch = Arch::widest(20);
         // layer 2 is stride-1 in stage 0
-        arch.set_gene(2, Gene::new(OpKind::Skip, ChannelScale::from_tenths(2).unwrap()))
-            .unwrap();
+        arch.set_gene(
+            2,
+            Gene::new(OpKind::Skip, ChannelScale::from_tenths(2).unwrap()),
+        )
+        .unwrap();
         let g = resolve_geometry(&sk, &arch).unwrap();
         assert_eq!(g[2].c_out, g[2].c_in);
         assert_eq!(g[2].c_out, 48); // inherits the previous full width
@@ -139,8 +142,11 @@ mod tests {
         let sk = skeleton();
         let mut arch = Arch::widest(20);
         // layer 4 is the stage-1 downsample
-        arch.set_gene(4, Gene::new(OpKind::Skip, ChannelScale::from_tenths(5).unwrap()))
-            .unwrap();
+        arch.set_gene(
+            4,
+            Gene::new(OpKind::Skip, ChannelScale::from_tenths(5).unwrap()),
+        )
+        .unwrap();
         let g = resolve_geometry(&sk, &arch).unwrap();
         assert_eq!(g[4].c_out, 64);
         assert_eq!(g[4].stride, 2);

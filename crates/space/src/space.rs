@@ -1,8 +1,8 @@
 //! The search space `A` and subspace restriction (the object progressive
 //! space shrinking operates on, §III-C).
 
-use crate::{Arch, ChannelScale, Gene, NetworkSkeleton, OpKind, SpaceError};
 use crate::skeleton::ChannelLayout;
+use crate::{Arch, ChannelScale, Gene, NetworkSkeleton, OpKind, SpaceError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -109,9 +109,11 @@ impl SearchSpace {
     /// Whether `arch` is a member of this (possibly restricted) space.
     pub fn contains(&self, arch: &Arch) -> bool {
         arch.len() == self.num_layers()
-            && arch.genes().iter().enumerate().all(|(l, g)| {
-                self.ops[l].contains(&g.op) && self.scales[l].contains(&g.scale)
-            })
+            && arch
+                .genes()
+                .iter()
+                .enumerate()
+                .all(|(l, g)| self.ops[l].contains(&g.op) && self.scales[l].contains(&g.scale))
     }
 
     /// Returns a subspace with layer `layer` restricted to exactly `op`

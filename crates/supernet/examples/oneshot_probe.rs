@@ -23,7 +23,11 @@ fn main() {
         }
         s
     };
-    for (name, space) in [("full", &full), ("ops-only", &ops_only), ("scale>=0.5", &half_up)] {
+    for (name, space) in [
+        ("full", &full),
+        ("ops-only", &ops_only),
+        ("scale>=0.5", &half_up),
+    ] {
         for steps in [150usize, 400, 800] {
             let mut rng = SmallRng::new(32);
             let net = Supernet::build(space.skeleton(), &mut rng).unwrap();

@@ -50,8 +50,8 @@ pub mod trainer;
 
 pub use error::SupernetError;
 pub use masked::DownsampleSkip;
-pub use subnet::{build_subnet, train_from_scratch, AdaptedShuffleUnit};
 pub use mixed::MixedLayer;
 pub use model::Supernet;
 pub use oracle::TrainedAccuracy;
+pub use subnet::{build_subnet, train_from_scratch, AdaptedShuffleUnit};
 pub use trainer::{SupernetTrainer, TrainConfig};

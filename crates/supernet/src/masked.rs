@@ -76,11 +76,13 @@ pub fn adapt_channels(t: &Tensor, c_out: usize) -> Tensor {
 impl Layer for DownsampleSkip {
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError> {
         if input.shape().c != self.c_in {
-            return Err(NnError::Tensor(hsconas_tensor::TensorError::ShapeMismatch {
-                op: "downsample_skip",
-                expected: vec![input.shape().n, self.c_in, input.shape().h, input.shape().w],
-                actual: input.shape().to_vec(),
-            }));
+            return Err(NnError::Tensor(
+                hsconas_tensor::TensorError::ShapeMismatch {
+                    op: "downsample_skip",
+                    expected: vec![input.shape().n, self.c_in, input.shape().h, input.shape().w],
+                    actual: input.shape().to_vec(),
+                },
+            ));
         }
         if train {
             self.cache_shape = Some(input.shape());
@@ -90,9 +92,9 @@ impl Layer for DownsampleSkip {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let in_shape = self
-            .cache_shape
-            .ok_or(NnError::MissingForwardCache { layer: "DownsampleSkip" })?;
+        let in_shape = self.cache_shape.ok_or(NnError::MissingForwardCache {
+            layer: "DownsampleSkip",
+        })?;
         // invert the channel adaptation (truncate or pad the gradient)
         let g = Self::adapt_channels(grad_out, self.c_in);
         Ok(avg_pool_backward(in_shape, &g, 2, 2, 0)?)

@@ -136,8 +136,10 @@ impl MixedLayer {
     ///
     /// Returns [`SupernetError`] if no training forward preceded this call.
     pub fn backward_active(&mut self, grad_out: &Tensor) -> Result<Tensor, SupernetError> {
-        let (idx, keep) = self.active.ok_or_else(|| {
-            SupernetError::Nn(NnError::MissingForwardCache { layer: "MixedLayer" })
+        let (idx, keep) = self.active.ok_or({
+            SupernetError::Nn(NnError::MissingForwardCache {
+                layer: "MixedLayer",
+            })
         })?;
         let mut g = grad_out.clone();
         mask_channels(&mut g, keep);
@@ -214,8 +216,13 @@ mod tests {
         let mut rng = SmallRng::new(3);
         let mut layer = MixedLayer::build(1, 16, 16, 1, &mut rng).unwrap();
         let x = Tensor::randn([1, 16, 4, 4], 1.0, &mut rng);
-        let y = layer.forward_gene(&x, gene(OpKind::Skip, 1), false).unwrap();
-        assert_eq!(y, x, "stride-1 skip must be the identity regardless of scale");
+        let y = layer
+            .forward_gene(&x, gene(OpKind::Skip, 1), false)
+            .unwrap();
+        assert_eq!(
+            y, x,
+            "stride-1 skip must be the identity regardless of scale"
+        );
     }
 
     #[test]
@@ -226,7 +233,9 @@ mod tests {
         let y = layer
             .forward_gene(&x, gene(OpKind::Shuffle5, 10), true)
             .unwrap();
-        let g = layer.backward_active(&Tensor::full(y.shape(), 1.0)).unwrap();
+        let g = layer
+            .backward_active(&Tensor::full(y.shape(), 1.0))
+            .unwrap();
         assert_eq!(g.shape(), x.shape());
         // gradients must have reached only the shuffle5 candidate
         let mut per_candidate = Vec::new();

@@ -2,7 +2,9 @@
 
 use crate::mixed::MixedLayer;
 use crate::SupernetError;
-use hsconas_nn::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, ParamVisitor, Relu, Sequential};
+use hsconas_nn::{
+    BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, ParamVisitor, Relu, Sequential,
+};
 use hsconas_space::{Arch, NetworkSkeleton};
 use hsconas_tensor::rng::SmallRng;
 use hsconas_tensor::Tensor;
@@ -61,7 +63,11 @@ impl Supernet {
             .push(BatchNorm2d::new(skeleton.head_channels))
             .push(Relu::new())
             .push(GlobalAvgPool::new())
-            .push(Linear::new(skeleton.head_channels, skeleton.num_classes, rng));
+            .push(Linear::new(
+                skeleton.head_channels,
+                skeleton.num_classes,
+                rng,
+            ));
         Ok(Supernet {
             skeleton: skeleton.clone(),
             stem,
@@ -241,7 +247,11 @@ mod tests {
         let yw = net.forward(&x, &wide, false).unwrap();
         let yn = net.forward(&x, &narrow, false).unwrap();
         assert_ne!(yw, yn);
-        assert_eq!(net.param_count(), before, "evaluation must not grow the net");
+        assert_eq!(
+            net.param_count(),
+            before,
+            "evaluation must not grow the net"
+        );
     }
 
     #[test]
@@ -256,7 +266,9 @@ mod tests {
     fn params_adapter_rejects_direct_use() {
         let mut net = tiny_supernet(10);
         let mut adapter = SupernetParams(&mut net);
-        assert!(adapter.forward(&Tensor::zeros([1, 3, 32, 32]), true).is_err());
+        assert!(adapter
+            .forward(&Tensor::zeros([1, 3, 32, 32]), true)
+            .is_err());
         assert!(adapter.backward(&Tensor::zeros([1, 4, 1, 1])).is_err());
         assert_eq!(adapter.name(), "Supernet");
     }

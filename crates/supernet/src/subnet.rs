@@ -53,7 +53,7 @@ impl AdaptedShuffleUnit {
         c_out: usize,
         rng: &mut SmallRng,
     ) -> Result<Self, SupernetError> {
-        if c_in % 2 != 0 || c_out % 2 != 0 {
+        if !c_in.is_multiple_of(2) || !c_out.is_multiple_of(2) {
             return Err(SupernetError::Nn(NnError::InvalidConfig {
                 layer: "AdaptedShuffleUnit",
                 detail: format!("channels must be even, got {c_in} -> {c_out}"),
@@ -136,7 +136,10 @@ impl Layer for AdaptedShuffleUnit {
     }
 }
 
-fn materialize_layer(geom: &LayerGeom, rng: &mut SmallRng) -> Result<Box<dyn Layer>, SupernetError> {
+fn materialize_layer(
+    geom: &LayerGeom,
+    rng: &mut SmallRng,
+) -> Result<Box<dyn Layer>, SupernetError> {
     Ok(match (geom.op, geom.stride) {
         (OpKind::Skip, 1) => Box::new(SkipConnection::new()),
         (OpKind::Skip, _) => Box::new(DownsampleSkip::new(geom.c_in, geom.c_out)),
@@ -187,7 +190,11 @@ pub fn build_subnet(
         .last()
         .map(|g| g.c_out)
         .unwrap_or(skeleton.stem_channels);
-    net.push_boxed(Box::new(Conv2d::pointwise(last_c, skeleton.head_channels, rng)));
+    net.push_boxed(Box::new(Conv2d::pointwise(
+        last_c,
+        skeleton.head_channels,
+        rng,
+    )));
     net.push_boxed(Box::new(BatchNorm2d::new(skeleton.head_channels)));
     net.push_boxed(Box::new(Relu::new()));
     net.push_boxed(Box::new(GlobalAvgPool::new()));

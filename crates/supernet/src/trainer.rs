@@ -197,10 +197,8 @@ impl SupernetTrainer {
         // whatever paths were sampled during training.
         self.net.set_bn_mode(hsconas_nn::BnMode::Accumulate);
         for b in 0..8 {
-            let (batch, _) = data.batch(
-                self.config.batch_size,
-                (b * self.config.batch_size) as u64,
-            );
+            let (batch, _) =
+                data.batch(self.config.batch_size, (b * self.config.batch_size) as u64);
             self.net.forward(&batch, arch, true)?;
         }
         self.net.set_bn_mode(hsconas_nn::BnMode::Normal);
@@ -282,7 +280,9 @@ mod tests {
     fn zero_steps_is_noop() {
         let (space, data, mut trainer) = setup(6);
         let mut rng = SmallRng::new(7);
-        trainer.train_steps(&space, &data, 0, 0.1, &mut rng).unwrap();
+        trainer
+            .train_steps(&space, &data, 0, 0.1, &mut rng)
+            .unwrap();
         assert!(trainer.history().is_empty());
     }
 

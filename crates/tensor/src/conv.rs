@@ -3,10 +3,25 @@
 //!
 //! Weights are stored as `[c_out, c_in / groups, k, k]` tensors. Depthwise
 //! convolution is the special case `groups == c_in == c_out`.
+//!
+//! Both passes reuse per-thread im2col staging buffers
+//! ([`crate::scratch`]) and fan the batch dimension out over the shared
+//! worker pool when the per-image work is large enough to amortize thread
+//! startup. Each image's output (and input gradient) is a disjoint slice
+//! and is computed by a pure per-image function, so results are
+//! bit-identical to the serial loop at any thread count; the weight
+//! gradient is accumulated from per-image partials merged in batch order,
+//! which reproduces the serial addition order exactly.
 
 use crate::im2col::{col2im, im2col, ConvGeom};
 use crate::matmul::{matmul_a_bt, matmul_accumulate, matmul_at_b};
+use crate::scratch::with_scratch;
 use crate::{Shape4, Tensor, TensorError};
+
+/// Minimum per-image multiply-accumulate count before the batch loop is
+/// worth fanning out to worker threads (thread spawn is tens of
+/// microseconds; below this the serial loop wins).
+const PAR_MAC_THRESHOLD: usize = 250_000;
 
 /// Static parameters of a convolution operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +55,10 @@ impl Conv2dParams {
         if self.c_in == 0 || self.c_out == 0 || self.kernel == 0 || self.stride == 0 {
             return Err(bad(format!("zero-sized parameter: {self:?}")));
         }
-        if self.groups == 0 || self.c_in % self.groups != 0 || self.c_out % self.groups != 0 {
+        if self.groups == 0
+            || !self.c_in.is_multiple_of(self.groups)
+            || !self.c_out.is_multiple_of(self.groups)
+        {
             return Err(bad(format!(
                 "groups {} must divide c_in {} and c_out {}",
                 self.groups, self.c_in, self.c_out
@@ -51,7 +69,12 @@ impl Conv2dParams {
 
     /// Expected weight tensor shape `[c_out, c_in/groups, k, k]`.
     pub fn weight_shape(&self) -> Shape4 {
-        Shape4::new(self.c_out, self.c_in / self.groups, self.kernel, self.kernel)
+        Shape4::new(
+            self.c_out,
+            self.c_in / self.groups,
+            self.kernel,
+            self.kernel,
+        )
     }
 
     /// Output spatial size for an input of `(h, w)`.
@@ -108,27 +131,48 @@ pub fn conv2d_forward(
     let krows = cinpg * params.kernel * params.kernel;
 
     let mut out = Tensor::zeros([ishape.n, params.c_out, oh, ow]);
-    let mut col = vec![0.0f32; krows * cols];
     let in_plane = ishape.h * ishape.w;
     let out_plane = oh * ow;
+    let in_stride = params.c_in * in_plane;
+    let out_stride = params.c_out * out_plane;
 
-    for n in 0..ishape.n {
-        for g in 0..params.groups {
-            let in_off = (n * params.c_in + g * cinpg) * in_plane;
-            im2col(&input.data()[in_off..in_off + cinpg * in_plane], &geom, &mut col);
-            let w_off = g * coutpg * krows;
-            let o_off = (n * params.c_out + g * coutpg) * out_plane;
-            matmul_accumulate(
-                &weight.data()[w_off..w_off + coutpg * krows],
-                &col,
-                &mut out.data_mut()[o_off..o_off + coutpg * out_plane],
-                coutpg,
-                krows,
-                cols,
-            );
-        }
-    }
+    let input_data = input.data();
+    let weight_data = weight.data();
+    let forward_one = |n: usize, out_image: &mut [f32]| {
+        with_scratch(krows * cols, |col| {
+            for g in 0..params.groups {
+                let in_off = n * in_stride + g * cinpg * in_plane;
+                im2col(&input_data[in_off..in_off + cinpg * in_plane], &geom, col);
+                let w_off = g * coutpg * krows;
+                let o_off = g * coutpg * out_plane;
+                matmul_accumulate(
+                    &weight_data[w_off..w_off + coutpg * krows],
+                    col,
+                    &mut out_image[o_off..o_off + coutpg * out_plane],
+                    coutpg,
+                    krows,
+                    cols,
+                );
+            }
+        });
+    };
+
+    let threads = batch_threads(ishape.n, params.c_out * out_plane * krows);
+    let images: Vec<&mut [f32]> = out.data_mut().chunks_mut(out_stride).collect();
+    hsconas_par::par_for_each(images, threads, forward_one);
     Ok(out)
+}
+
+/// Worker count for a batch loop: 1 (inline) unless there are several
+/// images and each image carries enough MACs to amortize thread startup,
+/// in which case the process default (`hsconas_par::default_threads`)
+/// applies.
+fn batch_threads(batch: usize, macs_per_image: usize) -> usize {
+    if batch > 1 && macs_per_image >= PAR_MAC_THRESHOLD {
+        0
+    } else {
+        1
+    }
 }
 
 /// Gradients produced by [`conv2d_backward`].
@@ -182,42 +226,67 @@ pub fn conv2d_backward(
 
     let mut grad_in = Tensor::zeros(ishape);
     let mut grad_w = Tensor::zeros(params.weight_shape());
-    let mut col = vec![0.0f32; krows * cols];
-    let mut dcol = vec![0.0f32; krows * cols];
+    let in_stride = params.c_in * in_plane;
+    let out_stride = params.c_out * out_plane;
+    let w_len = grad_w.len();
 
-    for n in 0..ishape.n {
-        for g in 0..params.groups {
-            let in_off = (n * params.c_in + g * cinpg) * in_plane;
-            let w_off = g * coutpg * krows;
-            let o_off = (n * params.c_out + g * coutpg) * out_plane;
-            let dout = &grad_out.data()[o_off..o_off + coutpg * out_plane];
+    let input_data = input.data();
+    let weight_data = weight.data();
+    let grad_out_data = grad_out.data();
+    // Per-image work: fills this image's slice of dInput and returns its
+    // dW contribution. Scratch buffers come from the thread's pool.
+    let backward_one = |n: usize, gin_image: &mut [f32]| -> Vec<f32> {
+        let mut gw = vec![0.0f32; w_len];
+        with_scratch(krows * cols, |col| {
+            with_scratch(krows * cols, |dcol| {
+                for g in 0..params.groups {
+                    let in_off = n * in_stride + g * cinpg * in_plane;
+                    let gin_off = g * cinpg * in_plane;
+                    let w_off = g * coutpg * krows;
+                    let o_off = n * out_stride + g * coutpg * out_plane;
+                    let dout = &grad_out_data[o_off..o_off + coutpg * out_plane];
 
-            // dW += dOut (coutpg × cols) · colᵀ (cols × krows)
-            im2col(&input.data()[in_off..in_off + cinpg * in_plane], &geom, &mut col);
-            matmul_a_bt(
-                dout,
-                &col,
-                &mut grad_w.data_mut()[w_off..w_off + coutpg * krows],
-                coutpg,
-                cols,
-                krows,
-            );
+                    // dW += dOut (coutpg × cols) · colᵀ (cols × krows)
+                    im2col(&input_data[in_off..in_off + cinpg * in_plane], &geom, col);
+                    matmul_a_bt(
+                        dout,
+                        col,
+                        &mut gw[w_off..w_off + coutpg * krows],
+                        coutpg,
+                        cols,
+                        krows,
+                    );
 
-            // dCol = Wᵀ (krows × coutpg) · dOut (coutpg × cols)
-            dcol.fill(0.0);
-            matmul_at_b(
-                &weight.data()[w_off..w_off + coutpg * krows],
-                dout,
-                &mut dcol,
-                coutpg,
-                krows,
-                cols,
-            );
-            col2im(
-                &dcol,
-                &geom,
-                &mut grad_in.data_mut()[in_off..in_off + cinpg * in_plane],
-            );
+                    // dCol = Wᵀ (krows × coutpg) · dOut (coutpg × cols)
+                    dcol.fill(0.0);
+                    matmul_at_b(
+                        &weight_data[w_off..w_off + coutpg * krows],
+                        dout,
+                        dcol,
+                        coutpg,
+                        krows,
+                        cols,
+                    );
+                    col2im(
+                        dcol,
+                        &geom,
+                        &mut gin_image[gin_off..gin_off + cinpg * in_plane],
+                    );
+                }
+            });
+        });
+        gw
+    };
+
+    let threads = batch_threads(ishape.n, 2 * params.c_out * out_plane * krows);
+    let images: Vec<&mut [f32]> = grad_in.data_mut().chunks_mut(in_stride).collect();
+    let partials = hsconas_par::par_map_owned(images, threads, backward_one);
+    // Merge dW partials in batch order: each image's contribution is a
+    // single addend per weight, so this reproduces the serial per-image
+    // accumulation order bit-for-bit.
+    for partial in partials {
+        for (w, p) in grad_w.data_mut().iter_mut().zip(&partial) {
+            *w += p;
         }
     }
     Ok(Conv2dGrads {
@@ -404,6 +473,38 @@ mod tests {
             let ana = grads.weight.data()[idx];
             assert!((num - ana).abs() < 5e-2, "weight[{idx}]: {num} vs {ana}");
         }
+    }
+
+    #[test]
+    fn batch_parallel_is_bit_identical_to_serial() {
+        // Force the worker pool on (threshold-sized work, explicit thread
+        // count) and require bit-exact agreement with the 1-thread path.
+        let mut rng = SmallRng::new(11);
+        let p = Conv2dParams {
+            c_in: 8,
+            c_out: 16,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        };
+        // 16 * 24*24 * 8*9 = 663k MACs per image: above PAR_MAC_THRESHOLD.
+        let x = Tensor::randn([6, 8, 24, 24], 1.0, &mut rng);
+        let w = Tensor::randn(p.weight_shape(), 0.5, &mut rng);
+        let y = conv2d_forward(&x, &w, &p).unwrap();
+        let dy = Tensor::randn(y.shape(), 1.0, &mut rng);
+
+        hsconas_par::set_default_threads(1);
+        let y_serial = conv2d_forward(&x, &w, &p).unwrap();
+        let g_serial = conv2d_backward(&x, &w, &dy, &p).unwrap();
+        hsconas_par::set_default_threads(4);
+        let y_par = conv2d_forward(&x, &w, &p).unwrap();
+        let g_par = conv2d_backward(&x, &w, &dy, &p).unwrap();
+        hsconas_par::set_default_threads(0);
+
+        assert_eq!(y_serial.data(), y_par.data());
+        assert_eq!(g_serial.input.data(), g_par.input.data());
+        assert_eq!(g_serial.weight.data(), g_par.weight.data());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod im2col;
 pub mod matmul;
 pub mod pool;
 pub mod rng;
+pub mod scratch;
 
 pub use error::TensorError;
 pub use shape::Shape4;

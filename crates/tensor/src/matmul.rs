@@ -2,8 +2,22 @@
 //!
 //! Matrices are plain row-major `&[f32]` slices with explicit dimensions;
 //! the convolution kernels in [`crate::conv`] lower onto these via im2col.
-//! A cache-blocked loop order (`i, k, j`) keeps the inner loop contiguous in
-//! both `b` and `c`, which is all the performance this reproduction needs.
+//!
+//! The kernels are cache-blocked over `k` and register-tiled `MR x NR`
+//! (4x8): the microkernel keeps a 4x8 accumulator block in registers and
+//! walks a `k`-block with a contiguous, fixed-width inner loop that LLVM
+//! autovectorizes at `opt-level >= 1`. Supernet channel masking zeroes
+//! whole rows of the `a` operand, so the panel loop keeps the zero-skip of
+//! the old scalar kernels, hoisted to block granularity: an all-zero
+//! `MR x k_block` panel of `a` is skipped before any arithmetic.
+
+/// Rows of the register tile (rows of `a` per microkernel call).
+const MR: usize = 4;
+/// Columns of the register tile (columns of `c` per microkernel call).
+const NR: usize = 8;
+/// Cache block along the shared `k` dimension; 256 rows of `b` at NR
+/// lanes stay resident in L1/L2 alongside the `a` panel.
+const KC: usize = 256;
 
 /// `c = a (m×k) · b (k×n)`, overwriting `c` (m×n).
 ///
@@ -27,16 +41,95 @@ pub fn matmul_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize
     assert_eq!(a.len(), m * k, "matmul: a has wrong length");
     assert_eq!(b.len(), k * n, "matmul: b has wrong length");
     assert_eq!(c.len(), m * n, "matmul: c has wrong length");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let mut kb = 0;
+    while kb < k {
+        let kc = KC.min(k - kb);
+        let mut ib = 0;
+        while ib < m {
+            let mr = MR.min(m - ib);
+            // Zero-skip at panel granularity: masked channels zero whole
+            // rows of `a`, so this prunes their entire k-block.
+            let panel_zero = (0..mr).all(|r| {
+                a[(ib + r) * k + kb..(ib + r) * k + kb + kc]
+                    .iter()
+                    .all(|&v| v == 0.0)
+            });
+            if !panel_zero {
+                panel_ab(a, b, c, k, n, ib, mr, kb, kc);
             }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
+            ib += MR;
+        }
+        kb += KC;
+    }
+}
+
+/// Microkernel driver for one `mr x kc` panel of `a` against all of `b`'s
+/// columns: tiles `n` by `NR` and keeps the `mr x NR` accumulator block in
+/// registers across the `kc`-deep inner loop.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn panel_ab(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    ib: usize,
+    mr: usize,
+    kb: usize,
+    kc: usize,
+) {
+    let mut jb = 0;
+    while jb + NR <= n {
+        if mr == MR {
+            // Full 4x8 register tile, fixed-width loops throughout.
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..kc {
+                let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
+                for r in 0..MR {
+                    let av = a[(ib + r) * k + kb + kk];
+                    for (jj, &bv) in b_row.iter().enumerate() {
+                        acc[r][jj] += av * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + NR];
+                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                    *cv += av;
+                }
+            }
+        } else {
+            for r in 0..mr {
+                let mut acc = [0.0f32; NR];
+                for kk in 0..kc {
+                    let av = a[(ib + r) * k + kb + kk];
+                    let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
+                    for (jj, &bv) in b_row.iter().enumerate() {
+                        acc[jj] += av * bv;
+                    }
+                }
+                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + NR];
+                for (cv, &av) in c_row.iter_mut().zip(&acc) {
+                    *cv += av;
+                }
+            }
+        }
+        jb += NR;
+    }
+    if jb < n {
+        // Remainder columns: plain i-k-j with the panel's k-block.
+        for r in 0..mr {
+            let a_row = &a[(ib + r) * k + kb..(ib + r) * k + kb + kc];
+            let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
             }
         }
     }
@@ -54,16 +147,87 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: u
     assert_eq!(a.len(), k * m, "matmul_at_b: a has wrong length");
     assert_eq!(b.len(), k * n, "matmul_at_b: b has wrong length");
     assert_eq!(c.len(), m * n, "matmul_at_b: c has wrong length");
-    for kk in 0..k {
-        let a_row = &a[kk * m..(kk + 1) * m];
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let mut kb = 0;
+    while kb < k {
+        let kc = KC.min(k - kb);
+        let mut ib = 0;
+        while ib < m {
+            let mr = MR.min(m - ib);
+            // `a` is (k, m): column ib+r of the block, strided by m.
+            let panel_zero = (0..mr).all(|r| (0..kc).all(|kk| a[(kb + kk) * m + ib + r] == 0.0));
+            if !panel_zero {
+                panel_atb(a, b, c, m, n, ib, mr, kb, kc);
             }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
+            ib += MR;
+        }
+        kb += KC;
+    }
+}
+
+/// Microkernel driver for [`matmul_at_b`]: identical tiling to
+/// [`panel_ab`], with the `a` operand read column-wise (stride `m`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn panel_atb(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    ib: usize,
+    mr: usize,
+    kb: usize,
+    kc: usize,
+) {
+    let mut jb = 0;
+    while jb + NR <= n {
+        if mr == MR {
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..kc {
+                let a_row = &a[(kb + kk) * m + ib..(kb + kk) * m + ib + MR];
+                let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
+                for (r, &av) in a_row.iter().enumerate() {
+                    for (jj, &bv) in b_row.iter().enumerate() {
+                        acc[r][jj] += av * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + NR];
+                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                    *cv += av;
+                }
+            }
+        } else {
+            for r in 0..mr {
+                let mut acc = [0.0f32; NR];
+                for kk in 0..kc {
+                    let av = a[(kb + kk) * m + ib + r];
+                    let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
+                    for (jj, &bv) in b_row.iter().enumerate() {
+                        acc[jj] += av * bv;
+                    }
+                }
+                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + NR];
+                for (cv, &av) in c_row.iter_mut().zip(&acc) {
+                    *cv += av;
+                }
+            }
+        }
+        jb += NR;
+    }
+    if jb < n {
+        for kk in 0..kc {
+            let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + n];
+            for r in 0..mr {
+                let av = a[(kb + kk) * m + ib + r];
+                if av == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
             }
         }
     }
@@ -78,18 +242,40 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k, "matmul_a_bt: a has wrong length");
     assert_eq!(b.len(), n * k, "matmul_a_bt: b has wrong length");
     assert_eq!(c.len(), m * n, "matmul_a_bt: c has wrong length");
+    // Both operands are walked along `k`, so each (i, j) pair is a dot
+    // product; eight independent lanes break the serial FP dependency
+    // chain and autovectorize.
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
+        if a_row.iter().all(|&v| v == 0.0) {
+            continue;
+        }
         let c_row = &mut c[i * n..(i + 1) * n];
         for (j, cv) in c_row.iter_mut().enumerate() {
             let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            *cv += acc;
+            *cv += dot_lanes(a_row, b_row);
         }
     }
+}
+
+/// Dot product with eight parallel accumulator lanes.
+#[inline]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    const LANES: usize = 8;
+    let mut lanes = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for ck in 0..chunks {
+        let a_c = &a[ck * LANES..(ck + 1) * LANES];
+        let b_c = &b[ck * LANES..(ck + 1) * LANES];
+        for l in 0..LANES {
+            lanes[l] += a_c[l] * b_c[l];
+        }
+    }
+    let mut acc = lanes.iter().sum::<f32>();
+    for l in chunks * LANES..a.len() {
+        acc += a[l] * b[l];
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -129,6 +315,31 @@ mod tests {
     }
 
     #[test]
+    fn matmul_matches_naive_across_tile_boundaries() {
+        // Sizes straddling the MR/NR/KC tile edges, including k > KC so
+        // multiple k-blocks accumulate into the same c tile.
+        let mut rng = SmallRng::new(7);
+        for &(m, k, n) in &[
+            (4, 8, 8),
+            (5, 9, 9),
+            (3, 300, 7),
+            (6, 257, 24),
+            (9, 511, 17),
+            (12, 256, 8),
+        ] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c = vec![0.0; m * n];
+            matmul(&a, &b, &mut c, m, k, n);
+            let want = naive(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&want) {
+                let tol = 1e-3 * (1.0 + y.abs());
+                assert!((x - y).abs() < tol, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn matmul_accumulate_adds() {
         let a = vec![1.0, 0.0, 0.0, 1.0];
         let b = vec![5.0, 6.0, 7.0, 8.0];
@@ -138,44 +349,85 @@ mod tests {
     }
 
     #[test]
-    fn at_b_matches_transposed_naive() {
-        let mut rng = SmallRng::new(2);
-        let (k, m, n) = (6, 4, 5);
-        let a = rand_vec(k * m, &mut rng);
+    fn zeroed_rows_do_not_contaminate() {
+        // Masked-channel pattern: whole rows of `a` zero; the panel-level
+        // zero-skip must leave exactly the nonzero rows' products.
+        let mut rng = SmallRng::new(8);
+        let (m, k, n) = (10, 40, 12);
+        let mut a = rand_vec(m * k, &mut rng);
+        for r in [1usize, 4, 5, 6, 7, 9] {
+            a[r * k..(r + 1) * k].fill(0.0);
+        }
         let b = rand_vec(k * n, &mut rng);
         let mut c = vec![0.0; m * n];
-        matmul_at_b(&a, &b, &mut c, k, m, n);
-        // transpose a into (m, k) and multiply
-        let mut at = vec![0.0; m * k];
-        for kk in 0..k {
-            for i in 0..m {
-                at[i * k + kk] = a[kk * m + i];
-            }
+        matmul(&a, &b, &mut c, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for r in [1usize, 4, 5, 6, 7, 9] {
+            assert!(c[r * n..(r + 1) * n].iter().all(|&v| v == 0.0));
         }
-        let want = naive(&at, &b, m, k, n);
         for (x, y) in c.iter().zip(&want) {
             assert!((x - y).abs() < 1e-4);
         }
     }
 
     #[test]
-    fn a_bt_matches_transposed_naive() {
-        let mut rng = SmallRng::new(3);
-        let (m, k, n) = (4, 6, 5);
-        let a = rand_vec(m * k, &mut rng);
-        let b = rand_vec(n * k, &mut rng);
-        let mut c = vec![0.0; m * n];
-        matmul_a_bt(&a, &b, &mut c, m, k, n);
-        let mut bt = vec![0.0; k * n];
-        for j in 0..n {
+    fn at_b_matches_transposed_naive() {
+        let mut rng = SmallRng::new(2);
+        for &(k, m, n) in &[(6, 4, 5), (300, 9, 17), (257, 4, 8), (64, 13, 31)] {
+            let a = rand_vec(k * m, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c = vec![0.0; m * n];
+            matmul_at_b(&a, &b, &mut c, k, m, n);
+            // transpose a into (m, k) and multiply
+            let mut at = vec![0.0; m * k];
             for kk in 0..k {
-                bt[kk * n + j] = b[j * k + kk];
+                for i in 0..m {
+                    at[i * k + kk] = a[kk * m + i];
+                }
+            }
+            let want = naive(&at, &b, m, k, n);
+            for (x, y) in c.iter().zip(&want) {
+                let tol = 1e-3 * (1.0 + y.abs());
+                assert!((x - y).abs() < tol, "({k},{m},{n}): {x} vs {y}");
             }
         }
-        let want = naive(&a, &bt, m, k, n);
-        for (x, y) in c.iter().zip(&want) {
-            assert!((x - y).abs() < 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_transposed_naive() {
+        let mut rng = SmallRng::new(3);
+        for &(m, k, n) in &[(4, 6, 5), (7, 300, 9), (5, 64, 16), (1, 23, 1)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(n * k, &mut rng);
+            let mut c = vec![0.0; m * n];
+            matmul_a_bt(&a, &b, &mut c, m, k, n);
+            let mut bt = vec![0.0; k * n];
+            for j in 0..n {
+                for kk in 0..k {
+                    bt[kk * n + j] = b[j * k + kk];
+                }
+            }
+            let want = naive(&a, &bt, m, k, n);
+            for (x, y) in c.iter().zip(&want) {
+                let tol = 1e-3 * (1.0 + y.abs());
+                assert!((x - y).abs() < tol, "({m},{k},{n}): {x} vs {y}");
+            }
         }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        // Same inputs must give bit-identical outputs on repeated calls
+        // (the determinism regression suite relies on this).
+        let mut rng = SmallRng::new(4);
+        let (m, k, n) = (11, 270, 19);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        matmul(&a, &b, &mut c1, m, k, n);
+        matmul(&a, &b, &mut c2, m, k, n);
+        assert_eq!(c1, c2);
     }
 
     #[test]

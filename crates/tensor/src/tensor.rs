@@ -294,7 +294,7 @@ impl Tensor {
     /// the channel count.
     pub fn channel_shuffle(&self, groups: usize) -> Result<Tensor, TensorError> {
         let c = self.shape.c;
-        if groups == 0 || c % groups != 0 {
+        if groups == 0 || !c.is_multiple_of(groups) {
             return Err(TensorError::InvalidDimension {
                 op: "channel_shuffle",
                 detail: format!("groups {groups} does not divide channels {c}"),
@@ -327,7 +327,7 @@ impl Tensor {
     /// Same conditions as [`Tensor::channel_shuffle`].
     pub fn channel_unshuffle(&self, groups: usize) -> Result<Tensor, TensorError> {
         let c = self.shape.c;
-        if groups == 0 || c % groups != 0 {
+        if groups == 0 || !c.is_multiple_of(groups) {
             return Err(TensorError::InvalidDimension {
                 op: "channel_unshuffle",
                 detail: format!("groups {groups} does not divide channels {c}"),
@@ -442,7 +442,10 @@ mod tests {
         let mean = t.sum() / n;
         let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
         let expected = 2.0 / (64.0 * 9.0);
-        assert!((var / expected - 1.0).abs() < 0.1, "var {var} vs {expected}");
+        assert!(
+            (var / expected - 1.0).abs() < 0.1,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

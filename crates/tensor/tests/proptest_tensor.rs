@@ -10,12 +10,12 @@ use proptest::prelude::*;
 
 fn conv_params() -> impl Strategy<Value = (Conv2dParams, usize)> {
     (
-        1usize..4,                                  // channels per group
-        1usize..3,                                  // groups
-        1usize..4,                                  // out channels per group
-        prop::sample::select(vec![1usize, 3, 5]),   // kernel
-        1usize..3,                                  // stride
-        5usize..9,                                  // spatial size
+        1usize..4,                                // channels per group
+        1usize..3,                                // groups
+        1usize..4,                                // out channels per group
+        prop::sample::select(vec![1usize, 3, 5]), // kernel
+        1usize..3,                                // stride
+        5usize..9,                                // spatial size
     )
         .prop_map(|(cpg, groups, opg, kernel, stride, hw)| {
             (

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.evolution.population
     );
     let result = run_real_pipeline(&config, 2021)?;
-    println!("\nshrunk space    : {} fixed layers", result.shrunk_space.fixed_layers().len());
+    println!(
+        "\nshrunk space    : {} fixed layers",
+        result.shrunk_space.fixed_layers().len()
+    );
     println!("best arch       : {}", result.best_arch);
     println!(
         "inherited acc   : {:.1}% (weight-sharing supernet evaluation)",
@@ -30,6 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "from-scratch acc: {:.1}% (the paper's fair-comparison protocol)",
         100.0 * result.from_scratch_accuracy
     );
-    println!("latency         : {:.1} ms (target {} ms)", result.latency_ms, config.target_ms);
+    println!(
+        "latency         : {:.1} ms (target {} ms)",
+        result.latency_ms, config.target_ms
+    );
     Ok(())
 }

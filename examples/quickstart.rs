@@ -43,8 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
     println!("\ndiscovered architecture:");
     println!("  {}", outcome.best_arch);
-    println!("  top-1 error : {:.1}%", oracle.top1_error(&outcome.best_arch)?);
-    println!("  latency     : {:.1} ms (target {target_ms} ms)", outcome.best.latency_ms);
+    println!(
+        "  top-1 error : {:.1}%",
+        oracle.top1_error(&outcome.best_arch)?
+    );
+    println!(
+        "  latency     : {:.1} ms (target {target_ms} ms)",
+        outcome.best.latency_ms
+    );
     println!("  objective F : {:.2}", outcome.best.score);
     println!(
         "  latency bias B used by the predictor: {:.2} ms",
@@ -53,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(shrink) = &outcome.shrink {
         println!(
             "  space shrunk from 10^{:.1} to 10^{:.1} before the EA",
-            shrink.stages.first().map(|s| s.log10_size_before).unwrap_or(0.0),
+            shrink
+                .stages
+                .first()
+                .map(|s| s.log10_size_before)
+                .unwrap_or(0.0),
             shrink.space.log10_size()
         );
     }

@@ -69,6 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  real (inherited-weight) accuracy: {:.1}%",
         result.best_evaluation.accuracy
     );
-    println!("  predicted latency: {:.1} ms (target {target_ms} ms)", result.best_evaluation.latency_ms);
+    println!(
+        "  predicted latency: {:.1} ms (target {target_ms} ms)",
+        result.best_evaluation.latency_ms
+    );
     Ok(())
 }

@@ -1,0 +1,167 @@
+//! Regression tests for the parallel-evaluation determinism contract:
+//! every parallel site generates work items serially from the seeded RNG,
+//! dispatches them to the worker pool, and merges results in item order —
+//! so a fixed-seed run must be **byte-identical** at any thread count,
+//! with or without the evaluation memo-cache.
+//!
+//! Thread counts are passed explicitly (not via the process-wide default)
+//! so the tests cannot race each other through global state.
+
+use hsconas_evo::{
+    Evaluation, EvoError, EvolutionConfig, EvolutionSearch, MemoObjective, Objective,
+    ParallelObjective, SearchResult,
+};
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_shrink::{ProgressiveShrinking, ShrinkConfig, ShrinkResult};
+use hsconas_space::cost::arch_cost;
+use hsconas_space::{Arch, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic, `Sync` objective with real structure: latency from the
+/// noise-free device timing model, "accuracy" as a smooth function of the
+/// architecture's FLOPs plus a fingerprint-dependent wiggle (so equal-cost
+/// architectures still get distinct scores).
+fn score(space: &SearchSpace, device: &DeviceSpec, arch: &Arch) -> Result<Evaluation, EvoError> {
+    let net = lower_arch(space.skeleton(), arch).map_err(|e| EvoError::Objective {
+        detail: e.to_string(),
+    })?;
+    let latency_ms = device.network_time_us(&net) / 1000.0;
+    let cost = arch_cost(space.skeleton(), arch).map_err(EvoError::Space)?;
+    let accuracy =
+        60.0 + 10.0 * (cost.total_flops() / 1e8).tanh() + (arch.fingerprint() % 997) as f64 / 997.0;
+    let target_ms = 30.0;
+    let score = accuracy - 20.0 * (latency_ms / target_ms - 1.0).abs();
+    Ok(Evaluation {
+        score,
+        accuracy,
+        latency_ms,
+    })
+}
+
+struct SerialObjective {
+    space: SearchSpace,
+    device: DeviceSpec,
+}
+
+impl Objective for SerialObjective {
+    fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+        score(&self.space, &self.device, arch)
+    }
+}
+
+fn search_config() -> EvolutionConfig {
+    EvolutionConfig {
+        generations: 6,
+        population: 20,
+        parents: 8,
+        ..Default::default()
+    }
+}
+
+fn run_search(objective: &mut dyn Objective, seed: u64) -> SearchResult {
+    let space = SearchSpace::hsconas_a();
+    let mut rng = StdRng::seed_from_u64(seed);
+    EvolutionSearch::new(space, search_config())
+        .run(objective, &mut rng)
+        .unwrap()
+}
+
+#[test]
+fn ea_search_is_byte_identical_across_thread_counts_and_memo() {
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+
+    let mut serial = SerialObjective {
+        space: space.clone(),
+        device: device.clone(),
+    };
+    let reference = run_search(&mut serial, 2021);
+
+    for threads in [1, 2, 8] {
+        let sp = space.clone();
+        let dev = device.clone();
+        let mut par = ParallelObjective::new(move |a: &Arch| score(&sp, &dev, a), threads);
+        let got = run_search(&mut par, 2021);
+        assert_eq!(reference, got, "threads={threads} changed the search");
+    }
+
+    // Memo-cache on top of the parallel path: still identical, and the
+    // cache must have absorbed the revisits.
+    let sp = space.clone();
+    let dev = device.clone();
+    let mut memo = MemoObjective::new(ParallelObjective::new(
+        move |a: &Arch| score(&sp, &dev, a),
+        8,
+    ));
+    let got = run_search(&mut memo, 2021);
+    assert_eq!(reference, got, "memo-cache changed the search");
+    let stats = memo.stats();
+    assert_eq!(
+        stats.misses,
+        memo.cached_count() as u64,
+        "every distinct genome evaluated exactly once"
+    );
+}
+
+fn run_shrink(objective: &mut dyn Objective, seed: u64) -> ShrinkResult {
+    let space = SearchSpace::hsconas_a();
+    let config = ShrinkConfig {
+        stages: vec![vec![19, 18], vec![17]],
+        samples_per_subspace: 30,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    ProgressiveShrinking::new(config)
+        .run(space, objective, &mut rng, |_, _| Ok(()))
+        .unwrap()
+}
+
+#[test]
+fn shrink_is_byte_identical_across_thread_counts_and_memo() {
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::cpu_xeon_6136();
+
+    let mut serial = SerialObjective {
+        space: space.clone(),
+        device: device.clone(),
+    };
+    let reference = run_shrink(&mut serial, 7);
+
+    for threads in [1, 8] {
+        let sp = space.clone();
+        let dev = device.clone();
+        let mut par = ParallelObjective::new(move |a: &Arch| score(&sp, &dev, a), threads);
+        assert_eq!(
+            reference,
+            run_shrink(&mut par, 7),
+            "threads={threads} changed the shrink schedule"
+        );
+    }
+
+    let sp = space.clone();
+    let dev = device.clone();
+    let mut memo = MemoObjective::new(ParallelObjective::new(
+        move |a: &Arch| score(&sp, &dev, a),
+        8,
+    ));
+    assert_eq!(
+        reference,
+        run_shrink(&mut memo, 7),
+        "memo-cache changed the shrink schedule"
+    );
+}
+
+#[test]
+fn hwsim_measurement_sweep_is_thread_count_invariant() {
+    let space = SearchSpace::hsconas_a();
+    let mut rng = StdRng::seed_from_u64(3);
+    let nets: Vec<_> = space
+        .sample_n(16, &mut rng)
+        .iter()
+        .map(|a| lower_arch(space.skeleton(), a).unwrap())
+        .collect();
+    let device = DeviceSpec::gpu_gv100();
+    let one = hsconas_hwsim::measure_networks_parallel(&device, &nets, 3, 11, 1);
+    let eight = hsconas_hwsim::measure_networks_parallel(&device, &nets, 3, 11, 8);
+    assert_eq!(one, eight);
+}

@@ -44,11 +44,7 @@ fn pipeline_meets_constraints_on_all_devices() {
         // accuracy stays in the plausible band for the A layout
         let oracle = SurrogateAccuracy::new(space.skeleton().clone());
         let err = oracle.top1_error(&outcome.best_arch).unwrap();
-        assert!(
-            (20.0..32.0).contains(&err),
-            "{}: error {err}",
-            device.name
-        );
+        assert!((20.0..32.0).contains(&err), "{}: error {err}", device.name);
     }
 }
 

@@ -17,6 +17,9 @@ use rand::SeedableRng;
 fn supernet_one_shot_training_transfers_to_subnets() {
     // Train with single-path sampling across the whole tiny space; the
     // widest subnet must end up above chance with inherited weights.
+    // 800 steps leaves margin across RNG streams: at 400 the full-width
+    // channels (trained only when the widest scale is sampled) can still
+    // sit at chance for unlucky path sequences.
     let space = SearchSpace::tiny(4);
     let data = SyntheticDataset::new(4, 32, 31);
     let mut rng = SmallRng::new(32);
@@ -24,7 +27,7 @@ fn supernet_one_shot_training_transfers_to_subnets() {
     let mut trainer = SupernetTrainer::new(
         net,
         TrainConfig {
-            steps: 400,
+            steps: 800,
             batch_size: 8,
             base_lr: 0.08,
             warmup_steps: 10,
@@ -33,7 +36,10 @@ fn supernet_one_shot_training_transfers_to_subnets() {
     );
     trainer.train(&space, &data, &mut rng).unwrap();
     let acc = trainer.evaluate(&Arch::widest(4), &data, 4).unwrap();
-    assert!(acc > 0.35, "inherited-weight accuracy {acc} near chance (0.25)");
+    assert!(
+        acc > 0.35,
+        "inherited-weight accuracy {acc} near chance (0.25)"
+    );
 }
 
 #[test]
@@ -88,7 +94,9 @@ fn fine_tuning_in_shrunk_space_does_not_break_inherited_eval() {
     let mut rng = SmallRng::new(52);
     let net = Supernet::build(space.skeleton(), &mut rng).unwrap();
     let mut trainer = SupernetTrainer::new(net, TrainConfig::quick_test());
-    trainer.train_steps(&space, &data, 20, 0.05, &mut rng).unwrap();
+    trainer
+        .train_steps(&space, &data, 20, 0.05, &mut rng)
+        .unwrap();
     let shrunk = space
         .restrict_op(3, hsconas_space::OpKind::Shuffle3)
         .unwrap();

@@ -1,8 +1,8 @@
 //! Integration: the Table I report pipeline across baselines, devices,
 //! the accuracy oracle, and the search.
 
-use hsconas::{render_table, PipelineConfig, TableGroup};
 use hsconas::report::{baseline_rows, hsconet_rows};
+use hsconas::{render_table, PipelineConfig, TableGroup};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with criterion's calling convention (`criterion_group!` /
+//! `criterion_main!` / `Criterion::bench_function` / `Bencher::iter`).
+//!
+//! Each benchmark warms up briefly, then runs enough iterations to fill a
+//! measurement window and reports the mean, min, and max time per
+//! iteration. No statistics machinery, no HTML reports — just numbers on
+//! stdout, which is what the experiment scripts scrape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to registered benchmark functions.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// Timing statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Mean time per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed batch, per iteration.
+    pub min_ns: f64,
+    /// Slowest observed batch, per iteration.
+    pub max_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group; benches run through it are reported
+    /// as `group/name`. The group forwards to [`Criterion::bench_function`]
+    /// and tuning knobs like `sample_size` are accepted but ignored.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            batch: Vec::new(),
+            deadline: Instant::now() + self.warmup,
+        };
+        // Warmup: run the body until the warmup window elapses.
+        f(&mut bencher);
+        // Measurement.
+        bencher.batch.clear();
+        bencher.deadline = Instant::now() + self.measurement;
+        f(&mut bencher);
+        let stats = bencher.stats();
+        println!(
+            "{name:<48} time: [{} {} {}]  ({} iters)",
+            format_time(stats.min_ns),
+            format_time(stats.mean_ns),
+            format_time(stats.max_ns),
+            stats.iterations
+        );
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes its own batches.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under the group's name prefix.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Runs the timed closure; handed to the `bench_function` body.
+pub struct Bencher {
+    /// `(batch_iters, elapsed)` samples.
+    batch: Vec<(u64, Duration)>,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: one iteration to gauge the per-call cost.
+        let start = Instant::now();
+        black_box(routine());
+        let single = start.elapsed().max(Duration::from_nanos(20));
+        self.batch.push((1, single));
+        // Aim for batches of roughly 10ms so Instant overhead vanishes.
+        let per_batch = (Duration::from_millis(10).as_nanos() / single.as_nanos()).max(1) as u64;
+        while Instant::now() < self.deadline {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.batch.push((per_batch, start.elapsed()));
+        }
+    }
+
+    fn stats(&self) -> Stats {
+        let mut iterations = 0u64;
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        for &(iters, elapsed) in &self.batch {
+            let ns = elapsed.as_nanos() as f64;
+            let per_iter = ns / iters as f64;
+            iterations += iters;
+            total_ns += ns;
+            min_ns = min_ns.min(per_iter);
+            max_ns = max_ns.max(per_iter);
+        }
+        Stats {
+            mean_ns: if iterations == 0 {
+                0.0
+            } else {
+                total_ns / iterations as f64
+            },
+            min_ns: if min_ns.is_finite() { min_ns } else { 0.0 },
+            max_ns,
+            iterations,
+        }
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_mean() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn stats_aggregate_batches() {
+        let b = Bencher {
+            batch: vec![
+                (10, Duration::from_nanos(1000)),
+                (10, Duration::from_nanos(3000)),
+            ],
+            deadline: Instant::now(),
+        };
+        let s = b.stats();
+        assert_eq!(s.iterations, 20);
+        assert!((s.mean_ns - 200.0).abs() < 1e-9);
+        assert!((s.min_ns - 100.0).abs() < 1e-9);
+        assert!((s.max_ns - 300.0).abs() < 1e-9);
+    }
+}

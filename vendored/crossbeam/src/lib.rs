@@ -1,0 +1,123 @@
+//! Offline stand-in for the `crossbeam` crate, covering the scoped-thread
+//! API (`crossbeam::thread::scope`) the workspace uses. Since Rust 1.63
+//! the standard library ships scoped threads, so this is a thin adapter
+//! that reproduces crossbeam's calling convention (the spawn closure
+//! receives the scope handle, and `scope` returns a `Result`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A handle for spawning scoped threads, passed both to the `scope`
+    /// closure and to every spawned closure (crossbeam's signature).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the boxed panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle so
+        /// it can spawn further threads, mirroring crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&this)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. All threads are
+    /// joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first panic payload if any unjoined spawned thread
+    /// panicked (std's scope re-raises such panics; the `Result` mirrors
+    /// crossbeam's signature and is `Ok` whenever this function returns).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'a, 'scope> FnOnce(&'a Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn spawn_result_is_joinable() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn panic_in_worker_reported_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

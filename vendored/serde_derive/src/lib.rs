@@ -1,0 +1,313 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build environment
+//! has no crates.io access, so `syn`/`quote` are unavailable). Supports the
+//! shapes this workspace derives on:
+//!
+//! - structs with named fields,
+//! - tuple structs (a 1-field tuple struct serializes as its inner value,
+//!   matching serde's newtype behaviour; wider ones as arrays),
+//! - enums whose variants are all unit variants (serialized as strings).
+//!
+//! Anything else (generics, data-carrying enums, `#[serde(...)]`
+//! attributes) panics at compile time with a clear message rather than
+//! silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum with unit variants.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips leading `#[...]` attributes (including doc comments).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(crate)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a type (or any token soup) until a top-level comma,
+/// treating `<`/`>` as nesting. Returns the index of the comma or the end.
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde derive: expected field name, found {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde derive: expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        i = skip_to_comma(&tokens, i + 1) + 1;
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_comma(&tokens, i) + 1;
+    }
+    count
+}
+
+fn parse_unit_variants(group: &proc_macro::Group, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde derive: expected variant name in enum {enum_name}");
+        };
+        let variant = name.to_string();
+        i += 1;
+        if i < tokens.len() && matches!(&tokens[i], TokenTree::Group(_)) {
+            panic!(
+                "serde derive: enum {enum_name} variant {variant} carries data; \
+                 only unit-variant enums are supported by the vendored derive"
+            );
+        }
+        variants.push(variant);
+        i = skip_to_comma(&tokens, i) + 1;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!(
+            "serde derive: expected `struct` or `enum`, found {:?}",
+            tokens[i]
+        );
+    };
+    let kind = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name_ident) = &tokens[i] else {
+        panic!("serde derive: expected type name after `{kind}`");
+    };
+    let name = name_ident.to_string();
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde derive: generic type {name} is not supported by the vendored derive");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Named(parse_named_fields(g)),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                shape: Shape::Tuple(parse_tuple_fields(g)),
+            },
+            _ => panic!("serde derive: unsupported struct shape for {name}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_unit_variants(g, &name);
+                assert!(
+                    !variants.is_empty(),
+                    "serde derive: enum {name} has no variants"
+                );
+                Item {
+                    name,
+                    shape: Shape::UnitEnum(variants),
+                }
+            }
+            _ => panic!("serde derive: malformed enum {name}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::from_value_infer(v.get(\"{f}\").ok_or_else(|| \
+                         ::serde::DeError::new(\"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Object(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected object for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::from_value_infer(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::from_value_infer(&items[{idx}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {},\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                         ::std::format!(\"expected string for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde derive: generated Deserialize impl must parse")
+}
