@@ -38,7 +38,7 @@ fn bench_fig3(c: &mut Criterion) {
     // measurement inside the search loop)
     let space = SearchSpace::hsconas_a();
     let mut rng = StdRng::seed_from_u64(7);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 20, 2, &mut rng).unwrap();
     let archs = space.sample_n(64, &mut rng);
     let mut i = 0;
@@ -271,6 +271,86 @@ fn bench_ea_generation_parallel(c: &mut Criterion) {
     }
 }
 
+/// Population accuracy-proxy evaluation against the real supernet with the
+/// prefix-activation cache off vs on — the memory-planning headline. The
+/// population is an EA-generation shape (an elite plus single-gene
+/// mutants), evaluated in lexicographic genome order as the evo scheduler
+/// would submit it. Also prints forwards/sec and the cache hit rate.
+fn bench_population_eval_prefix_cache(c: &mut Criterion) {
+    use hsconas_data::SyntheticDataset;
+    use hsconas_supernet::{Supernet, SupernetTrainer, TrainConfig};
+    use hsconas_tensor::rng::SmallRng;
+    use std::time::Instant;
+
+    let space = SearchSpace::tiny(4);
+    let data = SyntheticDataset::new(4, 32, 17);
+    let mut rng = SmallRng::new(18);
+    let net = Supernet::build(space.skeleton(), &mut rng).unwrap();
+    let mut trainer = SupernetTrainer::new(net, TrainConfig::quick_test());
+    let mut train_rng = SmallRng::new(19);
+    trainer
+        .train_steps(&space, &data, 10, 0.05, &mut train_rng)
+        .unwrap();
+
+    // Elite + 12 single-gene mutants, sorted lexicographically (what
+    // MemoObjective's prefix-locality schedule feeds the oracle).
+    let mut arch_rng = StdRng::seed_from_u64(20);
+    let elite = Arch::widest(4);
+    let mut population = vec![elite.clone()];
+    for i in 0..12 {
+        let donor = space.sample(&mut arch_rng);
+        let layer = i % 4;
+        let mut mutant = elite.clone();
+        mutant.set_gene(layer, donor.genes()[layer]).unwrap();
+        population.push(mutant);
+    }
+    population.sort_by_key(|a| a.encode());
+    population.dedup_by_key(|a| a.encode());
+
+    let eval_batches = 2;
+    let mut group = c.benchmark_group("population_eval");
+    group.sample_size(10);
+    for (label, cache) in [("cache_off", false), ("cache_on", true)] {
+        trainer.set_prefix_cache_enabled(cache);
+        group.bench_function(&format!("population_eval_{label}"), |b| {
+            b.iter(|| {
+                // Each iteration is an independent population sweep.
+                trainer.clear_prefix_cache();
+                for arch in &population {
+                    black_box(trainer.evaluate(arch, &data, eval_batches).unwrap());
+                }
+            })
+        });
+        // Headline numbers for the PR record: archs/sec and forwards/sec
+        // (each evaluation runs 8 recalibration + `eval_batches` forwards).
+        trainer.clear_prefix_cache();
+        let reps = 10;
+        let start = Instant::now();
+        for _ in 0..reps {
+            trainer.clear_prefix_cache();
+            for arch in &population {
+                black_box(trainer.evaluate(arch, &data, eval_batches).unwrap());
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let evals = (population.len() * reps) as f64;
+        let forwards = evals * (8 + eval_batches) as f64;
+        println!(
+            "population_eval_{label}: {:.1} archs/sec, {:.1} equivalent forwards/sec",
+            evals / secs,
+            forwards / secs
+        );
+        if let Some(stats) = trainer.prefix_cache_stats() {
+            println!(
+                "population_eval_{label}: hit rate {:.2}, layers skipped {}",
+                stats.hit_rate(),
+                stats.layers_skipped
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig2,
@@ -284,6 +364,7 @@ criterion_group!(
     bench_kernels,
     bench_matmul_tiled,
     bench_conv2d_batch_parallel,
-    bench_ea_generation_parallel
+    bench_ea_generation_parallel,
+    bench_population_eval_prefix_cache
 );
 criterion_main!(benches);

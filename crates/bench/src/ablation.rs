@@ -38,9 +38,9 @@ pub fn bias(seed: u64, validation_archs: usize) -> Vec<BiasAblation> {
         .into_iter()
         .map(|device| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut with = LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut rng)
+            let with = LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut rng)
                 .expect("calibration");
-            let mut without = LatencyPredictor::without_bias(device.clone(), &space);
+            let without = LatencyPredictor::without_bias(device.clone(), &space);
             let mut pred_with = Vec::new();
             let mut pred_without = Vec::new();
             let mut measured = Vec::new();
@@ -96,7 +96,7 @@ fn edge_objective(seed: u64) -> (SearchSpace, impl Objective) {
     let device = DeviceSpec::edge_xavier();
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration");
     let objective = TradeoffObjective::new(
         move |arch: &Arch| oracle.accuracy(arch).map_err(|e| e.to_string()),

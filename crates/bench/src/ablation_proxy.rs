@@ -72,9 +72,8 @@ pub fn run(seed: u64, config: EvolutionConfig) -> ProxyResult {
     // Arm 1: hardware-aware (Eq. 2-3).
     {
         let mut cal_rng = StdRng::seed_from_u64(seed);
-        let mut predictor =
-            LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut cal_rng)
-                .expect("calibration");
+        let predictor = LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut cal_rng)
+            .expect("calibration");
         let oracle2 = oracle.clone();
         let mut objective = TradeoffObjective::new(
             move |arch: &Arch| oracle2.accuracy(arch).map_err(|e| e.to_string()),

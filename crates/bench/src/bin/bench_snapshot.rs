@@ -1,0 +1,217 @@
+//! Machine-readable performance snapshot of the memory-planned evaluation
+//! path, for `scripts/bench_snapshot.sh` to stamp with the git revision.
+//!
+//! Measures, on one process with a fixed seed:
+//!
+//! * **population_eval** — archs/sec and equivalent forwards/sec for an
+//!   EA-generation-shaped population evaluated against a trained tiny
+//!   supernet, prefix cache off vs on, plus the cache hit rate;
+//! * **alloc** — heap allocations per steady-state eval forward (counting
+//!   global allocator; the arena makes this O(1));
+//! * **search** — end-to-end fixed-seed EA search throughput on the
+//!   surrogate pipeline (archs/sec), the number the paper's search-cost
+//!   claim rests on.
+//!
+//! Usage: `cargo run --release -p hsconas-bench --bin bench_snapshot`
+//! (prints one JSON object to stdout).
+
+use hsconas_bench::seed_from_args;
+use hsconas_data::SyntheticDataset;
+use hsconas_evo::{EvolutionConfig, EvolutionSearch, MemoObjective, ParallelObjective};
+use hsconas_hwsim::{lower_arch, DeviceSpec};
+use hsconas_space::{Arch, SearchSpace};
+use hsconas_supernet::{Supernet, SupernetTrainer, TrainConfig};
+use hsconas_tensor::rng::SmallRng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter is the only addition.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// EA-generation-shaped population: an elite plus single-gene mutants,
+/// sorted lexicographically as the evo scheduler would submit them.
+fn sibling_population(space: &SearchSpace, seed: u64) -> Vec<Arch> {
+    let mut arch_rng = StdRng::seed_from_u64(seed);
+    let elite = Arch::widest(4);
+    let mut population = vec![elite.clone()];
+    for i in 0..12 {
+        let donor = space.sample(&mut arch_rng);
+        let layer = i % 4;
+        let mut mutant = elite.clone();
+        mutant.set_gene(layer, donor.genes()[layer]).unwrap();
+        population.push(mutant);
+    }
+    population.sort_by_key(|a| a.encode());
+    population.dedup_by_key(|a| a.encode());
+    population
+}
+
+fn main() {
+    let seed = seed_from_args();
+    hsconas_par::set_default_threads(1);
+
+    // --- population evaluation, cache off vs on -------------------------
+    let space = SearchSpace::tiny(4);
+    let data = SyntheticDataset::new(4, 32, seed);
+    let mut rng = SmallRng::new(seed);
+    let net = Supernet::build(space.skeleton(), &mut rng).expect("build");
+    let mut trainer = SupernetTrainer::new(net, TrainConfig::quick_test());
+    let mut train_rng = SmallRng::new(seed ^ 1);
+    trainer
+        .train_steps(&space, &data, 10, 0.05, &mut train_rng)
+        .expect("train");
+    let population = sibling_population(&space, seed ^ 2);
+    let eval_batches = 2usize;
+    let reps = 10usize;
+
+    let mut sweep = |cache: bool| -> (f64, f64, f64) {
+        trainer.set_prefix_cache_enabled(cache);
+        trainer.clear_prefix_cache();
+        // warm-up (also warms the thread-local arena)
+        for arch in &population {
+            black_box(trainer.evaluate(arch, &data, eval_batches).expect("eval"));
+        }
+        trainer.clear_prefix_cache();
+        let start = Instant::now();
+        for _ in 0..reps {
+            trainer.clear_prefix_cache();
+            for arch in &population {
+                black_box(trainer.evaluate(arch, &data, eval_batches).expect("eval"));
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let evals = (population.len() * reps) as f64;
+        let forwards = evals * (8 + eval_batches) as f64;
+        let hit_rate = trainer
+            .prefix_cache_stats()
+            .map(|s| s.hit_rate())
+            .unwrap_or(0.0);
+        (evals / secs, forwards / secs, hit_rate)
+    };
+    let (archs_off, forwards_off, _) = sweep(false);
+    let (archs_on, forwards_on, hit_rate) = sweep(true);
+
+    // --- allocations per steady-state forward ---------------------------
+    let input = hsconas_tensor::Tensor::randn([8, 3, 32, 32], 1.0, &mut rng);
+    let widest = Arch::widest(4);
+    let net = trainer.supernet_mut();
+    net.forward(&input, &widest, false).expect("warm");
+    net.forward(&input, &widest, false).expect("warm");
+    let before = ALLOCS.load(Ordering::Relaxed);
+    net.forward(&input, &widest, false).expect("measure");
+    let allocs_per_forward = ALLOCS.load(Ordering::Relaxed) - before;
+
+    // --- end-to-end fixed-seed EA search (surrogate pipeline) -----------
+    let big_space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+    let score = {
+        let space = big_space.clone();
+        move |arch: &Arch| {
+            let net = lower_arch(space.skeleton(), arch).map_err(|e| {
+                hsconas_evo::EvoError::Objective {
+                    detail: e.to_string(),
+                }
+            })?;
+            let latency_ms = device.network_time_us(&net) / 1000.0;
+            let cost = hsconas_space::cost::arch_cost(space.skeleton(), arch)
+                .map_err(hsconas_evo::EvoError::Space)?;
+            let accuracy = 60.0 + 10.0 * (cost.total_flops() / 1e8).tanh();
+            Ok(hsconas_evo::Evaluation {
+                score: accuracy - 20.0 * (latency_ms / 34.0 - 1.0).abs(),
+                accuracy,
+                latency_ms,
+            })
+        }
+    };
+    let config = EvolutionConfig {
+        generations: 6,
+        population: 20,
+        parents: 8,
+        ..Default::default()
+    };
+    let mut objective = MemoObjective::new(ParallelObjective::new(score, 1));
+    let mut search_rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let result = EvolutionSearch::new(big_space, config)
+        .run(&mut objective, &mut search_rng)
+        .expect("search");
+    let search_secs = start.elapsed().as_secs_f64();
+    let search_evals = objective.stats().hits + objective.stats().misses;
+
+    let obj = |fields: Vec<(&str, Value)>| {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let snapshot = obj(vec![
+        ("seed", Value::U64(seed)),
+        (
+            "population_eval",
+            obj(vec![
+                ("population", Value::U64(population.len() as u64)),
+                ("eval_batches", Value::U64(eval_batches as u64)),
+                ("reps", Value::U64(reps as u64)),
+                ("archs_per_sec_cache_off", Value::F64(archs_off)),
+                ("archs_per_sec_cache_on", Value::F64(archs_on)),
+                ("forwards_per_sec_cache_off", Value::F64(forwards_off)),
+                ("forwards_per_sec_cache_on", Value::F64(forwards_on)),
+                ("speedup", Value::F64(archs_on / archs_off)),
+                ("cache_hit_rate", Value::F64(hit_rate)),
+            ]),
+        ),
+        (
+            "alloc",
+            obj(vec![(
+                "allocations_per_forward",
+                Value::U64(allocs_per_forward),
+            )]),
+        ),
+        (
+            "search",
+            obj(vec![
+                ("generations", Value::U64(6)),
+                ("population", Value::U64(20)),
+                (
+                    "archs_per_sec",
+                    Value::F64(search_evals as f64 / search_secs),
+                ),
+                ("best_score", Value::F64(result.best_evaluation.score)),
+            ]),
+        ),
+    ]);
+    println!("{}", serde_json::to_string_pretty(&snapshot).expect("json"));
+}

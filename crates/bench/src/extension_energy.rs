@@ -60,7 +60,7 @@ pub fn run(seed: u64, config: EvolutionConfig) -> EnergyResult {
 
     let make_latency_metric = |seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut predictor = LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut rng)
+        let predictor = LatencyPredictor::calibrate(device.clone(), &space, 40, 3, &mut rng)
             .expect("calibration");
         move |arch: &Arch| predictor.predict_ms(arch).map_err(|e| e.to_string())
     };

@@ -56,7 +56,7 @@ pub fn run(seed: u64, config: &Fig3Config) -> Vec<DeviceFit> {
     DeviceSpec::paper_devices()
         .into_iter()
         .map(|device| {
-            let mut predictor = LatencyPredictor::calibrate_parallel(
+            let predictor = LatencyPredictor::calibrate_parallel(
                 device.clone(),
                 &space,
                 config.calibration_archs,

@@ -67,7 +67,7 @@ pub fn run(seed: u64, generations: usize, population: usize) -> Fig4Result {
     let device = DeviceSpec::edge_xavier();
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration");
     let oracle_for_obj = oracle.clone();
     let mut objective = TradeoffObjective::new(

@@ -33,7 +33,7 @@ pub fn run(seed: u64, samples_per_subspace: usize) -> Fig5Result {
     let device = DeviceSpec::edge_xavier();
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration");
     let mut objective = TradeoffObjective::new(
         move |arch: &Arch| oracle.accuracy(arch).map_err(|e| e.to_string()),

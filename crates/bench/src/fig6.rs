@@ -61,7 +61,7 @@ pub fn run_evolution(seed: u64, config: EvolutionConfig) -> Fig6Evolution {
     let device = DeviceSpec::edge_xavier();
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration");
     let mut objective = TradeoffObjective::new(
         move |arch: &Arch| oracle.accuracy(arch).map_err(|e| e.to_string()),
@@ -251,6 +251,12 @@ pub fn run_shrink_vs_naive(seed: u64, budget_steps: usize) -> Fig6ShrinkVsNaive 
     // Mean accuracy over probe subnets, each arm evaluating subnets from
     // its own final space (the shrunk arm restricts back-layer ops).
     let mean_acc = |trainer: &mut SupernetTrainer, space: &SearchSpace| -> f64 {
+        // Each arm's measurement sweep is an independent configuration:
+        // start it from a cold prefix cache so the reported figure cannot
+        // depend on what earlier shrink-quality probes cached (results are
+        // byte-identical either way; this keeps sweeps observably
+        // independent and bounds resident activation memory).
+        trainer.clear_prefix_cache();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7777);
         let archs: Vec<Arch> = (0..eval_subnets).map(|_| space.sample(&mut rng)).collect();
         archs

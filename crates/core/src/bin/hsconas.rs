@@ -150,7 +150,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         .unwrap_or(2021);
     let space = SearchSpace::hsconas_a();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(device, &space, 100, 5, &mut rng).map_err(|e| e.to_string())?;
     // profile broadly so the snapshot covers most configurations
     for arch in space.sample_n(200, &mut rng) {

@@ -29,7 +29,7 @@ pub struct SearchOutcome {
 #[allow(clippy::type_complexity)]
 fn build_objective(
     oracle: SurrogateAccuracy,
-    mut predictor: LatencyPredictor,
+    predictor: LatencyPredictor,
     target_ms: f64,
     beta: f64,
 ) -> TradeoffObjective<

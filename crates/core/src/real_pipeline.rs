@@ -107,7 +107,7 @@ pub struct RealPipelineResult {
 struct InheritedWeightObjective<'a> {
     trainer: &'a mut SupernetTrainer,
     data: &'a SyntheticDataset,
-    predictor: &'a mut LatencyPredictor,
+    predictor: &'a LatencyPredictor,
     eval_batches: usize,
     target_ms: f64,
     beta: f64,
@@ -154,7 +154,7 @@ pub fn run_real_pipeline(
 
     // 2. latency predictor for the edge device over the tiny space
     let mut search_rng = StdRng::seed_from_u64(seed ^ 0xdead);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 20, 2, &mut search_rng)?;
 
     // 3. progressive shrinking: each stage picks operators by *real*
@@ -170,7 +170,7 @@ pub fn run_real_pipeline(
             let mut objective = InheritedWeightObjective {
                 trainer: &mut trainer,
                 data: &data,
-                predictor: &mut predictor,
+                predictor: &predictor,
                 eval_batches: config.eval_batches,
                 target_ms: config.target_ms,
                 beta: config.beta,
@@ -200,7 +200,7 @@ pub fn run_real_pipeline(
         let mut objective = InheritedWeightObjective {
             trainer: &mut trainer,
             data: &data,
-            predictor: &mut predictor,
+            predictor: &predictor,
             eval_batches: config.eval_batches,
             target_ms: config.target_ms,
             beta: config.beta,

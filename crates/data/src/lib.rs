@@ -69,6 +69,14 @@ impl SyntheticDataset {
         self.resolution
     }
 
+    /// The generation seed. Together with [`Self::num_classes`] and
+    /// [`Self::resolution`] this fully identifies the stream, which lets
+    /// consumers fingerprint a dataset (e.g. the supernet prefix cache
+    /// keys cached activations by the batch stream they came from).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Generates one sample deterministically from `(self.seed, index)`.
     /// Even indices round-robin class labels so every batch is balanced.
     pub fn sample(&self, index: u64) -> (Tensor, usize) {

@@ -106,7 +106,7 @@ impl<O: Objective> Objective for MemoObjective<O> {
         // unseen architectures in first-occurrence order.
         let mut resolved: Vec<Option<Evaluation>> = Vec::with_capacity(archs.len());
         let mut todo: Vec<Arch> = Vec::new();
-        let mut todo_index: HashMap<u64, usize> = HashMap::new();
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
         {
             let cache = self.cache.lock();
             for arch in archs {
@@ -115,13 +115,24 @@ impl<O: Objective> Objective for MemoObjective<O> {
                     resolved.push(Some(*cached));
                 } else {
                     resolved.push(None);
-                    todo_index.entry(key).or_insert_with(|| {
+                    if seen.insert(key) {
                         todo.push(arch.clone());
-                        todo.len() - 1
-                    });
+                    }
                 }
             }
         }
+        // Prefix-locality schedule: evaluate the distinct unseen genomes in
+        // lexicographic genome order, so consecutive evaluations share the
+        // longest possible gene prefixes and the supernet's
+        // prefix-activation cache resumes as deep as possible. Results are
+        // mapped back to input order below, so the schedule never changes
+        // what the search observes.
+        todo.sort_by_key(|a| a.encode());
+        let todo_index: HashMap<u64, usize> = todo
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.fingerprint(), i))
+            .collect();
         let fresh = self.inner.evaluate_batch(&todo)?;
         debug_assert_eq!(fresh.len(), todo.len());
         {
@@ -251,6 +262,35 @@ mod tests {
         assert_eq!(evals[1], width_eval(&a).unwrap());
         let stats = memo.stats();
         assert_eq!((stats.hits, stats.misses), (2, 2));
+    }
+
+    #[test]
+    fn memo_batch_schedules_lexicographically() {
+        // Record the order the inner objective sees, independent of the
+        // order results are returned in.
+        struct Recording {
+            order: std::rc::Rc<std::cell::RefCell<Vec<Vec<usize>>>>,
+        }
+        impl Objective for Recording {
+            fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+                self.order.borrow_mut().push(arch.encode());
+                width_eval(arch)
+            }
+        }
+        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut memo = MemoObjective::new(Recording {
+            order: order.clone(),
+        });
+        // Reverse-sorted input: the schedule must flip it.
+        let archs: Vec<Arch> = (0..5).rev().map(arch_with_tail).collect();
+        let evals = memo.evaluate_batch(&archs).unwrap();
+        let seen = order.borrow();
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(*seen, sorted, "inner order must be lexicographic");
+        // ... while results still line up with the input order.
+        let direct: Vec<Evaluation> = archs.iter().map(|a| width_eval(a).unwrap()).collect();
+        assert_eq!(evals, direct);
     }
 
     #[test]

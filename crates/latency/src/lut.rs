@@ -139,6 +139,46 @@ impl LatencyLut {
             .op_time_us(&lower_head(&self.skeleton, last_c, final_res));
         Ok(total)
     }
+
+    /// Lock-free variant of [`Self::op_sum_us`]: configurations missing
+    /// from the table are computed on the fly **without** being memoized.
+    /// `op_time_us` is a pure function of the configuration, so the result
+    /// is identical to the memoizing path — this is what lets
+    /// [`LatencyPredictor::predict_us`](crate::LatencyPredictor::predict_us)
+    /// take `&self` and be shared freely across worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpaceError`] if the architecture does not fit the skeleton.
+    pub fn op_sum_us_shared(&self, arch: &Arch) -> Result<f64, SpaceError> {
+        let geoms = resolve_geometry(&self.skeleton, arch)?;
+        let mut total = self.stem_us;
+        for geom in &geoms {
+            let key = LutKey {
+                layer: geom.index,
+                op: geom.op,
+                c_in: geom.c_in,
+                c_out: geom.c_out,
+            };
+            total += self
+                .entries
+                .get(&key)
+                .copied()
+                .unwrap_or_else(|| self.device.op_time_us(&lower_layer(geom)));
+        }
+        let final_res = geoms
+            .last()
+            .map(|g| g.resolution_out())
+            .unwrap_or(self.skeleton.input_resolution / 2);
+        let last_c = geoms
+            .last()
+            .map(|g| g.c_out)
+            .unwrap_or(self.skeleton.stem_channels);
+        total += self
+            .device
+            .op_time_us(&lower_head(&self.skeleton, last_c, final_res));
+        Ok(total)
+    }
 }
 
 #[cfg(test)]

@@ -158,13 +158,16 @@ impl LatencyPredictor {
         self.lut.device()
     }
 
-    /// Predicted latency in microseconds.
+    /// Predicted latency in microseconds. Takes `&self` — configurations
+    /// not in the profiled LUT are computed on the fly (identically to the
+    /// memoized values, see [`LatencyLut::op_sum_us_shared`]), so one
+    /// predictor can be shared lock-free across EA worker threads.
     ///
     /// # Errors
     ///
     /// Returns [`SpaceError`] if `arch` does not match the skeleton.
-    pub fn predict_us(&mut self, arch: &Arch) -> Result<f64, SpaceError> {
-        Ok(self.lut.op_sum_us(arch)? + self.bias_us)
+    pub fn predict_us(&self, arch: &Arch) -> Result<f64, SpaceError> {
+        Ok(self.lut.op_sum_us_shared(arch)? + self.bias_us)
     }
 
     /// Predicted latency in milliseconds (the paper's reporting unit).
@@ -172,7 +175,7 @@ impl LatencyPredictor {
     /// # Errors
     ///
     /// Returns [`SpaceError`] if `arch` does not match the skeleton.
-    pub fn predict_ms(&mut self, arch: &Arch) -> Result<f64, SpaceError> {
+    pub fn predict_ms(&self, arch: &Arch) -> Result<f64, SpaceError> {
         Ok(self.predict_us(arch)? / 1000.0)
     }
 
@@ -213,7 +216,7 @@ impl LatencyPredictor {
     ///
     /// Returns [`SpaceError`] on lowering failure.
     pub fn validate<R: Rng + ?Sized>(
-        &mut self,
+        &self,
         space: &SearchSpace,
         n: usize,
         repeats: usize,
@@ -262,7 +265,7 @@ mod tests {
         let space = SearchSpace::hsconas_a();
         for device in DeviceSpec::paper_devices() {
             let mut rng = StdRng::seed_from_u64(2);
-            let mut predictor =
+            let predictor =
                 LatencyPredictor::calibrate(device.clone(), &space, 40, 5, &mut rng).unwrap();
             let report = predictor.validate(&space, 40, 5, &mut rng).unwrap();
             assert!(
@@ -308,7 +311,7 @@ mod tests {
         let space = SearchSpace::hsconas_a();
         let device = DeviceSpec::gpu_gv100();
         let mut rng = StdRng::seed_from_u64(3);
-        let mut without = LatencyPredictor::without_bias(device.clone(), &space);
+        let without = LatencyPredictor::without_bias(device.clone(), &space);
         assert_eq!(without.bias_us(), 0.0);
         let arch = space.sample(&mut rng);
         let net = lower_arch(space.skeleton(), &arch).unwrap();
@@ -321,7 +324,7 @@ mod tests {
     fn prediction_is_deterministic_after_calibration() {
         let space = SearchSpace::hsconas_a();
         let mut rng = StdRng::seed_from_u64(4);
-        let mut p = LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 10, 2, &mut rng)
+        let p = LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 10, 2, &mut rng)
             .unwrap();
         let arch = space.sample(&mut rng);
         assert_eq!(p.predict_us(&arch).unwrap(), p.predict_us(&arch).unwrap());
@@ -331,7 +334,7 @@ mod tests {
     fn snapshot_reconstructs_identical_predictions() {
         let space = SearchSpace::hsconas_a();
         let mut rng = StdRng::seed_from_u64(6);
-        let mut original =
+        let original =
             LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 15, 2, &mut rng)
                 .unwrap();
         let archs = space.sample_n(10, &mut rng);
@@ -340,7 +343,7 @@ mod tests {
             original.predict_us(a).unwrap();
         }
         let snapshot = original.export();
-        let mut restored =
+        let restored =
             LatencyPredictor::from_snapshot(DeviceSpec::edge_xavier(), &space, snapshot.clone())
                 .unwrap();
         for a in &archs {
@@ -364,7 +367,7 @@ mod tests {
         let arch = Arch::widest(20);
         let mut ms = Vec::new();
         for device in DeviceSpec::paper_devices() {
-            let mut p = LatencyPredictor::calibrate(device, &space, 10, 2, &mut rng).unwrap();
+            let p = LatencyPredictor::calibrate(device, &space, 10, 2, &mut rng).unwrap();
             ms.push(p.predict_ms(&arch).unwrap());
         }
         assert!(ms[0] < ms[1], "GPU {} < CPU {}", ms[0], ms[1]);

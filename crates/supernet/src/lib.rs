@@ -45,6 +45,7 @@ pub mod masked;
 pub mod mixed;
 pub mod model;
 pub mod oracle;
+pub mod prefix;
 pub mod subnet;
 pub mod trainer;
 
@@ -53,5 +54,6 @@ pub use masked::DownsampleSkip;
 pub use mixed::MixedLayer;
 pub use model::Supernet;
 pub use oracle::TrainedAccuracy;
+pub use prefix::{PrefixCache, PrefixCacheStats, PrefixEntry};
 pub use subnet::{build_subnet, train_from_scratch, AdaptedShuffleUnit};
 pub use trainer::{SupernetTrainer, TrainConfig};

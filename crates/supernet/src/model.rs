@@ -81,6 +81,29 @@ impl Supernet {
         &self.skeleton
     }
 
+    /// Number of mixed layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Checks that `arch` has one gene per mixed layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError::Structure`] on a length mismatch.
+    pub fn check_arch(&self, arch: &Arch) -> Result<(), SupernetError> {
+        if arch.len() != self.layers.len() {
+            return Err(SupernetError::Structure {
+                detail: format!(
+                    "arch has {} layers, supernet has {}",
+                    arch.len(),
+                    self.layers.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Forward pass along the path selected by `arch`, returning logits
     /// `[n, classes, 1, 1]`.
     ///
@@ -94,20 +117,57 @@ impl Supernet {
         arch: &Arch,
         train: bool,
     ) -> Result<Tensor, SupernetError> {
-        if arch.len() != self.layers.len() {
-            return Err(SupernetError::Structure {
-                detail: format!(
-                    "arch has {} layers, supernet has {}",
-                    arch.len(),
-                    self.layers.len()
-                ),
-            });
+        self.check_arch(arch)?;
+        let mut x = self.forward_stem(input, train)?;
+        for (index, gene) in arch.genes().iter().enumerate() {
+            x = self.forward_layer(index, &x, *gene, train)?;
         }
-        let mut x = self.stem.forward(input, train)?;
-        for (layer, gene) in self.layers.iter_mut().zip(arch.genes()) {
-            x = layer.forward_gene(&x, *gene, train)?;
-        }
-        Ok(self.head.forward(&x, train)?)
+        self.forward_head(&x, train)
+    }
+
+    /// Runs only the fixed stem. Together with [`Self::forward_layer`] and
+    /// [`Self::forward_head`] this decomposes [`Self::forward`] into the
+    /// exact same operation sequence, which is what the prefix-activation
+    /// cache resumes from: a cached boundary activation replaces the stem +
+    /// prefix-layer computation bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError`] if a stem layer fails.
+    pub fn forward_stem(&mut self, input: &Tensor, train: bool) -> Result<Tensor, SupernetError> {
+        Ok(self.stem.forward(input, train)?)
+    }
+
+    /// Runs one mixed layer on `input` with `gene`'s candidate and mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError`] if `index` is out of range or the
+    /// candidate fails.
+    pub fn forward_layer(
+        &mut self,
+        index: usize,
+        input: &Tensor,
+        gene: hsconas_space::Gene,
+        train: bool,
+    ) -> Result<Tensor, SupernetError> {
+        let count = self.layers.len();
+        let layer = self
+            .layers
+            .get_mut(index)
+            .ok_or_else(|| SupernetError::Structure {
+                detail: format!("layer index {index} out of range ({count} layers)"),
+            })?;
+        layer.forward_gene(input, gene, train)
+    }
+
+    /// Runs only the classification head on a final-layer activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError`] if a head layer fails.
+    pub fn forward_head(&mut self, input: &Tensor, train: bool) -> Result<Tensor, SupernetError> {
+        Ok(self.head.forward(input, train)?)
     }
 
     /// Backward pass along the path of the last training forward.
@@ -144,6 +204,21 @@ impl Supernet {
     pub fn set_bn_mode(&mut self, mode: hsconas_nn::BnMode) {
         self.stem.set_bn_mode(mode);
         for layer in &mut self.layers {
+            layer.set_bn_mode(mode);
+        }
+        self.head.set_bn_mode(mode);
+    }
+
+    /// Switches batch-norm statistics handling for layers `depth..` and the
+    /// head only, leaving the stem and layers `..depth` untouched.
+    ///
+    /// This is the partial-recalibration primitive behind prefix-activation
+    /// reuse: when evaluation resumes from a cached activation at `depth`,
+    /// the skipped prefix never runs, so its (stale) statistics are never
+    /// read and must not be reset — resetting them would force a full
+    /// recomputation for the *next* candidate sharing the prefix.
+    pub fn set_bn_mode_from(&mut self, depth: usize, mode: hsconas_nn::BnMode) {
+        for layer in self.layers.iter_mut().skip(depth) {
             layer.set_bn_mode(mode);
         }
         self.head.set_bn_mode(mode);

@@ -1,0 +1,335 @@
+//! Prefix-activation cache for inherited-weight subnet evaluation.
+//!
+//! Evaluating one architecture against the supernet
+//! ([`SupernetTrainer::evaluate`](crate::SupernetTrainer::evaluate)) runs a
+//! fixed protocol: 8 training-mode forwards to recalibrate batch-norm
+//! statistics, then `B` eval-mode forwards on held-out batches. Candidates
+//! produced by an EA generation or a shrink-stage sample differ from their
+//! siblings in only a few genes, so the early layers of those forwards
+//! recompute byte-identical activations over and over.
+//!
+//! This cache stores, per evaluated architecture and per layer boundary
+//! `d`, the activations *entering* layer `d` for every protocol batch,
+//! keyed by
+//!
+//! * the **genes of the prefix** `arch[..d]` (op choice + channel scale of
+//!   every layer the activation has passed through),
+//! * a **batch-stream signature** binding the dataset identity
+//!   (seed/classes/resolution), the batch size, and the batch counts of the
+//!   protocol.
+//!
+//! A later evaluation resumes from the deepest cached boundary whose
+//! prefix matches, skipping the stem and all prefix layers. Correctness
+//! relies on three facts, spelled out in DESIGN.md §6: training-mode
+//! forwards never read running batch-norm statistics (so cached
+//! recalibration activations are a pure function of weights, prefix genes,
+//! and batches); the skipped prefix layers never run during a resumed
+//! evaluation (so their stale statistics are never read); and cached
+//! eval-mode activations were recorded under a correctly recalibrated
+//! prefix when they were stored. Weight updates invalidate everything —
+//! the trainer clears the cache after every training phase.
+//!
+//! The cache is bounded by total activation bytes; eviction is
+//! oldest-first with a touch-on-hit refresh, which under the lexicographic
+//! evaluation schedule (see `hsconas-evo`'s scheduler) keeps the hot
+//! shared prefixes resident.
+
+use hsconas_space::Arch;
+use hsconas_tensor::Tensor;
+use std::collections::{HashMap, VecDeque};
+
+/// Default byte budget for cached activations (512 MiB).
+pub const DEFAULT_MAX_BYTES: usize = 512 << 20;
+
+/// Key of one cached layer boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PrefixKey {
+    /// Batch-stream signature (dataset identity + batch protocol).
+    sig: u64,
+    /// Encoded genes of the prefix (`2 × depth` values).
+    genes: Vec<usize>,
+}
+
+impl PrefixKey {
+    fn new(sig: u64, arch: &Arch, depth: usize) -> Self {
+        let mut genes = arch.encode();
+        genes.truncate(2 * depth);
+        PrefixKey { sig, genes }
+    }
+}
+
+/// Cached activations entering one layer boundary, one tensor per protocol
+/// batch.
+#[derive(Debug, Default, Clone)]
+pub struct PrefixEntry {
+    /// Training-mode activations for the BN-recalibration batches.
+    pub recalib: Vec<Tensor>,
+    /// Eval-mode activations for the held-out evaluation batches.
+    pub eval: Vec<Tensor>,
+}
+
+impl PrefixEntry {
+    fn bytes(&self) -> usize {
+        self.recalib
+            .iter()
+            .chain(&self.eval)
+            .map(|t| t.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+/// Effectiveness counters for a [`PrefixCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixCacheStats {
+    /// Evaluations that resumed from a cached boundary.
+    pub hits: u64,
+    /// Evaluations that started from the input images.
+    pub misses: u64,
+    /// Total layer computations skipped via resume (prefix depth summed
+    /// over hits).
+    pub layers_skipped: u64,
+    /// Boundary entries stored.
+    pub stores: u64,
+    /// Boundary entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Boundary entries currently resident.
+    pub entries: usize,
+    /// Activation bytes currently resident.
+    pub bytes: usize,
+}
+
+impl PrefixCacheStats {
+    /// Fraction of evaluations that resumed from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded cache of layer-boundary activations, keyed by prefix genes and
+/// batch-stream signature.
+#[derive(Debug)]
+pub struct PrefixCache {
+    entries: HashMap<PrefixKey, PrefixEntry>,
+    /// Insertion/touch order for eviction (front = coldest).
+    order: VecDeque<PrefixKey>,
+    /// Labels of the held-out evaluation batches per signature (identical
+    /// for every architecture, cached so a resumed evaluation never has to
+    /// regenerate the batch just for its labels).
+    labels: HashMap<u64, Vec<Vec<usize>>>,
+    bytes: usize,
+    max_bytes: usize,
+    hits: u64,
+    misses: u64,
+    layers_skipped: u64,
+    stores: u64,
+    evictions: u64,
+}
+
+impl PrefixCache {
+    /// Creates an empty cache bounded by `max_bytes` of activation data.
+    pub fn new(max_bytes: usize) -> Self {
+        PrefixCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            labels: HashMap::new(),
+            bytes: 0,
+            max_bytes,
+            hits: 0,
+            misses: 0,
+            layers_skipped: 0,
+            stores: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Finds the deepest cached boundary usable for `arch` under `sig`,
+    /// searching from the full depth `arch.len()` down to 0 (the
+    /// arch-independent stem boundary). Returns the resume depth and the
+    /// cached activations. Counts a hit/miss and refreshes the hit entry's
+    /// eviction position.
+    pub fn deepest(&mut self, arch: &Arch, sig: u64) -> Option<(usize, &PrefixEntry)> {
+        for depth in (0..=arch.len()).rev() {
+            let key = PrefixKey::new(sig, arch, depth);
+            if self.entries.contains_key(&key) {
+                self.hits += 1;
+                self.layers_skipped += depth as u64;
+                self.touch(&key);
+                return Some((depth, &self.entries[&key]));
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Moves `key` to the warm end of the eviction order.
+    fn touch(&mut self, key: &PrefixKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key.clone());
+    }
+
+    /// Stores the boundary activations at `depth` for `arch` under `sig`,
+    /// then evicts coldest-first until the byte budget holds.
+    pub fn insert(&mut self, sig: u64, arch: &Arch, depth: usize, entry: PrefixEntry) {
+        let key = PrefixKey::new(sig, arch, depth);
+        let added = entry.bytes();
+        if let Some(old) = self.entries.insert(key.clone(), entry) {
+            self.bytes -= old.bytes();
+        }
+        self.bytes += added;
+        self.touch(&key);
+        self.stores += 1;
+        while self.bytes > self.max_bytes {
+            let Some(cold) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = self.entries.remove(&cold) {
+                self.bytes -= evicted.bytes();
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Caches the labels of the evaluation batches for `sig`.
+    pub fn store_labels(&mut self, sig: u64, labels: Vec<Vec<usize>>) {
+        self.labels.insert(sig, labels);
+    }
+
+    /// Labels of the evaluation batches for `sig`, if cached.
+    pub fn labels(&self, sig: u64) -> Option<&Vec<Vec<usize>>> {
+        self.labels.get(&sig)
+    }
+
+    /// Drops every cached activation and label (counters are kept). Called
+    /// by the trainer whenever supernet weights may have changed, and by
+    /// bench sweeps between independent configurations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.labels.clear();
+        self.bytes = 0;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PrefixCacheStats {
+        PrefixCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            layers_skipped: self.layers_skipped,
+            stores: self.stores,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsconas_space::{ChannelScale, Gene, OpKind};
+
+    fn entry_with(batches: usize, elems: usize) -> PrefixEntry {
+        PrefixEntry {
+            recalib: (0..batches)
+                .map(|_| Tensor::zeros([1, 1, 1, elems]))
+                .collect(),
+            eval: Vec::new(),
+        }
+    }
+
+    fn narrow_at(layer: usize) -> Arch {
+        let mut a = Arch::widest(4);
+        a.set_gene(
+            layer,
+            Gene::new(OpKind::Shuffle3, ChannelScale::from_tenths(5).unwrap()),
+        )
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn deepest_prefers_longer_prefixes() {
+        let mut cache = PrefixCache::new(usize::MAX);
+        let a = Arch::widest(4);
+        cache.insert(1, &a, 1, entry_with(2, 4));
+        cache.insert(1, &a, 3, entry_with(2, 4));
+        let (depth, _) = cache.deepest(&a, 1).unwrap();
+        assert_eq!(depth, 3);
+        // A sibling differing at layer 2 can only reuse depth ≤ 2 → hits
+        // the depth-1 entry.
+        let sibling = narrow_at(2);
+        let (depth, _) = cache.deepest(&sibling, 1).unwrap();
+        assert_eq!(depth, 1);
+        // A sibling differing at layer 0 shares no prefix boundary > 0.
+        let cold = narrow_at(0);
+        assert!(cache.deepest(&cold, 1).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(stats.layers_skipped, 4);
+    }
+
+    #[test]
+    fn depth_zero_boundary_is_arch_independent() {
+        let mut cache = PrefixCache::new(usize::MAX);
+        let a = Arch::widest(4);
+        cache.insert(7, &a, 0, entry_with(1, 8));
+        // Any architecture (same signature) can resume at depth 0.
+        let other = narrow_at(0);
+        let (depth, _) = cache.deepest(&other, 7).unwrap();
+        assert_eq!(depth, 0);
+        // ... but not under a different signature.
+        assert!(cache.deepest(&other, 8).is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts_coldest_first() {
+        // Budget fits exactly two 2×16-element entries.
+        let per_entry = 2 * 16 * std::mem::size_of::<f32>();
+        let mut cache = PrefixCache::new(2 * per_entry);
+        let a = Arch::widest(4);
+        cache.insert(1, &a, 1, entry_with(2, 16));
+        cache.insert(1, &a, 2, entry_with(2, 16));
+        // Touch depth 1 so depth 2 becomes the coldest.
+        cache.deepest(&narrow_at(1), 1).unwrap();
+        cache.insert(1, &a, 3, entry_with(2, 16));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= 2 * per_entry);
+        // Depth 1 survived; depth 2 was evicted, so a candidate differing
+        // at layer 2 (usable depths ≤ 2) falls back to the depth-1 entry.
+        assert_eq!(cache.deepest(&narrow_at(1), 1).unwrap().0, 1);
+        assert_eq!(cache.deepest(&narrow_at(2), 1).unwrap().0, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_count() {
+        let mut cache = PrefixCache::new(usize::MAX);
+        let a = Arch::widest(4);
+        cache.insert(1, &a, 1, entry_with(2, 16));
+        let bytes_one = cache.stats().bytes;
+        cache.insert(1, &a, 1, entry_with(2, 16));
+        assert_eq!(cache.stats().bytes, bytes_one);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_and_labels() {
+        let mut cache = PrefixCache::new(usize::MAX);
+        let a = Arch::widest(4);
+        cache.insert(1, &a, 1, entry_with(1, 4));
+        cache.store_labels(1, vec![vec![0, 1]]);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bytes, 0);
+        assert!(cache.labels(1).is_none());
+        assert!(cache.deepest(&a, 1).is_none());
+    }
+}

@@ -2,11 +2,21 @@
 //! evaluation with inherited weights.
 
 use crate::model::{Supernet, SupernetParams};
+use crate::prefix::{PrefixCache, PrefixCacheStats, PrefixEntry};
 use crate::SupernetError;
 use hsconas_data::{augment::augment, SyntheticDataset};
-use hsconas_nn::{CosineSchedule, Sgd, SoftmaxCrossEntropy};
+use hsconas_nn::{BnMode, CosineSchedule, Sgd, SoftmaxCrossEntropy};
 use hsconas_space::{Arch, SearchSpace};
 use hsconas_tensor::rng::SmallRng;
+use hsconas_tensor::Tensor;
+
+/// Training-mode forwards used to recalibrate batch-norm statistics before
+/// scoring a subnet.
+pub const RECALIB_BATCHES: usize = 8;
+
+/// First sample index of the held-out evaluation range (training consumes
+/// indices from 0 upward).
+const EVAL_BASE: u64 = 1_000_000;
 
 /// Training configuration. The paper trains 100 epochs at batch 512 with
 /// SGD(0.9)/wd 3e-5/clip 5 and cosine LR 0.5→0; [`TrainConfig::quick_test`]
@@ -70,10 +80,14 @@ pub struct SupernetTrainer {
     optimizer: Sgd,
     steps_done: usize,
     history: Vec<StepRecord>,
+    /// Prefix-activation cache for [`Self::evaluate`]; `None` when disabled.
+    prefix_cache: Option<PrefixCache>,
 }
 
 impl SupernetTrainer {
-    /// Creates a trainer with the paper's optimizer settings.
+    /// Creates a trainer with the paper's optimizer settings. The
+    /// prefix-activation cache is enabled by default (it never changes
+    /// results — see [`crate::prefix`]).
     pub fn new(net: Supernet, config: TrainConfig) -> Self {
         SupernetTrainer {
             net,
@@ -81,6 +95,7 @@ impl SupernetTrainer {
             optimizer: Sgd::paper_defaults(),
             steps_done: 0,
             history: Vec::new(),
+            prefix_cache: Some(PrefixCache::new(crate::prefix::DEFAULT_MAX_BYTES)),
         }
     }
 
@@ -90,8 +105,41 @@ impl SupernetTrainer {
     }
 
     /// Mutable access to the wrapped supernet (weight surgery in tests).
+    /// Drops all cached prefix activations, since the caller may change
+    /// weights the cache depends on.
     pub fn supernet_mut(&mut self) -> &mut Supernet {
+        self.clear_prefix_cache();
         &mut self.net
+    }
+
+    /// Enables or disables the prefix-activation cache. Disabling drops all
+    /// cached activations; re-enabling starts from an empty cache.
+    pub fn set_prefix_cache_enabled(&mut self, enabled: bool) {
+        match (enabled, self.prefix_cache.is_some()) {
+            (true, false) => {
+                self.prefix_cache = Some(PrefixCache::new(crate::prefix::DEFAULT_MAX_BYTES));
+            }
+            (false, true) => self.prefix_cache = None,
+            _ => {}
+        }
+    }
+
+    /// Whether the prefix-activation cache is enabled.
+    pub fn prefix_cache_enabled(&self) -> bool {
+        self.prefix_cache.is_some()
+    }
+
+    /// Counters of the prefix-activation cache, if enabled.
+    pub fn prefix_cache_stats(&self) -> Option<PrefixCacheStats> {
+        self.prefix_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Drops every cached prefix activation (the cache stays enabled).
+    /// Benchmark sweeps call this between independent configurations.
+    pub fn clear_prefix_cache(&mut self) {
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            cache.clear();
+        }
     }
 
     /// Consumes the trainer, returning the trained supernet.
@@ -167,7 +215,28 @@ impl SupernetTrainer {
             });
             self.steps_done += 1;
         }
+        // Weights changed: every cached prefix activation is stale.
+        self.clear_prefix_cache();
         Ok(())
+    }
+
+    /// Signature binding a dataset identity to the deterministic batch
+    /// protocol of [`Self::evaluate`] — cached activations are only reused
+    /// when the exact same batch stream would be replayed.
+    fn batch_stream_sig(config: &TrainConfig, data: &SyntheticDataset, batches: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [
+            data.seed(),
+            data.num_classes() as u64,
+            data.resolution() as u64,
+            config.batch_size as u64,
+            batches as u64,
+            RECALIB_BATCHES as u64,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
     }
 
     /// Evaluates `arch` with inherited weights on `batches` deterministic
@@ -182,6 +251,13 @@ impl SupernetTrainer {
     /// paths evaluate at chance. This is the standard single-path
     /// one-shot evaluation protocol.
     ///
+    /// When the prefix cache is enabled, evaluation resumes from the
+    /// deepest cached layer boundary whose prefix genes match `arch` and
+    /// only recomputes the suffix (recalibrating only the suffix's batch
+    /// norms via [`Supernet::set_bn_mode_from`]). The cached activations
+    /// are bit-identical to what a full run would compute, so the returned
+    /// accuracy is byte-identical with the cache on or off.
+    ///
     /// # Errors
     ///
     /// Returns [`SupernetError`] if the architecture does not fit.
@@ -191,31 +267,106 @@ impl SupernetTrainer {
         data: &SyntheticDataset,
         batches: usize,
     ) -> Result<f64, SupernetError> {
+        self.net.check_arch(arch)?;
+        let num_layers = self.net.num_layers();
+        let sig = Self::batch_stream_sig(&self.config, data, batches);
+
+        // Cache lookup. The resume boundary's activations are cloned out so
+        // the cache borrow ends before the network runs; `start` is the
+        // first layer that actually executes.
+        let mut resume: Option<(Vec<Tensor>, Vec<Tensor>)> = None;
+        let mut cached_labels: Option<Vec<Vec<usize>>> = None;
+        let mut start = 0usize;
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            if let Some((depth, entry)) = cache.deepest(arch, sig) {
+                start = depth;
+                resume = Some((entry.recalib.clone(), entry.eval.clone()));
+            }
+            cached_labels = cache.labels(sig).cloned();
+        }
+        // Boundaries ..start are already cached (or unknown — never
+        // recomputed either way); record the freshly computed ones.
+        let record = self.prefix_cache.is_some();
+        let first_new = if resume.is_some() { start + 1 } else { 0 };
+        let mut pending: Vec<PrefixEntry> = if record {
+            vec![PrefixEntry::default(); num_layers + 1]
+        } else {
+            Vec::new()
+        };
+
         // BN recalibration: reset running statistics and accumulate the
         // evaluated path's statistics from scratch over a few
         // training-range batches, so the result is independent of
-        // whatever paths were sampled during training.
-        self.net.set_bn_mode(hsconas_nn::BnMode::Accumulate);
-        for b in 0..8 {
-            let (batch, _) =
-                data.batch(self.config.batch_size, (b * self.config.batch_size) as u64);
-            self.net.forward(&batch, arch, true)?;
+        // whatever paths were sampled during training. On a cache hit only
+        // the suffix is reset — the skipped prefix never runs, so its
+        // statistics are never read.
+        match &resume {
+            Some(_) => self.net.set_bn_mode_from(start, BnMode::Accumulate),
+            None => self.net.set_bn_mode(BnMode::Accumulate),
         }
-        self.net.set_bn_mode(hsconas_nn::BnMode::Normal);
+        for b in 0..RECALIB_BATCHES {
+            let mut x = match &resume {
+                Some((recalib, _)) => recalib[b].clone(),
+                None => {
+                    let (batch, _) =
+                        data.batch(self.config.batch_size, (b * self.config.batch_size) as u64);
+                    self.net.forward_stem(&batch, true)?
+                }
+            };
+            if record && first_new == 0 {
+                pending[0].recalib.push(x.clone());
+            }
+            for d in start..num_layers {
+                x = self.net.forward_layer(d, &x, arch.genes()[d], true)?;
+                if record && d + 1 >= first_new {
+                    pending[d + 1].recalib.push(x.clone());
+                }
+            }
+            self.net.forward_head(&x, true)?;
+        }
+        self.net.set_bn_mode(BnMode::Normal);
+
         let mut correct = 0usize;
         let mut total = 0usize;
-        // Held-out range: training consumes indices from 0 upward; start
-        // evaluation far away.
-        let eval_base = 1_000_000u64;
+        let mut fresh_labels: Vec<Vec<usize>> = Vec::new();
         for b in 0..batches {
-            let (batch, labels) = data.batch(
-                self.config.batch_size,
-                eval_base + (b * self.config.batch_size) as u64,
-            );
-            let logits = self.net.forward(&batch, arch, false)?;
+            let index = EVAL_BASE + (b * self.config.batch_size) as u64;
+            let (mut x, labels) = match (&resume, &cached_labels) {
+                (Some((_, eval)), Some(ls)) => (eval[b].clone(), ls[b].clone()),
+                (Some((_, eval)), None) => {
+                    let (_, labels) = data.batch(self.config.batch_size, index);
+                    (eval[b].clone(), labels)
+                }
+                (None, _) => {
+                    let (batch, labels) = data.batch(self.config.batch_size, index);
+                    (self.net.forward_stem(&batch, false)?, labels)
+                }
+            };
+            if record && first_new == 0 {
+                pending[0].eval.push(x.clone());
+            }
+            for d in start..num_layers {
+                x = self.net.forward_layer(d, &x, arch.genes()[d], false)?;
+                if record && d + 1 >= first_new {
+                    pending[d + 1].eval.push(x.clone());
+                }
+            }
+            let logits = self.net.forward_head(&x, false)?;
             let acc = SoftmaxCrossEntropy::accuracy(&logits, &labels);
             correct += (acc * labels.len() as f32).round() as usize;
             total += labels.len();
+            if record && cached_labels.is_none() {
+                fresh_labels.push(labels);
+            }
+        }
+
+        if let Some(cache) = self.prefix_cache.as_mut() {
+            if cached_labels.is_none() {
+                cache.store_labels(sig, fresh_labels);
+            }
+            for (depth, entry) in pending.into_iter().enumerate().skip(first_new) {
+                cache.insert(sig, arch, depth, entry);
+            }
         }
         Ok(correct as f64 / total.max(1) as f64)
     }
@@ -274,6 +425,73 @@ mod tests {
         let a = trainer.evaluate(&arch, &data, 2).unwrap();
         let b = trainer.evaluate(&arch, &data, 2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefix_cache_matches_uncached_evaluation_bit_for_bit() {
+        let (space, data, mut trainer) = setup(11);
+        let mut rng = SmallRng::new(12);
+        trainer
+            .train_steps(&space, &data, 10, 0.05, &mut rng)
+            .unwrap();
+        // A family of sibling architectures sharing long prefixes.
+        let mut archs = vec![Arch::widest(4)];
+        for l in 0..4 {
+            let mut a = Arch::widest(4);
+            a.set_gene(
+                l,
+                hsconas_space::Gene::new(
+                    hsconas_space::OpKind::Shuffle3,
+                    hsconas_space::ChannelScale::from_tenths(5).unwrap(),
+                ),
+            )
+            .unwrap();
+            archs.push(a);
+        }
+        let cached: Vec<f64> = archs
+            .iter()
+            .map(|a| trainer.evaluate(a, &data, 2).unwrap())
+            .collect();
+        let stats = trainer.prefix_cache_stats().unwrap();
+        assert!(stats.hits >= 3, "sibling evals should hit: {stats:?}");
+        trainer.set_prefix_cache_enabled(false);
+        let plain: Vec<f64> = archs
+            .iter()
+            .map(|a| trainer.evaluate(a, &data, 2).unwrap())
+            .collect();
+        assert_eq!(cached, plain, "cache on/off must be byte-identical");
+    }
+
+    #[test]
+    fn training_invalidates_prefix_cache() {
+        let (space, data, mut trainer) = setup(13);
+        let arch = Arch::widest(4);
+        trainer.evaluate(&arch, &data, 2).unwrap();
+        assert!(trainer.prefix_cache_stats().unwrap().entries > 0);
+        let mut rng = SmallRng::new(14);
+        trainer
+            .train_steps(&space, &data, 2, 0.05, &mut rng)
+            .unwrap();
+        assert_eq!(trainer.prefix_cache_stats().unwrap().entries, 0);
+        // supernet_mut (weight surgery) also invalidates.
+        trainer.evaluate(&arch, &data, 2).unwrap();
+        let _ = trainer.supernet_mut();
+        assert_eq!(trainer.prefix_cache_stats().unwrap().entries, 0);
+    }
+
+    #[test]
+    fn cached_reevaluation_skips_all_layers() {
+        let (_, data, mut trainer) = setup(15);
+        let arch = Arch::widest(4);
+        let a = trainer.evaluate(&arch, &data, 2).unwrap();
+        let b = trainer.evaluate(&arch, &data, 2).unwrap();
+        assert_eq!(a, b);
+        let stats = trainer.prefix_cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(
+            stats.layers_skipped, 4,
+            "identical arch should resume past every mixed layer"
+        );
     }
 
     #[test]

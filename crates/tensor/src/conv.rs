@@ -158,8 +158,16 @@ pub fn conv2d_forward(
     };
 
     let threads = batch_threads(ishape.n, params.c_out * out_plane * krows);
-    let images: Vec<&mut [f32]> = out.data_mut().chunks_mut(out_stride).collect();
-    hsconas_par::par_for_each(images, threads, forward_one);
+    if threads == 1 {
+        // Inline path: no per-call slice vector, so a steady-state forward
+        // stays allocation-free (the alloc-budget gate depends on this).
+        for (n, image) in out.data_mut().chunks_mut(out_stride).enumerate() {
+            forward_one(n, image);
+        }
+    } else {
+        let images: Vec<&mut [f32]> = out.data_mut().chunks_mut(out_stride).collect();
+        hsconas_par::par_for_each(images, threads, forward_one);
+    }
     Ok(out)
 }
 
@@ -236,7 +244,8 @@ pub fn conv2d_backward(
     // Per-image work: fills this image's slice of dInput and returns its
     // dW contribution. Scratch buffers come from the thread's pool.
     let backward_one = |n: usize, gin_image: &mut [f32]| -> Vec<f32> {
-        let mut gw = vec![0.0f32; w_len];
+        let mut gw = crate::arena::take_buffer(w_len);
+        gw.resize(w_len, 0.0);
         with_scratch(krows * cols, |col| {
             with_scratch(krows * cols, |dcol| {
                 for g in 0..params.groups {
@@ -279,14 +288,27 @@ pub fn conv2d_backward(
     };
 
     let threads = batch_threads(ishape.n, 2 * params.c_out * out_plane * krows);
-    let images: Vec<&mut [f32]> = grad_in.data_mut().chunks_mut(in_stride).collect();
-    let partials = hsconas_par::par_map_owned(images, threads, backward_one);
-    // Merge dW partials in batch order: each image's contribution is a
-    // single addend per weight, so this reproduces the serial per-image
-    // accumulation order bit-for-bit.
-    for partial in partials {
-        for (w, p) in grad_w.data_mut().iter_mut().zip(&partial) {
-            *w += p;
+    if threads == 1 {
+        // Inline path mirrors the parallel merge exactly: one zeroed
+        // partial per image, added in batch order, buffer recycled.
+        for (n, gin_image) in grad_in.data_mut().chunks_mut(in_stride).enumerate() {
+            let partial = backward_one(n, gin_image);
+            for (w, p) in grad_w.data_mut().iter_mut().zip(&partial) {
+                *w += p;
+            }
+            crate::arena::recycle(partial);
+        }
+    } else {
+        let images: Vec<&mut [f32]> = grad_in.data_mut().chunks_mut(in_stride).collect();
+        let partials = hsconas_par::par_map_owned(images, threads, backward_one);
+        // Merge dW partials in batch order: each image's contribution is a
+        // single addend per weight, so this reproduces the serial per-image
+        // accumulation order bit-for-bit.
+        for partial in partials {
+            for (w, p) in grad_w.data_mut().iter_mut().zip(&partial) {
+                *w += p;
+            }
+            crate::arena::recycle(partial);
         }
     }
     Ok(Conv2dGrads {

@@ -31,6 +31,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod arena;
 pub mod conv;
 pub mod im2col;
 pub mod matmul;

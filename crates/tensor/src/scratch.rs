@@ -2,26 +2,23 @@
 //!
 //! The convolution kernels need a `(col_rows, col_cols)` staging matrix
 //! per image. Allocating it per call dominated small-convolution time, so
-//! each thread keeps a pool of previously used buffers and hands them
-//! back out zeroed. Worker threads of the batch-parallel convolution path
-//! each get their own pool, so no synchronization is involved.
+//! scratch buffers are drawn from the calling thread's activation arena
+//! ([`crate::arena`]) — the same pool that backs [`crate::Tensor`]
+//! buffers — and handed out zeroed. Worker threads of the batch-parallel
+//! convolution path each use their own arena, so no synchronization is
+//! involved.
 
-use std::cell::RefCell;
-
-thread_local! {
-    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
-}
+use crate::arena;
 
 /// Runs `f` with a zeroed scratch buffer of `len` elements drawn from the
-/// calling thread's pool; the buffer returns to the pool afterwards.
+/// calling thread's arena; the buffer returns to the arena afterwards.
 ///
 /// Nested calls are fine — each draws a distinct buffer.
 pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
-    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
-    buf.clear();
+    let mut buf = arena::take_buffer(len);
     buf.resize(len, 0.0);
     let r = f(&mut buf);
-    POOL.with(|p| p.borrow_mut().push(buf));
+    arena::recycle(buf);
     r
 }
 

@@ -1,5 +1,5 @@
 use crate::rng::SmallRng;
-use crate::{Shape4, TensorError};
+use crate::{arena, Shape4, TensorError};
 
 /// A dense, row-major, rank-4 (NCHW) tensor of `f32` values.
 ///
@@ -20,29 +20,44 @@ use crate::{Shape4, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Shape4,
     data: Vec<f32>,
 }
 
+/// Every tensor buffer comes from the thread-local activation arena
+/// ([`crate::arena`]) and returns there on drop, so steady-state
+/// forward/backward passes reuse buffers instead of hitting the heap.
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        arena::recycle(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = arena::take_buffer(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor {
+            shape: self.shape,
+            data,
+        }
+    }
+}
+
 impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape4>) -> Self {
-        let shape = shape.into();
-        Tensor {
-            data: vec![0.0; shape.len()],
-            shape,
-        }
+        Self::full(shape, 0.0)
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: impl Into<Shape4>, value: f32) -> Self {
         let shape = shape.into();
-        Tensor {
-            data: vec![value; shape.len()],
-            shape,
-        }
+        let mut data = arena::take_buffer(shape.len());
+        data.resize(shape.len(), value);
+        Tensor { shape, data }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -67,9 +82,8 @@ impl Tensor {
     /// deviation (mean zero), deterministically from `rng`.
     pub fn randn(shape: impl Into<Shape4>, std: f32, rng: &mut SmallRng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len())
-            .map(|_| rng.next_normal() as f32 * std)
-            .collect();
+        let mut data = arena::take_buffer(shape.len());
+        data.extend((0..shape.len()).map(|_| rng.next_normal() as f32 * std));
         Tensor { shape, data }
     }
 
@@ -105,9 +119,11 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns its buffer (detached from the
+    /// arena — it is not recycled until the caller drops a tensor built
+    /// from it again).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element accessor.
@@ -143,9 +159,11 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        let mut data = arena::take_buffer(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Tensor {
             shape: self.shape,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
@@ -174,12 +192,8 @@ impl Tensor {
                 actual: other.shape.to_vec(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a + b)
-            .collect();
+        let mut data = arena::take_buffer(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(a, b)| a + b));
         Ok(Tensor {
             shape: self.shape,
             data,
@@ -309,10 +323,8 @@ impl Tensor {
                 for i in 0..per {
                     let src = (ni * c + g * per + i) * plane;
                     let dst = (ni * c + i * groups + g) * plane;
-                    let (s, d) = (src, dst);
-                    // copy one H*W plane
-                    let tmp: Vec<f32> = self.data[s..s + plane].to_vec();
-                    out.data[d..d + plane].copy_from_slice(&tmp);
+                    // copy one H*W plane (src and dst tensors are distinct)
+                    out.data[dst..dst + plane].copy_from_slice(&self.data[src..src + plane]);
                 }
             }
         }

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for device in DeviceSpec::paper_devices() {
         // Calibrate: M = 100 sampled archs, 5 measurement repeats each.
-        let mut predictor = LatencyPredictor::calibrate(device.clone(), &space, 100, 5, &mut rng)?;
+        let predictor = LatencyPredictor::calibrate(device.clone(), &space, 100, 5, &mut rng)?;
         let report = predictor.validate(&space, 100, 5, &mut rng)?;
         println!(
             "{:<16} bias B = {:>6.2} ms   validation RMSE = {:.3} ms  (r = {:.4})",

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Latency comes from the usual predictor — here we pretend the tiny
     //    network deploys to the edge device with a 20 ms budget.
     let mut search_rng = StdRng::seed_from_u64(3);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 30, 3, &mut search_rng)?;
     let target_ms = 20.0;
     let mut objective = TradeoffObjective::new(

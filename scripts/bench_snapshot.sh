@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Performance snapshot: runs the criterion suite plus the fixed-seed
+# bench_snapshot binary and stamps the machine-readable result with the
+# current git revision, so regressions can be diffed across commits.
+#
+# Usage: scripts/bench_snapshot.sh [output-dir]
+#
+# Writes <output-dir>/BENCH_<short-sha>.json (default output-dir: repo root)
+# containing archs/sec and forwards/sec for population evaluation with the
+# prefix-activation cache off/on, allocations per steady-state forward,
+# the prefix-cache hit rate, and end-to-end fixed-seed search throughput.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir="${1:-.}"
+sha="$(git rev-parse --short HEAD)"
+out="${out_dir}/BENCH_${sha}.json"
+
+echo "==> criterion suite (full timings under target/criterion/)"
+cargo bench -p hsconas-bench --bench paper_benches
+
+echo "==> fixed-seed snapshot -> ${out}"
+cargo run --release -q -p hsconas-bench --bin bench_snapshot > "${out}"
+
+cat "${out}"
+echo "Wrote ${out}"

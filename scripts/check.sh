@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> allocation-regression gate (release)"
+# The alloc budget in tests/alloc_budget.rs is the checked-in contract for
+# the activation arena: a steady-state forward must stay O(1) allocations.
+# Run it in release too, where inlining changes allocation patterns.
+cargo test -q --release -p hsconas --test alloc_budget
+
 echo "All checks passed."

@@ -151,6 +151,49 @@ fn shrink_is_byte_identical_across_thread_counts_and_memo() {
     );
 }
 
+/// Supernet population evaluation (the accuracy oracle of the real-training
+/// pipeline) must be byte-identical with the prefix-activation cache on or
+/// off, at one worker thread or eight. Thread count here drives the conv
+/// batch-parallel kernels and the per-thread activation arenas, so this
+/// pins both memory-planning layers to the determinism contract at once.
+#[test]
+fn supernet_evaluation_is_identical_across_cache_and_threads() {
+    use hsconas_data::SyntheticDataset;
+    use hsconas_supernet::{Supernet, SupernetTrainer, TrainConfig};
+    use hsconas_tensor::rng::SmallRng;
+
+    let space = SearchSpace::tiny(4);
+    let data = SyntheticDataset::new(4, 32, 21);
+    let population = space.sample_n(6, &mut StdRng::seed_from_u64(22));
+
+    let run = |cache: bool, threads: usize| -> Vec<f64> {
+        hsconas_par::set_default_threads(threads);
+        let mut rng = SmallRng::new(23);
+        let net = Supernet::build(space.skeleton(), &mut rng).unwrap();
+        let mut trainer = SupernetTrainer::new(net, TrainConfig::quick_test());
+        let mut train_rng = SmallRng::new(24);
+        trainer
+            .train_steps(&space, &data, 6, 0.05, &mut train_rng)
+            .unwrap();
+        trainer.set_prefix_cache_enabled(cache);
+        population
+            .iter()
+            .map(|a| trainer.evaluate(a, &data, 2).unwrap())
+            .collect()
+    };
+
+    let reference = run(false, 1);
+    for (cache, threads) in [(true, 1), (false, 8), (true, 8)] {
+        assert_eq!(
+            reference,
+            run(cache, threads),
+            "cache={cache} threads={threads} changed evaluation results"
+        );
+    }
+    // Restore "auto" so this test leaves no process-wide state behind.
+    hsconas_par::set_default_threads(0);
+}
+
 #[test]
 fn hwsim_measurement_sweep_is_thread_count_invariant() {
     let space = SearchSpace::hsconas_a();

@@ -15,7 +15,7 @@ fn predictor_ranks_architectures_like_the_device() {
     let space = SearchSpace::hsconas_a();
     for device in DeviceSpec::paper_devices() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut predictor =
+        let predictor =
             LatencyPredictor::calibrate(device.clone(), &space, 30, 3, &mut rng).unwrap();
         let archs = space.sample_n(60, &mut rng);
         let predicted: Vec<f64> = archs

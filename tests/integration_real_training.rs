@@ -62,7 +62,7 @@ fn end_to_end_search_with_trained_oracle() {
     let oracle = TrainedAccuracy::new(trainer, data, 2);
 
     let mut search_rng = StdRng::seed_from_u64(43);
-    let mut predictor =
+    let predictor =
         LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 10, 2, &mut search_rng)
             .unwrap();
     let mut objective = TradeoffObjective::new(
