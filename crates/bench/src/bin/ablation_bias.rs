@@ -1,10 +1,11 @@
 //! Ablation: the latency-model bias term B (Eq. 3) on vs off.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_bias [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_bias [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{ablation, seed_from_args, threads_from_args};
+use hsconas_bench::{ablation, seed_from_args, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

@@ -1,11 +1,12 @@
 //! Ablation: how close do the search strategies get to the exhaustive
 //! optimum on a restricted (enumerable) slice of the space?
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_optimality [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_optimality [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{ablation, seed_from_args, threads_from_args};
+use hsconas_bench::{ablation, seed_from_args, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

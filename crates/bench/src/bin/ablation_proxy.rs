@@ -1,12 +1,13 @@
 //! Ablation: hardware-aware (Eq. 2-3) vs hardware-agnostic (FLOPs proxy)
 //! latency guidance inside the search — the paper's core thesis isolated.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_proxy [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_proxy [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{ablation_proxy, seed_from_args, threads_from_args};
+use hsconas_bench::{ablation_proxy, seed_from_args, telemetry_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

@@ -2,11 +2,12 @@
 //! evaluation budget (1000 architecture evaluations, the paper's EA
 //! budget of 20 generations x 50 population).
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_search [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_search [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{ablation, seed_from_args, threads_from_args};
+use hsconas_bench::{ablation, seed_from_args, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

@@ -1,11 +1,12 @@
 //! Ablation: EA in the progressively shrunk space vs the full space.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin ablation_shrink [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin ablation_shrink [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{ablation, seed_from_args, threads_from_args};
+use hsconas_bench::{ablation, seed_from_args, telemetry_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

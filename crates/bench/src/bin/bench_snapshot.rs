@@ -10,10 +10,15 @@
 //!   global allocator; the arena makes this O(1));
 //! * **search** — end-to-end fixed-seed EA search throughput on the
 //!   surrogate pipeline (archs/sec), the number the paper's search-cost
-//!   claim rests on.
+//!   claim rests on;
+//! * **telemetry** — per-phase wall time and allocation counts derived
+//!   from an in-memory telemetry sink capturing the phases above, plus the
+//!   measured overhead ratio of running with that sink installed
+//!   (`schema_version` 1; older snapshot fields are unchanged).
 //!
 //! Usage: `cargo run --release -p hsconas-bench --bin bench_snapshot`
-//! (prints one JSON object to stdout).
+//! (prints one JSON object to stdout). Requires the default `telemetry`
+//! feature.
 
 use hsconas_bench::seed_from_args;
 use hsconas_data::SyntheticDataset;
@@ -21,6 +26,7 @@ use hsconas_evo::{EvolutionConfig, EvolutionSearch, MemoObjective, ParallelObjec
 use hsconas_hwsim::{lower_arch, DeviceSpec};
 use hsconas_space::{Arch, SearchSpace};
 use hsconas_supernet::{Supernet, SupernetTrainer, TrainConfig};
+use hsconas_telemetry::{span, MemorySink, RunReport};
 use hsconas_tensor::rng::SmallRng;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,6 +101,38 @@ fn main() {
     let eval_batches = 2usize;
     let reps = 10usize;
 
+    // --- telemetry overhead: sink installed vs not, interleaved ---------
+    // One steady-state population pass is the unit of work; min-of-N on
+    // alternating rounds cancels thermal / scheduler drift. Measured
+    // *before* the main sink is installed so the snapshot's headline
+    // numbers carry at most this (gated < 2%) overhead.
+    trainer.set_prefix_cache_enabled(true);
+    trainer.clear_prefix_cache();
+    let pass = |trainer: &mut SupernetTrainer| {
+        for arch in &population {
+            black_box(trainer.evaluate(arch, &data, eval_batches).expect("eval"));
+        }
+    };
+    pass(&mut trainer); // warm-up
+    let mut min_off = f64::INFINITY;
+    let mut min_on = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        pass(&mut trainer);
+        min_off = min_off.min(start.elapsed().as_secs_f64());
+        let probe_sink = MemorySink::install();
+        let start = Instant::now();
+        pass(&mut trainer);
+        min_on = min_on.min(start.elapsed().as_secs_f64());
+        probe_sink.uninstall();
+    }
+    let overhead_ratio = min_on / min_off;
+
+    // The main sink captures phase spans for the rest of the run; the
+    // alloc probe lets spans record allocation deltas.
+    hsconas_telemetry::set_alloc_probe(|| ALLOCS.load(Ordering::Relaxed));
+    let sink = MemorySink::install();
+
     let mut sweep = |cache: bool| -> (f64, f64, f64) {
         trainer.set_prefix_cache_enabled(cache);
         trainer.clear_prefix_cache();
@@ -119,18 +157,27 @@ fn main() {
             .unwrap_or(0.0);
         (evals / secs, forwards / secs, hit_rate)
     };
-    let (archs_off, forwards_off, _) = sweep(false);
-    let (archs_on, forwards_on, hit_rate) = sweep(true);
+    let (archs_off, forwards_off, _) = {
+        let _span = span!("bench.population_eval_cache_off");
+        sweep(false)
+    };
+    let (archs_on, forwards_on, hit_rate) = {
+        let _span = span!("bench.population_eval_cache_on");
+        sweep(true)
+    };
 
     // --- allocations per steady-state forward ---------------------------
-    let input = hsconas_tensor::Tensor::randn([8, 3, 32, 32], 1.0, &mut rng);
-    let widest = Arch::widest(4);
-    let net = trainer.supernet_mut();
-    net.forward(&input, &widest, false).expect("warm");
-    net.forward(&input, &widest, false).expect("warm");
-    let before = ALLOCS.load(Ordering::Relaxed);
-    net.forward(&input, &widest, false).expect("measure");
-    let allocs_per_forward = ALLOCS.load(Ordering::Relaxed) - before;
+    let allocs_per_forward = {
+        let _span = span!("bench.alloc");
+        let input = hsconas_tensor::Tensor::randn([8, 3, 32, 32], 1.0, &mut rng);
+        let widest = Arch::widest(4);
+        let net = trainer.supernet_mut();
+        net.forward(&input, &widest, false).expect("warm");
+        net.forward(&input, &widest, false).expect("warm");
+        let before = ALLOCS.load(Ordering::Relaxed);
+        net.forward(&input, &widest, false).expect("measure");
+        ALLOCS.load(Ordering::Relaxed) - before
+    };
 
     // --- end-to-end fixed-seed EA search (surrogate pipeline) -----------
     let big_space = SearchSpace::hsconas_a();
@@ -162,12 +209,34 @@ fn main() {
     };
     let mut objective = MemoObjective::new(ParallelObjective::new(score, 1));
     let mut search_rng = StdRng::seed_from_u64(seed);
+    let search_span = span!("bench.search");
     let start = Instant::now();
     let result = EvolutionSearch::new(big_space, config)
         .run(&mut objective, &mut search_rng)
         .expect("search");
     let search_secs = start.elapsed().as_secs_f64();
+    search_span.close();
     let search_evals = objective.stats().hits + objective.stats().misses;
+
+    // --- telemetry-derived per-phase summary ----------------------------
+    hsconas_telemetry::flush_metrics();
+    let report = RunReport::from_events(&sink.take());
+    sink.uninstall();
+    let phases: Vec<(String, Value)> = report
+        .span_aggs
+        .iter()
+        .filter(|a| !a.path.contains('/')) // top-level bench.* phases only
+        .map(|a| {
+            let mut fields = vec![
+                ("count".to_string(), Value::U64(a.count)),
+                ("total_ms".to_string(), Value::F64(a.total_us as f64 / 1e3)),
+            ];
+            if let Some(allocs) = a.allocs {
+                fields.push(("allocs".to_string(), Value::U64(allocs)));
+            }
+            (a.path.clone(), Value::Object(fields))
+        })
+        .collect();
 
     let obj = |fields: Vec<(&str, Value)>| {
         Value::Object(
@@ -210,6 +279,17 @@ fn main() {
                     Value::F64(search_evals as f64 / search_secs),
                 ),
                 ("best_score", Value::F64(result.best_evaluation.score)),
+            ]),
+        ),
+        (
+            "telemetry",
+            obj(vec![
+                (
+                    "schema_version",
+                    Value::U64(hsconas_telemetry::SCHEMA_VERSION),
+                ),
+                ("overhead_ratio", Value::F64(overhead_ratio)),
+                ("phases", Value::Object(phases)),
             ]),
         ),
     ]);

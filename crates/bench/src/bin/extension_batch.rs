@@ -1,11 +1,12 @@
 //! Extension: per-image latency vs batch size on each simulated device —
 //! the justification for the paper's batch-size choices (32/1/16).
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin extension_batch [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin extension_batch [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{extension_batch, threads_from_args};
+use hsconas_bench::{extension_batch, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");
     print!("{}", extension_batch::render(&extension_batch::run()));

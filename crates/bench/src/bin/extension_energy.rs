@@ -1,12 +1,13 @@
 //! Extension (paper future work): search under latency AND energy budgets
 //! on the edge device, comparing single-constraint and joint objectives.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin extension_energy [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin extension_energy [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{extension_energy, seed_from_args, threads_from_args};
+use hsconas_bench::{extension_energy, seed_from_args, telemetry_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

@@ -1,10 +1,11 @@
 //! Regenerates Fig. 2: latency vs FLOPs / Params decorrelation.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig2_flops_vs_latency [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig2_flops_vs_latency [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{fig2, plot, seed_from_args, threads_from_args};
+use hsconas_bench::{fig2, plot, seed_from_args, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

@@ -1,10 +1,11 @@
 //! Regenerates Fig. 4: conventional vs dynamic channel scaling.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig4_channel_scaling [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig4_channel_scaling [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{fig4, seed_from_args, threads_from_args};
+use hsconas_bench::{fig4, seed_from_args, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

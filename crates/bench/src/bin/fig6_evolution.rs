@@ -1,12 +1,13 @@
 //! Regenerates Fig. 6 (top and bottom): EA latency scatter per generation
 //! and the final latency histogram near the 34 ms edge constraint.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig6_evolution [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_evolution [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{fig6, seed_from_args, threads_from_args};
+use hsconas_bench::{fig6, seed_from_args, telemetry_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

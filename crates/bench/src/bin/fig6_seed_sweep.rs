@@ -1,11 +1,12 @@
 //! Seed sweep for the Fig. 6 (left) shrink-vs-naive comparison: the
 //! margin is noise-prone at tiny scale, so report several seeds.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig6_seed_sweep [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_seed_sweep [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{fig6, threads_from_args};
+use hsconas_bench::{fig6, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");
     println!("seed   naive  shrink  winner");

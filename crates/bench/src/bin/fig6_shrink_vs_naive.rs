@@ -2,11 +2,12 @@
 //! vs naive training at an equal step budget, on the real-training
 //! substrate (tiny space + synthetic dataset).
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig6_shrink_vs_naive [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_shrink_vs_naive [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
-use hsconas_bench::{fig6, seed_from_args, threads_from_args};
+use hsconas_bench::{fig6, seed_from_args, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

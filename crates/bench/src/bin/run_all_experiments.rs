@@ -2,13 +2,14 @@
 //! EXPERIMENTS.md's numbers. Heavier searches use the paper budgets, so
 //! expect a few minutes in release mode.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin run_all_experiments [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin run_all_experiments [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
 use hsconas::PipelineConfig;
 use hsconas_bench::*;
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

@@ -2,12 +2,13 @@
 //! HSCoNets across GPU / CPU / Edge, with paper-vs-simulated deltas and a
 //! check of the paper's headline claims.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin table1_comparison [--seed N] [--threads N]`
+//! Usage: `cargo run --release -p hsconas-bench --bin table1_comparison [--seed N] [--threads N] [--telemetry RUN.jsonl]`
 
 use hsconas::PipelineConfig;
-use hsconas_bench::{seed_from_args, table1, threads_from_args};
+use hsconas_bench::{seed_from_args, table1, telemetry_from_args, threads_from_args};
 
 fn main() {
+    let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");

@@ -63,6 +63,26 @@ pub fn threads_from_args() -> usize {
     hsconas_par::default_threads()
 }
 
+/// Parses an optional `--telemetry PATH` command-line argument and, when
+/// present, installs a JSONL event sink logging the run to `PATH`. The
+/// returned guard flushes the metrics registry and closes the log on drop,
+/// so bind it for the binary's full lifetime (`let _telemetry = ...`).
+///
+/// Returns `None` when the flag is absent. When the flag is given but the
+/// build lacks the `telemetry` feature, a warning is printed and the run
+/// continues unlogged — observability never fails an experiment.
+pub fn telemetry_from_args() -> Option<hsconas_telemetry::FlushGuard> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args.windows(2).find(|w| w[0] == "--telemetry")?[1].clone();
+    match hsconas_telemetry::init_jsonl(&path) {
+        Ok(guard) => Some(guard),
+        Err(e) => {
+            eprintln!("warning: --telemetry disabled: {e}");
+            None
+        }
+    }
+}
+
 /// Renders a simple ASCII histogram line (used by the Fig. 6 bottom
 /// reproduction).
 pub fn ascii_bar(count: usize, max: usize, width: usize) -> String {

@@ -2,11 +2,16 @@
 //! comparison table, and re-measure saved models without writing code.
 //!
 //! ```text
-//! hsconas search --device edge --target-ms 34 [--layout a|b] [--seed N] [--fast] [--out FILE]
-//! hsconas table [--fast] [--seed N] [--out FILE]
+//! hsconas search --device edge --target-ms 34 [--layout a|b] [--seed N] [--fast] [--out FILE] [--telemetry RUN.jsonl]
+//! hsconas table [--fast] [--seed N] [--out FILE] [--telemetry RUN.jsonl]
 //! hsconas baselines
 //! hsconas measure --model FILE
+//! hsconas report RUN.jsonl
 //! ```
+//!
+//! `--telemetry PATH` streams a JSONL event log of the run (spans, metric
+//! flushes) to `PATH`; `hsconas report PATH` renders it as per-phase
+//! summary tables. Requires a build with the `telemetry` feature (default).
 
 use hsconas::persist::{load_json, save_json, SavedModel};
 use hsconas::{render_table, search_for_device, table_one, PipelineConfig};
@@ -25,15 +30,17 @@ fn main() {
         Some("baselines") => cmd_baselines(),
         Some("measure") => cmd_measure(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hsconas <search|table|baselines|measure> [options]\n\
+                "usage: hsconas <search|table|baselines|measure|report> [options]\n\
                  \n\
-                 search    --device gpu|cpu|edge --target-ms N [--layout a|b] [--seed N] [--fast] [--out FILE]\n\
-                 table     [--fast] [--seed N] [--out FILE]\n\
+                 search    --device gpu|cpu|edge --target-ms N [--layout a|b] [--seed N] [--fast] [--out FILE] [--telemetry RUN.jsonl]\n\
+                 table     [--fast] [--seed N] [--out FILE] [--telemetry RUN.jsonl]\n\
                  baselines\n\
                  measure   --model FILE\n\
-                 profile   --device gpu|cpu|edge --out FILE [--seed N]"
+                 profile   --device gpu|cpu|edge --out FILE [--seed N]\n\
+                 report    RUN.jsonl"
             );
             std::process::exit(2);
         }
@@ -50,6 +57,22 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Installs the JSONL telemetry sink when `--telemetry PATH` is given.
+/// The returned guard flushes metrics and closes the log when dropped, so
+/// hold it for the duration of the command. A `None` means telemetry was
+/// not requested; a request against a telemetry-disabled build warns and
+/// continues (observability must never fail the run).
+fn telemetry_from_args(args: &[String]) -> Option<hsconas_telemetry::FlushGuard> {
+    let path = flag(args, "--telemetry")?;
+    match hsconas_telemetry::init_jsonl(&path) {
+        Ok(guard) => Some(guard),
+        Err(e) => {
+            eprintln!("warning: --telemetry disabled: {e}");
+            None
+        }
+    }
 }
 
 fn device_by_name(name: &str) -> Result<DeviceSpec, String> {
@@ -82,6 +105,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     } else {
         PipelineConfig::default()
     };
+    let _telemetry = telemetry_from_args(args);
     let space = SearchSpace::full(NetworkSkeleton::imagenet(layout));
     let mut rng = StdRng::seed_from_u64(seed);
     let outcome = search_for_device(space.clone(), device.clone(), target_ms, &config, &mut rng)
@@ -123,6 +147,7 @@ fn cmd_table(args: &[String]) -> Result<(), String> {
     } else {
         PipelineConfig::default()
     };
+    let _telemetry = telemetry_from_args(args);
     let mut rng = StdRng::seed_from_u64(seed);
     let rows = table_one(&config, &mut rng).map_err(|e| e.to_string())?;
     print!("{}", render_table(&rows));
@@ -164,6 +189,16 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     );
     save_json(&snapshot, &out).map_err(|e| e.to_string())?;
     println!("saved: {out}");
+    Ok(())
+}
+
+/// Renders the per-phase run report from a telemetry JSONL log.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: hsconas report RUN.jsonl")?;
+    print!("{}", hsconas::report::render_run_report(path)?);
     Ok(())
 }
 

@@ -63,17 +63,24 @@ pub fn search_for_device<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<SearchOutcome, PipelineError> {
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
-    let predictor = LatencyPredictor::calibrate(
-        device,
-        &space,
-        config.calibration_archs,
-        config.calibration_repeats,
-        rng,
-    )?;
+    let predictor = {
+        let _span = hsconas_telemetry::span!("pipeline.calibrate");
+        LatencyPredictor::calibrate(
+            device,
+            &space,
+            config.calibration_archs,
+            config.calibration_repeats,
+            rng,
+        )?
+    };
     let latency_bias_us = predictor.bias_us();
     let mut objective = build_objective(oracle, predictor, target_ms, config.beta);
 
     let (search_space, shrink) = if config.shrink {
+        let _span = hsconas_telemetry::span!(
+            "pipeline.shrink",
+            stages = config.shrink_config.stages.len()
+        );
         let result = ProgressiveShrinking::new(config.shrink_config.clone()).run(
             space,
             &mut objective,
@@ -85,8 +92,11 @@ pub fn search_for_device<R: Rng + ?Sized>(
         (space, None)
     };
 
-    let mut search = EvolutionSearch::new(search_space, config.evolution);
-    let evolution = search.run(&mut objective, rng)?;
+    let evolution = {
+        let _span = hsconas_telemetry::span!("pipeline.search");
+        let mut search = EvolutionSearch::new(search_space, config.evolution);
+        search.run(&mut objective, rng)?
+    };
     Ok(SearchOutcome {
         best_arch: evolution.best_arch.clone(),
         best: evolution.best_evaluation,

@@ -145,22 +145,30 @@ pub fn run_real_pipeline(
     let mut train_rng = SmallRng::new(seed);
 
     // 1. warm supernet training in the full space
-    let supernet = Supernet::build(space.skeleton(), &mut train_rng)
-        .map_err(|e| objective_error(e.to_string()))?;
-    let mut trainer = SupernetTrainer::new(supernet, TrainConfig::quick_test());
-    trainer
-        .train_steps(&space, &data, config.warm_steps, 0.05, &mut train_rng)
-        .map_err(|e| objective_error(e.to_string()))?;
+    let mut trainer = {
+        let _span = hsconas_telemetry::span!("pipeline.train", steps = config.warm_steps);
+        let supernet = Supernet::build(space.skeleton(), &mut train_rng)
+            .map_err(|e| objective_error(e.to_string()))?;
+        let mut trainer = SupernetTrainer::new(supernet, TrainConfig::quick_test());
+        trainer
+            .train_steps(&space, &data, config.warm_steps, 0.05, &mut train_rng)
+            .map_err(|e| objective_error(e.to_string()))?;
+        trainer
+    };
 
     // 2. latency predictor for the edge device over the tiny space
     let mut search_rng = StdRng::seed_from_u64(seed ^ 0xdead);
-    let predictor =
-        LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 20, 2, &mut search_rng)?;
+    let predictor = {
+        let _span = hsconas_telemetry::span!("pipeline.calibrate");
+        LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 20, 2, &mut search_rng)?
+    };
 
     // 3. progressive shrinking: each stage picks operators by *real*
     //    inherited-weight quality, then fine-tunes in the shrunk space at
     //    a reduced learning rate (the paper's 0.01-LR fine-tune)
     let mut current_space = space.clone();
+    let shrink_span =
+        hsconas_telemetry::span!("pipeline.shrink", stages = config.shrink_stages.len());
     for (stage_idx, layers) in config.shrink_stages.iter().enumerate() {
         let stage = ProgressiveShrinking::new(ShrinkConfig {
             stages: vec![layers.clone()],
@@ -194,9 +202,11 @@ pub fn run_real_pipeline(
             )
             .map_err(|e| objective_error(e.to_string()))?;
     }
+    shrink_span.close();
 
     // 4. evolutionary search with inherited weights
     let evolution = {
+        let _span = hsconas_telemetry::span!("pipeline.search");
         let mut objective = InheritedWeightObjective {
             trainer: &mut trainer,
             data: &data,
@@ -212,6 +222,7 @@ pub fn run_real_pipeline(
 
     // 5. materialize and train from scratch
     let mut scratch_rng = SmallRng::new(seed ^ 0xbeef);
+    let _final_span = hsconas_telemetry::span!("pipeline.final_train", steps = config.final_steps);
     let mut subnet = build_subnet(space.skeleton(), &evolution.best_arch, &mut scratch_rng)
         .map_err(|e| objective_error(e.to_string()))?;
     let scratch = train_from_scratch(

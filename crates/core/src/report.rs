@@ -122,6 +122,22 @@ pub fn table_one<R: Rng + ?Sized>(
     Ok(rows)
 }
 
+/// Loads a telemetry JSONL run log (written via `--telemetry PATH`) and
+/// renders the per-phase run report: span rollups, EA generations, shrink
+/// stages, cache hit rates, gauges, and histograms.
+///
+/// Works regardless of whether *this* build has telemetry enabled — the
+/// log decoder is always compiled; only event *production* is feature-gated.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or schema failure.
+pub fn render_run_report(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report = hsconas_telemetry::RunReport::from_jsonl(&text)?;
+    Ok(report.render())
+}
+
 /// Renders rows as a fixed-width text table in Table I's column order.
 pub fn render_table(rows: &[TableRow]) -> String {
     let mut out = String::new();

@@ -4,7 +4,8 @@
 //! generations and low mutation probabilities produce many clones — so a
 //! memo-cache in front of the objective removes most oracle calls. Unlike
 //! the per-instance `HashMap` inside [`TradeoffObjective`], the cache here
-//! is wrapped in a [`parking_lot::Mutex`] with atomic hit/miss counters,
+//! is wrapped in a [`parking_lot::Mutex`] with atomic hit/miss counters
+//! (telemetry registry cells under `evo.memo.hits` / `evo.memo.misses`),
 //! so one cache can sit in front of an objective whose batch path fans
 //! out over the worker pool.
 //!
@@ -12,30 +13,17 @@
 
 use crate::{Evaluation, EvoError, Objective};
 use hsconas_space::Arch;
+use hsconas_telemetry::Counter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cache effectiveness counters for a [`MemoObjective`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MemoStats {
-    /// Evaluations answered from the cache.
-    pub hits: u64,
-    /// Evaluations that had to call the inner objective.
-    pub misses: u64,
-}
-
-impl MemoStats {
-    /// Fraction of lookups answered from the cache (0 when none yet).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
+///
+/// This is now a thin read of the telemetry registry cells the memo layer
+/// reports through (keys `evo.memo.hits` / `evo.memo.misses`); the shape and
+/// accessors of the old bespoke struct are preserved so callers are
+/// unaffected.
+pub type MemoStats = hsconas_telemetry::HitMissSnapshot;
 
 /// Memoizes an inner [`Objective`] by architecture fingerprint.
 ///
@@ -49,8 +37,11 @@ impl MemoStats {
 pub struct MemoObjective<O> {
     inner: O,
     cache: Mutex<HashMap<u64, Evaluation>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // Per-instance telemetry registry cells: `get()` reads this instance's
+    // totals (the accessors below stay exact per memo), while the registry
+    // aggregates all instances under the `evo.memo.*` keys for run reports.
+    hits: Counter,
+    misses: Counter,
 }
 
 impl<O: Objective> MemoObjective<O> {
@@ -59,16 +50,16 @@ impl<O: Objective> MemoObjective<O> {
         MemoObjective {
             inner,
             cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::register("evo.memo.hits"),
+            misses: Counter::register("evo.memo.misses"),
         }
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss counters (this instance only).
     pub fn stats(&self) -> MemoStats {
         MemoStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
     }
 
@@ -92,11 +83,11 @@ impl<O: Objective> Objective for MemoObjective<O> {
     fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
         let key = arch.fingerprint();
         if let Some(cached) = self.cache.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
             return Ok(*cached);
         }
         let eval = self.inner.evaluate(arch)?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         self.cache.lock().insert(key, eval);
         Ok(eval)
     }
@@ -142,9 +133,8 @@ impl<O: Objective> Objective for MemoObjective<O> {
             }
         }
         let misses = todo.len() as u64;
-        self.misses.fetch_add(misses, Ordering::Relaxed);
-        self.hits
-            .fetch_add(archs.len() as u64 - misses, Ordering::Relaxed);
+        self.misses.add(misses);
+        self.hits.add(archs.len() as u64 - misses);
         Ok(archs
             .iter()
             .zip(resolved)

@@ -151,9 +151,21 @@ impl EvolutionSearch {
         rng: &mut R,
     ) -> Result<SearchResult, EvoError> {
         self.config.validate()?;
+        let _search_span = hsconas_telemetry::span!(
+            "ea.search",
+            generations = self.config.generations,
+            population = self.config.population,
+            parents = self.config.parents
+        );
         let init = self.space.sample_n(self.config.population, rng);
-        let mut population = evaluate_into_individuals(objective, init)?;
-        sort_desc(&mut population);
+        let mut population = {
+            let mut span = hsconas_telemetry::span!("ea.generation", gen = 0usize);
+            span.record("evals", init.len());
+            let mut population = evaluate_into_individuals(objective, init)?;
+            sort_desc(&mut population);
+            span.record("best_score", population[0].evaluation.score);
+            population
+        };
 
         let mut history = Vec::with_capacity(self.config.generations + 1);
         history.push(GenerationStats {
@@ -162,6 +174,7 @@ impl EvolutionSearch {
         });
 
         for generation in 1..=self.config.generations {
+            let mut gen_span = hsconas_telemetry::span!("ea.generation", gen = generation);
             let parents: Vec<Individual> =
                 population[..self.config.parents.min(population.len())].to_vec();
             let mut next: Vec<Individual> = parents.clone();
@@ -183,9 +196,11 @@ impl EvolutionSearch {
                 seen.insert(arch.fingerprint());
                 offspring.push(arch);
             }
+            gen_span.record("evals", offspring.len());
             next.extend(evaluate_into_individuals(objective, offspring)?);
             sort_desc(&mut next);
             population = next;
+            gen_span.record("best_score", population[0].evaluation.score);
             history.push(GenerationStats {
                 generation,
                 individuals: population.clone(),

@@ -1,7 +1,7 @@
 //! The calibrated latency predictor of Eq. 2–3.
 
 use crate::lut::LutSnapshot;
-use crate::metrics::{pearson, rmse};
+use crate::metrics::{pearson, rmse, spearman};
 use crate::LatencyLut;
 use hsconas_hwsim::{lower_arch, DeviceSpec};
 use hsconas_space::{Arch, SearchSpace, SpaceError};
@@ -37,6 +37,9 @@ pub struct ValidationReport {
     pub rmse_ms: f64,
     /// Pearson correlation between predicted and measured latency.
     pub pearson: f64,
+    /// Spearman rank correlation between predicted and measured latency
+    /// (the ranking fidelity the search actually depends on).
+    pub spearman: f64,
     /// Number of held-out architectures evaluated.
     pub samples: usize,
 }
@@ -64,6 +67,7 @@ impl LatencyPredictor {
     ) -> Result<Self, SpaceError> {
         assert!(m > 0, "need at least one calibration architecture");
         assert!(repeats > 0, "need at least one measurement repeat");
+        let mut span = hsconas_telemetry::span!("latency.calibrate", m = m, repeats = repeats);
         let mut lut = LatencyLut::new(device, space.skeleton().clone());
         let mut gap_sum = 0.0;
         for _ in 0..m {
@@ -73,9 +77,12 @@ impl LatencyPredictor {
             let measured = lut.device().measure_network_mean(&net, repeats, rng);
             gap_sum += measured - lut_sum;
         }
+        let bias_us = gap_sum / m as f64;
+        span.record("bias_us", bias_us);
+        hsconas_telemetry::gauge_set("latency.bias_us", bias_us);
         Ok(LatencyPredictor {
             lut,
-            bias_us: gap_sum / m as f64,
+            bias_us,
             calibration_samples: m,
         })
     }
@@ -108,6 +115,7 @@ impl LatencyPredictor {
     ) -> Result<Self, SpaceError> {
         assert!(m > 0, "need at least one calibration architecture");
         assert!(repeats > 0, "need at least one measurement repeat");
+        let mut span = hsconas_telemetry::span!("latency.calibrate", m = m, repeats = repeats);
         let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed);
         let archs = space.sample_n(m, &mut rng);
         let nets = archs
@@ -126,9 +134,12 @@ impl LatencyPredictor {
         for (arch, meas) in archs.iter().zip(&measured) {
             gap_sum += meas - lut.op_sum_us(arch)?;
         }
+        let bias_us = gap_sum / m as f64;
+        span.record("bias_us", bias_us);
+        hsconas_telemetry::gauge_set("latency.bias_us", bias_us);
         Ok(LatencyPredictor {
             lut,
-            bias_us: gap_sum / m as f64,
+            bias_us,
             calibration_samples: m,
         })
     }
@@ -223,6 +234,7 @@ impl LatencyPredictor {
         rng: &mut R,
     ) -> Result<ValidationReport, SpaceError> {
         assert!(n > 1, "need at least two validation architectures");
+        let mut span = hsconas_telemetry::span!("latency.validate", n = n, repeats = repeats);
         let mut predicted = Vec::with_capacity(n);
         let mut measured = Vec::with_capacity(n);
         for _ in 0..n {
@@ -232,11 +244,19 @@ impl LatencyPredictor {
             let device = self.lut.device().clone();
             measured.push(device.measure_network_mean(&net, repeats, rng) / 1000.0);
         }
-        Ok(ValidationReport {
+        let report = ValidationReport {
             rmse_ms: rmse(&predicted, &measured),
             pearson: pearson(&predicted, &measured),
+            spearman: spearman(&predicted, &measured),
             samples: n,
-        })
+        };
+        span.record("rmse_ms", report.rmse_ms);
+        span.record("pearson", report.pearson);
+        span.record("spearman", report.spearman);
+        hsconas_telemetry::gauge_set("latency.rmse_ms", report.rmse_ms);
+        hsconas_telemetry::gauge_set("latency.pearson", report.pearson);
+        hsconas_telemetry::gauge_set("latency.spearman", report.spearman);
+        Ok(report)
     }
 }
 
@@ -273,6 +293,12 @@ mod tests {
                 "{}: pearson {}",
                 device.name,
                 report.pearson
+            );
+            assert!(
+                report.spearman > 0.9,
+                "{}: spearman {}",
+                device.name,
+                report.spearman
             );
             // RMSE should be a small fraction of typical latency.
             let typical = predictor.predict_ms(&Arch::widest(20)).unwrap();

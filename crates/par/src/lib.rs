@@ -17,6 +17,11 @@
 //! The process-wide default thread count is configurable (the experiment
 //! binaries' `--threads N` flag lands in [`set_default_threads`]); `0` or
 //! an unset default resolves to [`available_threads`].
+//!
+//! Workers adopt the dispatching thread's `hsconas-telemetry` span scope,
+//! so spans entered inside pool work roll up under the caller's span path
+//! in run reports. This is observation-only: it touches no RNG, no work
+//! ordering, and no results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -84,15 +89,22 @@ where
     }
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     let next = AtomicUsize::new(0);
+    // Workers adopt the dispatching thread's telemetry span scope so their
+    // spans roll up under the caller (observation-only; no effect on work
+    // order or results).
+    let scope_token = hsconas_telemetry::current_scope();
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|_| {
+                let _telemetry_scope = hsconas_telemetry::enter_scope(&scope_token);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    results.lock()[i] = Some(r);
                 }
-                let r = f(i, &items[i]);
-                results.lock()[i] = Some(r);
             });
         }
     })
@@ -146,16 +158,20 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
+    let scope_token = hsconas_telemetry::current_scope();
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
+            scope.spawn(|_| {
+                let _telemetry_scope = hsconas_telemetry::enter_scope(&scope_token);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let item = slots[i].lock().take().expect("slot taken once");
+                    let r = f(i, item);
+                    results.lock()[i] = Some(r);
                 }
-                let item = slots[i].lock().take().expect("slot taken once");
-                let r = f(i, item);
-                results.lock()[i] = Some(r);
             });
         }
     })

@@ -27,10 +27,14 @@ pub fn subspace_quality<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<f64, EvoError> {
     assert!(n > 0, "quality estimation needs at least one sample");
+    let mut span = hsconas_telemetry::span!("shrink.quality_sample", n = n);
     let archs: Vec<_> = (0..n).map(|_| space.sample(rng)).collect();
     let evaluations = objective.evaluate_batch(&archs)?;
     let total: f64 = evaluations.iter().map(|e| e.score).sum();
-    Ok(total / n as f64)
+    let q = total / n as f64;
+    span.record("q", q);
+    hsconas_telemetry::hist_record("shrink.quality", q);
+    Ok(q)
 }
 
 #[cfg(test)]

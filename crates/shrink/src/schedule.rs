@@ -113,6 +113,8 @@ impl ProgressiveShrinking {
         let mut current = space;
         let mut stages = Vec::with_capacity(self.config.stages.len());
         for (stage_idx, layers) in self.config.stages.iter().enumerate() {
+            let mut stage_span =
+                hsconas_telemetry::span!("shrink.stage", stage = stage_idx, layers = layers.len());
             let log10_size_before = current.log10_size();
             let mut decisions = Vec::with_capacity(layers.len());
             for &layer in layers {
@@ -150,13 +152,33 @@ impl ProgressiveShrinking {
                     log10_size_after: current.log10_size(),
                 });
             }
-            stages.push(StageRecord {
+            let record = StageRecord {
                 stage: stage_idx,
                 decisions,
                 log10_size_before,
                 log10_size_after: current.log10_size(),
-            });
+            };
+            // Quality stats over every candidate subspace scored this stage.
+            let qs: Vec<f64> = record
+                .decisions
+                .iter()
+                .flat_map(|d| d.qualities.iter().map(|(_, q)| *q))
+                .collect();
+            if !qs.is_empty() {
+                let mean = qs.iter().sum::<f64>() / qs.len() as f64;
+                stage_span.record("q_mean", mean);
+                stage_span.record("q_min", qs.iter().cloned().fold(f64::INFINITY, f64::min));
+                stage_span.record(
+                    "q_max",
+                    qs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                );
+            }
+            stage_span.record("orders_removed", record.orders_removed());
+            stages.push(record);
+            // The stage span stays open across the hook so the paper's
+            // per-stage fine-tune (run inside it) nests under `shrink.stage`.
             on_stage_complete(stage_idx, &current)?;
+            stage_span.close();
         }
         Ok(ShrinkResult {
             space: current,

@@ -35,6 +35,7 @@
 //! shared prefixes resident.
 
 use hsconas_space::Arch;
+use hsconas_telemetry::Counter;
 use hsconas_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
 
@@ -79,6 +80,11 @@ impl PrefixEntry {
 }
 
 /// Effectiveness counters for a [`PrefixCache`].
+///
+/// A point-in-time snapshot assembled from the telemetry registry cells the
+/// cache reports through (`supernet.prefix.*` keys) plus the resident
+/// entry/byte state; the shape of the old bespoke struct is preserved so
+/// callers are unaffected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PrefixCacheStats {
     /// Evaluations that resumed from a cached boundary.
@@ -123,11 +129,14 @@ pub struct PrefixCache {
     labels: HashMap<u64, Vec<Vec<usize>>>,
     bytes: usize,
     max_bytes: usize,
-    hits: u64,
-    misses: u64,
-    layers_skipped: u64,
-    stores: u64,
-    evictions: u64,
+    // Telemetry registry cells (`supernet.prefix.*`): per-instance reads
+    // keep `stats()` exact per cache, and the registry aggregates every
+    // instance for run reports.
+    hits: Counter,
+    misses: Counter,
+    layers_skipped: Counter,
+    stores: Counter,
+    evictions: Counter,
 }
 
 impl PrefixCache {
@@ -139,11 +148,11 @@ impl PrefixCache {
             labels: HashMap::new(),
             bytes: 0,
             max_bytes,
-            hits: 0,
-            misses: 0,
-            layers_skipped: 0,
-            stores: 0,
-            evictions: 0,
+            hits: Counter::register("supernet.prefix.hits"),
+            misses: Counter::register("supernet.prefix.misses"),
+            layers_skipped: Counter::register("supernet.prefix.layers_skipped"),
+            stores: Counter::register("supernet.prefix.stores"),
+            evictions: Counter::register("supernet.prefix.evictions"),
         }
     }
 
@@ -156,13 +165,13 @@ impl PrefixCache {
         for depth in (0..=arch.len()).rev() {
             let key = PrefixKey::new(sig, arch, depth);
             if self.entries.contains_key(&key) {
-                self.hits += 1;
-                self.layers_skipped += depth as u64;
+                self.hits.incr();
+                self.layers_skipped.add(depth as u64);
                 self.touch(&key);
                 return Some((depth, &self.entries[&key]));
             }
         }
-        self.misses += 1;
+        self.misses.incr();
         None
     }
 
@@ -184,14 +193,14 @@ impl PrefixCache {
         }
         self.bytes += added;
         self.touch(&key);
-        self.stores += 1;
+        self.stores.incr();
         while self.bytes > self.max_bytes {
             let Some(cold) = self.order.pop_front() else {
                 break;
             };
             if let Some(evicted) = self.entries.remove(&cold) {
                 self.bytes -= evicted.bytes();
-                self.evictions += 1;
+                self.evictions.incr();
             }
         }
     }
@@ -216,14 +225,14 @@ impl PrefixCache {
         self.bytes = 0;
     }
 
-    /// Current counters.
+    /// Current counters (this instance only).
     pub fn stats(&self) -> PrefixCacheStats {
         PrefixCacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            layers_skipped: self.layers_skipped,
-            stores: self.stores,
-            evictions: self.evictions,
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            layers_skipped: self.layers_skipped.get(),
+            stores: self.stores.get(),
+            evictions: self.evictions.get(),
             entries: self.entries.len(),
             bytes: self.bytes,
         }

@@ -187,11 +187,18 @@ impl SupernetTrainer {
         if steps == 0 {
             return Ok(());
         }
+        let _train_span = hsconas_telemetry::span!(
+            "supernet.train",
+            steps = steps,
+            batch_size = self.config.batch_size,
+            base_lr = base_lr as f64
+        );
         let schedule = CosineSchedule::new(base_lr, self.config.warmup_steps.min(steps - 1), steps);
         let mut loss_fn = SoftmaxCrossEntropy::new();
         use rand::SeedableRng;
         let mut arch_rng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
         for step in 0..steps {
+            let _step_span = hsconas_telemetry::span!("supernet.step", step = self.steps_done);
             let (batch, labels) = data.batch(
                 self.config.batch_size,
                 (self.steps_done * self.config.batch_size) as u64,
@@ -208,6 +215,7 @@ impl SupernetTrainer {
             self.net.backward(&grad)?;
             let lr = schedule.lr(step);
             self.optimizer.step(&mut SupernetParams(&mut self.net), lr);
+            hsconas_telemetry::gauge_set("supernet.loss", loss as f64);
             self.history.push(StepRecord {
                 step: self.steps_done,
                 loss,
@@ -268,6 +276,7 @@ impl SupernetTrainer {
         batches: usize,
     ) -> Result<f64, SupernetError> {
         self.net.check_arch(arch)?;
+        let _eval_span = hsconas_telemetry::span!("supernet.evaluate", batches = batches);
         let num_layers = self.net.num_layers();
         let sig = Self::batch_stream_sig(&self.config, data, batches);
 

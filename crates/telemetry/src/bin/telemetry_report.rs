@@ -1,0 +1,33 @@
+//! Renders a telemetry JSONL log as a per-phase run report.
+//!
+//! Usage: `telemetry_report <run.jsonl>`
+//!
+//! Every line is validated against schema v1; a malformed line fails the
+//! whole render with its line number.
+
+use hsconas_telemetry::RunReport;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [path] if !path.starts_with('-') => path.clone(),
+        _ => {
+            eprintln!("usage: telemetry_report <run.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("telemetry_report: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match RunReport::from_jsonl(&text) {
+        Ok(report) => print!("{}", report.render()),
+        Err(e) => {
+            eprintln!("telemetry_report: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Schema round-trip: every event the subsystem can emit must serialise to
+//! a JSONL line that parses back, validates against schema v1, and compares
+//! equal to the original.
+
+#![cfg(feature = "enabled")]
+
+use hsconas_telemetry::{
+    flush_metrics, gauge_set, hist_record, mark, parse_line, span, Counter, FieldValue, MemorySink,
+    RunReport,
+};
+
+#[test]
+fn every_emitted_event_round_trips_through_schema_v1() {
+    let sink = MemorySink::install();
+    {
+        let mut outer = span!("roundtrip.outer", device = "gpu", budget_ms = 2.5f64);
+        outer.record("verdict", true);
+        {
+            let _inner = span!("roundtrip.inner", idx = 7usize, delta = -3i64);
+        }
+    }
+    mark(
+        "roundtrip.mark",
+        vec![("note".to_string(), FieldValue::Str("hello".to_string()))],
+    );
+    let counter = Counter::register("roundtrip.cache.hits");
+    counter.add(41);
+    Counter::register("roundtrip.cache.misses").add(1);
+    gauge_set("roundtrip.rmse_ms", 0.125);
+    for q in [0.1, 0.4, 0.9, 3.0] {
+        hist_record("roundtrip.quality", q);
+    }
+    flush_metrics();
+    sink.uninstall();
+
+    let events = sink.events();
+    assert!(
+        events.len() >= 7,
+        "expected spans + mark + metrics, got {}",
+        events.len()
+    );
+    let mut jsonl = String::new();
+    for event in &events {
+        let line = event.to_jsonl();
+        let parsed = parse_line(&line).expect("emitted event must validate against schema v1");
+        assert_eq!(&parsed, event, "round trip must be lossless");
+        jsonl.push_str(&line);
+        jsonl.push('\n');
+    }
+
+    // The concatenated log must also load as a report.
+    let report = RunReport::from_jsonl(&jsonl).expect("full log parses");
+    assert_eq!(report.events, events.len());
+    let rates = report.cache_rates();
+    let cache = rates
+        .iter()
+        .find(|(k, ..)| k == "roundtrip.cache")
+        .expect("hit rate derived");
+    assert!(cache.1 >= 41);
+    let rendered = report.render();
+    assert!(rendered.contains("roundtrip.outer"));
+    assert!(rendered.contains("cache hit rates"));
+}

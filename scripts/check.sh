@@ -7,8 +7,17 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy (all targets, warnings are errors)"
+echo "==> cargo clippy (all targets, telemetry on, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy (telemetry off)"
+# Package selection instead of --workspace: --no-default-features must only
+# strip the hsconas-* `telemetry` defaults, not the vendored crates' std
+# features. Proves the whole tree lints clean with telemetry compiled out.
+cargo clippy \
+    -p hsconas -p hsconas-bench -p hsconas-telemetry -p hsconas-par \
+    -p hsconas-evo -p hsconas-supernet -p hsconas-shrink -p hsconas-latency \
+    --all-targets --no-default-features -- -D warnings
 
 echo "==> cargo test"
 cargo test -q
@@ -18,5 +27,11 @@ echo "==> allocation-regression gate (release)"
 # the activation arena: a steady-state forward must stay O(1) allocations.
 # Run it in release too, where inlining changes allocation patterns.
 cargo test -q --release -p hsconas --test alloc_budget
+
+echo "==> telemetry-overhead gate (release)"
+# Observation must stay near-free: with a sink installed, the population
+# evaluation workload may regress by at most 2% (tests/telemetry_overhead.rs
+# only asserts the bound in release builds).
+cargo test -q --release -p hsconas --test telemetry_overhead
 
 echo "All checks passed."

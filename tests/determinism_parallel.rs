@@ -194,6 +194,37 @@ fn supernet_evaluation_is_identical_across_cache_and_threads() {
     hsconas_par::set_default_threads(0);
 }
 
+/// Telemetry is observation-only: installing a sink (which captures every
+/// span and metric flush the search emits) must not change a single byte
+/// of the result, at one worker thread or eight. This is the contract that
+/// lets `--telemetry` ride along on reproducibility-sensitive experiments.
+#[cfg(feature = "telemetry")]
+#[test]
+fn telemetry_sink_does_not_change_search_results() {
+    let space = SearchSpace::hsconas_a();
+    let device = DeviceSpec::edge_xavier();
+    let run = |threads: usize, telemetry: bool| -> SearchResult {
+        let sp = space.clone();
+        let dev = device.clone();
+        let sink = telemetry.then(hsconas_telemetry::MemorySink::install);
+        let mut par = ParallelObjective::new(move |a: &Arch| score(&sp, &dev, a), threads);
+        let result = run_search(&mut par, 77);
+        if let Some(sink) = sink {
+            assert!(!sink.take().is_empty(), "sink captured the run");
+            sink.uninstall();
+        }
+        result
+    };
+    let reference = run(1, false);
+    for (threads, telemetry) in [(1, true), (8, false), (8, true)] {
+        assert_eq!(
+            reference,
+            run(threads, telemetry),
+            "threads={threads} telemetry={telemetry} changed the search"
+        );
+    }
+}
+
 #[test]
 fn hwsim_measurement_sweep_is_thread_count_invariant() {
     let space = SearchSpace::hsconas_a();

@@ -85,6 +85,60 @@ fn end_to_end_search_with_trained_oracle() {
     assert!(result.best_evaluation.latency_ms > 0.0);
 }
 
+/// End-to-end observability acceptance: a real pipeline run streamed to a
+/// JSONL telemetry log must decode into a run report covering every phase
+/// — supernet training, latency calibration, shrink stages, and EA
+/// generations — exactly what `hsconas report` / `telemetry_report` show.
+#[cfg(feature = "telemetry")]
+#[test]
+fn real_pipeline_jsonl_log_renders_full_phase_report() {
+    use hsconas::real_pipeline::{run_real_pipeline, RealPipelineConfig};
+
+    let path = std::env::temp_dir().join(format!(
+        "hsconas-telemetry-test-{}.jsonl",
+        std::process::id()
+    ));
+    {
+        let _guard = hsconas_telemetry::init_jsonl(&path).unwrap();
+        run_real_pipeline(&RealPipelineConfig::smoke_test(), 5).unwrap();
+    } // guard drop flushes metrics and closes the log
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let report = hsconas_telemetry::RunReport::from_jsonl(&text).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let paths: Vec<&str> = report.span_aggs.iter().map(|a| a.path.as_str()).collect();
+    for phase in [
+        "pipeline.train",
+        "pipeline.calibrate",
+        "pipeline.shrink",
+        "pipeline.search",
+        "pipeline.final_train",
+    ] {
+        assert!(paths.contains(&phase), "missing phase {phase} in {paths:?}");
+    }
+    // Sub-spans roll up under their phase.
+    assert!(paths.contains(&"pipeline.calibrate/latency.calibrate"));
+    assert!(paths.contains(&"pipeline.shrink/shrink.stage"));
+    assert!(paths.contains(&"pipeline.search/ea.search/ea.generation"));
+    // Decoded pipeline-specific rows and flushed metrics made it through.
+    assert!(!report.generations.is_empty(), "EA generation rows decoded");
+    assert!(!report.stages.is_empty(), "shrink stage rows decoded");
+    assert!(
+        report.gauges.iter().any(|(k, _)| k == "latency.bias_us"),
+        "calibration gauge flushed"
+    );
+
+    let rendered = report.render();
+    for section in [
+        "-- phases --",
+        "-- EA generations --",
+        "-- shrink stages --",
+    ] {
+        assert!(rendered.contains(section), "report lacks {section}");
+    }
+}
+
 #[test]
 fn fine_tuning_in_shrunk_space_does_not_break_inherited_eval() {
     // train → restrict the last layer → fine-tune → evaluate an arch from
