@@ -1,14 +1,15 @@
 //! Regenerates Fig. 5: the progressive space-shrinking trajectory.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig5_space_shrinking [--seed N] [--threads N] [--telemetry RUN.jsonl]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig5_space_shrinking [--seed N] [--threads N] [--telemetry RUN.jsonl] [--checkpoint DIR [--resume] [--keep-last K]]`
 
-use hsconas_bench::{fig5, seed_from_args, telemetry_from_args, threads_from_args};
+use hsconas_bench::{ckpt_from_args, fig5, seed_from_args, telemetry_from_args, threads_from_args};
 
 fn main() {
     let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
+    let ckpt = ckpt_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");
-    let result = fig5::run(seed, 100);
+    let result = fig5::run_checkpointed(seed, 100, ckpt.as_ref());
     print!("{}", fig5::render(&result));
 }

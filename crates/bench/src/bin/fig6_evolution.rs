@@ -1,17 +1,18 @@
 //! Regenerates Fig. 6 (top and bottom): EA latency scatter per generation
 //! and the final latency histogram near the 34 ms edge constraint.
 //!
-//! Usage: `cargo run --release -p hsconas-bench --bin fig6_evolution [--seed N] [--threads N] [--telemetry RUN.jsonl]`
+//! Usage: `cargo run --release -p hsconas-bench --bin fig6_evolution [--seed N] [--threads N] [--telemetry RUN.jsonl] [--checkpoint DIR [--resume] [--keep-last K]]`
 
-use hsconas_bench::{fig6, seed_from_args, telemetry_from_args, threads_from_args};
+use hsconas_bench::{ckpt_from_args, fig6, seed_from_args, telemetry_from_args, threads_from_args};
 use hsconas_evo::EvolutionConfig;
 
 fn main() {
     let _telemetry = telemetry_from_args();
     let seed = seed_from_args();
     let threads = threads_from_args();
+    let ckpt = ckpt_from_args();
     eprintln!("worker pool: {threads} threads (override with --threads N)");
     // the paper's EA hyper-parameters
-    let result = fig6::run_evolution(seed, EvolutionConfig::default());
+    let result = fig6::run_evolution_checkpointed(seed, EvolutionConfig::default(), ckpt.as_ref());
     print!("{}", fig6::render_evolution(&result));
 }

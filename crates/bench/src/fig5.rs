@@ -4,11 +4,14 @@
 //! size by roughly three orders of magnitude while evaluating only
 //! `5 × 4` subspaces instead of `5⁴`.
 
+use hsconas::checkpoint::{PipelineCkpt, CUR_CALIBRATED, CUR_SHRINK_BASE};
+use hsconas::CheckpointOptions;
 use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_ckpt::{fnv1a, CheckpointStore, Phase};
 use hsconas_evo::TradeoffObjective;
 use hsconas_hwsim::DeviceSpec;
-use hsconas_latency::LatencyPredictor;
-use hsconas_shrink::{ProgressiveShrinking, ShrinkConfig, ShrinkResult};
+use hsconas_latency::{LatencyPredictor, PredictorSnapshot};
+use hsconas_shrink::{ProgressiveShrinking, ShrinkConfig, ShrinkResult, StageRecord};
 use hsconas_space::{Arch, SearchSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,12 +32,69 @@ pub struct Fig5Result {
 /// Runs progressive shrinking on the edge device with the paper's
 /// schedule; `samples_per_subspace` tunes runtime (paper: 100).
 pub fn run(seed: u64, samples_per_subspace: usize) -> Fig5Result {
+    run_checkpointed(seed, samples_per_subspace, None)
+}
+
+/// [`run`] with optional crash-safe checkpointing: a checkpoint lands
+/// after calibration and after every completed shrinking stage; with
+/// `resume` set the trajectory continues from the latest one
+/// bit-identically (the restricted space is rebuilt by replaying the
+/// checkpointed per-layer decisions and the RNG stream is restored).
+pub fn run_checkpointed(
+    seed: u64,
+    samples_per_subspace: usize,
+    ckpt: Option<&CheckpointOptions>,
+) -> Fig5Result {
     let space = SearchSpace::hsconas_a();
     let device = DeviceSpec::edge_xavier();
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
     let mut rng = StdRng::seed_from_u64(seed);
-    let predictor =
-        LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration");
+    // The space/device/schedule are fixed in code, so the config hash
+    // only needs the two free knobs.
+    let config_hash = fnv1a(format!("fig5-v1:{samples_per_subspace}:{seed}").as_bytes());
+    let store = ckpt.map(|opts| {
+        CheckpointStore::open(&opts.dir, Phase::Shrink, config_hash, opts.keep_last)
+            .expect("checkpoint dir")
+    });
+    let resume: Option<PipelineCkpt> = match (&store, ckpt) {
+        (Some(store), Some(opts)) if opts.resume => store
+            .load_latest()
+            .expect("load checkpoint")
+            .map(|(_, payload)| PipelineCkpt::decode(&payload).expect("decode checkpoint")),
+        _ => None,
+    };
+    if let Some(state) = resume.as_ref().and_then(|r| r.search_rng) {
+        rng = StdRng::from_state(state);
+    }
+    let predictor = match resume.as_ref().and_then(|r| r.predictor_json.as_deref()) {
+        Some(json) => {
+            let snapshot: PredictorSnapshot =
+                serde_json::from_str(json).expect("predictor snapshot");
+            LatencyPredictor::from_snapshot(device, &space, snapshot).expect("predictor restore")
+        }
+        None => LatencyPredictor::calibrate(device, &space, 40, 3, &mut rng).expect("calibration"),
+    };
+    let predictor_json = store
+        .as_ref()
+        .map(|_| serde_json::to_string(&predictor.export()).expect("serialize snapshot"));
+    if let Some(store) = &store {
+        if resume.is_none() {
+            let payload = PipelineCkpt {
+                tag: hsconas::checkpoint::TAG_CALIBRATED,
+                trainer: None,
+                cursor: None,
+                predictor_json: predictor_json.clone(),
+                search_rng: Some(rng.state()),
+                stages: Vec::new(),
+                ea: None,
+            }
+            .encode()
+            .expect("encode checkpoint");
+            store
+                .save(CUR_CALIBRATED, &payload)
+                .expect("save checkpoint");
+        }
+    }
     let mut objective = TradeoffObjective::new(
         move |arch: &Arch| oracle.accuracy(arch).map_err(|e| e.to_string()),
         move |arch: &Arch| predictor.predict_ms(arch).map_err(|e| e.to_string()),
@@ -46,9 +106,51 @@ pub fn run(seed: u64, samples_per_subspace: usize) -> Fig5Result {
         ..Default::default()
     };
     let initial_log10 = space.log10_size();
-    let shrink = ProgressiveShrinking::new(config.clone())
-        .run(space, &mut objective, &mut rng, |_, _| Ok(()))
+    let mut completed: Vec<StageRecord> = resume.map_or_else(Vec::new, |r| r.stages);
+    let mut current = space.clone();
+    for record in &completed {
+        for decision in &record.decisions {
+            current = current
+                .restrict_op(decision.layer, decision.chosen)
+                .expect("replay shrink decision");
+        }
+    }
+    for (stage_idx, layers) in config.stages.iter().enumerate().skip(completed.len()) {
+        let result = ProgressiveShrinking::new(ShrinkConfig {
+            stages: vec![layers.clone()],
+            samples_per_subspace,
+        })
+        .run(current.clone(), &mut objective, &mut rng, |_, _| Ok(()))
         .expect("shrinking");
+        current = result.space;
+        let mut record = result
+            .stages
+            .into_iter()
+            .next()
+            .expect("single-stage shrink yields one record");
+        record.stage = stage_idx;
+        completed.push(record);
+        if let Some(store) = &store {
+            let payload = PipelineCkpt {
+                tag: hsconas::checkpoint::TAG_SHRINK_STAGE,
+                trainer: None,
+                cursor: None,
+                predictor_json: predictor_json.clone(),
+                search_rng: Some(rng.state()),
+                stages: completed.clone(),
+                ea: None,
+            }
+            .encode()
+            .expect("encode checkpoint");
+            store
+                .save(CUR_SHRINK_BASE + stage_idx as u64 + 1, &payload)
+                .expect("save checkpoint");
+        }
+    }
+    let shrink = ShrinkResult {
+        space: current,
+        stages: completed,
+    };
     let per_stage_layers = config.stages.iter().map(|s| s.len()).collect::<Vec<_>>();
     let subspaces_evaluated = per_stage_layers.iter().map(|l| 5 * l).sum();
     let subspaces_joint = per_stage_layers.iter().map(|l| 5usize.pow(*l as u32)).sum();

@@ -8,10 +8,11 @@
 //!   progressive shrinking vs naive training at an equal step budget, on
 //!   the real-training substrate (tiny space + synthetic dataset).
 
+use hsconas::CheckpointOptions;
 use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
 use hsconas_data::SyntheticDataset;
 use hsconas_evo::{
-    Evaluation, EvoError, EvolutionConfig, EvolutionSearch, Objective, SearchResult,
+    Evaluation, EvoError, EvolutionConfig, EvolutionSearch, MemoObjective, Objective, SearchResult,
     TradeoffObjective,
 };
 use hsconas_hwsim::DeviceSpec;
@@ -56,6 +57,19 @@ pub struct Fig6Evolution {
 /// Runs the EA part on the edge device (T = 34 ms, paper hyper-parameters
 /// unless overridden).
 pub fn run_evolution(seed: u64, config: EvolutionConfig) -> Fig6Evolution {
+    run_evolution_checkpointed(seed, config, None)
+}
+
+/// [`run_evolution`] with optional per-generation checkpointing (EA
+/// state + RNG stream + memo-cache contents); with `resume` set the
+/// search continues from the latest checkpoint bit-identically. Use a
+/// distinct directory per `(seed, config)` — the checkpoint's config
+/// hash covers the space and EA hyper-parameters, not the seed.
+pub fn run_evolution_checkpointed(
+    seed: u64,
+    config: EvolutionConfig,
+    ckpt: Option<&CheckpointOptions>,
+) -> Fig6Evolution {
     let target_ms = 34.0;
     let space = SearchSpace::hsconas_a();
     let device = DeviceSpec::edge_xavier();
@@ -69,9 +83,17 @@ pub fn run_evolution(seed: u64, config: EvolutionConfig) -> Fig6Evolution {
         target_ms,
         -20.0,
     );
-    let result: SearchResult = EvolutionSearch::new(space, config)
-        .run(&mut objective, &mut rng)
-        .expect("search");
+    let result: SearchResult = match ckpt {
+        Some(opts) => {
+            let mut memo = MemoObjective::new(objective);
+            let mut search = EvolutionSearch::new(space, config);
+            hsconas::run_search_checkpointed(&mut search, &mut memo, &mut rng, opts)
+                .expect("search")
+        }
+        None => EvolutionSearch::new(space, config)
+            .run(&mut objective, &mut rng)
+            .expect("search"),
+    };
     let generations = result
         .history
         .iter()

@@ -34,6 +34,24 @@ pub mod fig6;
 pub mod plot;
 pub mod table1;
 
+/// Parses the optional `--checkpoint DIR [--resume] [--keep-last K]`
+/// arguments shared by the long-running experiment binaries; `None` when
+/// `--checkpoint` is absent (run without persistence).
+pub fn ckpt_from_args() -> Option<hsconas::CheckpointOptions> {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = args.windows(2).find(|w| w[0] == "--checkpoint")?[1].clone();
+    let mut opts =
+        hsconas::CheckpointOptions::new(dir).resume(args.iter().any(|a| a == "--resume"));
+    if let Some(keep) = args
+        .windows(2)
+        .find(|w| w[0] == "--keep-last")
+        .and_then(|w| w[1].parse().ok())
+    {
+        opts = opts.keep_last(keep);
+    }
+    Some(opts)
+}
+
 /// Parses an optional `--seed N` command-line argument, defaulting to the
 /// fixed seed every experiment binary uses for reproducibility.
 pub fn seed_from_args() -> u64 {

@@ -1,0 +1,328 @@
+//! Little-endian binary encoder/decoder for checkpoint payloads.
+//!
+//! Floats travel as raw bit patterns (`to_bits`/`from_bits`), so every
+//! value — including negative zero and NaN payloads — round-trips
+//! **bit-identically**. That exactness is what the resume-equivalence
+//! tests upstream rely on: a resumed run must continue from byte-equal
+//! state, not approximately-equal state.
+//!
+//! The format is deliberately simple: fixed-width scalars, and
+//! length-prefixed (u64) byte strings and vectors. There is no schema in
+//! the stream; reader and writer agree by construction, and the file
+//! header's format version gates incompatible layout changes.
+
+use crate::error::CkptError;
+
+/// Appends values to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a u32, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a u64, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a usize as a u64 (the on-disk format is 64-bit regardless
+    /// of host width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends an f32 as its raw bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an f64 as its raw bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed slice of f32 bit patterns.
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f32(x);
+        }
+    }
+
+    /// Appends a length-prefixed slice of u64s.
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+}
+
+/// Reads values back out of an encoded byte buffer.
+///
+/// Every read is bounds-checked and returns [`CkptError::Truncated`] on a
+/// short buffer, so a corrupted payload surfaces as an error rather than
+/// a panic or garbage state.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte buffer for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte has been consumed — catches payloads that
+    /// decode "successfully" but were written by a different shape.
+    pub fn expect_end(&self) -> Result<(), CkptError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CkptError::corrupt(format!(
+                "{} trailing bytes after decoding",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, CkptError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, CkptError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a u64 and narrows it to usize, erroring if it cannot fit
+    /// (or is implausibly larger than the remaining buffer when used as
+    /// a length — a corrupted length prefix must not trigger a huge
+    /// allocation).
+    pub fn get_usize(&mut self) -> Result<usize, CkptError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CkptError::corrupt(format!("u64 {v} does not fit in usize")))
+    }
+
+    fn get_len(&mut self) -> Result<usize, CkptError> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            return Err(CkptError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Reads a bool written by [`Encoder::put_bool`].
+    pub fn get_bool(&mut self) -> Result<bool, CkptError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CkptError::corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads an f32 from its raw bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, CkptError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an f64 from its raw bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CkptError> {
+        let n = self.get_len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CkptError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|e| CkptError::corrupt(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a length-prefixed slice of f32 bit patterns.
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>, CkptError> {
+        let n = self.get_usize()?;
+        if n.saturating_mul(4) > self.remaining() {
+            return Err(CkptError::Truncated {
+                needed: n.saturating_mul(4),
+                available: self.remaining(),
+            });
+        }
+        (0..n).map(|_| self.get_f32()).collect()
+    }
+
+    /// Reads a length-prefixed slice of u64s.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, CkptError> {
+        let n = self.get_usize()?;
+        if n.saturating_mul(8) > self.remaining() {
+            return Err(CkptError::Truncated {
+                needed: n.saturating_mul(8),
+                available: self.remaining(),
+            });
+        }
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_bit_identically() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xdead_beef);
+        e.put_u64(u64::MAX);
+        e.put_usize(12345);
+        e.put_bool(true);
+        e.put_bool(false);
+        e.put_f32(-0.0);
+        e.put_f32(f32::NAN);
+        e.put_f64(1.0 / 3.0);
+        e.put_f64(f64::NEG_INFINITY);
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_usize().unwrap(), 12345);
+        assert!(d.get_bool().unwrap());
+        assert!(!d.get_bool().unwrap());
+        assert_eq!(d.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(d.get_f32().unwrap().is_nan());
+        assert_eq!(d.get_f64().unwrap().to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(d.get_f64().unwrap(), f64::NEG_INFINITY);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn strings_and_slices_round_trip() {
+        let mut e = Encoder::new();
+        e.put_str("hsconas");
+        e.put_bytes(&[1, 2, 3]);
+        e.put_f32_slice(&[0.5, -0.25, f32::MIN_POSITIVE]);
+        e.put_u64_slice(&[9, 8, 7]);
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_str().unwrap(), "hsconas");
+        assert_eq!(d.get_bytes().unwrap(), vec![1, 2, 3]);
+        let f = d.get_f32_vec().unwrap();
+        assert_eq!(f, vec![0.5, -0.25, f32::MIN_POSITIVE]);
+        assert_eq!(d.get_u64_vec().unwrap(), vec![9, 8, 7]);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut e = Encoder::new();
+        e.put_u64(42);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes[..5]);
+        assert!(matches!(d.get_u64(), Err(CkptError::Truncated { .. })));
+    }
+
+    #[test]
+    fn corrupted_length_prefix_is_rejected_without_allocation() {
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX); // absurd length prefix
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_bytes().is_err());
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_f32_vec().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut e = Encoder::new();
+        e.put_u32(1);
+        e.put_u32(2);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        d.get_u32().unwrap();
+        assert!(d.expect_end().is_err());
+    }
+}

@@ -1,0 +1,151 @@
+use std::fmt;
+
+/// Error type for checkpoint persistence.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying filesystem failure.
+    Io {
+        /// What the operation was doing.
+        context: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the checkpoint magic — it is not a
+    /// checkpoint at all (or its first bytes were destroyed).
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// The header's phase tag does not match what the caller expected.
+    PhaseMismatch {
+        /// Phase found in the header.
+        found: u32,
+        /// Phase the caller asked for.
+        expected: u32,
+    },
+    /// The checkpoint was written under a different configuration
+    /// (search space, pipeline config, or seed) — resuming would silently
+    /// mix incompatible state, so it is refused.
+    ConfigHashMismatch {
+        /// Hash found in the header.
+        found: u64,
+        /// Hash of the current configuration.
+        expected: u64,
+    },
+    /// The file is shorter than its header claims (torn write or
+    /// truncation).
+    Truncated {
+        /// Bytes the header/decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The payload bytes do not match the header checksum (bit rot or a
+    /// partial overwrite).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum of the bytes actually read.
+        computed: u64,
+    },
+    /// The payload failed to decode into the expected state shape.
+    Corrupt {
+        /// What went wrong.
+        detail: String,
+    },
+    /// An armed fail point fired (fault-injection builds only).
+    FailPoint {
+        /// The site that fired.
+        site: String,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io { context, source } => write!(f, "checkpoint io: {context}: {source}"),
+            CkptError::BadMagic { found } => write!(
+                f,
+                "not a checkpoint file: bad magic {found:?} (expected \"HSCK\")"
+            ),
+            CkptError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint format version {found} not supported (this build reads {supported})"
+            ),
+            CkptError::PhaseMismatch { found, expected } => write!(
+                f,
+                "checkpoint phase tag {found} does not match expected phase {expected}"
+            ),
+            CkptError::ConfigHashMismatch { found, expected } => write!(
+                f,
+                "checkpoint was written under config hash {found:#018x}, current run has \
+                 {expected:#018x} — refusing to resume against a different search space/config"
+            ),
+            CkptError::Truncated { needed, available } => write!(
+                f,
+                "checkpoint truncated: needed {needed} bytes, only {available} available"
+            ),
+            CkptError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint payload checksum mismatch: header says {stored:#018x}, \
+                 bytes hash to {computed:#018x}"
+            ),
+            CkptError::Corrupt { detail } => write!(f, "corrupt checkpoint payload: {detail}"),
+            CkptError::FailPoint { site } => write!(f, "fail point fired at site '{site}'"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl CkptError {
+    /// Wraps an I/O error with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        CkptError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Shorthand for a payload-shape failure.
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        CkptError::Corrupt {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = CkptError::ConfigHashMismatch {
+            found: 1,
+            expected: 2,
+        };
+        assert!(e.to_string().contains("refusing to resume"));
+        let e = CkptError::Truncated {
+            needed: 100,
+            available: 7,
+        };
+        assert!(e.to_string().contains("needed 100"));
+        let e = CkptError::BadMagic { found: *b"JSON" };
+        assert!(e.to_string().contains("HSCK"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Directory-level checkpoint management: naming, latest-first resume,
+//! and keep-last-K retention.
+
+use crate::error::CkptError;
+use crate::file::{read_payload, write_atomic, CkptHeader, Phase};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Manages the checkpoint files of one run inside one directory.
+///
+/// Files are named `ckpt-<cursor>.hsck` with the cursor zero-padded to 12
+/// digits; the cursor is parsed back out of the name for ordering, so the
+/// padding is cosmetic. After each successful [`CheckpointStore::save`],
+/// all but the newest `keep_last` checkpoints are pruned (pruning never
+/// touches the file just written).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    phase: Phase,
+    config_hash: u64,
+    keep_last: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory for a run in
+    /// `phase` under configuration `config_hash`. `keep_last == 0`
+    /// disables pruning (keep everything).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] if the directory cannot be created.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        phase: Phase,
+        config_hash: u64,
+        keep_last: usize,
+    ) -> Result<Self, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| CkptError::io(format!("create checkpoint dir {dir:?}"), e))?;
+        Ok(CheckpointStore {
+            dir,
+            phase,
+            config_hash,
+            keep_last,
+        })
+    }
+
+    /// The directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration hash stamped into every file this store writes.
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
+    }
+
+    /// Path a checkpoint at `cursor` is (or would be) stored at.
+    pub fn path_for(&self, cursor: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{cursor:012}.hsck"))
+    }
+
+    /// Atomically writes the checkpoint for `cursor`, then prunes old
+    /// checkpoints beyond the retention limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError`] if the write fails; pruning failures on
+    /// individual stale files are ignored (they do not threaten the data
+    /// just persisted).
+    pub fn save(&self, cursor: u64, payload: &[u8]) -> Result<PathBuf, CkptError> {
+        let path = self.path_for(cursor);
+        write_atomic(&path, self.phase, cursor, self.config_hash, payload)?;
+        if self.keep_last > 0 {
+            let mut entries = self.entries()?;
+            // Newest first; everything past keep_last goes.
+            entries.sort_by_key(|e| std::cmp::Reverse(e.0));
+            for (_, stale) in entries.into_iter().skip(self.keep_last) {
+                let _ = fs::remove_file(stale);
+            }
+        }
+        Ok(path)
+    }
+
+    /// Loads the newest checkpoint in the directory, fully validated
+    /// against this store's phase and config hash. Returns `Ok(None)`
+    /// when the directory holds no checkpoints (fresh start).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError`] if the newest checkpoint exists but fails
+    /// validation — a corrupt or mismatched file must abort the resume,
+    /// not silently fall back to older state or a fresh start.
+    pub fn load_latest(&self) -> Result<Option<(CkptHeader, Vec<u8>)>, CkptError> {
+        let mut entries = self.entries()?;
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0));
+        match entries.first() {
+            None => Ok(None),
+            Some((_, path)) => read_payload(path, self.phase, self.config_hash).map(Some),
+        }
+    }
+
+    /// Cursors of every checkpoint currently in the directory, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Io`] if the directory cannot be listed.
+    pub fn cursors(&self) -> Result<Vec<u64>, CkptError> {
+        let mut out: Vec<u64> = self.entries()?.into_iter().map(|(c, _)| c).collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn entries(&self) -> Result<Vec<(u64, PathBuf)>, CkptError> {
+        let iter = fs::read_dir(&self.dir)
+            .map_err(|e| CkptError::io(format!("list checkpoint dir {:?}", self.dir), e))?;
+        let mut out = Vec::new();
+        for entry in iter {
+            let entry = entry.map_err(|e| CkptError::io("read dir entry", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".hsck"))
+            else {
+                continue;
+            };
+            if let Ok(cursor) = stem.parse::<u64>() {
+                out.push((cursor, entry.path()));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hsck-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn latest_wins_and_retention_prunes_oldest() {
+        let dir = tmp_dir("retention");
+        let store = CheckpointStore::open(&dir, Phase::Search, 42, 3).unwrap();
+        for cursor in 1..=5u64 {
+            store
+                .save(cursor, format!("state-{cursor}").as_bytes())
+                .unwrap();
+        }
+        assert_eq!(store.cursors().unwrap(), vec![3, 4, 5]);
+        let (header, payload) = store.load_latest().unwrap().unwrap();
+        assert_eq!(header.cursor, 5);
+        assert_eq!(payload, b"state-5");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_last_zero_keeps_everything() {
+        let dir = tmp_dir("keepall");
+        let store = CheckpointStore::open(&dir, Phase::Train, 1, 0).unwrap();
+        for cursor in 0..6u64 {
+            store.save(cursor, b"x").unwrap();
+        }
+        assert_eq!(store.cursors().unwrap().len(), 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_resumes_fresh() {
+        let dir = tmp_dir("empty");
+        let store = CheckpointStore::open(&dir, Phase::Lut, 9, 2).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_store_refuses_foreign_checkpoints() {
+        let dir = tmp_dir("foreign");
+        let store = CheckpointStore::open(&dir, Phase::Search, 7, 2).unwrap();
+        store.save(1, b"payload").unwrap();
+        // Same dir, different config hash: refuse.
+        let other = CheckpointStore::open(&dir, Phase::Search, 8, 2).unwrap();
+        assert!(matches!(
+            other.load_latest(),
+            Err(CkptError::ConfigHashMismatch { .. })
+        ));
+        // Same dir, different phase: refuse.
+        let other = CheckpointStore::open(&dir, Phase::Train, 7, 2).unwrap();
+        assert!(matches!(
+            other.load_latest(),
+            Err(CkptError::PhaseMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unrelated_files_are_ignored() {
+        let dir = tmp_dir("unrelated");
+        let store = CheckpointStore::open(&dir, Phase::Pipeline, 0, 2).unwrap();
+        fs::write(dir.join("notes.txt"), b"hi").unwrap();
+        fs::write(dir.join("ckpt-bogus.hsck"), b"hi").unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        store.save(2, b"real").unwrap();
+        assert_eq!(store.cursors().unwrap(), vec![2]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

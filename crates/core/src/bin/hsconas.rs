@@ -13,8 +13,12 @@
 //! flushes) to `PATH`; `hsconas report PATH` renders it as per-phase
 //! summary tables. Requires a build with the `telemetry` feature (default).
 
+use hsconas::checkpoint::inspect_checkpoint;
 use hsconas::persist::{load_json, save_json, SavedModel};
-use hsconas::{render_table, search_for_device, table_one, PipelineConfig};
+use hsconas::{
+    render_table, search_for_device, search_for_device_checkpointed, table_one, CheckpointOptions,
+    PipelineConfig,
+};
 use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
 use hsconas_hwsim::{lower_arch, DeviceSpec};
 use hsconas_latency::LatencyPredictor;
@@ -31,16 +35,19 @@ fn main() {
         Some("measure") => cmd_measure(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("ckpt") => cmd_ckpt(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hsconas <search|table|baselines|measure|report> [options]\n\
+                "usage: hsconas <search|table|baselines|measure|report|ckpt> [options]\n\
                  \n\
                  search    --device gpu|cpu|edge --target-ms N [--layout a|b] [--seed N] [--fast] [--out FILE] [--telemetry RUN.jsonl]\n\
+                 \x20         [--checkpoint DIR] [--resume] [--keep-last K]\n\
                  table     [--fast] [--seed N] [--out FILE] [--telemetry RUN.jsonl]\n\
                  baselines\n\
                  measure   --model FILE\n\
                  profile   --device gpu|cpu|edge --out FILE [--seed N]\n\
-                 report    RUN.jsonl"
+                 report    RUN.jsonl\n\
+                 ckpt      inspect FILE"
             );
             std::process::exit(2);
         }
@@ -108,8 +115,19 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let _telemetry = telemetry_from_args(args);
     let space = SearchSpace::full(NetworkSkeleton::imagenet(layout));
     let mut rng = StdRng::seed_from_u64(seed);
-    let outcome = search_for_device(space.clone(), device.clone(), target_ms, &config, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let outcome = match checkpoint_options_from_args(args)? {
+        Some(opts) => search_for_device_checkpointed(
+            space.clone(),
+            device.clone(),
+            target_ms,
+            &config,
+            &mut rng,
+            &opts,
+        )
+        .map_err(|e| e.to_string())?,
+        None => search_for_device(space.clone(), device.clone(), target_ms, &config, &mut rng)
+            .map_err(|e| e.to_string())?,
+    };
     let oracle = SurrogateAccuracy::new(space.skeleton().clone());
     let top1 = oracle
         .top1_error(&outcome.best_arch)
@@ -135,6 +153,36 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         println!("saved        : {path}");
     }
     Ok(())
+}
+
+/// Parses `--checkpoint DIR [--resume] [--keep-last K]` into
+/// [`CheckpointOptions`] (`None` when `--checkpoint` is absent).
+fn checkpoint_options_from_args(args: &[String]) -> Result<Option<CheckpointOptions>, String> {
+    let Some(dir) = flag(args, "--checkpoint") else {
+        if has_flag(args, "--resume") {
+            return Err("--resume requires --checkpoint DIR".into());
+        }
+        return Ok(None);
+    };
+    let mut opts = CheckpointOptions::new(dir).resume(has_flag(args, "--resume"));
+    if let Some(k) = flag(args, "--keep-last") {
+        opts = opts.keep_last(k.parse().map_err(|e| format!("--keep-last: {e}"))?);
+    }
+    Ok(Some(opts))
+}
+
+/// `hsconas ckpt inspect FILE`: print a checkpoint file's self-describing
+/// header (format version, phase, cursor, config hash) after verifying
+/// its payload checksum.
+fn cmd_ckpt(args: &[String]) -> Result<(), String> {
+    match (args.first().map(String::as_str), args.get(1)) {
+        (Some("inspect"), Some(path)) => {
+            let report = inspect_checkpoint(std::path::Path::new(path))?;
+            println!("{report}");
+            Ok(())
+        }
+        _ => Err("usage: hsconas ckpt inspect FILE".into()),
+    }
 }
 
 fn cmd_table(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,713 @@
+//! Crash-safe checkpoint/resume plumbing for the long-running pipelines.
+//!
+//! This module bridges the generic [`hsconas_ckpt`] persistence layer
+//! (atomic files, self-describing headers, checksums) and the concrete
+//! pipeline state of this crate:
+//!
+//! * [`CheckpointOptions`] — where to write, whether to resume, retention.
+//! * [`PipelineCkpt`] — the self-contained payload written at every
+//!   pipeline boundary (each file alone is enough to resume; no chain of
+//!   deltas), covering supernet weights + optimizer state, the mid-call
+//!   training cursor, the calibrated latency-predictor snapshot, completed
+//!   shrinking-stage records, the EA state, and the driving RNG streams.
+//! * Config hashing — a checkpoint records a hash of the search
+//!   space/configuration/seed it was produced under, and resume refuses a
+//!   mismatch instead of silently continuing a different experiment.
+//! * [`run_search_checkpointed`] — a per-generation checkpointing driver
+//!   for a standalone evolutionary search over a memoized objective
+//!   (including the memo-cache contents, so a resumed search does not
+//!   re-evaluate architectures it already scored).
+//!
+//! ## What is deliberately *not* checkpointed
+//!
+//! * **BatchNorm running statistics** — `SupernetTrainer::evaluate`
+//!   recalibrates them from scratch for every queried architecture, and
+//!   training-mode forwards use batch statistics, so they carry no state
+//!   across the boundaries where checkpoints are written.
+//! * **The prefix-activation cache** — a pure accelerator; a resumed run
+//!   starts it cold and produces bit-identical results.
+//! * **The `TradeoffObjective` per-instance cache** — rebuilt on demand;
+//!   surrogate evaluations are cheap and deterministic.
+
+use std::path::{Path, PathBuf};
+
+use crate::{PipelineConfig, PipelineError, RealPipelineConfig};
+use hsconas_ckpt::{fnv1a, CheckpointStore, CkptError, Decoder, Encoder, Phase};
+use hsconas_evo::{
+    Evaluation, EvolutionSearch, GenerationStats, Individual, MemoObjective, Objective,
+    SearchResult, SearchState,
+};
+use hsconas_hwsim::DeviceSpec;
+use hsconas_shrink::StageRecord;
+use hsconas_space::{Arch, SearchSpace};
+use hsconas_supernet::{StepRecord, TrainCursor, TrainerCheckpoint};
+use rand::rngs::StdRng;
+
+/// Cursor base for mid-call warm-training checkpoints
+/// (`CUR_WARM_BASE + step_in_call`).
+pub const CUR_WARM_BASE: u64 = 1_000_000;
+/// Cursor of the post-calibration checkpoint.
+pub const CUR_CALIBRATED: u64 = 2_000_000;
+/// Cursor base for completed shrinking stages
+/// (`CUR_SHRINK_BASE + stage_index + 1`).
+pub const CUR_SHRINK_BASE: u64 = 3_000_000;
+/// Cursor base for completed EA generations
+/// (`CUR_EA_BASE + completed_generations`).
+pub const CUR_EA_BASE: u64 = 4_000_000;
+
+/// Payload tag: interrupted mid-call warm training.
+pub const TAG_WARM: u8 = 1;
+/// Payload tag: latency predictor calibrated.
+pub const TAG_CALIBRATED: u8 = 2;
+/// Payload tag: a shrinking stage (and its fine-tune) completed.
+pub const TAG_SHRINK_STAGE: u8 = 3;
+/// Payload tag: an EA generation completed.
+pub const TAG_EA_GEN: u8 = 4;
+
+/// Where and how to checkpoint a pipeline run.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory holding the checkpoint files.
+    pub dir: PathBuf,
+    /// Resume from the latest checkpoint in `dir` (errors if the latest
+    /// file is invalid or was written under a different configuration;
+    /// an empty directory starts fresh).
+    pub resume: bool,
+    /// Keep only the newest `keep_last` checkpoints (0 = keep all).
+    pub keep_last: usize,
+    /// Steps between mid-call checkpoints during supernet training
+    /// (0 disables mid-call checkpoints; phase boundaries still write).
+    pub train_interval: usize,
+}
+
+impl CheckpointOptions {
+    /// Options with the defaults: no resume, keep the last 3 files,
+    /// checkpoint training every 64 steps.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            dir: dir.into(),
+            resume: false,
+            keep_last: 3,
+            train_interval: 64,
+        }
+    }
+
+    /// Sets the resume flag.
+    #[must_use]
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Sets the retention count (0 = keep all).
+    #[must_use]
+    pub fn keep_last(mut self, keep_last: usize) -> Self {
+        self.keep_last = keep_last;
+        self
+    }
+
+    /// Sets the mid-call training checkpoint interval (0 = boundaries only).
+    #[must_use]
+    pub fn train_interval(mut self, steps: usize) -> Self {
+        self.train_interval = steps;
+        self
+    }
+}
+
+fn ckpt_err(detail: impl Into<String>) -> PipelineError {
+    PipelineError::Ckpt {
+        detail: detail.into(),
+    }
+}
+
+/// The state captured at one pipeline boundary. Every field a later phase
+/// needs is present, so a single file is sufficient to resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineCkpt {
+    /// Which boundary this checkpoint was written at (`TAG_*`).
+    pub tag: u8,
+    /// Supernet trainer state (real-training pipeline only).
+    pub trainer: Option<TrainerCheckpoint>,
+    /// Mid-call training cursor (`TAG_WARM` only).
+    pub cursor: Option<TrainCursor>,
+    /// JSON-serialized [`hsconas_latency::PredictorSnapshot`].
+    pub predictor_json: Option<String>,
+    /// xoshiro256++ state of the search-driving [`StdRng`].
+    pub search_rng: Option<[u64; 4]>,
+    /// Completed shrinking stages, in order (replayed to rebuild the
+    /// restricted space on resume).
+    pub stages: Vec<StageRecord>,
+    /// Evolutionary-search state (`TAG_EA_GEN` only).
+    pub ea: Option<SearchState>,
+}
+
+impl PipelineCkpt {
+    /// Serializes the checkpoint into a payload for
+    /// [`CheckpointStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Ckpt`] if the stage records cannot be
+    /// serialized.
+    pub fn encode(&self) -> Result<Vec<u8>, PipelineError> {
+        let stages_json = serde_json::to_string(&self.stages)
+            .map_err(|e| ckpt_err(format!("serializing shrink stage records: {e}")))?;
+        let mut e = Encoder::new();
+        e.put_u8(self.tag);
+        put_opt(&mut e, self.trainer.as_ref(), put_trainer);
+        put_opt(&mut e, self.cursor.as_ref(), put_cursor);
+        put_opt(&mut e, self.predictor_json.as_deref(), |e, s| e.put_str(s));
+        put_opt(&mut e, self.search_rng.as_ref(), |e, s| e.put_u64_slice(s));
+        e.put_str(&stages_json);
+        put_opt(&mut e, self.ea.as_ref(), put_search_state);
+        Ok(e.finish())
+    }
+
+    /// Deserializes a payload produced by [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Ckpt`] on any structural mismatch
+    /// (truncation, trailing bytes, malformed embedded JSON).
+    pub fn decode(payload: &[u8]) -> Result<Self, PipelineError> {
+        let mut d = Decoder::new(payload);
+        let ckpt = decode_inner(&mut d).map_err(|e| ckpt_err(e.to_string()))?;
+        d.expect_end().map_err(|e| ckpt_err(e.to_string()))?;
+        Ok(ckpt)
+    }
+}
+
+fn decode_inner(d: &mut Decoder<'_>) -> Result<PipelineCkpt, CkptError> {
+    let tag = d.get_u8()?;
+    let trainer = get_opt(d, get_trainer)?;
+    let cursor = get_opt(d, get_cursor)?;
+    let predictor_json = get_opt(d, |d| d.get_str())?;
+    let search_rng = get_opt(d, get_rng4)?;
+    let stages_json = d.get_str()?;
+    let stages: Vec<StageRecord> = serde_json::from_str(&stages_json)
+        .map_err(|e| CkptError::corrupt(format!("malformed stage records: {e}")))?;
+    let ea = get_opt(d, get_search_state)?;
+    Ok(PipelineCkpt {
+        tag,
+        trainer,
+        cursor,
+        predictor_json,
+        search_rng,
+        stages,
+        ea,
+    })
+}
+
+fn put_opt<T: ?Sized>(e: &mut Encoder, v: Option<&T>, put: impl FnOnce(&mut Encoder, &T)) {
+    match v {
+        Some(v) => {
+            e.put_bool(true);
+            put(e, v);
+        }
+        None => e.put_bool(false),
+    }
+}
+
+fn get_opt<T>(
+    d: &mut Decoder<'_>,
+    get: impl FnOnce(&mut Decoder<'_>) -> Result<T, CkptError>,
+) -> Result<Option<T>, CkptError> {
+    if d.get_bool()? {
+        Ok(Some(get(d)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_trainer(e: &mut Encoder, t: &TrainerCheckpoint) {
+    e.put_usize(t.params.len());
+    for p in &t.params {
+        e.put_f32_slice(p);
+    }
+    e.put_usize(t.velocities.len());
+    for (shape, values) in &t.velocities {
+        for d in shape {
+            e.put_usize(*d);
+        }
+        e.put_f32_slice(values);
+    }
+    e.put_usize(t.steps_done);
+    e.put_usize(t.history.len());
+    for r in &t.history {
+        e.put_usize(r.step);
+        e.put_f32(r.loss);
+        e.put_f32(r.lr);
+    }
+}
+
+fn get_trainer(d: &mut Decoder<'_>) -> Result<TrainerCheckpoint, CkptError> {
+    let n_params = d.get_usize()?;
+    let mut params = Vec::with_capacity(n_params.min(d.remaining()));
+    for _ in 0..n_params {
+        params.push(d.get_f32_vec()?);
+    }
+    let n_vel = d.get_usize()?;
+    let mut velocities = Vec::with_capacity(n_vel.min(d.remaining()));
+    for _ in 0..n_vel {
+        let mut shape = [0usize; 4];
+        for s in &mut shape {
+            *s = d.get_usize()?;
+        }
+        velocities.push((shape, d.get_f32_vec()?));
+    }
+    let steps_done = d.get_usize()?;
+    let n_hist = d.get_usize()?;
+    let mut history = Vec::with_capacity(n_hist.min(d.remaining()));
+    for _ in 0..n_hist {
+        history.push(StepRecord {
+            step: d.get_usize()?,
+            loss: d.get_f32()?,
+            lr: d.get_f32()?,
+        });
+    }
+    Ok(TrainerCheckpoint {
+        params,
+        velocities,
+        steps_done,
+        history,
+    })
+}
+
+fn put_cursor(e: &mut Encoder, c: &TrainCursor) {
+    e.put_u64(c.step_in_call);
+    e.put_u64_slice(&c.arch_rng);
+    e.put_u64(c.data_rng_state);
+    put_opt(e, c.data_rng_spare.as_ref(), |e, v| e.put_u64(*v));
+}
+
+fn get_cursor(d: &mut Decoder<'_>) -> Result<TrainCursor, CkptError> {
+    Ok(TrainCursor {
+        step_in_call: d.get_u64()?,
+        arch_rng: get_rng4(d)?,
+        data_rng_state: d.get_u64()?,
+        data_rng_spare: get_opt(d, |d| d.get_u64())?,
+    })
+}
+
+fn get_rng4(d: &mut Decoder<'_>) -> Result<[u64; 4], CkptError> {
+    let v = d.get_u64_vec()?;
+    <[u64; 4]>::try_from(v)
+        .map_err(|v| CkptError::corrupt(format!("rng state has {} words, expected 4", v.len())))
+}
+
+fn put_evaluation(e: &mut Encoder, ev: &Evaluation) {
+    e.put_f64(ev.score);
+    e.put_f64(ev.accuracy);
+    e.put_f64(ev.latency_ms);
+}
+
+fn get_evaluation(d: &mut Decoder<'_>) -> Result<Evaluation, CkptError> {
+    Ok(Evaluation {
+        score: d.get_f64()?,
+        accuracy: d.get_f64()?,
+        latency_ms: d.get_f64()?,
+    })
+}
+
+fn put_arch(e: &mut Encoder, arch: &Arch) {
+    let encoded: Vec<u64> = arch.encode().iter().map(|&v| v as u64).collect();
+    e.put_u64_slice(&encoded);
+}
+
+fn get_arch(d: &mut Decoder<'_>) -> Result<Arch, CkptError> {
+    let encoded: Vec<usize> = d.get_u64_vec()?.iter().map(|&v| v as usize).collect();
+    Arch::decode(&encoded).map_err(|e| CkptError::corrupt(format!("malformed genome: {e}")))
+}
+
+fn put_search_state(e: &mut Encoder, state: &SearchState) {
+    e.put_usize(state.history.len());
+    for gen in &state.history {
+        e.put_usize(gen.generation);
+        e.put_usize(gen.individuals.len());
+        for ind in &gen.individuals {
+            put_arch(e, &ind.arch);
+            put_evaluation(e, &ind.evaluation);
+        }
+    }
+}
+
+fn get_search_state(d: &mut Decoder<'_>) -> Result<SearchState, CkptError> {
+    let n_gens = d.get_usize()?;
+    let mut history = Vec::with_capacity(n_gens.min(d.remaining()));
+    for _ in 0..n_gens {
+        let generation = d.get_usize()?;
+        let n_ind = d.get_usize()?;
+        let mut individuals = Vec::with_capacity(n_ind.min(d.remaining()));
+        for _ in 0..n_ind {
+            individuals.push(Individual {
+                arch: get_arch(d)?,
+                evaluation: get_evaluation(d)?,
+            });
+        }
+        history.push(GenerationStats {
+            generation,
+            individuals,
+        });
+    }
+    Ok(SearchState { history })
+}
+
+/// Hash of everything that determines a real-training pipeline run's
+/// results. A checkpoint written under one `(config, seed)` refuses to
+/// resume under another.
+pub fn real_config_hash(config: &RealPipelineConfig, seed: u64) -> u64 {
+    let mut e = Encoder::new();
+    e.put_str("real-pipeline-v1");
+    e.put_usize(config.classes);
+    e.put_usize(config.warm_steps);
+    e.put_usize(config.fine_tune_steps);
+    e.put_usize(config.final_steps);
+    e.put_usize(config.shrink_stages.len());
+    for stage in &config.shrink_stages {
+        let layers: Vec<u64> = stage.iter().map(|&l| l as u64).collect();
+        e.put_u64_slice(&layers);
+    }
+    e.put_usize(config.samples_per_subspace);
+    e.put_usize(config.eval_batches);
+    put_evolution_config(&mut e, &config.evolution);
+    e.put_f64(config.target_ms);
+    e.put_f64(config.beta);
+    e.put_u64(seed);
+    fnv1a(&e.finish())
+}
+
+/// Hash identifying a surrogate-pipeline run: the search space, the target
+/// device, the latency constraint, and the pipeline configuration.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Ckpt`] if the space cannot be serialized.
+pub fn surrogate_config_hash(
+    space: &SearchSpace,
+    device: &DeviceSpec,
+    target_ms: f64,
+    config: &PipelineConfig,
+) -> Result<u64, PipelineError> {
+    let space_json = serde_json::to_string(space)
+        .map_err(|e| ckpt_err(format!("serializing search space: {e}")))?;
+    let mut e = Encoder::new();
+    e.put_str("surrogate-pipeline-v1");
+    e.put_str(&space_json);
+    e.put_str(&device.name);
+    e.put_f64(target_ms);
+    e.put_usize(config.calibration_archs);
+    e.put_usize(config.calibration_repeats);
+    e.put_f64(config.beta);
+    e.put_bool(config.shrink);
+    e.put_usize(config.shrink_config.stages.len());
+    for stage in &config.shrink_config.stages {
+        let layers: Vec<u64> = stage.iter().map(|&l| l as u64).collect();
+        e.put_u64_slice(&layers);
+    }
+    e.put_usize(config.shrink_config.samples_per_subspace);
+    put_evolution_config(&mut e, &config.evolution);
+    Ok(fnv1a(&e.finish()))
+}
+
+fn put_evolution_config(e: &mut Encoder, config: &hsconas_evo::EvolutionConfig) {
+    e.put_usize(config.generations);
+    e.put_usize(config.population);
+    e.put_usize(config.parents);
+    e.put_f64(config.crossover_prob);
+    e.put_f64(config.mutation_prob);
+    e.put_f64(config.gene_mutation_rate);
+}
+
+/// Hash identifying a standalone checkpointed EA run (space + EA config).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Ckpt`] if the space cannot be serialized.
+pub fn search_config_hash(search: &EvolutionSearch) -> Result<u64, PipelineError> {
+    let space_json = serde_json::to_string(search.space())
+        .map_err(|e| ckpt_err(format!("serializing search space: {e}")))?;
+    let mut e = Encoder::new();
+    e.put_str("ea-search-v1");
+    e.put_str(&space_json);
+    put_evolution_config(&mut e, search.config());
+    Ok(fnv1a(&e.finish()))
+}
+
+fn encode_search_payload(
+    state: &SearchState,
+    rng_state: [u64; 4],
+    memo: &[(u64, Evaluation)],
+) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_search_state(&mut e, state);
+    e.put_u64_slice(&rng_state);
+    e.put_usize(memo.len());
+    for (fingerprint, evaluation) in memo {
+        e.put_u64(*fingerprint);
+        put_evaluation(&mut e, evaluation);
+    }
+    e.finish()
+}
+
+type SearchPayload = (SearchState, [u64; 4], Vec<(u64, Evaluation)>);
+
+fn decode_search_payload(payload: &[u8]) -> Result<SearchPayload, PipelineError> {
+    let inner = |d: &mut Decoder<'_>| -> Result<SearchPayload, CkptError> {
+        let state = get_search_state(d)?;
+        let rng_state = get_rng4(d)?;
+        let n_memo = d.get_usize()?;
+        let mut memo = Vec::with_capacity(n_memo.min(d.remaining()));
+        for _ in 0..n_memo {
+            let fingerprint = d.get_u64()?;
+            memo.push((fingerprint, get_evaluation(d)?));
+        }
+        Ok((state, rng_state, memo))
+    };
+    let mut d = Decoder::new(payload);
+    let decoded = inner(&mut d).map_err(|e| ckpt_err(e.to_string()))?;
+    d.expect_end().map_err(|e| ckpt_err(e.to_string()))?;
+    Ok(decoded)
+}
+
+/// Runs (or resumes) an evolutionary search with a checkpoint after every
+/// generation: the full [`SearchState`], the driving RNG's state, and the
+/// memo-cache contents, so a resumed search re-evaluates nothing and
+/// continues bit-identically — at any worker-thread count of the wrapped
+/// objective.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on objective failures or checkpoint I/O
+/// failures; resume fails loudly on a corrupt latest checkpoint or a
+/// configuration mismatch.
+pub fn run_search_checkpointed<O: Objective>(
+    search: &mut EvolutionSearch,
+    objective: &mut MemoObjective<O>,
+    rng: &mut StdRng,
+    opts: &CheckpointOptions,
+) -> Result<SearchResult, PipelineError> {
+    let generations = search.config().generations;
+    let store = CheckpointStore::open(
+        &opts.dir,
+        Phase::Search,
+        search_config_hash(search)?,
+        opts.keep_last,
+    )?;
+    let resume = if opts.resume {
+        store.load_latest()?
+    } else {
+        None
+    };
+    let _ea_span = hsconas_telemetry::span!(
+        "ea.search",
+        generations = generations,
+        population = search.config().population,
+        parents = search.config().parents
+    );
+    let mut state = match resume {
+        Some((_, payload)) => {
+            let (state, rng_state, memo) = decode_search_payload(&payload)?;
+            objective.import_cache(memo);
+            *rng = StdRng::from_state(rng_state);
+            state
+        }
+        None => {
+            let state = search.init_state(objective, rng)?;
+            save_generation(&store, &state, rng, objective)?;
+            state
+        }
+    };
+    while state.completed_generations() < generations {
+        search.step_generation(&mut state, objective, rng)?;
+        save_generation(&store, &state, rng, objective)?;
+    }
+    search.finalize(&state).map_err(Into::into)
+}
+
+fn save_generation<O: Objective>(
+    store: &CheckpointStore,
+    state: &SearchState,
+    rng: &StdRng,
+    objective: &MemoObjective<O>,
+) -> Result<(), PipelineError> {
+    let payload = encode_search_payload(state, rng.state(), &objective.export_cache());
+    store
+        .save(state.completed_generations() as u64, &payload)
+        .map_err(Into::into)
+        .map(|_| ())
+}
+
+/// Pretty-prints a checkpoint file's header (the `hsconas ckpt inspect`
+/// subcommand): format version, phase, cursor, config hash, payload size,
+/// and checksum. Fails on a missing file, a foreign format, or a payload
+/// that does not match its checksum.
+///
+/// # Errors
+///
+/// Returns a human-readable error string (CLI-facing).
+pub fn inspect_checkpoint(path: &Path) -> Result<String, String> {
+    let header = hsconas_ckpt::inspect(path).map_err(|e| e.to_string())?;
+    let phase = header
+        .phase()
+        .map(|p| p.name().to_string())
+        .unwrap_or_else(|| format!("unknown({})", header.phase_tag));
+    Ok(format!(
+        "file         : {}\n\
+         format       : HSCK v{}\n\
+         phase        : {phase}\n\
+         cursor       : {}\n\
+         config hash  : {:#018x}\n\
+         payload      : {} bytes\n\
+         checksum     : {:#018x} (verified)",
+        path.display(),
+        header.version,
+        header.cursor,
+        header.config_hash,
+        header.payload_len,
+        header.checksum,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_state() -> SearchState {
+        let space = SearchSpace::tiny(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let individuals: Vec<Individual> = space
+            .sample_n(3, &mut rng)
+            .into_iter()
+            .enumerate()
+            .map(|(i, arch)| Individual {
+                arch,
+                evaluation: Evaluation {
+                    score: 1.5 - i as f64,
+                    accuracy: 70.0 + i as f64,
+                    latency_ms: 20.0 * (i + 1) as f64,
+                },
+            })
+            .collect();
+        SearchState {
+            history: vec![GenerationStats {
+                generation: 0,
+                individuals,
+            }],
+        }
+    }
+
+    #[test]
+    fn pipeline_ckpt_roundtrips() {
+        let ckpt = PipelineCkpt {
+            tag: TAG_EA_GEN,
+            trainer: Some(TrainerCheckpoint {
+                params: vec![vec![1.0, -2.5], vec![0.0]],
+                velocities: vec![([1, 2, 3, 4], vec![0.25; 24])],
+                steps_done: 17,
+                history: vec![StepRecord {
+                    step: 16,
+                    loss: 0.75,
+                    lr: 0.05,
+                }],
+            }),
+            cursor: Some(TrainCursor {
+                step_in_call: 9,
+                arch_rng: [1, 2, 3, 4],
+                data_rng_state: 42,
+                data_rng_spare: Some(f64::to_bits(-0.5)),
+            }),
+            predictor_json: Some("{\"fake\":true}".into()),
+            search_rng: Some([5, 6, 7, 8]),
+            stages: Vec::new(),
+            ea: Some(sample_state()),
+        };
+        let decoded = PipelineCkpt::decode(&ckpt.encode().unwrap()).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn minimal_ckpt_roundtrips() {
+        let ckpt = PipelineCkpt {
+            tag: TAG_CALIBRATED,
+            trainer: None,
+            cursor: None,
+            predictor_json: None,
+            search_rng: None,
+            stages: Vec::new(),
+            ea: None,
+        };
+        let decoded = PipelineCkpt::decode(&ckpt.encode().unwrap()).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let ckpt = PipelineCkpt {
+            tag: TAG_CALIBRATED,
+            trainer: None,
+            cursor: None,
+            predictor_json: None,
+            search_rng: None,
+            stages: Vec::new(),
+            ea: None,
+        };
+        let mut payload = ckpt.encode().unwrap();
+        payload.push(0);
+        assert!(PipelineCkpt::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn search_payload_roundtrips() {
+        let state = sample_state();
+        let memo = vec![
+            (
+                3u64,
+                Evaluation {
+                    score: 1.0,
+                    accuracy: 71.0,
+                    latency_ms: 33.0,
+                },
+            ),
+            (
+                9u64,
+                Evaluation {
+                    score: 2.0,
+                    accuracy: 72.0,
+                    latency_ms: 34.0,
+                },
+            ),
+        ];
+        let payload = encode_search_payload(&state, [9, 8, 7, 6], &memo);
+        let (s2, rng2, memo2) = decode_search_payload(&payload).unwrap();
+        assert_eq!(s2, state);
+        assert_eq!(rng2, [9, 8, 7, 6]);
+        assert_eq!(memo2, memo);
+    }
+
+    #[test]
+    fn config_hash_is_sensitive_to_every_knob() {
+        let base = RealPipelineConfig::smoke_test();
+        let h = real_config_hash(&base, 5);
+        assert_ne!(h, real_config_hash(&base, 6), "seed must matter");
+        let mut warm = base.clone();
+        warm.warm_steps += 1;
+        assert_ne!(h, real_config_hash(&warm, 5));
+        let mut evo = base.clone();
+        evo.evolution.generations += 1;
+        assert_ne!(h, real_config_hash(&evo, 5));
+        assert_eq!(h, real_config_hash(&base.clone(), 5), "hash is stable");
+    }
+
+    #[test]
+    fn surrogate_hash_distinguishes_devices_and_targets() {
+        let space = SearchSpace::tiny(4);
+        let config = PipelineConfig::fast_test();
+        let h = surrogate_config_hash(&space, &DeviceSpec::edge_xavier(), 34.0, &config).unwrap();
+        let gpu = surrogate_config_hash(&space, &DeviceSpec::gpu_gv100(), 34.0, &config).unwrap();
+        let target =
+            surrogate_config_hash(&space, &DeviceSpec::edge_xavier(), 24.0, &config).unwrap();
+        assert_ne!(h, gpu);
+        assert_ne!(h, target);
+    }
+}

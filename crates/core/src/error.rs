@@ -12,6 +12,11 @@ pub enum PipelineError {
     Evo(EvoError),
     /// Accuracy-oracle failure.
     Accuracy(AccuracyError),
+    /// Checkpoint persistence or resume failure.
+    Ckpt {
+        /// Human-readable description of the checkpoint failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -20,6 +25,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Space(e) => write!(f, "space error: {e}"),
             PipelineError::Evo(e) => write!(f, "search error: {e}"),
             PipelineError::Accuracy(e) => write!(f, "accuracy error: {e}"),
+            PipelineError::Ckpt { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }
@@ -30,6 +36,15 @@ impl std::error::Error for PipelineError {
             PipelineError::Space(e) => Some(e),
             PipelineError::Evo(e) => Some(e),
             PipelineError::Accuracy(e) => Some(e),
+            PipelineError::Ckpt { .. } => None,
+        }
+    }
+}
+
+impl From<hsconas_ckpt::CkptError> for PipelineError {
+    fn from(e: hsconas_ckpt::CkptError) -> Self {
+        PipelineError::Ckpt {
+            detail: e.to_string(),
         }
     }
 }

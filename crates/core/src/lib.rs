@@ -45,15 +45,19 @@
 
 mod error;
 
+pub mod checkpoint;
 pub mod config;
 pub mod persist;
 pub mod pipeline;
 pub mod real_pipeline;
 pub mod report;
 
+pub use checkpoint::{run_search_checkpointed, CheckpointOptions};
 pub use config::PipelineConfig;
 pub use error::PipelineError;
 pub use persist::{load_json, save_json, SavedModel};
-pub use pipeline::{search_for_device, SearchOutcome};
-pub use real_pipeline::{run_real_pipeline, RealPipelineConfig, RealPipelineResult};
+pub use pipeline::{search_for_device, search_for_device_checkpointed, SearchOutcome};
+pub use real_pipeline::{
+    run_real_pipeline, run_real_pipeline_checkpointed, RealPipelineConfig, RealPipelineResult,
+};
 pub use report::{render_table, table_one, TableGroup, TableRow};

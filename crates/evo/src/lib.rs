@@ -56,4 +56,6 @@ pub use error::EvoError;
 pub use memo::{MemoObjective, MemoStats, ParallelObjective};
 pub use multi::{Constraint, MultiConstraintObjective, MultiEvaluation};
 pub use objective::{Evaluation, Objective, TradeoffObjective};
-pub use search::{EvolutionConfig, EvolutionSearch, GenerationStats, SearchResult};
+pub use search::{
+    EvolutionConfig, EvolutionSearch, GenerationStats, Individual, SearchResult, SearchState,
+};

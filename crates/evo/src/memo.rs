@@ -68,6 +68,24 @@ impl<O: Objective> MemoObjective<O> {
         self.cache.lock().len()
     }
 
+    /// Exports the cache as `(fingerprint, evaluation)` pairs sorted by
+    /// fingerprint (so the byte encoding of a checkpoint is deterministic).
+    /// Restoring the cache after a resume is purely an accelerator — memo
+    /// hits return the same values the inner objective would — but it
+    /// preserves the "each distinct genome evaluated once" economy across
+    /// the interruption.
+    pub fn export_cache(&self) -> Vec<(u64, Evaluation)> {
+        let mut entries: Vec<(u64, Evaluation)> =
+            self.cache.lock().iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Merges exported entries back into the cache.
+    pub fn import_cache(&mut self, entries: impl IntoIterator<Item = (u64, Evaluation)>) {
+        self.cache.lock().extend(entries);
+    }
+
     /// The wrapped objective.
     pub fn inner(&self) -> &O {
         &self.inner

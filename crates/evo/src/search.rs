@@ -113,6 +113,29 @@ pub struct SearchResult {
     pub history: Vec<GenerationStats>,
 }
 
+/// Resumable search state: the full per-generation history (entry 0 is the
+/// evaluated initial population; the current population is the last
+/// entry's individuals). Together with the driving RNG's state this is
+/// everything a checkpoint needs to continue the search bit-identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchState {
+    /// Per-generation history so far, each sorted best-first.
+    pub history: Vec<GenerationStats>,
+}
+
+impl SearchState {
+    /// Generations completed beyond the initial population (0 right after
+    /// [`EvolutionSearch::init_state`]).
+    pub fn completed_generations(&self) -> usize {
+        self.history.len().saturating_sub(1)
+    }
+
+    /// The current population (last generation, sorted best-first).
+    pub fn population(&self) -> &[Individual] {
+        self.history.last().map_or(&[], |g| &g.individuals)
+    }
+}
+
 /// The evolutionary search engine.
 #[derive(Debug, Clone)]
 pub struct EvolutionSearch {
@@ -129,6 +152,11 @@ impl EvolutionSearch {
     /// The search space.
     pub fn space(&self) -> &SearchSpace {
         &self.space
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &EvolutionConfig {
+        &self.config
     }
 
     /// Runs the search to completion.
@@ -150,64 +178,112 @@ impl EvolutionSearch {
         objective: &mut dyn Objective,
         rng: &mut R,
     ) -> Result<SearchResult, EvoError> {
-        self.config.validate()?;
         let _search_span = hsconas_telemetry::span!(
             "ea.search",
             generations = self.config.generations,
             population = self.config.population,
             parents = self.config.parents
         );
+        let mut state = self.init_state(objective, rng)?;
+        while state.completed_generations() < self.config.generations {
+            self.step_generation(&mut state, objective, rng)?;
+        }
+        self.finalize(&state)
+    }
+
+    /// Samples and scores the initial population (generation 0), producing
+    /// the state [`Self::step_generation`] advances. Exposed separately so
+    /// a checkpointing driver can own the RNG between generations and
+    /// persist `(state, rng state)` at each boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvoError`] if the configuration is invalid or the
+    /// objective fails.
+    pub fn init_state<R: Rng + ?Sized>(
+        &mut self,
+        objective: &mut dyn Objective,
+        rng: &mut R,
+    ) -> Result<SearchState, EvoError> {
+        self.config.validate()?;
         let init = self.space.sample_n(self.config.population, rng);
-        let mut population = {
-            let mut span = hsconas_telemetry::span!("ea.generation", gen = 0usize);
-            span.record("evals", init.len());
-            let mut population = evaluate_into_individuals(objective, init)?;
-            sort_desc(&mut population);
-            span.record("best_score", population[0].evaluation.score);
-            population
-        };
+        let mut span = hsconas_telemetry::span!("ea.generation", gen = 0usize);
+        span.record("evals", init.len());
+        let mut population = evaluate_into_individuals(objective, init)?;
+        sort_desc(&mut population);
+        span.record("best_score", population[0].evaluation.score);
+        Ok(SearchState {
+            history: vec![GenerationStats {
+                generation: 0,
+                individuals: population,
+            }],
+        })
+    }
 
-        let mut history = Vec::with_capacity(self.config.generations + 1);
-        history.push(GenerationStats {
-            generation: 0,
-            individuals: population.clone(),
-        });
-
-        for generation in 1..=self.config.generations {
-            let mut gen_span = hsconas_telemetry::span!("ea.generation", gen = generation);
-            let parents: Vec<Individual> =
-                population[..self.config.parents.min(population.len())].to_vec();
-            let mut next: Vec<Individual> = parents.clone();
-            // Track fingerprints so clone offspring (frequent at the
-            // paper's low crossover/mutation probabilities) don't crowd
-            // the population; a duplicate gets one forced gene mutation.
-            let mut seen: std::collections::HashSet<u64> =
-                next.iter().map(|i| i.arch.fingerprint()).collect();
-            let mut offspring: Vec<Arch> = Vec::with_capacity(self.config.population - next.len());
-            while next.len() + offspring.len() < self.config.population {
-                let mut arch = self.make_offspring(&parents, rng);
-                for _ in 0..4 {
-                    if !seen.contains(&arch.fingerprint()) {
-                        break;
-                    }
-                    let layer = rng.gen_range(0..arch.len());
-                    self.mutate_gene(&mut arch, layer, rng);
-                }
-                seen.insert(arch.fingerprint());
-                offspring.push(arch);
-            }
-            gen_span.record("evals", offspring.len());
-            next.extend(evaluate_into_individuals(objective, offspring)?);
-            sort_desc(&mut next);
-            population = next;
-            gen_span.record("best_score", population[0].evaluation.score);
-            history.push(GenerationStats {
-                generation,
-                individuals: population.clone(),
+    /// Advances the search by one generation. Consumes `rng` in exactly
+    /// the order [`Self::run`] does, so driving the loop externally (e.g.
+    /// with a checkpoint write between generations) is bit-identical to an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvoError`] if `state` is empty (not initialized) or the
+    /// objective fails.
+    pub fn step_generation<R: Rng + ?Sized>(
+        &mut self,
+        state: &mut SearchState,
+        objective: &mut dyn Objective,
+        rng: &mut R,
+    ) -> Result<(), EvoError> {
+        if state.history.is_empty() {
+            return Err(EvoError::InvalidConfig {
+                detail: "step_generation on uninitialized state (call init_state)".into(),
             });
         }
+        let generation = state.history.len();
+        let population = state.population();
+        let mut gen_span = hsconas_telemetry::span!("ea.generation", gen = generation);
+        let parents: Vec<Individual> =
+            population[..self.config.parents.min(population.len())].to_vec();
+        let mut next: Vec<Individual> = parents.clone();
+        // Track fingerprints so clone offspring (frequent at the
+        // paper's low crossover/mutation probabilities) don't crowd
+        // the population; a duplicate gets one forced gene mutation.
+        let mut seen: std::collections::HashSet<u64> =
+            next.iter().map(|i| i.arch.fingerprint()).collect();
+        let mut offspring: Vec<Arch> = Vec::with_capacity(self.config.population - next.len());
+        while next.len() + offspring.len() < self.config.population {
+            let mut arch = self.make_offspring(&parents, rng);
+            for _ in 0..4 {
+                if !seen.contains(&arch.fingerprint()) {
+                    break;
+                }
+                let layer = rng.gen_range(0..arch.len());
+                self.mutate_gene(&mut arch, layer, rng);
+            }
+            seen.insert(arch.fingerprint());
+            offspring.push(arch);
+        }
+        gen_span.record("evals", offspring.len());
+        next.extend(evaluate_into_individuals(objective, offspring)?);
+        sort_desc(&mut next);
+        gen_span.record("best_score", next[0].evaluation.score);
+        state.history.push(GenerationStats {
+            generation,
+            individuals: next,
+        });
+        Ok(())
+    }
 
-        let best = history
+    /// Extracts the final [`SearchResult`] (best individual across every
+    /// generation) from a completed — or partially completed — state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvoError`] if `state` is empty.
+    pub fn finalize(&self, state: &SearchState) -> Result<SearchResult, EvoError> {
+        let best = state
+            .history
             .iter()
             .flat_map(|g| g.individuals.first())
             .max_by(|a, b| {
@@ -216,12 +292,14 @@ impl EvolutionSearch {
                     .partial_cmp(&b.evaluation.score)
                     .expect("scores are comparable")
             })
-            .expect("at least one generation")
+            .ok_or_else(|| EvoError::InvalidConfig {
+                detail: "finalize on uninitialized state (call init_state)".into(),
+            })?
             .clone();
         Ok(SearchResult {
-            best_arch: best.arch,
+            best_arch: best.arch.clone(),
             best_evaluation: best.evaluation,
-            history,
+            history: state.history.clone(),
         })
     }
 

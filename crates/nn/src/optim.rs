@@ -35,6 +35,33 @@ impl Sgd {
         }
     }
 
+    /// Snapshot of the velocity buffers in visit order, as `(shape,
+    /// values)` pairs — the optimizer state a checkpoint must carry for a
+    /// resumed run to take bit-identical momentum updates.
+    pub fn export_velocities(&self) -> Vec<([usize; 4], Vec<f32>)> {
+        self.velocities
+            .iter()
+            .map(|v| {
+                let s = v.shape();
+                ([s.n, s.c, s.h, s.w], v.data().to_vec())
+            })
+            .collect()
+    }
+
+    /// Restores velocity buffers from an [`Sgd::export_velocities`]
+    /// snapshot. The buffers stay keyed by visit order, so this must be
+    /// applied to an optimizer driving the same network topology.
+    pub fn import_velocities(&mut self, velocities: Vec<([usize; 4], Vec<f32>)>) {
+        self.velocities = velocities
+            .into_iter()
+            .map(|(shape, data)| {
+                let mut t = Tensor::zeros(shape);
+                t.data_mut().copy_from_slice(&data);
+                t
+            })
+            .collect();
+    }
+
     /// Applies one update step with learning rate `lr` to all parameters of
     /// `net`, then zeroes the gradients.
     pub fn step(&mut self, net: &mut dyn Layer, lr: f32) {

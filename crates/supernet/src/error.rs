@@ -14,6 +14,13 @@ pub enum SupernetError {
         /// Explanation of the structural mismatch.
         detail: String,
     },
+    /// Checkpoint persistence failed mid-training (raised by the caller's
+    /// checkpoint hook in
+    /// [`SupernetTrainer::train_steps_resumable`](crate::SupernetTrainer::train_steps_resumable)).
+    Checkpoint {
+        /// Explanation of the persistence failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SupernetError {
@@ -22,6 +29,7 @@ impl fmt::Display for SupernetError {
             SupernetError::Nn(e) => write!(f, "layer error: {e}"),
             SupernetError::Space(e) => write!(f, "space error: {e}"),
             SupernetError::Structure { detail } => write!(f, "structure mismatch: {detail}"),
+            SupernetError::Checkpoint { detail } => write!(f, "checkpoint failure: {detail}"),
         }
     }
 }
@@ -31,7 +39,7 @@ impl std::error::Error for SupernetError {
         match self {
             SupernetError::Nn(e) => Some(e),
             SupernetError::Space(e) => Some(e),
-            SupernetError::Structure { .. } => None,
+            SupernetError::Structure { .. } | SupernetError::Checkpoint { .. } => None,
         }
     }
 }

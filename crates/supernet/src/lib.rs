@@ -56,4 +56,6 @@ pub use model::Supernet;
 pub use oracle::TrainedAccuracy;
 pub use prefix::{PrefixCache, PrefixCacheStats, PrefixEntry};
 pub use subnet::{build_subnet, train_from_scratch, AdaptedShuffleUnit};
-pub use trainer::{SupernetTrainer, TrainConfig};
+pub use trainer::{
+    StepRecord, SupernetTrainer, TrainCkptHook, TrainConfig, TrainCursor, TrainerCheckpoint,
+};

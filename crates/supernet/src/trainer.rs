@@ -71,6 +71,55 @@ pub struct StepRecord {
     pub lr: f32,
 }
 
+/// Snapshot of everything the trainer needs to resume **bit-identically**:
+/// all trainable parameters and optimizer velocities (in visit order — the
+/// deterministic stem→layers→head walk), the global step cursor that keys
+/// the batch stream, and the training history.
+///
+/// Batch-norm *running statistics* are deliberately excluded: training-mode
+/// forwards normalize with batch statistics, and [`SupernetTrainer::evaluate`]
+/// resets and recalibrates running statistics from scratch for every query
+/// (`BnMode::Accumulate`), so they never influence a result a resumed run
+/// could observe. The prefix-activation cache is likewise excluded — it is
+/// a pure accelerator that starts cold after a resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerCheckpoint {
+    /// Every trainable parameter tensor's values, in visit order.
+    pub params: Vec<Vec<f32>>,
+    /// Optimizer velocity buffers, in visit order.
+    pub velocities: Vec<([usize; 4], Vec<f32>)>,
+    /// Total optimization steps taken (the batch-stream cursor).
+    pub steps_done: usize,
+    /// Per-step training records so far.
+    pub history: Vec<StepRecord>,
+}
+
+/// Mid-call training cursor: the RNG states and step index needed to
+/// resume an interrupted [`SupernetTrainer::train_steps_resumable`] call
+/// with identical random streams and an identical LR schedule.
+///
+/// The architecture-sampling stream (`arch_rng`) is derived **once per
+/// call** from the caller's rng, and the cosine schedule spans the whole
+/// call — so resuming must re-enter the *same* call at an interior step,
+/// not issue a fresh call for the remaining steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainCursor {
+    /// Steps completed within the interrupted call.
+    pub step_in_call: u64,
+    /// xoshiro256++ state of the per-call architecture-sampling stream.
+    pub arch_rng: [u64; 4],
+    /// SplitMix64 counter of the caller's augmentation rng.
+    pub data_rng_state: u64,
+    /// Cached Box–Muller spare of the caller's rng, as bits.
+    pub data_rng_spare: Option<u64>,
+}
+
+/// Checkpoint hook invoked at step boundaries by
+/// [`SupernetTrainer::train_steps_resumable`]: receives the trainer (to
+/// snapshot) and the cursor identifying the boundary.
+pub type TrainCkptHook<'a> =
+    dyn FnMut(&mut SupernetTrainer, &TrainCursor) -> Result<(), SupernetError> + 'a;
+
 /// Trains a [`Supernet`] with uniformly sampled single paths and evaluates
 /// subnets with inherited weights.
 #[derive(Debug)]
@@ -184,6 +233,48 @@ impl SupernetTrainer {
         base_lr: f32,
         rng: &mut SmallRng,
     ) -> Result<(), SupernetError> {
+        self.train_steps_resumable(
+            space,
+            data,
+            steps,
+            base_lr,
+            rng,
+            None,
+            0,
+            &mut |_, _| Ok(()),
+        )
+    }
+
+    /// The resumable training core behind [`Self::train_steps`].
+    ///
+    /// With `resume == None` this consumes RNG streams exactly like the
+    /// plain entry point. With `resume == Some(cursor)` it re-enters the
+    /// interrupted call: the caller's `rng` and the per-call architecture
+    /// stream are restored from the cursor and training continues at
+    /// `cursor.step_in_call` under the *original* call's cosine schedule —
+    /// so the completed run is bit-identical to one that was never
+    /// interrupted. (The trainer's weights/optimizer/step counter must
+    /// already have been restored via [`Self::restore`].)
+    ///
+    /// `on_ckpt` fires after every `ckpt_interval`-th step of the call
+    /// (0 disables), receiving the trainer and the boundary cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError`] on any layer failure or if `on_ckpt`
+    /// reports a persistence failure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_steps_resumable(
+        &mut self,
+        space: &SearchSpace,
+        data: &SyntheticDataset,
+        steps: usize,
+        base_lr: f32,
+        rng: &mut SmallRng,
+        resume: Option<&TrainCursor>,
+        ckpt_interval: usize,
+        on_ckpt: &mut TrainCkptHook<'_>,
+    ) -> Result<(), SupernetError> {
         if steps == 0 {
             return Ok(());
         }
@@ -196,8 +287,17 @@ impl SupernetTrainer {
         let schedule = CosineSchedule::new(base_lr, self.config.warmup_steps.min(steps - 1), steps);
         let mut loss_fn = SoftmaxCrossEntropy::new();
         use rand::SeedableRng;
-        let mut arch_rng = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
-        for step in 0..steps {
+        let (start, mut arch_rng) = match resume {
+            Some(cursor) => {
+                *rng = SmallRng::from_state(cursor.data_rng_state, cursor.data_rng_spare);
+                (
+                    cursor.step_in_call as usize,
+                    rand::rngs::StdRng::from_state(cursor.arch_rng),
+                )
+            }
+            None => (0, rand::rngs::StdRng::seed_from_u64(rng.next_u64())),
+        };
+        for step in start..steps {
             let _step_span = hsconas_telemetry::span!("supernet.step", step = self.steps_done);
             let (batch, labels) = data.batch(
                 self.config.batch_size,
@@ -222,8 +322,84 @@ impl SupernetTrainer {
                 lr,
             });
             self.steps_done += 1;
+            if ckpt_interval > 0 && (step + 1) % ckpt_interval == 0 && step + 1 < steps {
+                let (data_rng_state, data_rng_spare) = rng.state();
+                let cursor = TrainCursor {
+                    step_in_call: (step + 1) as u64,
+                    arch_rng: arch_rng.state(),
+                    data_rng_state,
+                    data_rng_spare,
+                };
+                on_ckpt(self, &cursor)?;
+            }
         }
         // Weights changed: every cached prefix activation is stale.
+        self.clear_prefix_cache();
+        Ok(())
+    }
+
+    /// Snapshots the trainer for checkpointing — see [`TrainerCheckpoint`]
+    /// for exactly what is (and is deliberately not) captured.
+    pub fn checkpoint(&mut self) -> TrainerCheckpoint {
+        let mut params = Vec::new();
+        self.net
+            .visit_params(&mut |p, _, _| params.push(p.data().to_vec()));
+        TrainerCheckpoint {
+            params,
+            velocities: self.optimizer.export_velocities(),
+            steps_done: self.steps_done,
+            history: self.history.clone(),
+        }
+    }
+
+    /// Restores a [`Self::checkpoint`] snapshot onto this trainer. The
+    /// network must have the same topology the snapshot was taken from
+    /// (same visit order and tensor shapes). Gradients are zeroed and the
+    /// prefix-activation cache is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SupernetError::Structure`] if the snapshot's parameter
+    /// count or any tensor length disagrees with the network.
+    pub fn restore(&mut self, ckpt: &TrainerCheckpoint) -> Result<(), SupernetError> {
+        let mut idx = 0usize;
+        let mut mismatch: Option<String> = None;
+        self.net.visit_params(&mut |p, g, _| {
+            match ckpt.params.get(idx) {
+                Some(src) if src.len() == p.data().len() => {
+                    p.data_mut().copy_from_slice(src);
+                    g.map_inplace(|_| 0.0);
+                }
+                Some(src) => {
+                    mismatch.get_or_insert_with(|| {
+                        format!(
+                            "param {idx}: checkpoint has {} values, network expects {}",
+                            src.len(),
+                            p.data().len()
+                        )
+                    });
+                }
+                None => {
+                    mismatch
+                        .get_or_insert_with(|| "checkpoint has fewer params than network".into());
+                }
+            }
+            idx += 1;
+        });
+        if idx != ckpt.params.len() {
+            mismatch.get_or_insert_with(|| {
+                format!(
+                    "checkpoint has {} params, network visits {idx}",
+                    ckpt.params.len()
+                )
+            });
+        }
+        if let Some(detail) = mismatch {
+            return Err(SupernetError::Structure { detail });
+        }
+        self.optimizer.import_velocities(ckpt.velocities.clone());
+        self.steps_done = ckpt.steps_done;
+        self.history = ckpt.history.clone();
         self.clear_prefix_cache();
         Ok(())
     }
@@ -501,6 +677,68 @@ mod tests {
             stats.layers_skipped, 4,
             "identical arch should resume past every mixed layer"
         );
+    }
+
+    #[test]
+    fn mid_call_checkpoint_resume_is_bit_identical() {
+        let (space, data, mut trainer) = setup(21);
+        let mut rng = SmallRng::new(22);
+        trainer
+            .train_steps(&space, &data, 24, 0.05, &mut rng)
+            .unwrap();
+        let reference = trainer.checkpoint();
+        let ref_rng = rng.state();
+
+        // Same run, snapshotting at step 8.
+        let (_, _, mut t2) = setup(21);
+        let mut rng2 = SmallRng::new(22);
+        let mut snap: Option<(TrainerCheckpoint, TrainCursor)> = None;
+        t2.train_steps_resumable(&space, &data, 24, 0.05, &mut rng2, None, 8, &mut |t, c| {
+            if snap.is_none() {
+                snap = Some((t.checkpoint(), *c));
+            }
+            Ok(())
+        })
+        .unwrap();
+        let (ckpt, cursor) = snap.expect("hook fired at step 8");
+        assert_eq!(cursor.step_in_call, 8);
+
+        // "Crash": a fresh process restores the snapshot and re-enters the
+        // call at the cursor. The resumed caller rng is restored from the
+        // cursor, so its pre-resume seed is irrelevant.
+        let (_, _, mut t3) = setup(21);
+        t3.restore(&ckpt).unwrap();
+        let mut rng3 = SmallRng::new(0xffff);
+        t3.train_steps_resumable(
+            &space,
+            &data,
+            24,
+            0.05,
+            &mut rng3,
+            Some(&cursor),
+            0,
+            &mut |_, _| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(t3.checkpoint(), reference, "resume must be bit-identical");
+        assert_eq!(rng3.state(), ref_rng, "caller rng stream must realign");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_topology() {
+        let (_, _, mut trainer) = setup(23);
+        let mut ckpt = trainer.checkpoint();
+        ckpt.params.pop();
+        assert!(matches!(
+            trainer.restore(&ckpt),
+            Err(SupernetError::Structure { .. })
+        ));
+        let mut ckpt = trainer.checkpoint();
+        ckpt.params[0].pop();
+        assert!(matches!(
+            trainer.restore(&ckpt),
+            Err(SupernetError::Structure { .. })
+        ));
     }
 
     #[test]

@@ -33,6 +33,21 @@ impl SmallRng {
         }
     }
 
+    /// Snapshot of the generator state (SplitMix64 counter + cached
+    /// Box–Muller spare, as bits), for checkpointing.
+    pub fn state(&self) -> (u64, Option<u64>) {
+        (self.state, self.spare_normal.map(f64::to_bits))
+    }
+
+    /// Rebuilds a generator from a [`SmallRng::state`] snapshot; the
+    /// restored generator continues the exact same stream.
+    pub fn from_state(state: u64, spare_normal_bits: Option<u64>) -> Self {
+        SmallRng {
+            state,
+            spare_normal: spare_normal_bits.map(f64::from_bits),
+        }
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -1,37 +1,76 @@
 #!/usr/bin/env bash
-# Repo-wide gate: formatting, lints, and the full test suite.
+# Repo-wide gate: formatting, lints, the full test suite, and the release
+# performance gates. Unlike a plain `set -e` script, every gate runs even
+# when an earlier one fails, and a summary table at the end shows exactly
+# which gates passed; the exit code is nonzero if any gate failed.
+#
 # Usage: scripts/check.sh
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+names=()
+results=()
+failed=0
 
-echo "==> cargo clippy (all targets, telemetry on, warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+run_gate() {
+    local name="$1"
+    shift
+    echo
+    echo "==> ${name}"
+    if "$@"; then
+        names+=("${name}")
+        results+=(PASS)
+    else
+        names+=("${name}")
+        results+=(FAIL)
+        failed=1
+    fi
+}
 
-echo "==> cargo clippy (telemetry off)"
+run_gate "cargo fmt --check" \
+    cargo fmt --all -- --check
+
+run_gate "clippy (all targets, telemetry on)" \
+    cargo clippy --workspace --all-targets -- -D warnings
+
 # Package selection instead of --workspace: --no-default-features must only
 # strip the hsconas-* `telemetry` defaults, not the vendored crates' std
 # features. Proves the whole tree lints clean with telemetry compiled out.
-cargo clippy \
+run_gate "clippy (telemetry off)" \
+    cargo clippy \
     -p hsconas -p hsconas-bench -p hsconas-telemetry -p hsconas-par \
     -p hsconas-evo -p hsconas-supernet -p hsconas-shrink -p hsconas-latency \
     --all-targets --no-default-features -- -D warnings
 
-echo "==> cargo test"
-cargo test -q
+run_gate "cargo test" \
+    cargo test -q
 
-echo "==> allocation-regression gate (release)"
+# Fault-injection suite: kills a checkpoint write at every named site and
+# asserts the atomic temp+fsync+rename protocol never leaves a torn file.
+# The failpoints feature is compiled out everywhere else.
+run_gate "checkpoint fault injection" \
+    cargo test -q -p hsconas-ckpt --features failpoints
+
 # The alloc budget in tests/alloc_budget.rs is the checked-in contract for
 # the activation arena: a steady-state forward must stay O(1) allocations.
 # Run it in release too, where inlining changes allocation patterns.
-cargo test -q --release -p hsconas --test alloc_budget
+run_gate "allocation-regression gate (release)" \
+    cargo test -q --release -p hsconas --test alloc_budget
 
-echo "==> telemetry-overhead gate (release)"
 # Observation must stay near-free: with a sink installed, the population
 # evaluation workload may regress by at most 2% (tests/telemetry_overhead.rs
 # only asserts the bound in release builds).
-cargo test -q --release -p hsconas --test telemetry_overhead
+run_gate "telemetry-overhead gate (release)" \
+    cargo test -q --release -p hsconas --test telemetry_overhead
 
+echo
+echo "==================== gate summary ===================="
+for i in "${!names[@]}"; do
+    printf '  %-42s %s\n' "${names[$i]}" "${results[$i]}"
+done
+echo "======================================================"
+if [ "${failed}" -ne 0 ]; then
+    echo "Some gates FAILED."
+    exit 1
+fi
 echo "All checks passed."

@@ -193,6 +193,17 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// Snapshot of the internal xoshiro256++ state, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot; the
+        /// restored generator continues the exact same stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
     }
 
     impl RngCore for StdRng {
