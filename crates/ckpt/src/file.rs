@@ -216,6 +216,44 @@ pub fn write_atomic(
     Ok(())
 }
 
+/// Atomically replaces `path` with `bytes` using the same temp → fsync →
+/// rename → dir-fsync protocol as [`write_atomic`], but without the
+/// checkpoint header — for plain artifact files (LUT snapshots, reports)
+/// that other readers may be watching for changes. A watcher polling the
+/// file's mtime therefore only ever observes complete contents.
+///
+/// # Errors
+///
+/// Returns [`CkptError::Io`] on filesystem failure.
+pub fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CkptError::corrupt(format!("path {path:?} has no file name")))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp_path = path.with_file_name(tmp_name);
+    {
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| CkptError::io(format!("create temp {tmp_path:?}"), e))?;
+        tmp.write_all(bytes)
+            .map_err(|e| CkptError::io(format!("write temp {tmp_path:?}"), e))?;
+        tmp.sync_all()
+            .map_err(|e| CkptError::io(format!("fsync temp {tmp_path:?}"), e))?;
+    }
+    fs::rename(&tmp_path, path)
+        .map_err(|e| CkptError::io(format!("rename {tmp_path:?} -> {path:?}"), e))?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// Reads and fully validates a checkpoint file: magic, version, expected
 /// phase, expected config hash, payload length, and checksum. Returns the
 /// header and payload only when every check passes — a corrupted file is
@@ -366,6 +404,23 @@ mod tests {
             inspect(&path),
             Err(CkptError::UnsupportedVersion { found: 99, .. })
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_bytes_replaces_and_leaves_no_temp() {
+        let dir = tmp_dir("raw_bytes");
+        let path = dir.join("snapshot.json");
+        write_atomic_bytes(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":1}");
+        write_atomic_bytes(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":2}");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files cleaned: {leftovers:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -42,7 +42,9 @@ pub mod store;
 
 pub use codec::{Decoder, Encoder};
 pub use error::CkptError;
-pub use file::{inspect, read_payload, write_atomic, CkptHeader, Phase, FORMAT_VERSION};
+pub use file::{
+    inspect, read_payload, write_atomic, write_atomic_bytes, CkptHeader, Phase, FORMAT_VERSION,
+};
 pub use store::CheckpointStore;
 
 /// FNV-1a over a byte string — the checksum/config-hash primitive used

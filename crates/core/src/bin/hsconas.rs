@@ -36,9 +36,11 @@ fn main() {
         Some("profile") => cmd_profile(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("ckpt") => cmd_ckpt(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hsconas <search|table|baselines|measure|report|ckpt> [options]\n\
+                "usage: hsconas <search|table|baselines|measure|report|ckpt|serve|client> [options]\n\
                  \n\
                  search    --device gpu|cpu|edge --target-ms N [--layout a|b] [--seed N] [--fast] [--out FILE] [--telemetry RUN.jsonl]\n\
                  \x20         [--checkpoint DIR] [--resume] [--keep-last K]\n\
@@ -47,7 +49,12 @@ fn main() {
                  measure   --model FILE\n\
                  profile   --device gpu|cpu|edge --out FILE [--seed N]\n\
                  report    RUN.jsonl\n\
-                 ckpt      inspect FILE"
+                 ckpt      inspect FILE\n\
+                 serve     [--host H] [--port N] [--state-dir DIR] [--budget fast|full] [--devices a,b]\n\
+                 \x20         [--queue-cap N] [--eval-workers N] [--pool-threads N] [--batch-max N]\n\
+                 \x20         [--lut-watch-ms N] [--telemetry RUN.jsonl]\n\
+                 client    --addr HOST:PORT <status|shutdown|predict|score|search> [--device D]\n\
+                 \x20         [--target-ms N] [--seed N] [--arch 0,9,1,3,...]"
             );
             std::process::exit(2);
         }
@@ -183,6 +190,119 @@ fn cmd_ckpt(args: &[String]) -> Result<(), String> {
         }
         _ => Err("usage: hsconas ckpt inspect FILE".into()),
     }
+}
+
+/// `hsconas serve`: run the search-as-a-service daemon until a client
+/// sends `shutdown`. Prints the bound address on stdout before accepting,
+/// so scripts (and the protocol tests) can discover an ephemeral port.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use hsconas_serve::{Budget, ServeOptions, Server};
+
+    let parse_num = |name: &str, default: u64| -> Result<u64, String> {
+        flag(args, name)
+            .map(|s| s.parse().map_err(|e| format!("{name}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let defaults = ServeOptions::default();
+    let options = ServeOptions {
+        host: flag(args, "--host").unwrap_or(defaults.host),
+        port: parse_num("--port", 0)? as u16,
+        state_dir: flag(args, "--state-dir").map(std::path::PathBuf::from),
+        budget: match flag(args, "--budget") {
+            None => Budget::Fast,
+            Some(s) => {
+                Budget::parse(&s).ok_or_else(|| format!("unknown budget '{s}' (use fast|full)"))?
+            }
+        },
+        queue_capacity: parse_num("--queue-cap", defaults.queue_capacity as u64)? as usize,
+        eval_workers: parse_num("--eval-workers", defaults.eval_workers as u64)? as usize,
+        pool_threads: parse_num("--pool-threads", defaults.pool_threads as u64)? as usize,
+        batch_max: parse_num("--batch-max", defaults.batch_max as u64)? as usize,
+        lut_watch_ms: parse_num("--lut-watch-ms", defaults.lut_watch_ms)?,
+        preload: flag(args, "--devices")
+            .map(|s| s.split(',').map(str::to_string).collect())
+            .unwrap_or_default(),
+        calibration_seed: parse_num("--calibration-seed", defaults.calibration_seed)?,
+        slow_eval_ms: parse_num("--test-slow-eval-ms", 0)?,
+    };
+    let _telemetry = telemetry_from_args(args);
+    let server = Server::bind(options).map_err(|e| e.to_string())?;
+    println!("hsconas-serve listening on {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| e.to_string())
+}
+
+/// `hsconas client`: one request against a running daemon, response
+/// pretty-printed to stdout. Exits nonzero on any non-200 response so
+/// shell scripts can branch on it.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use hsconas_serve::client::render_pretty;
+    use hsconas_serve::{Client, Command};
+
+    let addr = flag(args, "--addr").ok_or("--addr HOST:PORT is required")?;
+    // The command is the first positional token; every client flag takes a
+    // value, so skip flags two tokens at a time.
+    let mut cmd = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            cmd = Some(args[i].clone());
+            break;
+        }
+    }
+    let cmd =
+        cmd.ok_or("usage: hsconas client --addr HOST:PORT <status|shutdown|predict|score|search>")?;
+    let device = || flag(args, "--device").ok_or("--device is required".to_string());
+    let target_ms = || -> Result<f64, String> {
+        flag(args, "--target-ms")
+            .ok_or("--target-ms is required")?
+            .parse()
+            .map_err(|e| format!("--target-ms: {e}"))
+    };
+    let arch = || -> Result<Vec<usize>, String> {
+        flag(args, "--arch")
+            .ok_or("--arch is required (comma-separated genome)")?
+            .split(',')
+            .map(|g| g.trim().parse().map_err(|e| format!("--arch: {e}")))
+            .collect()
+    };
+    let command = match cmd.as_str() {
+        "status" => Command::Status,
+        "shutdown" => Command::Shutdown,
+        "predict" | "predict_latency" => Command::PredictLatency {
+            device: device()?,
+            arch: arch()?,
+        },
+        "score" => Command::Score {
+            device: device()?,
+            target_ms: target_ms()?,
+            arch: arch()?,
+        },
+        "search" => Command::Search {
+            device: device()?,
+            target_ms: target_ms()?,
+            seed: flag(args, "--seed")
+                .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+                .transpose()?
+                .unwrap_or(0),
+        },
+        other => return Err(format!("unknown client command '{other}'")),
+    };
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .set_timeout(Some(std::time::Duration::from_secs(300)))
+        .map_err(|e| e.to_string())?;
+    let response = client.call(command).map_err(|e| e.to_string())?;
+    match (&response.result, &response.error) {
+        (Some(result), _) => println!("{}", render_pretty(result)),
+        (None, Some(error)) => return Err(format!("{} {error}", response.code)),
+        (None, None) => return Err(format!("{} (empty response)", response.code)),
+    }
+    Ok(())
 }
 
 fn cmd_table(args: &[String]) -> Result<(), String> {

@@ -160,8 +160,11 @@ pub fn search_for_device_checkpointed(
                 serde_json::from_str(json).map_err(|e| PipelineError::Ckpt {
                     detail: format!("invalid predictor snapshot in checkpoint: {e}"),
                 })?;
-            LatencyPredictor::from_snapshot(device.clone(), &space, snapshot)
-                .map_err(|detail| PipelineError::Ckpt { detail })?
+            LatencyPredictor::from_snapshot(device.clone(), &space, snapshot).map_err(|e| {
+                PipelineError::Ckpt {
+                    detail: e.to_string(),
+                }
+            })?
         }
         None => {
             let _span = hsconas_telemetry::span!("pipeline.calibrate");

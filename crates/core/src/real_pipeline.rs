@@ -256,8 +256,11 @@ pub fn run_real_pipeline_checkpointed(
                 serde_json::from_str(json).map_err(|e| PipelineError::Ckpt {
                     detail: format!("invalid predictor snapshot in checkpoint: {e}"),
                 })?;
-            LatencyPredictor::from_snapshot(DeviceSpec::edge_xavier(), &space, snapshot)
-                .map_err(|detail| PipelineError::Ckpt { detail })?
+            LatencyPredictor::from_snapshot(DeviceSpec::edge_xavier(), &space, snapshot).map_err(
+                |e| PipelineError::Ckpt {
+                    detail: e.to_string(),
+                },
+            )?
         }
         None => {
             let _span = hsconas_telemetry::span!("pipeline.calibrate");

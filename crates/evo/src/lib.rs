@@ -53,9 +53,9 @@ pub mod search;
 
 pub use aging::{aging_evolution, AgingConfig, AgingResult};
 pub use error::EvoError;
-pub use memo::{MemoObjective, MemoStats, ParallelObjective};
+pub use memo::{MemoObjective, MemoStats, ParallelObjective, SharedEvalCache};
 pub use multi::{Constraint, MultiConstraintObjective, MultiEvaluation};
-pub use objective::{Evaluation, Objective, TradeoffObjective};
+pub use objective::{tradeoff_score, Evaluation, Objective, TradeoffObjective};
 pub use search::{
     EvolutionConfig, EvolutionSearch, GenerationStats, Individual, SearchResult, SearchState,
 };

@@ -16,6 +16,38 @@ use hsconas_space::Arch;
 use hsconas_telemetry::Counter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cloneable handle to a fingerprint-keyed evaluation cache that can be
+/// shared by several [`MemoObjective`] instances at once.
+///
+/// This is what gives a long-lived service cross-request deduplication:
+/// each request builds its own (cheap) objective stack but hands it the
+/// process-wide cache for its `(device, target)` key, so an architecture
+/// any request has ever scored is never scored again. Sharing is safe for
+/// determinism because a memo hit returns exactly the bytes a fresh
+/// evaluation of the (pure) inner objective would produce.
+#[derive(Clone, Default)]
+pub struct SharedEvalCache {
+    entries: Arc<Mutex<HashMap<u64, Evaluation>>>,
+}
+
+impl SharedEvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SharedEvalCache::default()
+    }
+
+    /// Number of cached evaluations.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
 
 /// Cache effectiveness counters for a [`MemoObjective`].
 ///
@@ -36,7 +68,7 @@ pub type MemoStats = hsconas_telemetry::HitMissSnapshot;
 /// spends its threads exclusively on new genomes.
 pub struct MemoObjective<O> {
     inner: O,
-    cache: Mutex<HashMap<u64, Evaluation>>,
+    cache: SharedEvalCache,
     // Per-instance telemetry registry cells: `get()` reads this instance's
     // totals (the accessors below stay exact per memo), while the registry
     // aggregates all instances under the `evo.memo.*` keys for run reports.
@@ -45,14 +77,28 @@ pub struct MemoObjective<O> {
 }
 
 impl<O: Objective> MemoObjective<O> {
-    /// Wraps `inner` with an empty cache.
+    /// Wraps `inner` with an empty private cache.
     pub fn new(inner: O) -> Self {
+        Self::with_shared_cache(inner, SharedEvalCache::new())
+    }
+
+    /// Wraps `inner` with an externally owned [`SharedEvalCache`], so
+    /// several memo instances (e.g. one per service request) deduplicate
+    /// against the same entries. The inner objective must be a pure
+    /// function of the architecture for results to stay deterministic.
+    pub fn with_shared_cache(inner: O, cache: SharedEvalCache) -> Self {
         MemoObjective {
             inner,
-            cache: Mutex::new(HashMap::new()),
+            cache,
             hits: Counter::register("evo.memo.hits"),
             misses: Counter::register("evo.memo.misses"),
         }
+    }
+
+    /// A cloneable handle to this memo's cache (hand it to
+    /// [`with_shared_cache`](Self::with_shared_cache) to share).
+    pub fn share_cache(&self) -> SharedEvalCache {
+        self.cache.clone()
     }
 
     /// Current hit/miss counters (this instance only).
@@ -65,7 +111,7 @@ impl<O: Objective> MemoObjective<O> {
 
     /// Number of distinct architectures cached so far.
     pub fn cached_count(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.entries.lock().len()
     }
 
     /// Exports the cache as `(fingerprint, evaluation)` pairs sorted by
@@ -75,15 +121,20 @@ impl<O: Objective> MemoObjective<O> {
     /// preserves the "each distinct genome evaluated once" economy across
     /// the interruption.
     pub fn export_cache(&self) -> Vec<(u64, Evaluation)> {
-        let mut entries: Vec<(u64, Evaluation)> =
-            self.cache.lock().iter().map(|(k, v)| (*k, *v)).collect();
+        let mut entries: Vec<(u64, Evaluation)> = self
+            .cache
+            .entries
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
         entries.sort_by_key(|(k, _)| *k);
         entries
     }
 
     /// Merges exported entries back into the cache.
     pub fn import_cache(&mut self, entries: impl IntoIterator<Item = (u64, Evaluation)>) {
-        self.cache.lock().extend(entries);
+        self.cache.entries.lock().extend(entries);
     }
 
     /// The wrapped objective.
@@ -100,13 +151,13 @@ impl<O: Objective> MemoObjective<O> {
 impl<O: Objective> Objective for MemoObjective<O> {
     fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
         let key = arch.fingerprint();
-        if let Some(cached) = self.cache.lock().get(&key) {
+        if let Some(cached) = self.cache.entries.lock().get(&key) {
             self.hits.incr();
             return Ok(*cached);
         }
         let eval = self.inner.evaluate(arch)?;
         self.misses.incr();
-        self.cache.lock().insert(key, eval);
+        self.cache.entries.lock().insert(key, eval);
         Ok(eval)
     }
 
@@ -117,7 +168,7 @@ impl<O: Objective> Objective for MemoObjective<O> {
         let mut todo: Vec<Arch> = Vec::new();
         let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
         {
-            let cache = self.cache.lock();
+            let cache = self.cache.entries.lock();
             for arch in archs {
                 let key = arch.fingerprint();
                 if let Some(cached) = cache.get(&key) {
@@ -145,7 +196,7 @@ impl<O: Objective> Objective for MemoObjective<O> {
         let fresh = self.inner.evaluate_batch(&todo)?;
         debug_assert_eq!(fresh.len(), todo.len());
         {
-            let mut cache = self.cache.lock();
+            let mut cache = self.cache.entries.lock();
             for (arch, eval) in todo.iter().zip(&fresh) {
                 cache.insert(arch.fingerprint(), *eval);
             }
@@ -349,6 +400,36 @@ mod tests {
             }
             other => panic!("expected deterministic first error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn shared_cache_dedups_across_memo_instances() {
+        let calls = std::rc::Rc::new(std::cell::Cell::new(0));
+        let cache = SharedEvalCache::new();
+        let a = arch_with_tail(1);
+        let mut first = MemoObjective::with_shared_cache(
+            Counting {
+                calls: calls.clone(),
+            },
+            cache.clone(),
+        );
+        let from_first = first.evaluate(&a).unwrap();
+        drop(first);
+        // A second instance over the same cache answers without touching
+        // its own inner objective.
+        let mut second = MemoObjective::with_shared_cache(
+            Counting {
+                calls: calls.clone(),
+            },
+            cache.clone(),
+        );
+        assert_eq!(second.evaluate(&a).unwrap(), from_first);
+        assert_eq!(calls.get(), 1, "second instance hit the shared cache");
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+        assert_eq!(second.share_cache().len(), 1);
+        let stats = second.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
     }
 
     #[test]

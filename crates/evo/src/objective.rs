@@ -41,6 +41,23 @@ pub trait Objective {
     }
 }
 
+/// The Eq. 1 score as a pure function:
+/// `F = ACC + β · |LAT/T − 1|` with `β < 0`.
+///
+/// Exposed separately from [`TradeoffObjective`] so stateless scorers (the
+/// serving layer builds one objective stack per request) compute exactly
+/// the same bytes the search pipeline does.
+///
+/// # Panics
+///
+/// Panics if `beta >= 0` or `target_ms <= 0` (same contract as
+/// [`TradeoffObjective::new`]).
+pub fn tradeoff_score(accuracy_pct: f64, latency_ms: f64, target_ms: f64, beta: f64) -> f64 {
+    assert!(beta < 0.0, "Eq. 1 requires beta < 0");
+    assert!(target_ms > 0.0, "latency target must be positive");
+    accuracy_pct + beta * (latency_ms / target_ms - 1.0).abs()
+}
+
 /// The paper's accuracy/latency trade-off objective with memoization.
 ///
 /// Generic over two closures so any combination of accuracy oracle and
@@ -116,7 +133,7 @@ where
             (self.accuracy_pct)(arch).map_err(|detail| EvoError::Objective { detail })?;
         let latency_ms =
             (self.latency_ms)(arch).map_err(|detail| EvoError::Objective { detail })?;
-        let score = accuracy + self.beta * (latency_ms / self.target_ms - 1.0).abs();
+        let score = tradeoff_score(accuracy, latency_ms, self.target_ms, self.beta);
         let eval = Evaluation {
             score,
             accuracy,

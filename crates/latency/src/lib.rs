@@ -40,6 +40,6 @@ pub mod lut;
 pub mod metrics;
 pub mod predictor;
 
-pub use lut::{LatencyLut, LutSnapshot};
+pub use lut::{LatencyLut, LutImportError, LutKey, LutSnapshot};
 pub use metrics::{pearson, rmse, spearman};
 pub use predictor::{LatencyPredictor, PredictorSnapshot};

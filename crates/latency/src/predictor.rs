@@ -1,6 +1,6 @@
 //! The calibrated latency predictor of Eq. 2–3.
 
-use crate::lut::LutSnapshot;
+use crate::lut::{LutImportError, LutSnapshot};
 use crate::metrics::{pearson, rmse, spearman};
 use crate::LatencyLut;
 use hsconas_hwsim::{lower_arch, DeviceSpec};
@@ -154,6 +154,11 @@ impl LatencyPredictor {
         }
     }
 
+    /// The profiled per-operator lookup table.
+    pub fn lut(&self) -> &crate::lut::LatencyLut {
+        &self.lut
+    }
+
     /// The calibrated communication bias `B`, microseconds.
     pub fn bias_us(&self) -> f64 {
         self.bias_us
@@ -200,16 +205,22 @@ impl LatencyPredictor {
     }
 
     /// Reconstructs a predictor from a snapshot over the same device and
-    /// space.
+    /// space. This is also the hot-reload path: a service re-reading a LUT
+    /// file goes through the same validation, so a stale or foreign table
+    /// is refused instead of silently predicting garbage.
     ///
     /// # Errors
     ///
-    /// Returns the snapshot's device name if it does not match `device`.
+    /// Returns [`LutImportError::DeviceMismatch`] if the snapshot was
+    /// profiled on another device, or [`LutImportError::ForeignKey`] if any
+    /// entry's key is impossible in `space` (wrong layout, shrunk space,
+    /// out-of-grid channel widths).
     pub fn from_snapshot(
         device: DeviceSpec,
         space: &SearchSpace,
         snapshot: PredictorSnapshot,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, LutImportError> {
+        snapshot.lut.validate_for_space(space)?;
         let mut lut = LatencyLut::new(device, space.skeleton().clone());
         lut.import(snapshot.lut)?;
         Ok(LatencyPredictor {
@@ -381,6 +392,48 @@ mod tests {
         assert!(
             LatencyPredictor::from_snapshot(DeviceSpec::gpu_gv100(), &space, snapshot).is_err()
         );
+    }
+
+    #[test]
+    fn reload_refuses_snapshot_with_foreign_key_set() {
+        // Regression: a reload whose operator-key set does not belong to
+        // the search space must fail with a typed error, not reconstruct a
+        // predictor that silently answers from the wrong table.
+        let space = SearchSpace::hsconas_a();
+        let mut rng = StdRng::seed_from_u64(11);
+        let original =
+            LatencyPredictor::calibrate(DeviceSpec::edge_xavier(), &space, 10, 2, &mut rng)
+                .unwrap();
+        let mut snapshot = original.export();
+        snapshot.lut.entries.push((
+            crate::lut::LutKey {
+                layer: 0,
+                op: hsconas_space::OpKind::Shuffle3,
+                c_in: 16,
+                c_out: 12345,
+            },
+            42.0,
+        ));
+        let err = LatencyPredictor::from_snapshot(DeviceSpec::edge_xavier(), &space, snapshot)
+            .unwrap_err();
+        assert!(
+            matches!(err, LutImportError::ForeignKey { .. }),
+            "expected typed foreign-key refusal, got {err}"
+        );
+        // ... while a shrunk space refuses a full-space snapshot whose
+        // entries use operators the shrunk space no longer allows.
+        let shrunk = space.restrict_op(0, hsconas_space::OpKind::Skip).unwrap();
+        let full = original.export();
+        if full
+            .lut
+            .entries
+            .iter()
+            .any(|(k, _)| k.layer == 0 && k.op != hsconas_space::OpKind::Skip)
+        {
+            assert!(
+                LatencyPredictor::from_snapshot(DeviceSpec::edge_xavier(), &shrunk, full).is_err()
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod queue;
+
+pub use queue::{BoundedQueue, PushError};
+
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

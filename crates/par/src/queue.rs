@@ -1,0 +1,330 @@
+//! A bounded MPMC work queue with explicit backpressure and closeable
+//! drain semantics.
+//!
+//! This is the admission-control primitive behind `hsconas-serve`: producers
+//! (connection handlers) *never block* — [`BoundedQueue::try_push`] either
+//! admits the item or returns it immediately so the caller can answer
+//! "overloaded" — while consumers (evaluation workers) block on
+//! [`BoundedQueue::pop`] and drain the queue to empty after
+//! [`BoundedQueue::close`]. The contract the serve layer's soak test relies
+//! on: **every item that was accepted by `try_push` is eventually returned
+//! by a `pop`**, even when the queue is closed mid-flight; items rejected at
+//! admission are handed back to the producer, so nothing is ever silently
+//! dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks without poisoning semantics (matching the workspace's parking_lot
+/// idiom; a panicking queue user must not wedge every other thread).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why [`BoundedQueue::try_push`] refused an item. The item itself is
+/// handed back so the producer can report the rejection.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; retry later or shed the load.
+    Full(T),
+    /// The queue was closed; no further items are admitted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` pending items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently pending.
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.state).items.is_empty()
+    }
+
+    /// Non-blocking admission: enqueues `item` unless the queue is full or
+    /// closed, in which case the item is handed back in the error.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = lock(&self.state);
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed *and* drained (returning `None`). Closed-but-nonempty queues
+    /// keep yielding items: consumers always finish accepted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`pop`](Self::pop), but after securing the first item greedily
+    /// takes up to `max - 1` more items that are already pending *and*
+    /// satisfy `compatible` with the first, without blocking. This is the
+    /// micro-batching primitive: a consumer turns whatever load has piled
+    /// up behind one item into a single batch, but never waits for a batch
+    /// to fill. Incompatible items keep their queue positions and order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0`.
+    pub fn pop_batch<F>(&self, max: usize, compatible: F) -> Option<Vec<T>>
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        assert!(max > 0, "batch size must be positive");
+        let mut state = lock(&self.state);
+        let first = loop {
+            if let Some(item) = state.items.pop_front() {
+                break item;
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        };
+        let mut batch = Vec::with_capacity(max.min(state.items.len() + 1));
+        batch.push(first);
+        let mut index = 0;
+        while batch.len() < max && index < state.items.len() {
+            if compatible(&batch[0], &state.items[index]) {
+                let item = state.items.remove(index).expect("index in range");
+                batch.push(item);
+            } else {
+                index += 1;
+            }
+        }
+        Some(batch)
+    }
+
+    /// Closes the queue: future pushes are refused, and consumers drain the
+    /// remaining items before their `pop` returns `None`.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.state).closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_hands_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        // draining one slot re-opens admission
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn closed_queue_refuses_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert!(q.is_closed());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "stays terminated");
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_batch_takes_compatible_only() {
+        let q = BoundedQueue::new(8);
+        for v in [10, 11, 20, 12, 21] {
+            q.try_push(v).unwrap();
+        }
+        // compatible = same decade
+        let batch = q.pop_batch(4, |a, b| a / 10 == b / 10).unwrap();
+        assert_eq!(batch, vec![10, 11, 12]);
+        // incompatible items kept their order
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), Some(21));
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let q = BoundedQueue::new(8);
+        for v in 0..6 {
+            q.try_push(v).unwrap();
+        }
+        let batch = q.pop_batch(3, |_, _| true).unwrap();
+        assert_eq!(batch, vec![0, 1, 2]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn pop_batch_never_waits_for_fill() {
+        let q = BoundedQueue::new(8);
+        q.try_push(7).unwrap();
+        let batch = q.pop_batch(5, |_, _| true).unwrap();
+        assert_eq!(batch, vec![7]);
+    }
+
+    #[test]
+    fn every_accepted_item_is_delivered_under_contention() {
+        let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(16));
+        let mut producers = Vec::new();
+        let accepted = Arc::new(Mutex::new(Vec::new()));
+        for p in 0..4u64 {
+            let q = q.clone();
+            let accepted = accepted.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let item = p * 1000 + i;
+                    loop {
+                        match q.try_push(item) {
+                            Ok(_) => {
+                                lock(&accepted).push(item);
+                                break;
+                            }
+                            Err(PushError::Full(_)) => std::thread::yield_now(),
+                            Err(PushError::Closed(_)) => panic!("closed during test"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut delivered: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        delivered.sort_unstable();
+        let mut expected = lock(&accepted).clone();
+        expected.sort_unstable();
+        assert_eq!(delivered, expected, "accepted == delivered, exactly once");
+    }
+}

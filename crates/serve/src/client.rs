@@ -1,0 +1,224 @@
+//! A small blocking client for the serve protocol — used by the
+//! `hsconas client` CLI, the smoke script, and the black-box tests.
+
+use crate::json::Json;
+use crate::proto::{read_frame, Command, Frame, Request, Response, MAX_FRAME_BYTES};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a running daemon. Requests are answered in order, so
+/// a blocking call-per-request client needs no correlation machinery —
+/// the `id` echo is still checked.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream cannot be cloned into read/write halves.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sets the read timeout for subsequent calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one command and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`io::ErrorKind::InvalidData`] when the
+    /// server's reply is not a well-formed response frame or echoes the
+    /// wrong id.
+    pub fn call(&mut self, command: Command) -> io::Result<Response> {
+        let id = format!("c{}", self.next_id);
+        self.next_id += 1;
+        let request = Request {
+            id: id.clone(),
+            command,
+        };
+        let response = self.call_raw(&request.encode())?;
+        let response = Response::decode(response.as_bytes())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if response.id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "response id '{}' does not echo request id '{id}'",
+                    response.id
+                ),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Sends one raw line (newline appended) and returns the raw reply
+    /// line. The escape hatch the protocol tests use to send junk.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`io::ErrorKind::UnexpectedEof`] if the server
+    /// hung up; [`io::ErrorKind::InvalidData`] on an oversized reply.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader, MAX_FRAME_BYTES)? {
+            Frame::Line(bytes) => String::from_utf8(bytes)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 reply")),
+            Frame::Oversized => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized reply frame",
+            )),
+            Frame::Eof => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// `status` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn status(&mut self) -> io::Result<Response> {
+        self.call(Command::Status)
+    }
+
+    /// `search` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn search(&mut self, device: &str, target_ms: f64, seed: u64) -> io::Result<Response> {
+        self.call(Command::Search {
+            device: device.into(),
+            target_ms,
+            seed,
+        })
+    }
+
+    /// `predict_latency` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn predict_latency(&mut self, device: &str, arch: &[usize]) -> io::Result<Response> {
+        self.call(Command::PredictLatency {
+            device: device.into(),
+            arch: arch.to_vec(),
+        })
+    }
+
+    /// `score` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn score(&mut self, device: &str, target_ms: f64, arch: &[usize]) -> io::Result<Response> {
+        self.call(Command::Score {
+            device: device.into(),
+            target_ms,
+            arch: arch.to_vec(),
+        })
+    }
+
+    /// `shutdown` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(Command::Shutdown)
+    }
+}
+
+/// Pretty-prints a JSON value with two-space indentation — for the CLI,
+/// which shows responses to humans.
+pub fn render_pretty(value: &Json) -> String {
+    let mut out = String::new();
+    render_into(value, 0, &mut out);
+    out
+}
+
+fn render_into(value: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    match value {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                render_into(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push(']');
+        }
+        Json::Obj(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&Json::Str(k.clone()).encode());
+                out.push_str(": ");
+                render_into(v, indent + 1, out);
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push('}');
+        }
+        other => out.push_str(&other.encode()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let v = Json::obj(vec![
+            ("a", Json::Num(1.0)),
+            ("b", Json::Arr(vec![Json::Bool(true)])),
+            ("c", Json::obj(vec![])),
+        ]);
+        let text = render_pretty(&v);
+        assert!(text.contains("\"a\": 1"));
+        assert!(text.contains("\"c\": {}"));
+        assert_eq!(text, render_pretty(&v));
+    }
+}

@@ -1,0 +1,192 @@
+//! Serve-local metrics.
+//!
+//! Two layers with different jobs:
+//!
+//! * **Exact atomics** (this struct's counters) back the `status`
+//!   response and the soak test's bookkeeping contract: every accepted
+//!   request increments exactly one of `served_*` / `rejected_*`, so
+//!   `sum(counters) == client-side tally` holds with no sampling error.
+//! * **Registry instruments** ([`hsconas_telemetry`] histograms, gauge,
+//!   counters) feed the p50/p99 latency figures in `status` and, with the
+//!   `telemetry` feature, the JSONL event stream. The registry is
+//!   compiled unconditionally, so percentiles work in no-default-features
+//!   builds too.
+
+use hsconas_telemetry::{Counter, Gauge, Histogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// All serving metrics; one instance per [`crate::Server`].
+pub struct ServeMetrics {
+    started: Instant,
+    /// Accepted TCP connections.
+    pub connections: AtomicU64,
+    /// 200-answered `status` requests.
+    pub served_status: AtomicU64,
+    /// 200-answered `predict_latency` requests.
+    pub served_predict: AtomicU64,
+    /// 200-answered `score` requests.
+    pub served_score: AtomicU64,
+    /// 200-answered `search` requests.
+    pub served_search: AtomicU64,
+    /// 200-answered `shutdown` requests.
+    pub served_shutdown: AtomicU64,
+    /// 429 responses (queue full).
+    pub rejected_overloaded: AtomicU64,
+    /// 400 responses (malformed frame or fields).
+    pub rejected_malformed: AtomicU64,
+    /// 413 responses (frame over the size cap).
+    pub rejected_oversized: AtomicU64,
+    /// 404 responses (unknown device).
+    pub rejected_unknown_device: AtomicU64,
+    /// 503 responses (draining).
+    pub rejected_shutting_down: AtomicU64,
+    /// 500 responses.
+    pub internal_errors: AtomicU64,
+    /// Evaluation micro-batches executed.
+    pub batches: AtomicU64,
+    /// Jobs carried by those batches (`>= batches`; the ratio is the
+    /// batching win).
+    pub batched_jobs: AtomicU64,
+    /// Highest queue depth observed at admission.
+    pub queue_peak: AtomicU64,
+    /// Live queue depth (mirrored onto the registry gauge).
+    gauge_queue_depth: Gauge,
+    hist_predict_ms: Histogram,
+    hist_score_ms: Histogram,
+    hist_search_ms: Histogram,
+    counter_served: Counter,
+    counter_rejected: Counter,
+}
+
+impl ServeMetrics {
+    /// Fresh metrics; clock starts now.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            served_status: AtomicU64::new(0),
+            served_predict: AtomicU64::new(0),
+            served_score: AtomicU64::new(0),
+            served_search: AtomicU64::new(0),
+            served_shutdown: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_malformed: AtomicU64::new(0),
+            rejected_oversized: AtomicU64::new(0),
+            rejected_unknown_device: AtomicU64::new(0),
+            rejected_shutting_down: AtomicU64::new(0),
+            internal_errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_jobs: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            gauge_queue_depth: Gauge::register("serve.queue_depth"),
+            hist_predict_ms: Histogram::register("serve.latency_ms.predict_latency"),
+            hist_score_ms: Histogram::register("serve.latency_ms.score"),
+            hist_search_ms: Histogram::register("serve.latency_ms.search"),
+            counter_served: Counter::register("serve.requests_served"),
+            counter_rejected: Counter::register("serve.requests_rejected"),
+        }
+    }
+
+    /// Milliseconds since the server started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Records a successfully served request of `cmd` taking `elapsed_ms`.
+    pub fn record_served(&self, cmd: &str, elapsed_ms: f64) {
+        let counter = match cmd {
+            "status" => &self.served_status,
+            "predict_latency" => &self.served_predict,
+            "score" => &self.served_score,
+            "search" => &self.served_search,
+            "shutdown" => &self.served_shutdown,
+            _ => return,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.counter_served.incr();
+        match cmd {
+            "predict_latency" => self.hist_predict_ms.record(elapsed_ms),
+            "score" => self.hist_score_ms.record(elapsed_ms),
+            "search" => self.hist_search_ms.record(elapsed_ms),
+            _ => {}
+        }
+    }
+
+    /// Records a rejection with protocol code `code`.
+    pub fn record_rejected(&self, code: u16) {
+        let counter = match code {
+            crate::proto::CODE_OVERLOADED => &self.rejected_overloaded,
+            crate::proto::CODE_BAD_REQUEST => &self.rejected_malformed,
+            crate::proto::CODE_FRAME_TOO_LARGE => &self.rejected_oversized,
+            crate::proto::CODE_UNKNOWN_DEVICE => &self.rejected_unknown_device,
+            crate::proto::CODE_SHUTTING_DOWN => &self.rejected_shutting_down,
+            _ => &self.internal_errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.counter_rejected.incr();
+    }
+
+    /// Publishes the current queue depth (and tracks the peak).
+    pub fn record_queue_depth(&self, depth: usize) {
+        self.gauge_queue_depth.set(depth as f64);
+        self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// `(count, p50, p99, max)` of the per-command latency histogram.
+    pub fn latency_stats(&self, cmd: &str) -> (u64, f64, f64, f64) {
+        let hist = match cmd {
+            "predict_latency" => &self.hist_predict_ms,
+            "score" => &self.hist_score_ms,
+            "search" => &self.hist_search_ms,
+            _ => return (0, 0.0, 0.0, 0.0),
+        };
+        let snap = hist.snapshot();
+        (
+            snap.count,
+            snap.quantile(0.5),
+            snap.quantile(0.99),
+            snap.max,
+        )
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto;
+
+    #[test]
+    fn served_and_rejected_tallies_are_exact() {
+        let m = ServeMetrics::new();
+        for _ in 0..3 {
+            m.record_served("score", 1.0);
+        }
+        m.record_served("search", 250.0);
+        m.record_rejected(proto::CODE_OVERLOADED);
+        m.record_rejected(proto::CODE_OVERLOADED);
+        m.record_rejected(proto::CODE_BAD_REQUEST);
+        assert_eq!(m.served_score.load(Ordering::Relaxed), 3);
+        assert_eq!(m.served_search.load(Ordering::Relaxed), 1);
+        assert_eq!(m.rejected_overloaded.load(Ordering::Relaxed), 2);
+        assert_eq!(m.rejected_malformed.load(Ordering::Relaxed), 1);
+        let (count, p50, p99, max) = m.latency_stats("score");
+        assert_eq!(count, 3);
+        assert!(p50 > 0.0 && p50 <= p99 && p99 <= max);
+    }
+
+    #[test]
+    fn queue_depth_tracks_peak() {
+        let m = ServeMetrics::new();
+        m.record_queue_depth(3);
+        m.record_queue_depth(7);
+        m.record_queue_depth(1);
+        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 7);
+    }
+}

@@ -1,0 +1,694 @@
+//! The daemon: accept loop, per-connection framing, the bounded
+//! evaluation queue, and the micro-batching eval workers.
+//!
+//! ## Threading model
+//!
+//! * One **acceptor** (the thread calling [`Server::run`]).
+//! * One detached **connection thread** per client, reading frames and
+//!   answering cheap requests (`status`, `predict_latency`) inline.
+//! * `eval_workers` **worker threads** draining the bounded queue.
+//!   [`hsconas_par::BoundedQueue::pop_batch`] merges adjacent *compatible*
+//!   jobs (same device, same target, both `score`) into one micro-batch,
+//!   which a single [`MemoObjective`]-over-[`ParallelObjective`] stack
+//!   evaluates — deduplicated against the cross-request
+//!   [`SharedEvalCache`](hsconas_evo::SharedEvalCache) and fanned out over
+//!   the `hsconas_par` pool.
+//! * An optional **watcher** thread polling predictor snapshots for hot
+//!   reload.
+//!
+//! Responses are written by whichever thread produced them, serialized by
+//! a per-connection write mutex, so draining needs no writer threads: when
+//! the workers have joined, every accepted job's response bytes are out.
+//!
+//! ## Backpressure
+//!
+//! Admission uses [`BoundedQueue::try_push`]: a full queue answers
+//! `429 overloaded` immediately instead of blocking the connection thread,
+//! so a flooding client learns to back off while `status` stays
+//! responsive. Queued jobs are never silently dropped — shutdown closes
+//! the queue, the workers drain what was admitted, and only then does
+//! [`Server::run`] return.
+//!
+//! ## Determinism
+//!
+//! `search` answers are a pure function of `(device, target_ms, seed,
+//! budget, predictor generation)`: the EA runs on a `StdRng` seeded from
+//! the request, candidate generation is serial, batch evaluation merges in
+//! input order, and memo hits return exactly the bytes recomputation
+//! would. Concurrent identical requests therefore receive byte-identical
+//! response lines.
+
+use crate::json::Json;
+use crate::metrics::ServeMetrics;
+use crate::proto::{
+    read_frame, Command, Frame, Request, Response, CODE_INTERNAL, CODE_OK, CODE_SHUTTING_DOWN,
+    CODE_UNKNOWN_DEVICE, MAX_FRAME_BYTES,
+};
+use crate::state::{DeviceState, EvalContext, ServeError, ServeOptions, WarmState};
+use hsconas_evo::{EvolutionSearch, MemoObjective, Objective, ParallelObjective};
+use hsconas_par::{BoundedQueue, PushError};
+use hsconas_space::Arch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One admitted unit of evaluation work.
+struct EvalJob {
+    id: String,
+    kind: JobKind,
+    device: Arc<DeviceState>,
+    target_ms: f64,
+    conn: Arc<ConnWriter>,
+    received: Instant,
+}
+
+enum JobKind {
+    Score { arch: Arch },
+    Search { seed: u64 },
+}
+
+impl EvalJob {
+    fn cmd(&self) -> &'static str {
+        match self.kind {
+            JobKind::Score { .. } => "score",
+            JobKind::Search { .. } => "search",
+        }
+    }
+}
+
+/// The write half of one client connection. Response lines go through the
+/// mutex so inline answers and worker answers never interleave bytes.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Writes one response line. Errors are swallowed: the client hanging
+    /// up early must not take a worker down with it.
+    fn send(&self, response: &Response) {
+        let mut line = response.encode();
+        line.push('\n');
+        let mut guard = lock(&self.stream);
+        let _ = guard.write_all(line.as_bytes());
+        let _ = guard.flush();
+    }
+}
+
+struct Shared {
+    state: WarmState,
+    metrics: ServeMetrics,
+    queue: BoundedQueue<EvalJob>,
+    draining: AtomicBool,
+    addr: SocketAddr,
+    batch_max: usize,
+    pool_threads: usize,
+    slow_eval_ms: u64,
+}
+
+impl Shared {
+    /// Flips into drain mode and pokes the acceptor awake with a throwaway
+    /// connection (std's blocking `accept` has nothing like a deadline).
+    fn begin_shutdown(&self) {
+        if !self.draining.swap(true, Ordering::AcqRel) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A bound-and-warmed daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener, warms the preload devices, and returns the
+    /// server without accepting anything yet.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding; [`io::ErrorKind::InvalidInput`] wrapping a
+    /// [`ServeError`] when a preload device is unknown or fails to warm.
+    pub fn bind(options: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind((options.host.as_str(), options.port))?;
+        let addr = listener.local_addr()?;
+        let queue = BoundedQueue::new(options.queue_capacity);
+        let batch_max = options.batch_max.max(1);
+        let pool_threads = options.pool_threads;
+        let slow_eval_ms = options.slow_eval_ms;
+        let preload = options.preload.clone();
+        let state = WarmState::new(options);
+        for name in &preload {
+            state
+                .device(name)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        }
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                state,
+                metrics: ServeMetrics::new(),
+                queue,
+                draining: AtomicBool::new(false),
+                addr,
+                batch_max,
+                pool_threads,
+                slow_eval_ms,
+            }),
+        })
+    }
+
+    /// The bound address (port is concrete even when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains: the queue
+    /// is closed, the eval workers finish every admitted job and join, and
+    /// only then does this return. Every accepted job has had its response
+    /// bytes written by that point.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop I/O errors only; per-connection errors are
+    /// contained in their threads.
+    pub fn run(self) -> io::Result<()> {
+        let shared = self.shared;
+        let options = shared.state.options().clone();
+
+        let mut workers = Vec::new();
+        for i in 0..options.eval_workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("serve-eval-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let watcher = if options.lut_watch_ms > 0 {
+            let shared = Arc::clone(&shared);
+            let interval = Duration::from_millis(options.lut_watch_ms);
+            Some(
+                thread::Builder::new()
+                    .name("serve-lut-watch".into())
+                    .spawn(move || {
+                        while !shared.draining.load(Ordering::Acquire) {
+                            thread::sleep(interval);
+                            shared.state.poll_reload();
+                        }
+                    })?,
+            )
+        } else {
+            None
+        };
+
+        for stream in self.listener.incoming() {
+            if shared.draining.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => {
+                    shared.queue.close();
+                    return Err(e);
+                }
+            };
+            shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&shared);
+            // Detached: a connection blocked in read must not block drain.
+            let _ = thread::Builder::new()
+                .name("serve-conn".into())
+                .spawn(move || handle_connection(&shared, stream));
+        }
+
+        shared.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        if let Some(watcher) = watcher {
+            let _ = watcher.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnWriter {
+        stream: Mutex::new(write_half),
+    });
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader, MAX_FRAME_BYTES) {
+            Err(_) | Ok(Frame::Eof) => break,
+            Ok(Frame::Oversized) => {
+                let response = Response::fail(
+                    "",
+                    crate::proto::CODE_FRAME_TOO_LARGE,
+                    format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+                );
+                shared.metrics.record_rejected(response.code);
+                conn.send(&response);
+            }
+            Ok(Frame::Line(line)) => {
+                if line.iter().all(u8::is_ascii_whitespace) {
+                    continue;
+                }
+                match Request::decode(&line) {
+                    Err(e) => {
+                        let response = Response::fail(e.id.unwrap_or_default(), e.code, e.detail);
+                        shared.metrics.record_rejected(response.code);
+                        conn.send(&response);
+                    }
+                    Ok(request) => dispatch(shared, &conn, request),
+                }
+            }
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, conn: &Arc<ConnWriter>, request: Request) {
+    let received = Instant::now();
+    let _span = hsconas_telemetry::span!("serve.request", cmd = request.command.name());
+    match request.command {
+        Command::Status => {
+            let result = build_status(shared);
+            shared.metrics.record_served("status", ms_since(received));
+            conn.send(&Response::ok(request.id, result));
+        }
+        Command::Shutdown => {
+            shared.metrics.record_served("shutdown", ms_since(received));
+            conn.send(&Response::ok(
+                request.id,
+                Json::obj(vec![("draining", Json::Bool(true))]),
+            ));
+            shared.begin_shutdown();
+        }
+        Command::PredictLatency { device, arch } => {
+            let response = predict_inline(shared, &request.id, &device, &arch, received);
+            if response.is_ok() {
+                shared
+                    .metrics
+                    .record_served("predict_latency", ms_since(received));
+            } else {
+                shared.metrics.record_rejected(response.code);
+            }
+            conn.send(&response);
+        }
+        Command::Score {
+            device,
+            target_ms,
+            arch,
+        } => {
+            admit(
+                shared,
+                conn,
+                request.id,
+                &device,
+                target_ms,
+                received,
+                |dev| dev.decode_arch(&arch).map(|arch| JobKind::Score { arch }),
+            );
+        }
+        Command::Search {
+            device,
+            target_ms,
+            seed,
+        } => {
+            admit(
+                shared,
+                conn,
+                request.id,
+                &device,
+                target_ms,
+                received,
+                |_| Ok(JobKind::Search { seed }),
+            );
+        }
+    }
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn predict_inline(
+    shared: &Arc<Shared>,
+    id: &str,
+    device: &str,
+    arch: &[usize],
+    _received: Instant,
+) -> Response {
+    let device = match shared.state.device(device) {
+        Ok(device) => device,
+        Err(e) => return serve_error_response(id, &e),
+    };
+    let arch = match device.decode_arch(arch) {
+        Ok(arch) => arch,
+        Err(detail) => return Response::fail(id, crate::proto::CODE_BAD_REQUEST, detail),
+    };
+    match device.predict_ms(&arch) {
+        Ok((latency_ms, bias_us)) => Response::ok(
+            id,
+            Json::obj(vec![
+                ("device", Json::Str(device.name.clone())),
+                ("latency_ms", Json::Num(latency_ms)),
+                ("bias_us", Json::Num(bias_us)),
+            ]),
+        ),
+        Err(detail) => Response::fail(id, CODE_INTERNAL, detail),
+    }
+}
+
+fn serve_error_response(id: &str, error: &ServeError) -> Response {
+    let code = match error {
+        ServeError::UnknownDevice(_) => CODE_UNKNOWN_DEVICE,
+        ServeError::Internal(_) => CODE_INTERNAL,
+    };
+    Response::fail(id, code, error.to_string())
+}
+
+/// Admission control for queued work: resolve the device, build the job,
+/// try to enqueue, answer 429/503 immediately when that fails.
+fn admit(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnWriter>,
+    id: String,
+    device: &str,
+    target_ms: f64,
+    received: Instant,
+    build: impl FnOnce(&Arc<DeviceState>) -> Result<JobKind, String>,
+) {
+    if shared.draining.load(Ordering::Acquire) {
+        let response = Response::fail(id, CODE_SHUTTING_DOWN, "server is draining");
+        shared.metrics.record_rejected(response.code);
+        conn.send(&response);
+        return;
+    }
+    let device = match shared.state.device(device) {
+        Ok(device) => device,
+        Err(e) => {
+            let response = serve_error_response(&id, &e);
+            shared.metrics.record_rejected(response.code);
+            conn.send(&response);
+            return;
+        }
+    };
+    let kind = match build(&device) {
+        Ok(kind) => kind,
+        Err(detail) => {
+            let response = Response::fail(id, crate::proto::CODE_BAD_REQUEST, detail);
+            shared.metrics.record_rejected(response.code);
+            conn.send(&response);
+            return;
+        }
+    };
+    let job = EvalJob {
+        id,
+        kind,
+        device,
+        target_ms,
+        conn: Arc::clone(conn),
+        received,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => shared.metrics.record_queue_depth(depth),
+        Err(PushError::Full(job)) => {
+            let response = Response::fail(
+                job.id,
+                crate::proto::CODE_OVERLOADED,
+                format!(
+                    "overloaded: evaluation queue full (capacity {})",
+                    shared.queue.capacity()
+                ),
+            );
+            shared.metrics.record_rejected(response.code);
+            job.conn.send(&response);
+        }
+        Err(PushError::Closed(job)) => {
+            let response = Response::fail(job.id, CODE_SHUTTING_DOWN, "server is draining");
+            shared.metrics.record_rejected(response.code);
+            job.conn.send(&response);
+        }
+    }
+}
+
+/// Two jobs may share a micro-batch iff they score against the same device
+/// and target (so one objective stack answers both). Searches never batch:
+/// each owns its RNG stream.
+fn compatible(a: &EvalJob, b: &EvalJob) -> bool {
+    matches!(a.kind, JobKind::Score { .. })
+        && matches!(b.kind, JobKind::Score { .. })
+        && Arc::ptr_eq(&a.device, &b.device)
+        && a.target_ms.to_bits() == b.target_ms.to_bits()
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(batch) = shared.queue.pop_batch(shared.batch_max, compatible) {
+        shared.metrics.record_queue_depth(shared.queue.len());
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .batched_jobs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if shared.slow_eval_ms > 0 {
+            thread::sleep(Duration::from_millis(shared.slow_eval_ms));
+        }
+        execute_batch(shared, batch);
+    }
+}
+
+fn execute_batch(shared: &Arc<Shared>, batch: Vec<EvalJob>) {
+    let Some(first) = batch.first() else {
+        return;
+    };
+    let device = Arc::clone(&first.device);
+    let ctx = device.eval_context(first.target_ms);
+    match &first.kind {
+        JobKind::Score { .. } => execute_scores(shared, &device, &ctx, batch),
+        JobKind::Search { .. } => {
+            // pop_batch never merges searches, so this batch has one job.
+            for job in batch {
+                execute_search(shared, &device, &ctx, job);
+            }
+        }
+    }
+}
+
+fn execute_scores(
+    shared: &Arc<Shared>,
+    device: &Arc<DeviceState>,
+    ctx: &EvalContext,
+    batch: Vec<EvalJob>,
+) {
+    let archs: Vec<Arch> = batch
+        .iter()
+        .map(|job| match &job.kind {
+            JobKind::Score { arch } => arch.clone(),
+            JobKind::Search { .. } => unreachable!("compatible() only batches scores"),
+        })
+        .collect();
+    let mut objective = MemoObjective::with_shared_cache(
+        ParallelObjective::new(device.evaluator(ctx), shared.pool_threads),
+        ctx.cache.clone(),
+    );
+    match objective.evaluate_batch(&archs) {
+        Ok(evaluations) => {
+            for (job, evaluation) in batch.into_iter().zip(evaluations) {
+                let result = Json::obj(vec![
+                    ("device", Json::Str(device.name.clone())),
+                    ("target_ms", Json::Num(ctx.target_ms)),
+                    ("score", Json::Num(evaluation.score)),
+                    ("accuracy", Json::Num(evaluation.accuracy)),
+                    ("latency_ms", Json::Num(evaluation.latency_ms)),
+                ]);
+                respond_evaluated(shared, &job, Response::ok(job.id.clone(), result));
+            }
+        }
+        Err(e) => {
+            let detail = e.to_string();
+            for job in batch {
+                respond_evaluated(
+                    shared,
+                    &job,
+                    Response::fail(job.id.clone(), CODE_INTERNAL, detail.clone()),
+                );
+            }
+        }
+    }
+}
+
+fn execute_search(
+    shared: &Arc<Shared>,
+    device: &Arc<DeviceState>,
+    ctx: &EvalContext,
+    job: EvalJob,
+) {
+    let JobKind::Search { seed } = job.kind else {
+        unreachable!("execute_search only receives search jobs");
+    };
+    let config = shared.state.options().budget.evolution_config();
+    let mut objective = MemoObjective::with_shared_cache(
+        ParallelObjective::new(device.evaluator(ctx), shared.pool_threads),
+        ctx.cache.clone(),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut search = EvolutionSearch::new(device.space.clone(), config);
+    match search.run(&mut objective, &mut rng) {
+        Ok(outcome) => {
+            // Deliberately no cache-hit counters here: the response must be
+            // a pure function of (device, target, seed, budget, predictor
+            // generation), and hit rates depend on what OTHER requests
+            // already evaluated. Cache observability lives in `status`.
+            let result = Json::obj(vec![
+                ("device", Json::Str(device.name.clone())),
+                ("target_ms", Json::Num(ctx.target_ms)),
+                ("seed", Json::Num(seed as f64)),
+                (
+                    "arch",
+                    Json::Arr(
+                        outcome
+                            .best_arch
+                            .encode()
+                            .into_iter()
+                            .map(|g| Json::Num(g as f64))
+                            .collect(),
+                    ),
+                ),
+                ("arch_str", Json::Str(outcome.best_arch.to_string())),
+                ("score", Json::Num(outcome.best_evaluation.score)),
+                ("accuracy", Json::Num(outcome.best_evaluation.accuracy)),
+                ("latency_ms", Json::Num(outcome.best_evaluation.latency_ms)),
+                (
+                    "generations",
+                    Json::Num(outcome.history.len().saturating_sub(1) as f64),
+                ),
+            ]);
+            respond_evaluated(shared, &job, Response::ok(job.id.clone(), result));
+        }
+        Err(e) => {
+            respond_evaluated(
+                shared,
+                &job,
+                Response::fail(job.id.clone(), CODE_INTERNAL, e.to_string()),
+            );
+        }
+    }
+}
+
+fn respond_evaluated(shared: &Arc<Shared>, job: &EvalJob, response: Response) {
+    if response.code == CODE_OK {
+        shared
+            .metrics
+            .record_served(job.cmd(), ms_since(job.received));
+    } else {
+        shared.metrics.record_rejected(response.code);
+    }
+    job.conn.send(&response);
+}
+
+fn build_status(shared: &Arc<Shared>) -> Json {
+    let m = &shared.metrics;
+    let load = |c: &std::sync::atomic::AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+    let latency = |cmd: &str| {
+        let (count, p50, p99, max) = m.latency_stats(cmd);
+        Json::obj(vec![
+            ("count", Json::Num(count as f64)),
+            ("p50_ms", Json::Num(p50)),
+            ("p99_ms", Json::Num(p99)),
+            ("max_ms", Json::Num(max)),
+        ])
+    };
+    let devices: Vec<(String, Json)> = shared
+        .state
+        .loaded()
+        .into_iter()
+        .map(|device| {
+            let (lut_entries, bias_us) = device.predictor_stats();
+            let detail = Json::obj(vec![
+                ("lut_entries", Json::Num(lut_entries as f64)),
+                ("bias_us", Json::Num(bias_us)),
+                ("predictor_version", Json::Num(device.version() as f64)),
+                (
+                    "cached_evaluations",
+                    Json::Num(device.cached_evaluations() as f64),
+                ),
+                ("reloads_ok", load(&device.reloads_ok)),
+                ("reloads_rejected", load(&device.reloads_rejected)),
+            ]);
+            (device.name.clone(), detail)
+        })
+        .collect();
+    Json::obj(vec![
+        ("uptime_ms", Json::Num(m.uptime_ms() as f64)),
+        (
+            "draining",
+            Json::Bool(shared.draining.load(Ordering::Acquire)),
+        ),
+        (
+            "budget",
+            Json::Str(shared.state.options().budget.name().into()),
+        ),
+        (
+            "queue",
+            Json::obj(vec![
+                ("depth", Json::Num(shared.queue.len() as f64)),
+                ("capacity", Json::Num(shared.queue.capacity() as f64)),
+                ("peak", load(&m.queue_peak)),
+            ]),
+        ),
+        ("connections", load(&m.connections)),
+        (
+            "served",
+            Json::obj(vec![
+                ("status", load(&m.served_status)),
+                ("predict_latency", load(&m.served_predict)),
+                ("score", load(&m.served_score)),
+                ("search", load(&m.served_search)),
+                ("shutdown", load(&m.served_shutdown)),
+            ]),
+        ),
+        (
+            "rejected",
+            Json::obj(vec![
+                ("overloaded", load(&m.rejected_overloaded)),
+                ("malformed", load(&m.rejected_malformed)),
+                ("oversized", load(&m.rejected_oversized)),
+                ("unknown_device", load(&m.rejected_unknown_device)),
+                ("shutting_down", load(&m.rejected_shutting_down)),
+                ("internal", load(&m.internal_errors)),
+            ]),
+        ),
+        (
+            "batching",
+            Json::obj(vec![
+                ("batches", load(&m.batches)),
+                ("batched_jobs", load(&m.batched_jobs)),
+            ]),
+        ),
+        (
+            "latency_ms",
+            Json::obj(vec![
+                ("predict_latency", latency("predict_latency")),
+                ("score", latency("score")),
+                ("search", latency("search")),
+            ]),
+        ),
+        ("devices", Json::Obj(devices)),
+    ])
+}

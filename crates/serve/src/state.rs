@@ -1,0 +1,629 @@
+//! Warm per-device serving state.
+//!
+//! The expensive part of answering a request is everything that does *not*
+//! depend on the request: the search space, the surrogate accuracy oracle,
+//! and above all the calibrated latency predictor (Eq. 2 LUT + Eq. 3
+//! bias). [`WarmState`] builds that once per device on first touch and
+//! keeps it hot:
+//!
+//! * **Snapshot persistence** — with a `--state-dir`, a freshly calibrated
+//!   predictor is exported to `<dir>/<device>.predictor.json` via the
+//!   crash-safe [`hsconas_ckpt::write_atomic_bytes`], and later server
+//!   starts load it back instead of recalibrating.
+//! * **Hot reload** — [`WarmState::poll_reload`] watches each snapshot
+//!   file's mtime; a changed file is re-read and validated through
+//!   [`LatencyPredictor::from_snapshot`], which refuses any LUT whose key
+//!   set is foreign to the search space. A rejected snapshot is loud (one
+//!   stderr line + a counter) and the previous predictor stays in service.
+//! * **Cross-request dedup** — evaluation memo caches
+//!   ([`SharedEvalCache`]) are keyed by `(predictor version, target_ms
+//!   bits)`: an `Evaluation` embeds the Eq. 1 score, which depends on both
+//!   the LUT contents and the target, so sharing across either boundary
+//!   would serve wrong bytes. A successful reload bumps the version and
+//!   drops the old caches; in-flight work keeps its `Arc` to the old
+//!   predictor and stays internally consistent.
+
+use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
+use hsconas_evo::{tradeoff_score, Evaluation, EvoError, SharedEvalCache};
+use hsconas_hwsim::DeviceSpec;
+use hsconas_latency::{LatencyPredictor, PredictorSnapshot};
+use hsconas_space::{Arch, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+/// Eq. 1 trade-off coefficient used by the serving layer; matches
+/// `TradeoffObjective::DEFAULT_BETA` so served scores equal pipeline scores.
+pub const BETA: f64 = -20.0;
+
+/// How much work a request is allowed to cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Small calibration (20 archs x 2 repeats) and a short EA
+    /// (8 generations, population 20). Answers in milliseconds; the
+    /// default, and what the protocol tests run.
+    Fast,
+    /// Paper-scale EA (20 generations, population 50) and a denser
+    /// calibration (100 archs x 5 repeats).
+    Full,
+}
+
+impl Budget {
+    /// Parses the CLI/wire spelling.
+    pub fn parse(s: &str) -> Option<Budget> {
+        match s {
+            "fast" => Some(Budget::Fast),
+            "full" => Some(Budget::Full),
+            _ => None,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Budget::Fast => "fast",
+            Budget::Full => "full",
+        }
+    }
+
+    /// `(calibration archs, repeats per arch)` for Eq. 3.
+    pub fn calibration(self) -> (usize, usize) {
+        match self {
+            Budget::Fast => (20, 2),
+            Budget::Full => (100, 5),
+        }
+    }
+
+    /// EA hyper-parameters for `search` requests.
+    pub fn evolution_config(self) -> hsconas_evo::EvolutionConfig {
+        match self {
+            Budget::Fast => hsconas_evo::EvolutionConfig {
+                generations: 8,
+                population: 20,
+                parents: 8,
+                ..Default::default()
+            },
+            Budget::Full => hsconas_evo::EvolutionConfig::default(),
+        }
+    }
+}
+
+/// Server configuration, filled by the `hsconas serve` CLI.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind host.
+    pub host: String,
+    /// Bind port; 0 picks an ephemeral port (printed on startup).
+    pub port: u16,
+    /// Directory for predictor snapshots; `None` disables persistence and
+    /// hot reload.
+    pub state_dir: Option<PathBuf>,
+    /// Per-request work budget.
+    pub budget: Budget,
+    /// Evaluation queue bound; pushes beyond it get `429 overloaded`.
+    pub queue_capacity: usize,
+    /// Threads draining the evaluation queue.
+    pub eval_workers: usize,
+    /// `hsconas_par` pool width used inside one batch evaluation
+    /// (0 = process default).
+    pub pool_threads: usize,
+    /// Most queued jobs merged into one micro-batch.
+    pub batch_max: usize,
+    /// Snapshot-file poll interval for hot reload; 0 disables the watcher.
+    pub lut_watch_ms: u64,
+    /// Devices to warm up (calibrate/load) before accepting connections.
+    pub preload: Vec<String>,
+    /// Seed for predictor calibration; fixed so restarts predict
+    /// identically.
+    pub calibration_seed: u64,
+    /// Test hook: sleep this long per evaluation batch so the soak test
+    /// can fill the queue deterministically. 0 in production.
+    pub slow_eval_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            host: "127.0.0.1".into(),
+            port: 0,
+            state_dir: None,
+            budget: Budget::Fast,
+            queue_capacity: 64,
+            eval_workers: 2,
+            pool_threads: 0,
+            batch_max: 16,
+            lut_watch_ms: 0,
+            preload: Vec::new(),
+            calibration_seed: 2021,
+            slow_eval_ms: 0,
+        }
+    }
+}
+
+/// Serving-layer failure, mapped to a protocol response code by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request named a device this build does not model.
+    UnknownDevice(String),
+    /// Anything else — surfaces as `500 internal`.
+    Internal(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownDevice(name) => write!(
+                f,
+                "unknown device '{name}' (known: gpu, cpu, edge, or their full names)"
+            ),
+            ServeError::Internal(detail) => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Resolves a device name or alias to its spec.
+pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    match name {
+        "gpu" | "gpu-gv100" => Some(DeviceSpec::gpu_gv100()),
+        "cpu" | "cpu-xeon-6136" => Some(DeviceSpec::cpu_xeon_6136()),
+        "edge" | "edge-xavier" => Some(DeviceSpec::edge_xavier()),
+        _ => None,
+    }
+}
+
+/// Everything needed to evaluate one batch consistently: the predictor
+/// generation the batch saw at admission to execution, and the memo cache
+/// shared by every request against that `(version, target)` pair.
+pub struct EvalContext {
+    /// The predictor to read latencies from.
+    pub predictor: Arc<LatencyPredictor>,
+    /// The cross-request memo cache for this `(predictor, target)`.
+    pub cache: SharedEvalCache,
+    /// Latency target in milliseconds.
+    pub target_ms: f64,
+}
+
+/// Warm state for one device.
+pub struct DeviceState {
+    /// Canonical device name (e.g. `edge-xavier`).
+    pub name: String,
+    /// The search space served for this device.
+    pub space: SearchSpace,
+    oracle: SurrogateAccuracy,
+    predictor: Mutex<Arc<LatencyPredictor>>,
+    /// Bumped on every successful hot reload.
+    version: AtomicU64,
+    /// Memo caches keyed by `(predictor version, target_ms.to_bits())`.
+    caches: Mutex<HashMap<(u64, u64), SharedEvalCache>>,
+    snapshot_path: Option<PathBuf>,
+    snapshot_mtime: Mutex<Option<SystemTime>>,
+    /// Successful hot reloads.
+    pub reloads_ok: AtomicU64,
+    /// Snapshot files refused by validation (stale/foreign/corrupt).
+    pub reloads_rejected: AtomicU64,
+}
+
+impl DeviceState {
+    /// The current predictor generation (0 until the first reload).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// A consistent `(predictor, cache)` pair for evaluating against
+    /// `target_ms`. Concurrent callers with the same target and predictor
+    /// generation share one cache — that is the cross-request dedup.
+    pub fn eval_context(&self, target_ms: f64) -> EvalContext {
+        let (predictor, version) = {
+            let guard = lock(&self.predictor);
+            (Arc::clone(&guard), self.version())
+        };
+        let cache = lock(&self.caches)
+            .entry((version, target_ms.to_bits()))
+            .or_default()
+            .clone();
+        EvalContext {
+            predictor,
+            cache,
+            target_ms,
+        }
+    }
+
+    /// Eq. 2 prediction for one architecture (no queueing — reads only).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying space error text if `arch` does not fit the
+    /// device's space.
+    pub fn predict_ms(&self, arch: &Arch) -> Result<(f64, f64), String> {
+        let predictor = Arc::clone(&lock(&self.predictor));
+        let ms = predictor.predict_ms(arch).map_err(|e| e.to_string())?;
+        Ok((ms, predictor.bias_us()))
+    }
+
+    /// Decodes and validates a wire-encoded architecture against this
+    /// device's space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message when the genome is malformed or
+    /// outside the space.
+    pub fn decode_arch(&self, encoded: &[usize]) -> Result<Arch, String> {
+        let arch = Arch::decode(encoded).map_err(|e| e.to_string())?;
+        if arch.genes().len() != self.space.num_layers() {
+            return Err(format!(
+                "arch has {} layers; this space has {}",
+                arch.genes().len(),
+                self.space.num_layers()
+            ));
+        }
+        if !self.space.contains(&arch) {
+            return Err("arch uses an op/scale outside the served search space".into());
+        }
+        Ok(arch)
+    }
+
+    /// LUT entry count and bias of the live predictor, for `status`.
+    pub fn predictor_stats(&self) -> (usize, f64) {
+        let predictor = lock(&self.predictor);
+        (predictor.lut().len(), predictor.bias_us())
+    }
+
+    /// Total memoized evaluations across the live caches, for `status`.
+    pub fn cached_evaluations(&self) -> usize {
+        lock(&self.caches).values().map(SharedEvalCache::len).sum()
+    }
+
+    /// Builds the Eq. 1 evaluation closure for `ctx`. The closure is pure
+    /// and `Sync`, so [`hsconas_evo::ParallelObjective`] may fan it out.
+    pub fn evaluator(
+        self: &Arc<Self>,
+        ctx: &EvalContext,
+    ) -> impl Fn(&Arch) -> Result<Evaluation, EvoError> + Sync + 'static {
+        let device = Arc::clone(self);
+        let predictor = Arc::clone(&ctx.predictor);
+        let target_ms = ctx.target_ms;
+        move |arch: &Arch| {
+            let accuracy = device
+                .oracle
+                .accuracy(arch)
+                .map_err(|e| EvoError::Objective {
+                    detail: e.to_string(),
+                })?;
+            let latency_ms = predictor.predict_ms(arch).map_err(EvoError::Space)?;
+            Ok(Evaluation {
+                score: tradeoff_score(accuracy, latency_ms, target_ms, BETA),
+                accuracy,
+                latency_ms,
+            })
+        }
+    }
+
+    /// Re-reads the snapshot file if its mtime changed; swaps the
+    /// predictor on success, keeps the old one (and counts the rejection)
+    /// on any failure.
+    fn maybe_reload(&self) {
+        let Some(path) = &self.snapshot_path else {
+            return;
+        };
+        let Ok(meta) = std::fs::metadata(path) else {
+            return; // File gone — keep serving the in-memory predictor.
+        };
+        let mtime = meta.modified().ok();
+        {
+            let mut last = lock(&self.snapshot_mtime);
+            if *last == mtime {
+                return;
+            }
+            // Record before validating so a bad file is reported once, not
+            // on every poll tick.
+            *last = mtime;
+        }
+        match load_snapshot(path, &self.name, &self.space) {
+            Ok(predictor) => {
+                *lock(&self.predictor) = Arc::new(predictor);
+                self.version.fetch_add(1, Ordering::AcqRel);
+                // Old-version caches would serve latencies from the
+                // replaced LUT; drop them all.
+                lock(&self.caches).clear();
+                self.reloads_ok.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "hsconas-serve: reloaded predictor snapshot for {} from {}",
+                    self.name,
+                    path.display()
+                );
+            }
+            Err(detail) => {
+                self.reloads_rejected.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "hsconas-serve: REFUSED predictor snapshot for {} from {}: {detail}",
+                    self.name,
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn load_snapshot(
+    path: &Path,
+    device_name: &str,
+    space: &SearchSpace,
+) -> Result<LatencyPredictor, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let snapshot: PredictorSnapshot =
+        serde_json::from_str(&text).map_err(|e| format!("parse failed: {e}"))?;
+    let device = device_by_name(device_name).ok_or_else(|| "unknown device".to_string())?;
+    LatencyPredictor::from_snapshot(device, space, snapshot).map_err(|e| e.to_string())
+}
+
+/// The full warm state: options plus lazily-built per-device entries.
+pub struct WarmState {
+    options: ServeOptions,
+    devices: Mutex<HashMap<String, Arc<DeviceState>>>,
+}
+
+impl WarmState {
+    /// Creates an empty warm state.
+    pub fn new(options: ServeOptions) -> WarmState {
+        WarmState {
+            options,
+            devices: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The options this state was built with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Returns the warm state for `name`, building it on first touch:
+    /// load the snapshot from the state dir if one validates, otherwise
+    /// calibrate (deterministically, from `calibration_seed`) and persist.
+    ///
+    /// Building holds the device-map lock — concurrent first touches of
+    /// different devices serialize, which is acceptable because fast-budget
+    /// calibration takes milliseconds and happens once per device.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownDevice`] for names outside the model set;
+    /// [`ServeError::Internal`] if calibration itself fails.
+    pub fn device(&self, name: &str) -> Result<Arc<DeviceState>, ServeError> {
+        let spec = device_by_name(name).ok_or_else(|| ServeError::UnknownDevice(name.into()))?;
+        let canonical = spec.name.clone();
+        let mut devices = lock(&self.devices);
+        if let Some(state) = devices.get(&canonical) {
+            return Ok(Arc::clone(state));
+        }
+        let state = Arc::new(self.build_device(spec)?);
+        devices.insert(canonical, Arc::clone(&state));
+        Ok(state)
+    }
+
+    fn build_device(&self, spec: DeviceSpec) -> Result<DeviceState, ServeError> {
+        let space = SearchSpace::hsconas_a();
+        let oracle = SurrogateAccuracy::new(space.skeleton().clone());
+        let snapshot_path = self
+            .options
+            .state_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{}.predictor.json", spec.name)));
+
+        let mut loaded = None;
+        if let Some(path) = &snapshot_path {
+            if path.exists() {
+                match load_snapshot(path, &spec.name, &space) {
+                    Ok(predictor) => {
+                        let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+                        loaded = Some((predictor, mtime));
+                    }
+                    Err(detail) => eprintln!(
+                        "hsconas-serve: ignoring stale predictor snapshot {}: {detail}",
+                        path.display()
+                    ),
+                }
+            }
+        }
+
+        let (predictor, mtime) = match loaded {
+            Some(pair) => pair,
+            None => {
+                let (m, repeats) = self.options.budget.calibration();
+                let mut rng = StdRng::seed_from_u64(self.options.calibration_seed);
+                let predictor =
+                    LatencyPredictor::calibrate(spec.clone(), &space, m, repeats, &mut rng)
+                        .map_err(|e| ServeError::Internal(format!("calibration failed: {e}")))?;
+                let mtime = match &snapshot_path {
+                    Some(path) => persist_snapshot(path, &predictor),
+                    None => None,
+                };
+                (predictor, mtime)
+            }
+        };
+
+        Ok(DeviceState {
+            name: spec.name,
+            space,
+            oracle,
+            predictor: Mutex::new(Arc::new(predictor)),
+            version: AtomicU64::new(0),
+            caches: Mutex::new(HashMap::new()),
+            snapshot_path,
+            snapshot_mtime: Mutex::new(mtime),
+            reloads_ok: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// All devices built so far, name-sorted (for deterministic `status`).
+    pub fn loaded(&self) -> Vec<Arc<DeviceState>> {
+        let mut all: Vec<_> = lock(&self.devices).values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// One hot-reload poll tick over every loaded device.
+    pub fn poll_reload(&self) {
+        for device in self.loaded() {
+            device.maybe_reload();
+        }
+    }
+}
+
+fn persist_snapshot(path: &Path, predictor: &LatencyPredictor) -> Option<SystemTime> {
+    if let Some(dir) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "hsconas-serve: cannot create state dir {}: {e}",
+                dir.display()
+            );
+            return None;
+        }
+    }
+    let json = match serde_json::to_string(&predictor.export()) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("hsconas-serve: cannot serialize predictor snapshot: {e}");
+            return None;
+        }
+    };
+    if let Err(e) = hsconas_ckpt::write_atomic_bytes(path, json.as_bytes()) {
+        eprintln!(
+            "hsconas-serve: cannot persist predictor snapshot {}: {e}",
+            path.display()
+        );
+        return None;
+    }
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options_with_dir(dir: &Path) -> ServeOptions {
+        ServeOptions {
+            state_dir: Some(dir.to_path_buf()),
+            ..ServeOptions::default()
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hsconas-serve-state-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn aliases_resolve_and_unknown_is_typed() {
+        assert_eq!(device_by_name("gpu").unwrap().name, "gpu-gv100");
+        assert_eq!(device_by_name("edge-xavier").unwrap().name, "edge-xavier");
+        let state = WarmState::new(ServeOptions::default());
+        match state.device("tpu") {
+            Err(ServeError::UnknownDevice(name)) => assert_eq!(name, "tpu"),
+            Err(other) => panic!("expected UnknownDevice, got {other:?}"),
+            Ok(_) => panic!("expected UnknownDevice, got a device"),
+        }
+    }
+
+    #[test]
+    fn calibration_is_persisted_and_reused() {
+        let dir = temp_dir("persist");
+        let state = WarmState::new(options_with_dir(&dir));
+        let device = state.device("edge").unwrap();
+        let (entries, bias) = device.predictor_stats();
+        assert!(entries > 0);
+        let path = dir.join("edge-xavier.predictor.json");
+        assert!(path.exists(), "snapshot should be persisted");
+
+        // A second warm state must load the file, not recalibrate — same
+        // bias bits proves it is the same snapshot.
+        let state2 = WarmState::new(options_with_dir(&dir));
+        let device2 = state2.device("edge-xavier").unwrap();
+        let (entries2, bias2) = device2.predictor_stats();
+        assert_eq!(entries, entries2);
+        assert_eq!(bias.to_bits(), bias2.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_contexts_share_caches_per_target_only() {
+        let state = WarmState::new(ServeOptions::default());
+        let device = state.device("edge").unwrap();
+        let a = device.eval_context(24.0);
+        let b = device.eval_context(24.0);
+        let c = device.eval_context(30.0);
+        let arch = device.space.sample(&mut StdRng::seed_from_u64(7));
+        let eval = device.evaluator(&a);
+        let mut memo = hsconas_evo::MemoObjective::with_shared_cache(
+            hsconas_evo::ParallelObjective::new(eval, 1),
+            a.cache.clone(),
+        );
+        use hsconas_evo::Objective;
+        memo.evaluate(&arch).unwrap();
+        assert_eq!(a.cache.len(), 1);
+        assert_eq!(b.cache.len(), 1, "same target shares the cache");
+        assert_eq!(c.cache.len(), 0, "different target must not");
+    }
+
+    #[test]
+    fn hot_reload_swaps_predictor_and_refuses_foreign_snapshot() {
+        let dir = temp_dir("reload");
+        let state = WarmState::new(options_with_dir(&dir));
+        let device = state.device("edge").unwrap();
+        let path = dir.join("edge-xavier.predictor.json");
+        let (_, bias_before) = device.predictor_stats();
+
+        // Rewrite the snapshot with a shifted bias: must be accepted.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut snapshot: PredictorSnapshot = serde_json::from_str(&text).unwrap();
+        snapshot.bias_us += 500.0;
+        bump_mtime(&path, &serde_json::to_string(&snapshot).unwrap());
+        state.poll_reload();
+        let (_, bias_after) = device.predictor_stats();
+        assert_eq!(device.version(), 1);
+        assert_eq!(device.reloads_ok.load(Ordering::Relaxed), 1);
+        assert!((bias_after - bias_before - 500.0).abs() < 1e-9);
+
+        // Corrupt the file: must be refused, predictor unchanged.
+        bump_mtime(&path, "{ not json");
+        state.poll_reload();
+        assert_eq!(device.version(), 1, "rejected reload must not bump version");
+        assert_eq!(device.reloads_rejected.load(Ordering::Relaxed), 1);
+        let (_, bias_kept) = device.predictor_stats();
+        assert_eq!(bias_kept.to_bits(), bias_after.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Writes `contents` and nudges mtime forward so a poll sees a change
+    /// even on filesystems with coarse timestamps.
+    fn bump_mtime(path: &Path, contents: &str) {
+        std::fs::write(path, contents).unwrap();
+        // Coarse-mtime filesystems may not register back-to-back writes;
+        // retry with small sleeps until the mtime actually moves.
+        let before = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        for _ in 0..50 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            std::fs::write(path, contents).unwrap();
+            let now = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+            if now != before {
+                return;
+            }
+        }
+    }
+}

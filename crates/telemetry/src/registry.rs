@@ -347,6 +347,36 @@ impl HistSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) from the log2 buckets.
+    ///
+    /// The rank is located in the cumulative bucket counts and the value is
+    /// interpolated linearly inside the bucket's `[2^e, 2^(e+1))` span, then
+    /// clamped to the exact observed `[min, max]` — so the estimate is never
+    /// outside the real sample range and is exact for single-bucket
+    /// distributions at the edges. Resolution is a factor of 2 in the worst
+    /// case, which is plenty for the p50/p99 service-latency summaries this
+    /// backs. Returns 0.0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(exp, bucket_count) in &self.buckets {
+            if seen + bucket_count >= rank {
+                let lo = (exp as f64).exp2();
+                let hi = ((exp + 1) as f64).exp2();
+                // Position of the rank inside this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / bucket_count as f64;
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            seen += bucket_count;
+        }
+        self.max
+    }
 }
 
 /// A hit/miss pair read from two counters, with the ratio helper the old
@@ -633,5 +663,37 @@ mod tests {
         let s = HitMissSnapshot { hits: 3, misses: 1 };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(HitMissSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn quantile_empty_and_single_sample() {
+        let h = Histogram::register("test.registry.quantile.single");
+        assert_eq!(h.snapshot().quantile(0.5), 0.0);
+        h.record(3.0);
+        let snap = h.snapshot();
+        // a single sample pins every quantile to the clamped exact value
+        assert_eq!(snap.quantile(0.0), 3.0);
+        assert_eq!(snap.quantile(0.5), 3.0);
+        assert_eq!(snap.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn quantile_orders_and_bounds() {
+        let h = Histogram::register("test.registry.quantile.spread");
+        // 90 fast samples near 1ms, 10 slow near 100ms
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(100.0);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5);
+        let p99 = snap.quantile(0.99);
+        assert!(p50 <= p99, "p50 {p50} <= p99 {p99}");
+        assert!((1.0..2.0).contains(&p50), "p50 {p50} in the 1ms bucket");
+        assert!(p99 >= 64.0, "p99 {p99} lands in the slow bucket");
+        assert!(p99 <= snap.max, "clamped to observed max");
+        assert!(snap.quantile(0.0) >= snap.min);
     }
 }

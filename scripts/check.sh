@@ -40,6 +40,7 @@ run_gate "clippy (telemetry off)" \
     cargo clippy \
     -p hsconas -p hsconas-bench -p hsconas-telemetry -p hsconas-par \
     -p hsconas-evo -p hsconas-supernet -p hsconas-shrink -p hsconas-latency \
+    -p hsconas-serve \
     --all-targets --no-default-features -- -D warnings
 
 run_gate "cargo test" \
@@ -62,6 +63,11 @@ run_gate "allocation-regression gate (release)" \
 # only asserts the bound in release builds).
 run_gate "telemetry-overhead gate (release)" \
     cargo test -q --release -p hsconas --test telemetry_overhead
+
+# End-to-end smoke of the serving daemon: start, query every request
+# kind, verify determinism, drain, and fail on a leaked process.
+run_gate "serve smoke" \
+    scripts/serve_smoke.sh
 
 echo
 echo "==================== gate summary ===================="

@@ -1,0 +1,191 @@
+//! Soak test for the backpressure contract: flood the daemon far past its
+//! queue bound and verify the overload path end to end —
+//!
+//! * every request gets exactly one response (no silent drops),
+//! * past the bound the answer is a prompt `429 overloaded`, not a stall,
+//! * the server's own telemetry (the `status` counters) agrees exactly
+//!   with the client-side tally,
+//! * a graceful shutdown afterwards drains and exits cleanly.
+//!
+//! The server is spawned with `--test-slow-eval-ms` so each evaluation
+//! batch takes a known minimum time — without it the fast-budget evaluator
+//! drains quicker than clients can flood and the queue never fills.
+
+#[path = "serve_harness.rs"]
+mod harness;
+
+use harness::{widest_arch_encoding, ServerGuard};
+use hsconas_serve::proto::{CODE_OK, CODE_OVERLOADED};
+use hsconas_serve::Json;
+use std::time::{Duration, Instant};
+
+const FLOOD: usize = 30;
+const QUEUE_CAP: usize = 4;
+
+#[test]
+fn flood_past_queue_bound_gets_prompt_overloads_and_no_silent_drops() {
+    let server = ServerGuard::spawn(&[
+        "--devices",
+        "edge",
+        "--queue-cap",
+        &QUEUE_CAP.to_string(),
+        "--eval-workers",
+        "1",
+        "--batch-max",
+        "1",
+        "--test-slow-eval-ms",
+        "300",
+    ]);
+    let arch = widest_arch_encoding();
+
+    // Flood: FLOOD concurrent clients, one score request each. Collect
+    // (code, wall time) per request.
+    let outcomes: Vec<(u16, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..FLOOD)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = server.client();
+                    let started = Instant::now();
+                    let response = client.score("edge", 34.0, &arch).expect("score response");
+                    (response.code, started.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    // Exactly one response per request, each either served or overloaded.
+    assert_eq!(outcomes.len(), FLOOD, "every request must be answered");
+    let served = outcomes.iter().filter(|(c, _)| *c == CODE_OK).count();
+    let overloaded = outcomes
+        .iter()
+        .filter(|(c, _)| *c == CODE_OVERLOADED)
+        .count();
+    assert_eq!(
+        served + overloaded,
+        FLOOD,
+        "unexpected codes in {outcomes:?}"
+    );
+    assert!(served >= 1, "at least the first admitted request is served");
+    assert!(
+        overloaded >= FLOOD - (QUEUE_CAP + 2),
+        "with a 300ms eval and capacity {QUEUE_CAP}, most of {FLOOD} \
+         simultaneous requests must overload; got {overloaded}"
+    );
+
+    // Overload answers are immediate rejections: far faster than even one
+    // 300ms evaluation slot. (Generous bound for loaded CI machines.)
+    for (code, elapsed) in &outcomes {
+        if *code == CODE_OVERLOADED {
+            assert!(
+                *elapsed < Duration::from_millis(5000),
+                "429 took {elapsed:?}; backpressure must not queue-wait"
+            );
+        }
+    }
+
+    // The server's exact counters must agree with the client-side tally:
+    // nothing dropped, nothing double-counted. Poll until the queue
+    // drains so `served` has settled.
+    let mut client = server.client();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        let status = client.status().expect("status").result.expect("result");
+        let depth = status
+            .get("queue")
+            .and_then(|q| q.get("depth"))
+            .and_then(Json::as_u64)
+            .expect("queue.depth");
+        let served_score = status
+            .get("served")
+            .and_then(|s| s.get("score"))
+            .and_then(Json::as_u64)
+            .expect("served.score");
+        if depth == 0 && served_score == served as u64 {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "queue never drained: depth={depth} served_score={served_score} expected {served}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let counter = |path: [&str; 2]| {
+        status
+            .get(path[0])
+            .and_then(|s| s.get(path[1]))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing status counter {path:?}"))
+    };
+    assert_eq!(counter(["served", "score"]), served as u64);
+    assert_eq!(counter(["rejected", "overloaded"]), overloaded as u64);
+    assert_eq!(counter(["rejected", "malformed"]), 0);
+    assert_eq!(counter(["rejected", "internal"]), 0);
+    let peak = status
+        .get("queue")
+        .and_then(|q| q.get("peak"))
+        .and_then(Json::as_u64)
+        .expect("queue.peak");
+    assert!(
+        peak <= QUEUE_CAP as u64,
+        "admission must never exceed the bound (peak {peak})"
+    );
+
+    // Latency histograms saw exactly the served requests.
+    let score_count = status
+        .get("latency_ms")
+        .and_then(|l| l.get("score"))
+        .and_then(|s| s.get("count"))
+        .and_then(Json::as_u64)
+        .expect("latency_ms.score.count");
+    assert_eq!(score_count, served as u64);
+
+    // Graceful drain: shutdown must answer, then the process must exit 0.
+    server.shutdown_and_wait(Duration::from_secs(15));
+}
+
+/// Backpressure must not starve cheap requests: while the queue is jammed
+/// with slow evaluations, `status` on a fresh connection still answers
+/// immediately.
+#[test]
+fn status_stays_responsive_while_queue_is_full() {
+    let server = ServerGuard::spawn(&[
+        "--devices",
+        "edge",
+        "--queue-cap",
+        "2",
+        "--eval-workers",
+        "1",
+        "--batch-max",
+        "1",
+        "--test-slow-eval-ms",
+        "400",
+    ]);
+    let arch = widest_arch_encoding();
+
+    // Jam the queue from background threads.
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            scope.spawn(|| {
+                let mut client = server.client();
+                let _ = client.score("edge", 34.0, &arch);
+            });
+        }
+        // Give the flood a moment to occupy the worker and the queue.
+        std::thread::sleep(Duration::from_millis(150));
+
+        let started = Instant::now();
+        let mut client = server.client();
+        let status = client.status().expect("status under load");
+        assert!(status.is_ok());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "status blocked behind the evaluation queue"
+        );
+    });
+
+    server.shutdown_and_wait(Duration::from_secs(15));
+}

@@ -1,0 +1,176 @@
+//! Property tests for the serving wire codec: every well-formed frame
+//! round-trips bit-exactly, and NO byte string — however hostile — makes
+//! the decoder panic. The decoder runs on untrusted network input, so
+//! "never panics" here is load-bearing: a panic in a connection thread
+//! would silently drop every in-flight response on that connection.
+
+use hsconas_serve::json::{self, Json};
+use hsconas_serve::proto::{read_frame, Command, Frame, Request, Response};
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+/// Finite f64s spanning magnitudes without reaching inf/NaN.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (i32::MIN..=i32::MAX, -9i32..9).prop_map(|(m, e)| f64::from(m) * 10f64.powi(e))
+}
+
+/// Strings mixing ASCII, escapes-needing controls, and multibyte chars.
+fn wire_string() -> impl Strategy<Value = String> {
+    collection::vec(
+        sample::select(vec![
+            "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\u{8}", "\u{c}", "\r", "/", "{", "}", "€",
+            "😀", "\u{1}", "\u{7f}", "δ",
+        ]),
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+/// JSON leaves.
+fn json_leaf() -> impl Strategy<Value = Json> {
+    (0u8..5, finite_f64(), wire_string(), proptest::bool::ANY).prop_map(
+        |(pick, n, s, b)| match pick {
+            0 => Json::Null,
+            1 => Json::Bool(b),
+            2 => Json::Num(n),
+            _ => Json::Str(s),
+        },
+    )
+}
+
+/// JSON values up to two nesting levels (arrays/objects of leaves).
+fn json_value() -> impl Strategy<Value = Json> {
+    (
+        0u8..4,
+        json_leaf(),
+        collection::vec(json_leaf(), 0..4),
+        collection::vec((wire_string(), json_leaf()), 0..4),
+    )
+        .prop_map(|(pick, leaf, arr, pairs)| match pick {
+            0 => leaf,
+            1 => Json::Arr(arr),
+            _ => {
+                // Duplicate keys would survive encoding but `get` only sees
+                // the first; keep keys unique so equality is structural.
+                let mut seen = std::collections::HashSet::new();
+                Json::Obj(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }
+        })
+}
+
+fn command() -> impl Strategy<Value = Command> {
+    (
+        0u8..5,
+        wire_string(),
+        0.001f64..10_000.0,
+        0u64..(1u64 << 52),
+        collection::vec(0usize..16, 0..64),
+    )
+        .prop_map(|(pick, device, target_ms, seed, arch)| match pick {
+            0 => Command::Status,
+            1 => Command::Shutdown,
+            2 => Command::PredictLatency { device, arch },
+            3 => Command::Score {
+                device,
+                target_ms,
+                arch,
+            },
+            _ => Command::Search {
+                device,
+                target_ms,
+                seed,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn json_values_roundtrip_bit_exactly(value in json_value()) {
+        let encoded = value.encode();
+        let decoded = json::parse(encoded.as_bytes())
+            .unwrap_or_else(|e| panic!("own encoding must parse: {e}: {encoded}"));
+        prop_assert_eq!(&decoded, &value);
+        // Encoding is a pure function: encode(decode(encode(v))) == encode(v).
+        prop_assert_eq!(decoded.encode(), encoded);
+    }
+
+    #[test]
+    fn requests_roundtrip(id in wire_string(), cmd in command()) {
+        let request = Request { id, command: cmd };
+        let line = request.encode();
+        let decoded = Request::decode(line.as_bytes())
+            .unwrap_or_else(|e| panic!("own encoding must decode: {e}: {line}"));
+        prop_assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn responses_roundtrip(
+        id in wire_string(),
+        ok in proptest::bool::ANY,
+        code in 400u16..600,
+        result in json_value(),
+        error in wire_string(),
+    ) {
+        let response = if ok {
+            Response::ok(id, result)
+        } else {
+            Response::fail(id, code, error)
+        };
+        let line = response.encode();
+        let decoded = Response::decode(line.as_bytes())
+            .unwrap_or_else(|e| panic!("own encoding must decode: {e}: {line}"));
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn arbitrary_junk_never_panics_the_decoders(bytes in collection::vec(0u8..=255, 0..256)) {
+        // Any outcome but a panic is acceptable.
+        let _ = json::parse(&bytes);
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn mutated_valid_frames_never_panic(
+        id in wire_string(),
+        cmd in command(),
+        cut in 0usize..200,
+        flip_at in 0usize..200,
+        flip_to in 0u8..=255,
+    ) {
+        // Truncations and single-byte corruptions of real frames — the
+        // shapes a broken client actually produces.
+        let mut bytes = Request { id, command: cmd }.encode().into_bytes();
+        bytes.truncate(bytes.len().saturating_sub(cut % bytes.len().max(1)));
+        if !bytes.is_empty() {
+            let at = flip_at % bytes.len();
+            bytes[at] = flip_to;
+        }
+        let _ = Request::decode(&bytes);
+        let _ = json::parse(&bytes);
+    }
+
+    #[test]
+    fn frame_reader_never_panics_and_terminates(
+        bytes in collection::vec(0u8..=255, 0..512),
+        max in 1usize..128,
+    ) {
+        let mut cursor: &[u8] = &bytes;
+        // Each iteration consumes input; bounded by the input length.
+        for _ in 0..bytes.len() + 2 {
+            match read_frame(&mut cursor, max).expect("in-memory reads cannot fail") {
+                Frame::Eof => break,
+                Frame::Line(line) => prop_assert!(line.len() <= max),
+                Frame::Oversized => {}
+            }
+        }
+        prop_assert!(cursor.is_empty(), "reader must consume all input");
+    }
+}

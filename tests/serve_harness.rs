@@ -1,0 +1,141 @@
+//! Shared harness for the black-box serving tests: spawns the real
+//! `hsconas` binary (`serve` subcommand) on an ephemeral port and tears
+//! it down — by protocol shutdown when the test wants a graceful drain,
+//! by kill on drop so a failing test never leaks a daemon.
+//!
+//! Not a test itself; included by the `serve_*` suites via `#[path]`.
+
+// Each suite uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A running daemon and its address. Kills the process on drop.
+pub struct ServerGuard {
+    child: Option<Child>,
+    /// `host:port` the daemon printed at startup.
+    pub addr: String,
+}
+
+impl ServerGuard {
+    /// Spawns `hsconas serve --port 0 <extra>` and waits for the
+    /// "listening on" line.
+    pub fn spawn(extra: &[&str]) -> ServerGuard {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_hsconas"))
+            .arg("serve")
+            .arg("--port")
+            .arg("0")
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn hsconas serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listen line");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        assert!(
+            line.contains("listening on") && addr.contains(':'),
+            "unexpected startup line: {line:?}"
+        );
+        ServerGuard {
+            child: Some(child),
+            addr,
+        }
+    }
+
+    /// A raw TCP connection with a generous read timeout.
+    pub fn connect(&self) -> TcpStream {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("set timeout");
+        stream
+    }
+
+    /// A protocol client on a fresh connection.
+    pub fn client(&self) -> hsconas_serve::Client {
+        let mut client = hsconas_serve::Client::from_stream(self.connect()).expect("client");
+        client
+            .set_timeout(Some(Duration::from_secs(60)))
+            .expect("client timeout");
+        client
+    }
+
+    /// Requests a graceful shutdown and asserts the process exits cleanly
+    /// within `timeout`.
+    pub fn shutdown_and_wait(mut self, timeout: Duration) {
+        let response = self.client().shutdown().expect("shutdown call");
+        assert!(response.is_ok(), "shutdown refused: {response:?}");
+        let mut child = self.child.take().expect("child already taken");
+        let deadline = Instant::now() + timeout;
+        loop {
+            match child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "server exited with {status}");
+                    return;
+                }
+                None if Instant::now() >= deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    panic!("server did not drain and exit within {timeout:?}");
+                }
+                None => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Whether the daemon process is still running.
+    pub fn is_running(&mut self) -> bool {
+        match &mut self.child {
+            Some(child) => child.try_wait().expect("try_wait").is_none(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Sends one raw line on `stream` and reads one reply line.
+pub fn raw_call(stream: &mut TcpStream, line: &str) -> String {
+    stream.write_all(line.as_bytes()).expect("write line");
+    stream.write_all(b"\n").expect("write newline");
+    stream.flush().expect("flush");
+    read_line(stream)
+}
+
+/// Reads one `\n`-terminated line from `stream`.
+pub fn read_line(stream: &mut TcpStream) -> String {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    line.trim_end().to_string()
+}
+
+/// A widest-genome wire encoding for the served 20-layer space:
+/// `[op, scale] x 20` with op 0 (MBConv3-k3) and scale 9 (x1.0).
+pub fn widest_arch_encoding() -> Vec<usize> {
+    let mut encoded = Vec::with_capacity(40);
+    for _ in 0..20 {
+        encoded.push(0);
+        encoded.push(9);
+    }
+    encoded
+}
