@@ -157,11 +157,16 @@ fn bench_kernels(c: &mut Criterion) {
     let _ = Arch::widest(20);
 }
 
-/// Register-tiled GEMM throughput on conv-shaped problems, reported both
-/// as criterion timings and as GFLOP/s (2·m·k·n FLOPs per call).
+/// GEMM throughput on conv-shaped problems, A/B'd across every kernel
+/// variant the host supports (direct, packed scalar, packed AVX2+FMA),
+/// reported both as criterion timings and as GFLOP/s (2·m·k·n FLOPs/call).
 fn bench_matmul_tiled(c: &mut Criterion) {
-    use hsconas_tensor::matmul::matmul;
+    use hsconas_tensor::kernels::{gemm_with, Op, Variant};
     use std::time::Instant;
+    let mut variants = vec![Variant::Direct, Variant::Scalar];
+    if Variant::Avx2.is_available() {
+        variants.push(Variant::Avx2);
+    }
     // (m, k, n): output-channel panel × im2col rows × output pixels — the
     // shapes the supernet's 3x3 convolutions actually lower to.
     for (m, k, n) in [(32, 144, 576), (128, 256, 128)] {
@@ -169,34 +174,43 @@ fn bench_matmul_tiled(c: &mut Criterion) {
         let a: Vec<f32> = (0..m * k).map(|_| rng.next_f32() - 0.5).collect();
         let b_mat: Vec<f32> = (0..k * n).map(|_| rng.next_f32() - 0.5).collect();
         let mut out = vec![0.0f32; m * n];
-        c.bench_function(&format!("matmul_tiled_{m}x{k}x{n}"), |bch| {
-            bch.iter(|| {
-                matmul(
+        for &variant in &variants {
+            let name = variant.name();
+            c.bench_function(&format!("matmul_{name}_{m}x{k}x{n}"), |bch| {
+                bch.iter(|| {
+                    gemm_with(
+                        variant,
+                        Op::Ab,
+                        black_box(&a),
+                        black_box(&b_mat),
+                        black_box(&mut out),
+                        m,
+                        k,
+                        n,
+                        false,
+                    );
+                })
+            });
+            // A direct GFLOP/s figure for the PR record.
+            let reps = 200;
+            let start = Instant::now();
+            for _ in 0..reps {
+                gemm_with(
+                    variant,
+                    Op::Ab,
                     black_box(&a),
                     black_box(&b_mat),
                     black_box(&mut out),
                     m,
                     k,
                     n,
+                    false,
                 );
-            })
-        });
-        // A direct GFLOP/s figure for the PR record.
-        let reps = 200;
-        let start = Instant::now();
-        for _ in 0..reps {
-            matmul(
-                black_box(&a),
-                black_box(&b_mat),
-                black_box(&mut out),
-                m,
-                k,
-                n,
-            );
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let gflops = (2.0 * (m * k * n * reps) as f64) / secs / 1e9;
+            println!("matmul_{name}_{m}x{k}x{n}: {gflops:.2} GFLOP/s");
         }
-        let secs = start.elapsed().as_secs_f64();
-        let gflops = (2.0 * (m * k * n * reps) as f64) / secs / 1e9;
-        println!("matmul_tiled_{m}x{k}x{n}: {gflops:.2} GFLOP/s");
     }
 }
 

@@ -14,7 +14,10 @@
 //! * **telemetry** — per-phase wall time and allocation counts derived
 //!   from an in-memory telemetry sink capturing the phases above, plus the
 //!   measured overhead ratio of running with that sink installed
-//!   (`schema_version` 1; older snapshot fields are unchanged).
+//!   (`schema_version` 1; older snapshot fields are unchanged);
+//! * **kernels** — the GEMM kernel variant the runtime selector picked on
+//!   this host, per-variant dispatch counts over the whole run, and raw
+//!   GFLOP/s per (shape class, variant) for conv-shaped GEMMs.
 //!
 //! Usage: `cargo run --release -p hsconas-bench --bin bench_snapshot`
 //! (prints one JSON object to stdout). Requires the default `telemetry`
@@ -246,6 +249,77 @@ fn main() {
                 .collect(),
         )
     };
+
+    // --- GEMM kernel variants: GFLOP/s per shape class ------------------
+    // Conv-shaped problems covering the selector's shape classes; every
+    // variant the host supports is measured on each so the snapshot records
+    // both the speedup and which variant the selector actually picks.
+    let kernels = {
+        use hsconas_tensor::kernels::{classify, dispatch_counts, gemm_with, Op, Variant};
+        let mut variants = vec![Variant::Direct, Variant::Scalar];
+        if Variant::Avx2.is_available() {
+            variants.push(Variant::Avx2);
+        }
+        let shapes = [(32, 144, 576), (128, 256, 128), (64, 1024, 256)];
+        let mut shape_objs: Vec<(String, Value)> = Vec::new();
+        for (m, k, n) in shapes {
+            let mut srng = SmallRng::new(seed ^ 7);
+            let a: Vec<f32> = (0..m * k).map(|_| srng.next_f32() - 0.5).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| srng.next_f32() - 0.5).collect();
+            let mut c = vec![0.0f32; m * n];
+            let mut fields: Vec<(String, Value)> = vec![(
+                "class".to_string(),
+                Value::Str(classify(m, k, n).name().to_string()),
+            )];
+            for &variant in &variants {
+                for _ in 0..3 {
+                    gemm_with(variant, Op::Ab, &a, &b, &mut c, m, k, n, false);
+                }
+                let flops = 2.0 * (m * k * n) as f64;
+                let reps = ((5e8 / flops) as usize).clamp(10, 2000);
+                let start = Instant::now();
+                for _ in 0..reps {
+                    gemm_with(
+                        variant,
+                        Op::Ab,
+                        black_box(&a),
+                        black_box(&b),
+                        black_box(&mut c),
+                        m,
+                        k,
+                        n,
+                        false,
+                    );
+                }
+                let gflops = flops * reps as f64 / start.elapsed().as_secs_f64() / 1e9;
+                fields.push((
+                    format!("gflops_{}", variant.name()),
+                    Value::F64((gflops * 100.0).round() / 100.0),
+                ));
+            }
+            shape_objs.push((format!("{m}x{k}x{n}"), Value::Object(fields)));
+        }
+        let counts = dispatch_counts();
+        obj(vec![
+            (
+                "selected",
+                Value::Str(
+                    hsconas_tensor::kernels::selected_variant()
+                        .name()
+                        .to_string(),
+                ),
+            ),
+            (
+                "dispatch",
+                obj(vec![
+                    ("direct", Value::U64(counts.direct)),
+                    ("scalar", Value::U64(counts.scalar)),
+                    ("avx2", Value::U64(counts.avx2)),
+                ]),
+            ),
+            ("shapes", Value::Object(shape_objs)),
+        ])
+    };
     let snapshot = obj(vec![
         ("seed", Value::U64(seed)),
         (
@@ -292,6 +366,7 @@ fn main() {
                 ("phases", Value::Object(phases)),
             ]),
         ),
+        ("kernels", kernels),
     ]);
     println!("{}", serde_json::to_string_pretty(&snapshot).expect("json"));
 }

@@ -1,4 +1,9 @@
 //! Fully connected layer on `[n, c, 1, 1]` activations.
+//!
+//! The three products (forward `x·Wᵀ`, weight gradient `dyᵀ·x`, input
+//! gradient `dy·W`) go through `hsconas_tensor::matmul`, which dispatches
+//! onto the runtime-selected GEMM kernel; classifier-head shapes are small
+//! enough that the selector usually keeps them on the direct path.
 
 use crate::layer::{Layer, ParamVisitor};
 use crate::NnError;

@@ -690,5 +690,28 @@ fn build_status(shared: &Arc<Shared>) -> Json {
             ]),
         ),
         ("devices", Json::Obj(devices)),
+        (
+            // Which GEMM kernel the tensor layer selected on this host
+            // (HSCONAS_KERNEL override included) and how many dispatches
+            // each variant has taken since startup.
+            "kernel",
+            {
+                let counts = hsconas_tensor::kernels::dispatch_counts();
+                Json::obj(vec![
+                    (
+                        "variant",
+                        Json::Str(hsconas_tensor::kernels::selected_variant().name().into()),
+                    ),
+                    (
+                        "dispatch",
+                        Json::obj(vec![
+                            ("direct", Json::Num(counts.direct as f64)),
+                            ("scalar", Json::Num(counts.scalar as f64)),
+                            ("avx2", Json::Num(counts.avx2 as f64)),
+                        ]),
+                    ),
+                ])
+            },
+        ),
     ])
 }

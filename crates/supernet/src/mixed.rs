@@ -212,6 +212,38 @@ mod tests {
     }
 
     #[test]
+    fn masking_is_exact_through_packed_kernels() {
+        // Large enough that the im2col GEMMs leave the tiny/direct shape
+        // class and run through the packed microkernel path wherever the
+        // runtime selector picks it (AVX2 hosts). Masked channels must stay
+        // *exactly* zero — not merely small — because the pack-level zero
+        // skip in downstream layers relies on bitwise-zero rows.
+        let mut rng = SmallRng::new(7);
+        let mut layer = MixedLayer::build(0, 64, 64, 1, &mut rng).unwrap();
+        let x = Tensor::randn([1, 64, 16, 16], 1.0, &mut rng);
+        let y = layer
+            .forward_gene(&x, gene(OpKind::Shuffle3, 5), false)
+            .unwrap();
+        let keep = ChannelScale::from_tenths(5).unwrap().apply(64);
+        assert_eq!(keep, 32);
+        for c in keep..64 {
+            for h in 0..16 {
+                for w in 0..16 {
+                    assert_eq!(
+                        y.at(0, c, h, w),
+                        0.0,
+                        "masked channel {c} at ({h},{w}) is nonzero"
+                    );
+                }
+            }
+        }
+        let kept_norm: f32 = (0..keep)
+            .map(|c| y.at(0, c, 0, 0).abs() + y.at(0, c, 8, 8).abs())
+            .sum();
+        assert!(kept_norm > 0.0, "kept channels are all zero");
+    }
+
+    #[test]
     fn stride1_skip_is_not_masked() {
         let mut rng = SmallRng::new(3);
         let mut layer = MixedLayer::build(1, 16, 16, 1, &mut rng).unwrap();

@@ -1,0 +1,63 @@
+//! Quick A/B harness for the GEMM kernel variants.
+//!
+//! Prints GFLOP/s per (shape class, variant) on the current host:
+//!
+//! ```text
+//! cargo run --release -p hsconas-tensor --example gemm_ab
+//! ```
+
+use hsconas_tensor::kernels::{classify, gemm_with, Op, Variant};
+use hsconas_tensor::rng::SmallRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn gflops(variant: Variant, m: usize, k: usize, n: usize) -> f64 {
+    let mut rng = SmallRng::new(42);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.next_f32() - 0.5).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.next_f32() - 0.5).collect();
+    let mut c = vec![0.0f32; m * n];
+    // warm-up
+    for _ in 0..3 {
+        gemm_with(variant, Op::Ab, &a, &b, &mut c, m, k, n, false);
+    }
+    let flops_per_call = 2.0 * (m * k * n) as f64;
+    let reps = ((2e9 / flops_per_call) as usize).clamp(10, 5000);
+    let start = Instant::now();
+    for _ in 0..reps {
+        gemm_with(
+            variant,
+            Op::Ab,
+            black_box(&a),
+            black_box(&b),
+            black_box(&mut c),
+            m,
+            k,
+            n,
+            false,
+        );
+    }
+    flops_per_call * reps as f64 / start.elapsed().as_secs_f64() / 1e9
+}
+
+fn main() {
+    let shapes = [
+        (32, 144, 576),
+        (128, 256, 128),
+        (64, 1024, 256),
+        (256, 256, 256),
+    ];
+    let mut variants = vec![Variant::Direct, Variant::Scalar];
+    if Variant::Avx2.is_available() {
+        variants.push(Variant::Avx2);
+    }
+    for (m, k, n) in shapes {
+        let class = classify(m, k, n).name();
+        for &v in &variants {
+            println!(
+                "{m}x{k}x{n} [{class}] {:>6}: {:7.2} GFLOP/s",
+                v.name(),
+                gflops(v, m, k, n)
+            );
+        }
+    }
+}

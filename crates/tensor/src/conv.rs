@@ -4,6 +4,13 @@
 //! Weights are stored as `[c_out, c_in / groups, k, k]` tensors. Depthwise
 //! convolution is the special case `groups == c_in == c_out`.
 //!
+//! All three GEMM products here (forward `W·col`, weight gradient
+//! `dOut·colᵀ`, input gradient `Wᵀ·dOut`) dispatch through the packed
+//! SIMD kernel layer ([`crate::kernels`]); the forward product's weight
+//! operand carries the supernet's channel masks as zero rows, which the
+//! packing step detects per `MR`-row panel and skips outright, so a
+//! scaled-down candidate pays only for its live channels.
+//!
 //! Both passes reuse per-thread im2col staging buffers
 //! ([`crate::scratch`]) and fan the batch dimension out over the shared
 //! worker pool when the per-image work is large enough to amortize thread

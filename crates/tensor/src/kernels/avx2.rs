@@ -1,0 +1,166 @@
+//! AVX2+FMA packed microkernel for x86-64.
+//!
+//! A `6×16` tile: each of the 6 rows keeps two 8-lane YMM accumulators, so
+//! 12 of the 16 architectural YMM registers hold the tile while the k-loop
+//! needs only two `b` loads and six `a` broadcasts per step — 12 fused
+//! multiply-adds per 8 loads, enough arithmetic density to run near the
+//! FMA ports' throughput instead of the load ports'.
+//!
+//! This is the only module in `hsconas-tensor` allowed to use `unsafe`:
+//! the intrinsics demand it, and the `#[target_feature]` functions are
+//! reachable only through [`available`]-guarded dispatch
+//! ([`crate::kernels`] routes here strictly when
+//! `is_x86_feature_detected!("avx2")` and `("fma")` both hold, or compile
+//! time already guarantees the features). Pointer arithmetic is bounded by
+//! the slice-length `debug_assert!`s in the safe wrapper.
+//!
+//! An aarch64 NEON kernel slots in next to this module with the same
+//! [`Micro`] contract (packed panels in, `c += tile` out) — see the
+//! `neon`-seam note in `kernels/mod.rs`.
+#![allow(unsafe_code)]
+
+use super::Micro;
+
+/// True when the host CPU can run the AVX2+FMA kernel.
+///
+/// Compiled-in features (e.g. `RUSTFLAGS="-C target-feature=+avx2,+fma"`)
+/// short-circuit the runtime probe.
+pub(crate) fn available() -> bool {
+    #[cfg(all(target_feature = "avx2", target_feature = "fma"))]
+    {
+        true
+    }
+    #[cfg(not(all(target_feature = "avx2", target_feature = "fma")))]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+}
+
+/// Marker type implementing [`Micro`] for the AVX2+FMA kernel.
+pub(crate) struct Avx2Kernel;
+
+impl Micro for Avx2Kernel {
+    const MR: usize = 6;
+    const NR: usize = 16;
+
+    #[inline]
+    fn tile(apanel: &[f32], bpanel: &[f32], c: &mut [f32], ldc: usize, kc: usize) {
+        debug_assert!(apanel.len() >= kc * Self::MR);
+        debug_assert!(bpanel.len() >= kc * Self::NR);
+        debug_assert!(kc == 0 || c.len() >= (Self::MR - 1) * ldc + Self::NR);
+        debug_assert!(available(), "AVX2 kernel dispatched on non-AVX2 host");
+        // SAFETY: the asserts above bound every pointer offset inside the
+        // kernel, and dispatch guarantees the CPU supports avx2+fma.
+        unsafe { tile_6x16(apanel.as_ptr(), bpanel.as_ptr(), c.as_mut_ptr(), ldc, kc) }
+    }
+}
+
+/// `c[r·ldc + j] += Σ_kk apanel[kk·6 + r] · bpanel[kk·16 + j]` for the full
+/// `6×16` tile, using FMA.
+///
+/// # Safety
+///
+/// Caller must guarantee `apanel`/`bpanel` hold at least `kc·6` / `kc·16`
+/// elements, `c` at least `5·ldc + 16`, and that the CPU supports
+/// `avx2` and `fma`.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile_6x16(apanel: *const f32, bpanel: *const f32, c: *mut f32, ldc: usize, kc: usize) {
+    use std::arch::x86_64::*;
+    // SAFETY: offsets stay within the bounds promised by the caller; the
+    // per-iteration pointer bumps advance exactly one packed k-step.
+    unsafe {
+        let mut acc00 = _mm256_setzero_ps();
+        let mut acc01 = _mm256_setzero_ps();
+        let mut acc10 = _mm256_setzero_ps();
+        let mut acc11 = _mm256_setzero_ps();
+        let mut acc20 = _mm256_setzero_ps();
+        let mut acc21 = _mm256_setzero_ps();
+        let mut acc30 = _mm256_setzero_ps();
+        let mut acc31 = _mm256_setzero_ps();
+        let mut acc40 = _mm256_setzero_ps();
+        let mut acc41 = _mm256_setzero_ps();
+        let mut acc50 = _mm256_setzero_ps();
+        let mut acc51 = _mm256_setzero_ps();
+        let mut ap = apanel;
+        let mut bp = bpanel;
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            let a0 = _mm256_broadcast_ss(&*ap);
+            acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+            acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+            let a1 = _mm256_broadcast_ss(&*ap.add(1));
+            acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+            acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+            let a2 = _mm256_broadcast_ss(&*ap.add(2));
+            acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+            acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+            let a3 = _mm256_broadcast_ss(&*ap.add(3));
+            acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+            acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+            let a4 = _mm256_broadcast_ss(&*ap.add(4));
+            acc40 = _mm256_fmadd_ps(a4, b0, acc40);
+            acc41 = _mm256_fmadd_ps(a4, b1, acc41);
+            let a5 = _mm256_broadcast_ss(&*ap.add(5));
+            acc50 = _mm256_fmadd_ps(a5, b0, acc50);
+            acc51 = _mm256_fmadd_ps(a5, b1, acc51);
+            ap = ap.add(6);
+            bp = bp.add(16);
+        }
+        let store = |row: *mut f32, lo: __m256, hi: __m256| {
+            _mm256_storeu_ps(row, _mm256_add_ps(_mm256_loadu_ps(row), lo));
+            _mm256_storeu_ps(row.add(8), _mm256_add_ps(_mm256_loadu_ps(row.add(8)), hi));
+        };
+        store(c, acc00, acc01);
+        store(c.add(ldc), acc10, acc11);
+        store(c.add(2 * ldc), acc20, acc21);
+        store(c.add(3 * ldc), acc30, acc31);
+        store(c.add(4 * ldc), acc40, acc41);
+        store(c.add(5 * ldc), acc50, acc51);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_matches_scalar_reduction() {
+        if !available() {
+            eprintln!("skipping: host lacks avx2+fma");
+            return;
+        }
+        let kc = 37;
+        let apanel: Vec<f32> = (0..kc * 6).map(|v| ((v * 7 % 23) as f32) - 11.0).collect();
+        let bpanel: Vec<f32> = (0..kc * 16).map(|v| ((v * 5 % 19) as f32) * 0.25).collect();
+        let mut c = vec![0.5f32; 6 * 16];
+        Avx2Kernel::tile(&apanel, &bpanel, &mut c, 16, kc);
+        for r in 0..6 {
+            for j in 0..16 {
+                let want: f32 = 0.5
+                    + (0..kc)
+                        .map(|kk| apanel[kk * 6 + r] * bpanel[kk * 16 + j])
+                        .sum::<f32>();
+                let got = c[r * 16 + j];
+                let tol = 1e-4 * (1.0 + want.abs());
+                assert!((got - want).abs() < tol, "({r},{j}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_respects_ldc() {
+        if !available() {
+            eprintln!("skipping: host lacks avx2+fma");
+            return;
+        }
+        let apanel = vec![1.0f32; 6];
+        let bpanel = vec![3.0f32; 16];
+        let mut c = vec![0.0f32; 6 * 20];
+        Avx2Kernel::tile(&apanel, &bpanel, &mut c, 20, 1);
+        for r in 0..6 {
+            assert!(c[r * 20..r * 20 + 16].iter().all(|&v| v == 3.0));
+            assert!(c[r * 20 + 16..r * 20 + 20].iter().all(|&v| v == 0.0));
+        }
+    }
+}

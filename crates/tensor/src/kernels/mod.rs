@@ -1,0 +1,710 @@
+//! Runtime-dispatched GEMM kernel layer: packed panels, SIMD microkernels,
+//! and a per-shape kernel selector.
+//!
+//! Every dense product in the crate ([`crate::matmul`], and through it the
+//! im2col convolution paths) funnels into [`gemm`], which
+//!
+//! 1. classifies the problem shape ([`ShapeClass`]),
+//! 2. picks a kernel variant ([`Variant`]) — AVX2+FMA when the CPU has it,
+//!    the portable scalar packed kernel otherwise, or the legacy *direct*
+//!    register-tiled loops for shapes too small to amortize packing,
+//! 3. picks cache blocking (`KC`/`MC`/`NC`) for the class, and
+//! 4. runs a BLIS-style blocked loop nest: pack a `kc×nc` block of `b`
+//!    into `NR`-column panels, pack each `mc×kc` block of `a` into
+//!    `MR`-row panels (recording which panels are entirely zero — the
+//!    supernet's channel masks zero whole rows of `a`, and those panels
+//!    are skipped before any arithmetic), then walk the panel grid with
+//!    the selected microkernel.
+//!
+//! The selection is overridable for A/B benchmarking via the
+//! `HSCONAS_KERNEL` environment variable (`scalar`, `avx2`, `direct`, or
+//! `auto`; read once per process). Every call increments a per-variant
+//! dispatch counter, mirrored onto the telemetry registry as
+//! `kernel.dispatch.{avx2,scalar,direct}` so benchmark numbers are
+//! attributable to the kernel that actually ran (`hsconas report`, serve
+//! `status`).
+//!
+//! Determinism contract: for a fixed variant the accumulation order is a
+//! pure function of `(op, m, k, n)` — fixed blocking, fixed panel walk —
+//! so repeated calls are bit-identical and the thread-count and cache
+//! on/off determinism gates hold unchanged. Numeric agreement *across*
+//! variants is tolerance-bounded, not bit-exact (FMA contraction differs
+//! from mul+add); DESIGN.md §11 states the contract the differential
+//! suite enforces.
+//!
+//! NEON seam: an aarch64 kernel implements [`Micro`] over the same packed
+//! layout and registers itself exactly like [`avx2`] does — add the
+//! module, give [`Variant`] a `Neon` arm, and teach [`select`] to probe
+//! it; nothing else changes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::scratch::with_scratch;
+
+pub(crate) mod direct;
+pub mod pack;
+mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+use pack::{pack_a, pack_b, Layout};
+use scalar::ScalarKernel;
+
+/// Largest microkernel tile (`6×16`), sizing the edge-tile stack buffer.
+const MAX_TILE: usize = 96;
+
+/// A packed microkernel: computes `c += apanel · bpanel` for one full
+/// `MR × NR` tile over a `kc`-deep packed k-block.
+pub(crate) trait Micro {
+    /// Tile rows (rows of `a` per panel).
+    const MR: usize;
+    /// Tile columns (columns of `b` per panel).
+    const NR: usize;
+    /// `c[r·ldc + j] += Σ_kk apanel[kk·MR + r] · bpanel[kk·NR + j]`.
+    fn tile(apanel: &[f32], bpanel: &[f32], c: &mut [f32], ldc: usize, kc: usize);
+}
+
+// ---------------------------------------------------------------------------
+// variants & dispatch
+
+/// Which kernel implementation executes a [`gemm`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Legacy unpacked register-tiled loops (PR 1); the tiny-shape path.
+    Direct,
+    /// Packed-panel scalar kernel: portable reference, 4×8 tile.
+    Scalar,
+    /// Packed-panel AVX2+FMA kernel, 6×16 tile (x86-64 only).
+    Avx2,
+}
+
+impl Variant {
+    /// Stable lowercase name, as used by `HSCONAS_KERNEL` and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Direct => "direct",
+            Variant::Scalar => "scalar",
+            Variant::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this variant can execute on the current host.
+    pub fn is_available(self) -> bool {
+        match self {
+            Variant::Direct | Variant::Scalar => true,
+            Variant::Avx2 => avx2_available(),
+        }
+    }
+}
+
+/// True when the AVX2+FMA kernel can run on this host.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        avx2::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The `HSCONAS_KERNEL` override, parsed once per process.
+fn env_override() -> Option<Variant> {
+    static OVERRIDE: OnceLock<Option<Variant>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("HSCONAS_KERNEL") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Variant::Scalar),
+            "direct" => Some(Variant::Direct),
+            "avx2" => {
+                if avx2_available() {
+                    Some(Variant::Avx2)
+                } else {
+                    eprintln!(
+                        "HSCONAS_KERNEL=avx2 requested but the CPU lacks avx2+fma; \
+                         falling back to the scalar packed kernel"
+                    );
+                    Some(Variant::Scalar)
+                }
+            }
+            "" | "auto" => None,
+            other => {
+                eprintln!(
+                    "HSCONAS_KERNEL={other} not recognized (scalar|avx2|direct|auto); ignoring"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// The variant [`select`] resolves to for large, packed-eligible shapes on
+/// this host — i.e. what the hot paths actually run.
+pub fn selected_variant() -> Variant {
+    env_override().unwrap_or({
+        if avx2_available() {
+            Variant::Avx2
+        } else {
+            Variant::Scalar
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// shape classes & blocking
+
+/// Coarse problem-shape classes driving kernel and blocking choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeClass {
+    /// Under ~32k MACs: packing costs more than it saves.
+    Tiny,
+    /// A dimension is below the smallest tile (`m < 4`, `n < 8`, `k < 8`):
+    /// the packed grid would be all edge tiles.
+    Skinny,
+    /// Few rows, many columns (`m ≤ 64`, `n ≥ 4m`) — the im2col forward
+    /// shape: one weight panel against a wide activation matrix.
+    Panel,
+    /// `k ≥ 512`: dominated by the k-loop; smaller `NC` keeps the packed
+    /// `b` block cache-resident across more reuse.
+    Deep,
+    /// Everything else.
+    Square,
+}
+
+/// Classifies a `(m, k, n)` problem; pure function of the dimensions.
+pub fn classify(m: usize, k: usize, n: usize) -> ShapeClass {
+    if m * k * n < 32 * 1024 {
+        ShapeClass::Tiny
+    } else if m < 4 || n < 8 || k < 8 {
+        ShapeClass::Skinny
+    } else if k >= 512 {
+        ShapeClass::Deep
+    } else if m <= 64 && n >= 4 * m {
+        ShapeClass::Panel
+    } else {
+        ShapeClass::Square
+    }
+}
+
+impl ShapeClass {
+    /// Stable lowercase name (bench snapshot schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeClass::Tiny => "tiny",
+            ShapeClass::Skinny => "skinny",
+            ShapeClass::Panel => "panel",
+            ShapeClass::Deep => "deep",
+            ShapeClass::Square => "square",
+        }
+    }
+}
+
+/// Cache-blocking parameters for the packed loop nest.
+///
+/// `kc` bounds the packed k-depth (`a`-panel rows resident in L1 across
+/// the tile), `mc` bounds the packed `a` block (≤ 64 panels so the
+/// zero-panel bitmask fits a `u64`), `nc` bounds the packed `b` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocking {
+    /// k-dimension cache block.
+    pub kc: usize,
+    /// m-dimension cache block (clamped to `64·MR` by the driver).
+    pub mc: usize,
+    /// n-dimension cache block.
+    pub nc: usize,
+}
+
+impl Blocking {
+    /// Blocking tuned per shape class (see DESIGN.md §11 for rationale).
+    pub fn for_class(class: ShapeClass) -> Blocking {
+        match class {
+            ShapeClass::Panel => Blocking {
+                kc: 256,
+                mc: 72,
+                nc: 1024,
+            },
+            ShapeClass::Deep => Blocking {
+                kc: 256,
+                mc: 120,
+                nc: 512,
+            },
+            _ => Blocking {
+                kc: 256,
+                mc: 120,
+                nc: 1024,
+            },
+        }
+    }
+}
+
+/// A resolved kernel choice for one problem shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Selection {
+    /// Kernel variant to execute.
+    pub variant: Variant,
+    /// Cache blocking for the packed driver (ignored by `Direct`).
+    pub blocking: Blocking,
+    /// The shape class that drove the choice.
+    pub class: ShapeClass,
+}
+
+/// The kernel selector: shape class → variant + blocking, with the
+/// `HSCONAS_KERNEL` override applied to packed-eligible shapes.
+///
+/// Tiny and skinny problems always take the direct path — packing them is
+/// a net loss under every variant — so the override steers the kernels
+/// that matter without pessimizing the long tail of small products.
+pub fn select(m: usize, k: usize, n: usize) -> Selection {
+    let class = classify(m, k, n);
+    let variant = match class {
+        ShapeClass::Tiny | ShapeClass::Skinny => Variant::Direct,
+        _ => selected_variant(),
+    };
+    Selection {
+        variant,
+        blocking: Blocking::for_class(class),
+        class,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dispatch counters
+
+static CALLS_DIRECT: AtomicU64 = AtomicU64::new(0);
+static CALLS_SCALAR: AtomicU64 = AtomicU64::new(0);
+static CALLS_AVX2: AtomicU64 = AtomicU64::new(0);
+
+/// Telemetry mirrors of the dispatch counters. The registry is compiled
+/// unconditionally (counters are functional API, like the cache hit
+/// counters), so no feature gate is needed here; snapshots flush these as
+/// `kernel.dispatch.*` events whenever a sink is installed.
+fn telemetry_counters() -> &'static [hsconas_telemetry::Counter; 3] {
+    static CELLS: OnceLock<[hsconas_telemetry::Counter; 3]> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        [
+            hsconas_telemetry::Counter::register("kernel.dispatch.direct"),
+            hsconas_telemetry::Counter::register("kernel.dispatch.scalar"),
+            hsconas_telemetry::Counter::register("kernel.dispatch.avx2"),
+        ]
+    })
+}
+
+#[inline]
+fn count_dispatch(variant: Variant) {
+    let (cell, tc) = match variant {
+        Variant::Direct => (&CALLS_DIRECT, 0),
+        Variant::Scalar => (&CALLS_SCALAR, 1),
+        Variant::Avx2 => (&CALLS_AVX2, 2),
+    };
+    cell.fetch_add(1, Ordering::Relaxed);
+    telemetry_counters()[tc].add(1);
+}
+
+/// Per-variant totals of GEMM calls executed by this process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchCounts {
+    /// Calls taken by the legacy direct path.
+    pub direct: u64,
+    /// Calls taken by the scalar packed kernel.
+    pub scalar: u64,
+    /// Calls taken by the AVX2+FMA kernel.
+    pub avx2: u64,
+}
+
+/// Snapshot of the dispatch counters (serve `status`, reports, tests).
+pub fn dispatch_counts() -> DispatchCounts {
+    DispatchCounts {
+        direct: CALLS_DIRECT.load(Ordering::Relaxed),
+        scalar: CALLS_SCALAR.load(Ordering::Relaxed),
+        avx2: CALLS_AVX2.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// public GEMM entry points
+
+/// Operand storage for a [`gemm`] call. Logical dimensions are always
+/// `c (m×n) += a' (m×k) · b' (k×n)`; the op names how `a'`/`b'` map onto
+/// the caller's row-major buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `a` stored `(m, k)`, `b` stored `(k, n)` — plain product.
+    Ab,
+    /// `a` stored `(k, m)` (weight-gradient product `aᵀ·b`).
+    AtB,
+    /// `b` stored `(n, k)` (input-gradient product `a·bᵀ`).
+    ABt,
+}
+
+impl Op {
+    fn a_len(self, m: usize, k: usize) -> usize {
+        match self {
+            Op::Ab | Op::ABt => m * k,
+            Op::AtB => k * m,
+        }
+    }
+
+    fn b_len(self, k: usize, n: usize) -> usize {
+        match self {
+            Op::Ab | Op::AtB => k * n,
+            Op::ABt => n * k,
+        }
+    }
+
+    fn layouts(self, m: usize, k: usize, n: usize) -> (Layout, Layout) {
+        match self {
+            Op::Ab => (Layout::row_major(k), Layout::row_major(n)),
+            Op::AtB => (Layout::transposed(m), Layout::row_major(n)),
+            Op::ABt => (Layout::row_major(k), Layout::transposed(k)),
+        }
+    }
+}
+
+/// `c (m×n) ⟵ a' · b'` (overwrite) or `c += a' · b'` (accumulate), with
+/// the kernel chosen by [`select`].
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions for `op`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    let sel = select(m, k, n);
+    gemm_with(sel.variant, op, a, b, c, m, k, n, accumulate);
+}
+
+/// [`gemm`] with an explicit kernel variant — the A/B hook the
+/// differential suite and criterion benches are built on. An unavailable
+/// variant (AVX2 on a non-AVX2 host) falls back to `Scalar`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions for `op`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with(
+    variant: Variant,
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), op.a_len(m, k), "gemm: a has wrong length");
+    assert_eq!(b.len(), op.b_len(k, n), "gemm: b has wrong length");
+    assert_eq!(c.len(), m * n, "gemm: c has wrong length");
+    if !accumulate {
+        c.fill(0.0);
+    }
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let resolved = if variant.is_available() {
+        variant
+    } else {
+        Variant::Scalar
+    };
+    count_dispatch(resolved);
+    let blocking = Blocking::for_class(classify(m, k, n));
+    match resolved {
+        Variant::Direct => match op {
+            Op::Ab => direct::matmul_accumulate(a, b, c, m, k, n),
+            Op::AtB => direct::matmul_at_b(a, b, c, k, m, n),
+            Op::ABt => direct::matmul_a_bt(a, b, c, m, k, n),
+        },
+        Variant::Scalar => gemm_packed::<ScalarKernel>(op, a, b, c, m, k, n, blocking),
+        #[cfg(target_arch = "x86_64")]
+        Variant::Avx2 => gemm_packed::<avx2::Avx2Kernel>(op, a, b, c, m, k, n, blocking),
+        #[cfg(not(target_arch = "x86_64"))]
+        Variant::Avx2 => unreachable!("avx2 unavailable off x86-64"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// packed driver
+
+/// BLIS-style blocked loop nest over packed panels; see the module docs
+/// for the nesting and the zero-panel skip.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed<K: Micro>(
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    blk: Blocking,
+) {
+    debug_assert!(K::MR * K::NR <= MAX_TILE);
+    let (la, lb) = op.layouts(m, k, n);
+    let kc_max = blk.kc.min(k);
+    // The zero-panel bitmask is a u64: never more than 64 a-panels per block.
+    let mc_max = blk.mc.min(64 * K::MR).min(m.max(1));
+    let nc_max = blk.nc.min(n.max(1));
+    let apack_len = mc_max.div_ceil(K::MR) * K::MR * kc_max;
+    let bpack_len = nc_max.div_ceil(K::NR) * K::NR * kc_max;
+    with_scratch(bpack_len, |bpack| {
+        with_scratch(apack_len, |apack| {
+            let mut jc = 0;
+            while jc < n {
+                let nc = nc_max.min(n - jc);
+                let mut pc = 0;
+                while pc < k {
+                    let kc = kc_max.min(k - pc);
+                    pack_b(b, lb, pc, kc, jc, nc, K::NR, bpack);
+                    let mut ic = 0;
+                    while ic < m {
+                        let mc = mc_max.min(m - ic);
+                        let zero_mask = pack_a(a, la, ic, mc, pc, kc, K::MR, apack);
+                        let a_panels = mc.div_ceil(K::MR);
+                        let b_panels = nc.div_ceil(K::NR);
+                        for q in 0..b_panels {
+                            let nr = K::NR.min(nc - q * K::NR);
+                            let bp = &bpack[q * kc * K::NR..(q + 1) * kc * K::NR];
+                            for p in 0..a_panels {
+                                if zero_mask >> p & 1 == 1 {
+                                    // All-zero a panel (masked channels):
+                                    // contributes nothing, skip the tile.
+                                    continue;
+                                }
+                                let mr = K::MR.min(mc - p * K::MR);
+                                let ap = &apack[p * kc * K::MR..(p + 1) * kc * K::MR];
+                                let c_off = (ic + p * K::MR) * n + jc + q * K::NR;
+                                if mr == K::MR && nr == K::NR {
+                                    K::tile(ap, bp, &mut c[c_off..], n, kc);
+                                } else {
+                                    // Edge tile: compute the full padded
+                                    // tile on the stack, write back only
+                                    // the live mr×nr corner.
+                                    let mut tmp = [0.0f32; MAX_TILE];
+                                    let tile = &mut tmp[..K::MR * K::NR];
+                                    K::tile(ap, bp, tile, K::NR, kc);
+                                    for r in 0..mr {
+                                        let dst = &mut c[c_off + r * n..c_off + r * n + nr];
+                                        let src = &tile[r * K::NR..r * K::NR + nr];
+                                        for (cv, &tv) in dst.iter_mut().zip(src) {
+                                            *cv += tv;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        ic += mc;
+                    }
+                    pc += kc;
+                }
+                jc += nc;
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SmallRng;
+
+    fn naive(op: Op, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    let av = match op {
+                        Op::Ab | Op::ABt => a[i * k + kk],
+                        Op::AtB => a[kk * m + i],
+                    } as f64;
+                    let bv = match op {
+                        Op::Ab | Op::AtB => b[kk * n + j],
+                        Op::ABt => b[j * k + kk],
+                    } as f64;
+                    c[i * n + j] += av * bv;
+                }
+            }
+        }
+        c.into_iter().map(|v| v as f32).collect()
+    }
+
+    fn rand_vec(len: usize, rng: &mut SmallRng) -> Vec<f32> {
+        (0..len).map(|_| rng.next_normal() as f32).collect()
+    }
+
+    fn check(variant: Variant, op: Op, m: usize, k: usize, n: usize, seed: u64) {
+        let mut rng = SmallRng::new(seed);
+        let a = rand_vec(op.a_len(m, k), &mut rng);
+        let b = rand_vec(op.b_len(k, n), &mut rng);
+        let mut c = vec![0.0; m * n];
+        gemm_with(variant, op, &a, &b, &mut c, m, k, n, false);
+        let want = naive(op, &a, &b, m, k, n);
+        for (i, (x, y)) in c.iter().zip(&want).enumerate() {
+            let tol = 1e-4 * (1.0 + y.abs()) * (1.0 + k as f32 / 256.0);
+            assert!(
+                (x - y).abs() < tol,
+                "{variant:?} {op:?} ({m},{k},{n})[{i}]: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_scalar_matches_naive_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (4, 8, 8),
+            (5, 9, 17),
+            (6, 300, 24),
+            (13, 513, 31),
+            (64, 144, 576),
+            (120, 70, 130),
+            (121, 256, 16),
+        ] {
+            check(Variant::Scalar, Op::Ab, m, k, n, 1);
+            check(Variant::Scalar, Op::AtB, m, k, n, 2);
+            check(Variant::Scalar, Op::ABt, m, k, n, 3);
+        }
+    }
+
+    #[test]
+    fn packed_avx2_matches_naive_across_shapes() {
+        if !avx2_available() {
+            eprintln!("skipping: host lacks avx2+fma");
+            return;
+        }
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (6, 16, 16),
+            (5, 9, 17),
+            (7, 300, 33),
+            (13, 513, 31),
+            (64, 144, 576),
+            (120, 70, 130),
+        ] {
+            check(Variant::Avx2, Op::Ab, m, k, n, 4);
+            check(Variant::Avx2, Op::AtB, m, k, n, 5);
+            check(Variant::Avx2, Op::ABt, m, k, n, 6);
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_onto_existing_c() {
+        let mut rng = SmallRng::new(7);
+        let (m, k, n) = (9, 40, 21);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        for variant in [Variant::Direct, Variant::Scalar, Variant::Avx2] {
+            let mut c = vec![2.0; m * n];
+            gemm_with(variant, Op::Ab, &a, &b, &mut c, m, k, n, true);
+            let mut base = vec![0.0; m * n];
+            gemm_with(variant, Op::Ab, &a, &b, &mut base, m, k, n, false);
+            for (x, y) in c.iter().zip(&base) {
+                assert!((x - (y + 2.0)).abs() < 1e-5, "{x} vs {}", y + 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_skip_and_stay_zero() {
+        // Masked-channel pattern: zeroed rows of `a` must produce exactly
+        // zero output rows through the zero-panel skip.
+        let mut rng = SmallRng::new(8);
+        let (m, k, n) = (24, 64, 48);
+        let mut a = rand_vec(m * k, &mut rng);
+        for r in [0usize, 1, 2, 3, 9, 17, 23] {
+            a[r * k..(r + 1) * k].fill(0.0);
+        }
+        let b = rand_vec(k * n, &mut rng);
+        let want = naive(Op::Ab, &a, &b, m, k, n);
+        for variant in [Variant::Scalar, Variant::Avx2] {
+            let mut c = vec![0.0; m * n];
+            gemm_with(variant, Op::Ab, &a, &b, &mut c, m, k, n, false);
+            for r in [0usize, 1, 2, 3, 9, 17, 23] {
+                assert!(
+                    c[r * n..(r + 1) * n].iter().all(|&v| v == 0.0),
+                    "{variant:?} row {r} not exactly zero"
+                );
+            }
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_safe() {
+        for variant in [Variant::Direct, Variant::Scalar, Variant::Avx2] {
+            for &(m, k, n) in &[(0, 4, 4), (4, 0, 4), (4, 4, 0), (0, 0, 0), (1, 0, 1)] {
+                let a = vec![1.0; m * k];
+                let b = vec![1.0; k * n];
+                let mut c = vec![7.0; m * n];
+                gemm_with(variant, Op::Ab, &a, &b, &mut c, m, k, n, false);
+                assert!(c.iter().all(|&v| v == 0.0), "{variant:?} ({m},{k},{n})");
+                let mut c2 = vec![7.0; m * n];
+                gemm_with(variant, Op::Ab, &a, &b, &mut c2, m, k, n, true);
+                assert!(c2.iter().all(|&v| v == 7.0), "{variant:?} ({m},{k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_calls_are_bit_identical() {
+        let mut rng = SmallRng::new(9);
+        let (m, k, n) = (33, 270, 47);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        for variant in [Variant::Direct, Variant::Scalar, Variant::Avx2] {
+            let mut c1 = vec![0.0; m * n];
+            let mut c2 = vec![0.0; m * n];
+            gemm_with(variant, Op::Ab, &a, &b, &mut c1, m, k, n, false);
+            gemm_with(variant, Op::Ab, &a, &b, &mut c2, m, k, n, false);
+            assert_eq!(c1, c2, "{variant:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn selector_routes_tiny_to_direct_and_large_to_simd() {
+        assert_eq!(select(2, 4, 8).variant, Variant::Direct);
+        assert_eq!(select(1, 1000, 1000).variant, Variant::Direct); // skinny m
+        let large = select(128, 256, 512);
+        // Large shapes take the packed path (exact variant is host + env
+        // dependent, but never the direct loops).
+        assert_ne!(large.variant, Variant::Direct);
+        assert_eq!(classify(32, 144, 576), ShapeClass::Panel);
+        assert_eq!(classify(64, 1024, 256), ShapeClass::Deep);
+        assert_eq!(classify(128, 256, 128), ShapeClass::Square);
+    }
+
+    #[test]
+    fn dispatch_counters_attribute_calls() {
+        let before = dispatch_counts();
+        let a = vec![1.0; 64 * 64];
+        let b = vec![1.0; 64 * 64];
+        let mut c = vec![0.0; 64 * 64];
+        gemm_with(Variant::Scalar, Op::Ab, &a, &b, &mut c, 64, 64, 64, false);
+        gemm_with(Variant::Direct, Op::Ab, &a, &b, &mut c, 64, 64, 64, false);
+        let after = dispatch_counts();
+        assert!(after.scalar > before.scalar);
+        assert!(after.direct > before.direct);
+    }
+
+    #[test]
+    fn wide_n_exercises_multiple_nc_blocks() {
+        // n > NC forces the outermost jc loop around; accumulate across
+        // two k blocks too (k > KC).
+        check(Variant::Scalar, Op::Ab, 8, 300, 1100, 10);
+        if avx2_available() {
+            check(Variant::Avx2, Op::Ab, 8, 300, 1100, 11);
+        }
+    }
+}

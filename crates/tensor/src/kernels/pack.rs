@@ -1,0 +1,246 @@
+//! Panel packing for the blocked GEMM driver.
+//!
+//! The microkernels in this module tree never touch the caller's operand
+//! layout directly: the driver first copies the current cache block into
+//! *panels* laid out exactly in the order the inner loop consumes them, so
+//! the hot loop runs at unit stride regardless of how the operand is stored
+//! (row-major, or transposed for the `aᵀ·b` / `a·bᵀ` gradient products).
+//!
+//! Layouts (see DESIGN.md §11 for the diagram):
+//!
+//! * **A block** (`mc × kc`) — split into panels of `MR` rows. Panel `p`
+//!   stores its `MR × kc` sub-block *column-major*: element `(r, kk)` lives
+//!   at `p·(kc·MR) + kk·MR + r`, so one step of the microkernel's k-loop
+//!   reads `MR` contiguous lanes.
+//! * **B block** (`kc × nc`) — split into panels of `NR` columns. Panel `q`
+//!   stores its `kc × NR` sub-block *row-major*: element `(kk, j)` lives at
+//!   `q·(kc·NR) + kk·NR + j`.
+//!
+//! Edge panels (when `mc % MR != 0` or `nc % NR != 0`) are zero-padded to
+//! full width so the microkernel never needs a remainder path; the driver
+//! clips the write-back instead.
+//!
+//! Packing is also where the supernet's channel-mask zero-skip lives:
+//! [`pack_a`] returns a bitmask with one bit per `MR`-row panel that is set
+//! when the panel is entirely zero for this k-block (a masked channel zeroes
+//! whole rows of `a`), and the driver skips those microkernel calls outright.
+
+/// Strided view of a row-major operand: element `(i, j)` of the logical
+/// matrix lives at `base[i * rs + j * cs]`.
+///
+/// `rs`/`cs` absorb transposition: a matrix stored `(k, m)` row-major reads
+/// as its `(m, k)` transpose with `rs = 1, cs = m`.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    /// Element stride between consecutive logical rows.
+    pub rs: usize,
+    /// Element stride between consecutive logical columns.
+    pub cs: usize,
+}
+
+impl Layout {
+    /// Row-major `(rows, cols)` storage: `rs = cols`, `cs = 1`.
+    pub fn row_major(cols: usize) -> Layout {
+        Layout { rs: cols, cs: 1 }
+    }
+
+    /// Transposed view of row-major `(cols, rows)` storage: reading the
+    /// logical `(rows, cols)` matrix walks the buffer with `rs = 1`,
+    /// `cs = rows_of_storage`.
+    pub fn transposed(storage_cols: usize) -> Layout {
+        Layout {
+            rs: 1,
+            cs: storage_cols,
+        }
+    }
+}
+
+/// Packs the `mc × kc` block of `a` starting at logical `(ic, pc)` into
+/// `MR`-row panels in `out`, zero-padding the final panel when `mc` is not
+/// a multiple of `MR`.
+///
+/// Returns a bitmask with bit `p` set when panel `p` (rows
+/// `ic + p·MR .. ic + p·MR + MR`) is entirely zero in this k-block; callers
+/// skip those panels. `mc` must not exceed `64 · mr` so every panel has a
+/// bit (the driver's blocking guarantees this).
+#[allow(clippy::too_many_arguments)]
+pub fn pack_a(
+    a: &[f32],
+    la: Layout,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    mr: usize,
+    out: &mut [f32],
+) -> u64 {
+    let panels = mc.div_ceil(mr);
+    debug_assert!(panels <= 64, "pack_a: mc {mc} exceeds 64 panels of {mr}");
+    debug_assert!(out.len() >= panels * kc * mr);
+    let mut zero_mask = 0u64;
+    for p in 0..panels {
+        let rows = mr.min(mc - p * mr);
+        let panel = &mut out[p * kc * mr..(p + 1) * kc * mr];
+        let mut any_nonzero = false;
+        for kk in 0..kc {
+            let dst = &mut panel[kk * mr..kk * mr + mr];
+            let col_base = (pc + kk) * la.cs;
+            for (r, slot) in dst.iter_mut().enumerate() {
+                let v = if r < rows {
+                    a[(ic + p * mr + r) * la.rs + col_base]
+                } else {
+                    0.0
+                };
+                any_nonzero |= v != 0.0;
+                *slot = v;
+            }
+        }
+        if !any_nonzero {
+            zero_mask |= 1 << p;
+        }
+    }
+    zero_mask
+}
+
+/// Packs the `kc × nc` block of `b` starting at logical `(pc, jc)` into
+/// `NR`-column panels in `out`, zero-padding the final panel when `nc` is
+/// not a multiple of `NR`.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_b(
+    b: &[f32],
+    lb: Layout,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    nr: usize,
+    out: &mut [f32],
+) {
+    let panels = nc.div_ceil(nr);
+    debug_assert!(out.len() >= panels * kc * nr);
+    for q in 0..panels {
+        let cols = nr.min(nc - q * nr);
+        let panel = &mut out[q * kc * nr..(q + 1) * kc * nr];
+        for kk in 0..kc {
+            let dst = &mut panel[kk * nr..kk * nr + nr];
+            let row_base = (pc + kk) * lb.rs;
+            for (j, slot) in dst.iter_mut().enumerate() {
+                *slot = if j < cols {
+                    b[row_base + (jc + q * nr + j) * lb.cs]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_row_major_layout_and_padding() {
+        // 5x3 matrix, mr=4: two panels, second padded with 3 zero rows.
+        let a: Vec<f32> = (0..15).map(|v| v as f32 + 1.0).collect();
+        let mut out = vec![-1.0; 2 * 3 * 4];
+        let mask = pack_a(&a, Layout::row_major(3), 0, 5, 0, 3, 4, &mut out);
+        assert_eq!(mask, 0);
+        // panel 0, kk=0 holds column 0 of rows 0..4: 1, 4, 7, 10
+        assert_eq!(&out[0..4], &[1.0, 4.0, 7.0, 10.0]);
+        // panel 0, kk=2 holds column 2 of rows 0..4: 3, 6, 9, 12
+        assert_eq!(&out[8..12], &[3.0, 6.0, 9.0, 12.0]);
+        // panel 1, kk=0: row 4 then zero padding
+        assert_eq!(&out[12..16], &[13.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_transposed_matches_explicit_transpose() {
+        // storage is (k=3, m=4); logical a is its (4, 3) transpose
+        let stored: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let mut packed_t = vec![0.0; 3 * 4];
+        pack_a(&stored, Layout::transposed(4), 0, 4, 0, 3, 4, &mut packed_t);
+        let mut transposed = vec![0.0; 12];
+        for i in 0..4 {
+            for kk in 0..3 {
+                transposed[i * 3 + kk] = stored[kk * 4 + i];
+            }
+        }
+        let mut packed_rm = vec![0.0; 3 * 4];
+        pack_a(
+            &transposed,
+            Layout::row_major(3),
+            0,
+            4,
+            0,
+            3,
+            4,
+            &mut packed_rm,
+        );
+        assert_eq!(packed_t, packed_rm);
+    }
+
+    #[test]
+    fn pack_a_zero_mask_flags_masked_rows() {
+        // rows 0..4 zero, rows 4..8 nonzero -> panel 0 flagged with mr=4
+        let mut a = vec![0.0f32; 8 * 6];
+        for v in &mut a[4 * 6..] {
+            *v = 2.0;
+        }
+        let mut out = vec![0.0; 2 * 6 * 4];
+        let mask = pack_a(&a, Layout::row_major(6), 0, 8, 0, 6, 4, &mut out);
+        assert_eq!(mask, 0b01);
+    }
+
+    #[test]
+    fn pack_a_sub_block_offsets() {
+        // Pack the (ic=2, pc=1) 2x2 block of a 4x4 matrix.
+        let a: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut out = vec![0.0; 2 * 2];
+        let mask = pack_a(&a, Layout::row_major(4), 2, 2, 1, 2, 2, &mut out);
+        assert_eq!(mask, 0);
+        // element (r, kk) = a[(2+r)*4 + 1+kk]
+        assert_eq!(out, vec![9.0, 13.0, 10.0, 14.0]);
+    }
+
+    #[test]
+    fn pack_b_row_major_layout_and_padding() {
+        // 2x5 matrix, nr=4: two panels, second padded with 3 zero cols.
+        let b: Vec<f32> = (0..10).map(|v| v as f32 + 1.0).collect();
+        let mut out = vec![-1.0; 2 * 2 * 4];
+        pack_b(&b, Layout::row_major(5), 0, 2, 0, 5, 4, &mut out);
+        // panel 0, kk=0: b row 0 cols 0..4
+        assert_eq!(&out[0..4], &[1.0, 2.0, 3.0, 4.0]);
+        // panel 0, kk=1: b row 1 cols 0..4
+        assert_eq!(&out[4..8], &[6.0, 7.0, 8.0, 9.0]);
+        // panel 1: col 4 then zero padding
+        assert_eq!(&out[8..12], &[5.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&out[12..16], &[10.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_transposed_matches_explicit_transpose() {
+        // storage is (n=3, k=4) for a.bT; logical b is (4, 3)
+        let stored: Vec<f32> = (0..12).map(|v| v as f32 * 0.5).collect();
+        let mut packed_t = vec![0.0; 4 * 4];
+        pack_b(&stored, Layout::transposed(4), 0, 4, 0, 3, 4, &mut packed_t);
+        let mut transposed = vec![0.0; 12];
+        for kk in 0..4 {
+            for j in 0..3 {
+                transposed[kk * 3 + j] = stored[j * 4 + kk];
+            }
+        }
+        let mut packed_rm = vec![0.0; 4 * 4];
+        pack_b(
+            &transposed,
+            Layout::row_major(3),
+            0,
+            4,
+            0,
+            3,
+            4,
+            &mut packed_rm,
+        );
+        assert_eq!(packed_t, packed_rm);
+    }
+}

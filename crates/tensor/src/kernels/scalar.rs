@@ -1,0 +1,85 @@
+//! Portable packed microkernel: the scalar reference for every SIMD
+//! variant, and the fallback when no SIMD extension is detected.
+//!
+//! A `4×8` accumulator block lives in registers across the `kc`-deep loop;
+//! both operands arrive packed ([`crate::kernels::pack`]), so the inner
+//! loop is pure unit-stride: `MR` contiguous `a` lanes and `NR` contiguous
+//! `b` lanes per `k` step. The fixed-width loops autovectorize on any
+//! target LLVM knows (SSE2 on baseline x86-64, NEON on aarch64), which is
+//! what makes this the *portable* reference rather than just the slow one.
+//!
+//! The accumulation order (k-major within a tile, `KC`-blocked outside) is
+//! identical to the AVX2 kernel's; the only numeric difference between the
+//! two is mul+add rounding here vs fused multiply-add there, which is what
+//! the differential suite's tolerance contract (DESIGN.md §11) bounds.
+
+use super::Micro;
+
+/// Marker type implementing [`Micro`] for the scalar packed kernel.
+pub(crate) struct ScalarKernel;
+
+impl Micro for ScalarKernel {
+    const MR: usize = 4;
+    const NR: usize = 8;
+
+    #[inline]
+    fn tile(apanel: &[f32], bpanel: &[f32], c: &mut [f32], ldc: usize, kc: usize) {
+        const MR: usize = ScalarKernel::MR;
+        const NR: usize = ScalarKernel::NR;
+        debug_assert!(apanel.len() >= kc * MR);
+        debug_assert!(bpanel.len() >= kc * NR);
+        let mut acc = [[0.0f32; NR]; MR];
+        for kk in 0..kc {
+            let a_lane = &apanel[kk * MR..kk * MR + MR];
+            let b_lane = &bpanel[kk * NR..kk * NR + NR];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = a_lane[r];
+                for (jj, &bv) in b_lane.iter().enumerate() {
+                    acc_row[jj] += av * bv;
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let c_row = &mut c[r * ldc..r * ldc + NR];
+            for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                *cv += av;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_accumulates_packed_product() {
+        // 2-deep k: a panel (kk-major, 4 lanes), b panel (kk-major, 8 lanes)
+        let apanel: Vec<f32> = vec![
+            1.0, 2.0, 3.0, 4.0, // kk = 0
+            0.5, 0.5, 0.5, 0.5, // kk = 1
+        ];
+        let bpanel: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut c = vec![1.0f32; 4 * 8];
+        ScalarKernel::tile(&apanel, &bpanel, &mut c, 8, 2);
+        for r in 0..4 {
+            for j in 0..8 {
+                let want = 1.0 + apanel[r] * bpanel[j] + apanel[4 + r] * bpanel[8 + j];
+                assert_eq!(c[r * 8 + j], want, "({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_respects_ldc() {
+        let apanel = vec![1.0f32; 4];
+        let bpanel = vec![2.0f32; 8];
+        // ldc = 10: two spare columns per row must stay untouched
+        let mut c = vec![0.0f32; 4 * 10];
+        ScalarKernel::tile(&apanel, &bpanel, &mut c, 10, 1);
+        for r in 0..4 {
+            assert!(c[r * 10..r * 10 + 8].iter().all(|&v| v == 2.0));
+            assert_eq!(&c[r * 10 + 8..r * 10 + 10], &[0.0, 0.0]);
+        }
+    }
+}

@@ -1,23 +1,18 @@
-//! Dense single-precision matrix multiplication kernels.
+//! Dense single-precision matrix multiplication entry points.
 //!
 //! Matrices are plain row-major `&[f32]` slices with explicit dimensions;
 //! the convolution kernels in [`crate::conv`] lower onto these via im2col.
 //!
-//! The kernels are cache-blocked over `k` and register-tiled `MR x NR`
-//! (4x8): the microkernel keeps a 4x8 accumulator block in registers and
-//! walks a `k`-block with a contiguous, fixed-width inner loop that LLVM
-//! autovectorizes at `opt-level >= 1`. Supernet channel masking zeroes
-//! whole rows of the `a` operand, so the panel loop keeps the zero-skip of
-//! the old scalar kernels, hoisted to block granularity: an all-zero
-//! `MR x k_block` panel of `a` is skipped before any arithmetic.
+//! Since PR 6 these functions are façades over the runtime-dispatched
+//! kernel layer in [`crate::kernels`]: each call is classified by shape
+//! and routed to the AVX2+FMA packed microkernel, the portable scalar
+//! packed kernel, or the legacy direct register-tiled loops for shapes too
+//! small to amortize packing. The supernet channel-mask zero-skip is
+//! preserved at packed-panel granularity — all-zero `MR`-row panels of `a`
+//! are detected during packing and skipped before any arithmetic. Set
+//! `HSCONAS_KERNEL=scalar|avx2|direct` to pin the variant for A/B runs.
 
-/// Rows of the register tile (rows of `a` per microkernel call).
-const MR: usize = 4;
-/// Columns of the register tile (columns of `c` per microkernel call).
-const NR: usize = 8;
-/// Cache block along the shared `k` dimension; 256 rows of `b` at NR
-/// lanes stay resident in L1/L2 alongside the `a` panel.
-const KC: usize = 256;
+use crate::kernels::{gemm, Op};
 
 /// `c = a (m×k) · b (k×n)`, overwriting `c` (m×n).
 ///
@@ -28,8 +23,7 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
     assert_eq!(a.len(), m * k, "matmul: a has wrong length");
     assert_eq!(b.len(), k * n, "matmul: b has wrong length");
     assert_eq!(c.len(), m * n, "matmul: c has wrong length");
-    c.fill(0.0);
-    matmul_accumulate(a, b, c, m, k, n);
+    gemm(Op::Ab, a, b, c, m, k, n, false);
 }
 
 /// `c += a (m×k) · b (k×n)`.
@@ -41,104 +35,15 @@ pub fn matmul_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize
     assert_eq!(a.len(), m * k, "matmul: a has wrong length");
     assert_eq!(b.len(), k * n, "matmul: b has wrong length");
     assert_eq!(c.len(), m * n, "matmul: c has wrong length");
-    let mut kb = 0;
-    while kb < k {
-        let kc = KC.min(k - kb);
-        let mut ib = 0;
-        while ib < m {
-            let mr = MR.min(m - ib);
-            // Zero-skip at panel granularity: masked channels zero whole
-            // rows of `a`, so this prunes their entire k-block.
-            let panel_zero = (0..mr).all(|r| {
-                a[(ib + r) * k + kb..(ib + r) * k + kb + kc]
-                    .iter()
-                    .all(|&v| v == 0.0)
-            });
-            if !panel_zero {
-                panel_ab(a, b, c, k, n, ib, mr, kb, kc);
-            }
-            ib += MR;
-        }
-        kb += KC;
-    }
-}
-
-/// Microkernel driver for one `mr x kc` panel of `a` against all of `b`'s
-/// columns: tiles `n` by `NR` and keeps the `mr x NR` accumulator block in
-/// registers across the `kc`-deep inner loop.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn panel_ab(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    k: usize,
-    n: usize,
-    ib: usize,
-    mr: usize,
-    kb: usize,
-    kc: usize,
-) {
-    let mut jb = 0;
-    while jb + NR <= n {
-        if mr == MR {
-            // Full 4x8 register tile, fixed-width loops throughout.
-            let mut acc = [[0.0f32; NR]; MR];
-            for kk in 0..kc {
-                let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
-                for r in 0..MR {
-                    let av = a[(ib + r) * k + kb + kk];
-                    for (jj, &bv) in b_row.iter().enumerate() {
-                        acc[r][jj] += av * bv;
-                    }
-                }
-            }
-            for (r, acc_row) in acc.iter().enumerate() {
-                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + NR];
-                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
-                    *cv += av;
-                }
-            }
-        } else {
-            for r in 0..mr {
-                let mut acc = [0.0f32; NR];
-                for kk in 0..kc {
-                    let av = a[(ib + r) * k + kb + kk];
-                    let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
-                    for (jj, &bv) in b_row.iter().enumerate() {
-                        acc[jj] += av * bv;
-                    }
-                }
-                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + NR];
-                for (cv, &av) in c_row.iter_mut().zip(&acc) {
-                    *cv += av;
-                }
-            }
-        }
-        jb += NR;
-    }
-    if jb < n {
-        // Remainder columns: plain i-k-j with the panel's k-block.
-        for r in 0..mr {
-            let a_row = &a[(ib + r) * k + kb..(ib + r) * k + kb + kc];
-            let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + n];
-            for (kk, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    }
+    gemm(Op::Ab, a, b, c, m, k, n, true);
 }
 
 /// `c += aᵀ (k×m, given as m×k) · b (k×n)` — used for weight gradients.
 ///
 /// `a` is stored row-major with shape `(k, m)`; conceptually we compute
-/// `a_transposed · b` where `a_transposed` is `(m, k)`.
+/// `a_transposed · b` where `a_transposed` is `(m, k)`. The kernel layer
+/// absorbs the transpose into panel packing, so the inner loops still run
+/// at unit stride.
 ///
 /// # Panics
 ///
@@ -147,90 +52,7 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: u
     assert_eq!(a.len(), k * m, "matmul_at_b: a has wrong length");
     assert_eq!(b.len(), k * n, "matmul_at_b: b has wrong length");
     assert_eq!(c.len(), m * n, "matmul_at_b: c has wrong length");
-    let mut kb = 0;
-    while kb < k {
-        let kc = KC.min(k - kb);
-        let mut ib = 0;
-        while ib < m {
-            let mr = MR.min(m - ib);
-            // `a` is (k, m): column ib+r of the block, strided by m.
-            let panel_zero = (0..mr).all(|r| (0..kc).all(|kk| a[(kb + kk) * m + ib + r] == 0.0));
-            if !panel_zero {
-                panel_atb(a, b, c, m, n, ib, mr, kb, kc);
-            }
-            ib += MR;
-        }
-        kb += KC;
-    }
-}
-
-/// Microkernel driver for [`matmul_at_b`]: identical tiling to
-/// [`panel_ab`], with the `a` operand read column-wise (stride `m`).
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn panel_atb(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    n: usize,
-    ib: usize,
-    mr: usize,
-    kb: usize,
-    kc: usize,
-) {
-    let mut jb = 0;
-    while jb + NR <= n {
-        if mr == MR {
-            let mut acc = [[0.0f32; NR]; MR];
-            for kk in 0..kc {
-                let a_row = &a[(kb + kk) * m + ib..(kb + kk) * m + ib + MR];
-                let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
-                for (r, &av) in a_row.iter().enumerate() {
-                    for (jj, &bv) in b_row.iter().enumerate() {
-                        acc[r][jj] += av * bv;
-                    }
-                }
-            }
-            for (r, acc_row) in acc.iter().enumerate() {
-                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + NR];
-                for (cv, &av) in c_row.iter_mut().zip(acc_row) {
-                    *cv += av;
-                }
-            }
-        } else {
-            for r in 0..mr {
-                let mut acc = [0.0f32; NR];
-                for kk in 0..kc {
-                    let av = a[(kb + kk) * m + ib + r];
-                    let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + jb + NR];
-                    for (jj, &bv) in b_row.iter().enumerate() {
-                        acc[jj] += av * bv;
-                    }
-                }
-                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + jb + NR];
-                for (cv, &av) in c_row.iter_mut().zip(&acc) {
-                    *cv += av;
-                }
-            }
-        }
-        jb += NR;
-    }
-    if jb < n {
-        for kk in 0..kc {
-            let b_row = &b[(kb + kk) * n + jb..(kb + kk) * n + n];
-            for r in 0..mr {
-                let av = a[(kb + kk) * m + ib + r];
-                if av == 0.0 {
-                    continue;
-                }
-                let c_row = &mut c[(ib + r) * n + jb..(ib + r) * n + n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    }
+    gemm(Op::AtB, a, b, c, m, k, n, true);
 }
 
 /// `c += a (m×k) · bᵀ (n×k, given row-major)` — used for input gradients.
@@ -242,40 +64,7 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k, "matmul_a_bt: a has wrong length");
     assert_eq!(b.len(), n * k, "matmul_a_bt: b has wrong length");
     assert_eq!(c.len(), m * n, "matmul_a_bt: c has wrong length");
-    // Both operands are walked along `k`, so each (i, j) pair is a dot
-    // product; eight independent lanes break the serial FP dependency
-    // chain and autovectorize.
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        if a_row.iter().all(|&v| v == 0.0) {
-            continue;
-        }
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            *cv += dot_lanes(a_row, b_row);
-        }
-    }
-}
-
-/// Dot product with eight parallel accumulator lanes.
-#[inline]
-fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
-    const LANES: usize = 8;
-    let mut lanes = [0.0f32; LANES];
-    let chunks = a.len() / LANES;
-    for ck in 0..chunks {
-        let a_c = &a[ck * LANES..(ck + 1) * LANES];
-        let b_c = &b[ck * LANES..(ck + 1) * LANES];
-        for l in 0..LANES {
-            lanes[l] += a_c[l] * b_c[l];
-        }
-    }
-    let mut acc = lanes.iter().sum::<f32>();
-    for l in chunks * LANES..a.len() {
-        acc += a[l] * b[l];
-    }
-    acc
+    gemm(Op::ABt, a, b, c, m, k, n, true);
 }
 
 #[cfg(test)]
@@ -427,6 +216,21 @@ mod tests {
         let mut c2 = vec![0.0; m * n];
         matmul(&a, &b, &mut c1, m, k, n);
         matmul(&a, &b, &mut c2, m, k, n);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn overwrite_equals_accumulate_onto_zeroed_c() {
+        // `matmul` must be bit-identical to `matmul_accumulate` on a
+        // zeroed output — same kernel, same accumulation order.
+        let mut rng = SmallRng::new(12);
+        let (m, k, n) = (40, 100, 96);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c1 = vec![0.0; m * n];
+        matmul(&a, &b, &mut c1, m, k, n);
+        let mut c2 = vec![0.0; m * n];
+        matmul_accumulate(&a, &b, &mut c2, m, k, n);
         assert_eq!(c1, c2);
     }
 

@@ -8,7 +8,9 @@
 # Writes <output-dir>/BENCH_<short-sha>.json (default output-dir: repo root)
 # containing archs/sec and forwards/sec for population evaluation with the
 # prefix-activation cache off/on, allocations per steady-state forward,
-# the prefix-cache hit rate, and end-to-end fixed-seed search throughput.
+# the prefix-cache hit rate, end-to-end fixed-seed search throughput, and a
+# `kernels` block (selected GEMM variant, per-variant dispatch counts, and
+# GFLOP/s per shape class for direct / packed scalar / packed AVX2).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -46,6 +46,13 @@ run_gate "clippy (telemetry off)" \
 run_gate "cargo test" \
     cargo test -q
 
+# The GEMM kernel layer must behave identically whichever variant the
+# runtime selector would pick: force the portable packed scalar kernel for
+# the differential suite (the suite itself still compares all available
+# variants via gemm_with, so AVX2 hosts get SIMD coverage too).
+run_gate "kernel differential (scalar forced)" \
+    env HSCONAS_KERNEL=scalar cargo test -q -p hsconas --test kernel_differential
+
 # Fault-injection suite: kills a checkpoint write at every named site and
 # asserts the atomic temp+fsync+rename protocol never leaves a torn file.
 # The failpoints feature is compiled out everywhere else.

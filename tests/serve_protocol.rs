@@ -32,6 +32,27 @@ fn happy_path_round_trips() {
         .get("devices")
         .and_then(|d| d.get("edge-xavier"))
         .is_some());
+    // kernel block: the selected GEMM variant is one of the known names
+    // and the per-variant dispatch counters are present.
+    let kernel = result.get("kernel").expect("kernel block");
+    let variant = kernel
+        .get("variant")
+        .and_then(Json::as_str)
+        .expect("kernel.variant");
+    assert!(
+        ["direct", "scalar", "avx2"].contains(&variant),
+        "unknown kernel variant {variant:?}"
+    );
+    for key in ["direct", "scalar", "avx2"] {
+        assert!(
+            kernel
+                .get("dispatch")
+                .and_then(|d| d.get(key))
+                .and_then(Json::as_u64)
+                .is_some(),
+            "missing kernel.dispatch.{key}"
+        );
+    }
 
     // predict_latency: positive latency, device echoed canonically.
     let arch = widest_arch_encoding();
