@@ -31,11 +31,34 @@ pub mod queue;
 pub use queue::{BoundedQueue, PushError};
 
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide default worker count; 0 means "auto" (use
 /// [`available_threads`]).
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set on threads spawned by this module's worker pools; never reset
+    /// (pool threads are scoped and die with the dispatching call).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the calling thread is a worker spawned by one of this
+/// module's pools. Nested parallel sites (e.g. the intra-GEMM band
+/// fan-out inside a batch-parallel convolution) consult this to stay
+/// serial instead of oversubscribing the machine with pools-inside-pools.
+///
+/// Inline execution (`threads == 1`, or a single work item) runs on the
+/// dispatching thread and does *not* set the flag: a serial outer loop
+/// leaves inner sites free to go wide.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+fn mark_worker() {
+    IN_WORKER.with(|w| w.set(true));
+}
 
 /// Number of hardware threads reported by the OS (at least 1).
 pub fn available_threads() -> usize {
@@ -100,6 +123,7 @@ where
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
+                mark_worker();
                 let _telemetry_scope = hsconas_telemetry::enter_scope(&scope_token);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -166,6 +190,7 @@ where
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
+                mark_worker();
                 let _telemetry_scope = hsconas_telemetry::enter_scope(&scope_token);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -247,6 +272,17 @@ mod tests {
         let out: Vec<usize> = par_map(&[] as &[usize], 4, |_, &x| x);
         assert!(out.is_empty());
         par_for_each(Vec::<usize>::new(), 4, |_, _| {});
+    }
+
+    #[test]
+    fn in_worker_flag_marks_pool_threads_only() {
+        assert!(!in_worker(), "dispatching thread is not a worker");
+        let flags = par_map_indices(4, 4, |_| in_worker());
+        assert!(flags.iter().all(|&f| f), "pool threads must be flagged");
+        // Inline execution (threads == 1) stays unflagged.
+        let inline = par_map_indices(4, 1, |_| in_worker());
+        assert!(inline.iter().all(|&f| !f));
+        assert!(!in_worker(), "flag must not leak back to the dispatcher");
     }
 
     #[test]

@@ -692,11 +692,14 @@ fn build_status(shared: &Arc<Shared>) -> Json {
         ("devices", Json::Obj(devices)),
         (
             // Which GEMM kernel the tensor layer selected on this host
-            // (HSCONAS_KERNEL override included) and how many dispatches
-            // each variant has taken since startup.
+            // (HSCONAS_KERNEL override included), how many dispatches each
+            // variant has taken since startup, how the band-parallel
+            // driver split them, and the packed-weight cache counters.
             "kernel",
             {
                 let counts = hsconas_tensor::kernels::dispatch_counts();
+                let bands = hsconas_tensor::kernels::parallel_counts();
+                let pack = hsconas_tensor::kernels::cache::stats();
                 Json::obj(vec![
                     (
                         "variant",
@@ -708,6 +711,25 @@ fn build_status(shared: &Arc<Shared>) -> Json {
                             ("direct", Json::Num(counts.direct as f64)),
                             ("scalar", Json::Num(counts.scalar as f64)),
                             ("avx2", Json::Num(counts.avx2 as f64)),
+                        ]),
+                    ),
+                    (
+                        "bands",
+                        Json::obj(vec![
+                            ("serial", Json::Num(bands.serial as f64)),
+                            ("parallel", Json::Num(bands.parallel as f64)),
+                        ]),
+                    ),
+                    (
+                        "pack_cache",
+                        Json::obj(vec![
+                            ("hits", Json::Num(pack.hits as f64)),
+                            ("misses", Json::Num(pack.misses as f64)),
+                            ("evictions", Json::Num(pack.evictions as f64)),
+                            ("invalidations", Json::Num(pack.invalidations as f64)),
+                            ("entries", Json::Num(pack.entries as f64)),
+                            ("bytes", Json::Num(pack.bytes as f64)),
+                            ("hit_rate", Json::Num(pack.hit_rate())),
                         ]),
                     ),
                 ])

@@ -9,7 +9,16 @@
 //! SIMD kernel layer ([`crate::kernels`]); the forward product's weight
 //! operand carries the supernet's channel masks as zero rows, which the
 //! packing step detects per `MR`-row panel and skips outright, so a
-//! scaled-down candidate pays only for its live channels.
+//! scaled-down candidate pays only for its live channels. The weight
+//! operands (forward and the `Wᵀ·dOut` input-gradient product) carry
+//! pack-cache tags, so their panels pack once per weight generation in
+//! the persistent cache instead of once per image.
+//!
+//! Pointwise convolutions (`kernel == 1`, `stride == 1`, `pad == 0`) skip
+//! the im2col staging copy entirely: the column matrix is exactly the
+//! input plane matrix (the identity proven in [`crate::im2col`]'s tests),
+//! so the GEMMs read the input — and write the input gradient — in place,
+//! with bit-identical results to the staged path.
 //!
 //! Both passes reuse per-thread im2col staging buffers
 //! ([`crate::scratch`]) and fan the batch dimension out over the shared
@@ -21,7 +30,8 @@
 //! which reproduces the serial addition order exactly.
 
 use crate::im2col::{col2im, im2col, ConvGeom};
-use crate::matmul::{matmul_a_bt, matmul_accumulate, matmul_at_b};
+use crate::kernels::GemmTags;
+use crate::matmul::{matmul_a_bt, matmul_accumulate_tagged, matmul_at_b_tagged};
 use crate::scratch::with_scratch;
 use crate::{Shape4, Tensor, TensorError};
 
@@ -91,6 +101,12 @@ impl Conv2dParams {
         (oh, ow)
     }
 
+    /// True for 1×1/stride-1/no-pad convolutions, whose im2col matrix is
+    /// exactly the input plane matrix — the staging copy is skipped.
+    fn is_pointwise(&self) -> bool {
+        self.kernel == 1 && self.stride == 1 && self.pad == 0
+    }
+
     fn geom(&self, h: usize, w: usize) -> ConvGeom {
         ConvGeom {
             channels: self.c_in / self.groups,
@@ -145,23 +161,38 @@ pub fn conv2d_forward(
 
     let input_data = input.data();
     let weight_data = weight.data();
+    let pointwise = params.is_pointwise();
     let forward_one = |n: usize, out_image: &mut [f32]| {
-        with_scratch(krows * cols, |col| {
+        // out = W · col per group; the weight operand is tagged so its
+        // packed panels come from the persistent cache.
+        let group_product = |g: usize, col: &[f32], out_image: &mut [f32]| {
+            let w_off = g * coutpg * krows;
+            let o_off = g * coutpg * out_plane;
+            matmul_accumulate_tagged(
+                &weight_data[w_off..w_off + coutpg * krows],
+                col,
+                &mut out_image[o_off..o_off + coutpg * out_plane],
+                coutpg,
+                krows,
+                cols,
+                GemmTags::a_tag(weight.pack_tag_at(w_off)),
+            );
+        };
+        if pointwise {
+            // col ≡ the input plane matrix: multiply in place, no staging.
             for g in 0..params.groups {
                 let in_off = n * in_stride + g * cinpg * in_plane;
-                im2col(&input_data[in_off..in_off + cinpg * in_plane], &geom, col);
-                let w_off = g * coutpg * krows;
-                let o_off = g * coutpg * out_plane;
-                matmul_accumulate(
-                    &weight_data[w_off..w_off + coutpg * krows],
-                    col,
-                    &mut out_image[o_off..o_off + coutpg * out_plane],
-                    coutpg,
-                    krows,
-                    cols,
-                );
+                group_product(g, &input_data[in_off..in_off + cinpg * in_plane], out_image);
             }
-        });
+        } else {
+            with_scratch(krows * cols, |col| {
+                for g in 0..params.groups {
+                    let in_off = n * in_stride + g * cinpg * in_plane;
+                    im2col(&input_data[in_off..in_off + cinpg * in_plane], &geom, col);
+                    group_product(g, col, out_image);
+                }
+            });
+        }
     };
 
     let threads = batch_threads(ishape.n, params.c_out * out_plane * krows);
@@ -248,11 +279,47 @@ pub fn conv2d_backward(
     let input_data = input.data();
     let weight_data = weight.data();
     let grad_out_data = grad_out.data();
+    let pointwise = params.is_pointwise();
     // Per-image work: fills this image's slice of dInput and returns its
     // dW contribution. Scratch buffers come from the thread's pool.
     let backward_one = |n: usize, gin_image: &mut [f32]| -> Vec<f32> {
         let mut gw = crate::arena::take_buffer(w_len);
         gw.resize(w_len, 0.0);
+        if pointwise {
+            // col ≡ the input plane matrix and col2im is the identity
+            // accumulation, so both products run in place: dW reads the
+            // input directly and dIn is written straight into its zeroed
+            // slice (bit-identical to staging through dcol).
+            for g in 0..params.groups {
+                let in_off = n * in_stride + g * cinpg * in_plane;
+                let gin_off = g * cinpg * in_plane;
+                let w_off = g * coutpg * krows;
+                let o_off = n * out_stride + g * coutpg * out_plane;
+                let dout = &grad_out_data[o_off..o_off + coutpg * out_plane];
+
+                // dW += dOut (coutpg × cols) · inᵀ (cols × krows)
+                matmul_a_bt(
+                    dout,
+                    &input_data[in_off..in_off + cinpg * in_plane],
+                    &mut gw[w_off..w_off + coutpg * krows],
+                    coutpg,
+                    cols,
+                    krows,
+                );
+
+                // dIn += Wᵀ (krows × coutpg) · dOut (coutpg × cols)
+                matmul_at_b_tagged(
+                    &weight_data[w_off..w_off + coutpg * krows],
+                    dout,
+                    &mut gin_image[gin_off..gin_off + cinpg * in_plane],
+                    coutpg,
+                    krows,
+                    cols,
+                    GemmTags::a_tag(weight.pack_tag_at(w_off)),
+                );
+            }
+            return gw;
+        }
         with_scratch(krows * cols, |col| {
             with_scratch(krows * cols, |dcol| {
                 for g in 0..params.groups {
@@ -275,13 +342,14 @@ pub fn conv2d_backward(
 
                     // dCol = Wᵀ (krows × coutpg) · dOut (coutpg × cols)
                     dcol.fill(0.0);
-                    matmul_at_b(
+                    matmul_at_b_tagged(
                         &weight_data[w_off..w_off + coutpg * krows],
                         dout,
                         dcol,
                         coutpg,
                         krows,
                         cols,
+                        GemmTags::a_tag(weight.pack_tag_at(w_off)),
                     );
                     col2im(
                         dcol,
@@ -502,6 +570,84 @@ mod tests {
             let ana = grads.weight.data()[idx];
             assert!((num - ana).abs() < 5e-2, "weight[{idx}]: {num} vs {ana}");
         }
+    }
+
+    #[test]
+    fn pointwise_fast_path_matches_naive_and_gradcheck() {
+        let mut rng = SmallRng::new(21);
+        let p = Conv2dParams {
+            c_in: 6,
+            c_out: 8,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            groups: 2,
+        };
+        let x = Tensor::randn([2, 6, 7, 5], 1.0, &mut rng);
+        let w = Tensor::randn(p.weight_shape(), 0.5, &mut rng);
+        let got = conv2d_forward(&x, &w, &p).unwrap();
+        assert_close(&got, &naive_conv(&x, &w, &p), 1e-3);
+
+        let m = Tensor::randn(got.shape(), 1.0, &mut rng);
+        let grads = conv2d_backward(&x, &w, &m, &p).unwrap();
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor| -> f32 {
+            let y = conv2d_forward(x, w, &p).unwrap();
+            y.data().iter().zip(m.data()).map(|(a, b)| a * b).sum()
+        };
+        for idx in [0usize, 11, 47, 90] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            let ana = grads.input.data()[idx];
+            assert!((num - ana).abs() < 5e-2, "input[{idx}]: {num} vs {ana}");
+        }
+        for idx in [0usize, 7, 15, 23] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            let ana = grads.weight.data()[idx];
+            assert!((num - ana).abs() < 5e-2, "weight[{idx}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn pointwise_fast_path_is_bit_identical_to_staged_math() {
+        // The fast path feeds the input plane matrix to the same GEMM the
+        // staged path would run on the im2col copy (an identity for 1×1/
+        // stride-1/no-pad) — outputs must agree bitwise, not just within
+        // tolerance.
+        let mut rng = SmallRng::new(22);
+        let p = Conv2dParams {
+            c_in: 8,
+            c_out: 12,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            groups: 1,
+        };
+        let x = Tensor::randn([3, 8, 9, 7], 1.0, &mut rng);
+        let w = Tensor::randn(p.weight_shape(), 0.5, &mut rng);
+        let y = conv2d_forward(&x, &w, &p).unwrap();
+
+        let s = x.shape();
+        let plane = s.h * s.w;
+        let mut want = vec![0.0f32; s.n * p.c_out * plane];
+        for n in 0..s.n {
+            crate::matmul::matmul_accumulate(
+                w.data(),
+                &x.data()[n * p.c_in * plane..(n + 1) * p.c_in * plane],
+                &mut want[n * p.c_out * plane..(n + 1) * p.c_out * plane],
+                p.c_out,
+                p.c_in,
+                plane,
+            );
+        }
+        assert_eq!(y.data(), want.as_slice());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Runtime-dispatched GEMM kernel layer: packed panels, SIMD microkernels,
-//! and a per-shape kernel selector.
+//! a per-shape kernel selector, deterministic multicore band decomposition,
+//! and a persistent packed-weight cache ([`cache`]).
 //!
 //! Every dense product in the crate ([`crate::matmul`], and through it the
 //! im2col convolution paths) funnels into [`gemm`], which
@@ -8,29 +9,52 @@
 //! 2. picks a kernel variant ([`Variant`]) — AVX2+FMA when the CPU has it,
 //!    the portable scalar packed kernel otherwise, or the legacy *direct*
 //!    register-tiled loops for shapes too small to amortize packing,
-//! 3. picks cache blocking (`KC`/`MC`/`NC`) for the class, and
-//! 4. runs a BLIS-style blocked loop nest: pack a `kc×nc` block of `b`
-//!    into `NR`-column panels, pack each `mc×kc` block of `a` into
+//! 3. picks cache blocking (`KC`/`MC`/`NC`) and a worker count for the
+//!    class (tiny/skinny/moderate shapes stay single-threaded; large
+//!    shapes split into row bands across `hsconas-par` workers), and
+//! 4. runs a BLIS-style blocked loop nest per band: pack a `kc×nc` block
+//!    of `b` into `NR`-column panels, pack each `mc×kc` block of `a` into
 //!    `MR`-row panels (recording which panels are entirely zero — the
 //!    supernet's channel masks zero whole rows of `a`, and those panels
 //!    are skipped before any arithmetic), then walk the panel grid with
-//!    the selected microkernel.
+//!    the selected microkernel. Operands carrying a [`cache::PackTag`]
+//!    (supernet weights) read their panels from the persistent pack cache
+//!    instead of repacking per call.
 //!
-//! The selection is overridable for A/B benchmarking via the
-//! `HSCONAS_KERNEL` environment variable (`scalar`, `avx2`, `direct`, or
-//! `auto`; read once per process). Every call increments a per-variant
-//! dispatch counter, mirrored onto the telemetry registry as
-//! `kernel.dispatch.{avx2,scalar,direct}` so benchmark numbers are
-//! attributable to the kernel that actually ran (`hsconas report`, serve
+//! ## Parallel decomposition
+//!
+//! The parallel driver splits `c`'s rows into `MR`-aligned bands, one
+//! worker per band. Each output element is written by exactly one worker,
+//! there is no reduction along `k` across threads, and every band packs
+//! (or reads from the cache) byte-identical panels over the same
+//! `MR`/`NR`-aligned row/column sets as the serial driver — so each
+//! element receives the same additions in the same `pc`-block order
+//! regardless of the band count, and results are **bit-identical at any
+//! thread count** (the `determinism_parallel` suite asserts this through
+//! the full supernet). Nested parallel sites stay serial: a GEMM issued
+//! from inside an `hsconas-par` worker (the batch-parallel convolution
+//! path) detects it via [`hsconas_par::in_worker`] and runs inline rather
+//! than oversubscribing the machine.
+//!
+//! Selection is overridable for A/B benchmarking via two environment
+//! variables, each read once per process and **rejected loudly** (panic)
+//! when set to an unknown value: `HSCONAS_KERNEL` (`scalar`, `avx2`,
+//! `direct`, `auto`) picks the variant, `HSCONAS_KERNEL_THREADS` (a
+//! worker count, `0`, or `auto`) pins the band worker count. Every call
+//! increments a per-variant dispatch counter plus a parallel/serial path
+//! counter, mirrored onto the telemetry registry as `kernel.dispatch.*`
+//! and `kernel.gemm.*` so benchmark numbers are attributable to the
+//! kernel and decomposition that actually ran (`hsconas report`, serve
 //! `status`).
 //!
 //! Determinism contract: for a fixed variant the accumulation order is a
-//! pure function of `(op, m, k, n)` — fixed blocking, fixed panel walk —
-//! so repeated calls are bit-identical and the thread-count and cache
-//! on/off determinism gates hold unchanged. Numeric agreement *across*
-//! variants is tolerance-bounded, not bit-exact (FMA contraction differs
-//! from mul+add); DESIGN.md §11 states the contract the differential
-//! suite enforces.
+//! pure function of `(op, m, k, n)` — fixed blocking, fixed panel walk,
+//! band splits only at `MR` boundaries — so repeated calls are
+//! bit-identical and the thread-count and cache on/off determinism gates
+//! hold unchanged. Numeric agreement *across* variants is
+//! tolerance-bounded, not bit-exact (FMA contraction differs from
+//! mul+add); DESIGN.md §11 states the contract the differential suite
+//! enforces.
 //!
 //! NEON seam: an aarch64 kernel implements [`Micro`] over the same packed
 //! layout and registers itself exactly like [`avx2`] does — add the
@@ -42,6 +66,7 @@ use std::sync::OnceLock;
 
 use crate::scratch::with_scratch;
 
+pub mod cache;
 pub(crate) mod direct;
 pub mod pack;
 mod scalar;
@@ -49,11 +74,17 @@ mod scalar;
 #[cfg(target_arch = "x86_64")]
 mod avx2;
 
+use cache::{PackTag, PackedRef};
 use pack::{pack_a, pack_b, Layout};
 use scalar::ScalarKernel;
 
 /// Largest microkernel tile (`6×16`), sizing the edge-tile stack buffer.
 const MAX_TILE: usize = 96;
+
+/// Bands smaller than this many rows don't amortize a worker's panel
+/// packing and spawn cost; the auto policy caps the worker count at
+/// `m / MIN_BAND_ROWS`.
+const MIN_BAND_ROWS: usize = 24;
 
 /// A packed microkernel: computes `c += apanel · bpanel` for one full
 /// `MR × NR` tile over a `kc`-deep packed k-block.
@@ -111,31 +142,75 @@ pub fn avx2_available() -> bool {
     }
 }
 
+/// Parses an `HSCONAS_KERNEL` value. `Ok(None)` means "auto".
+fn parse_kernel_env(raw: &str) -> Result<Option<Variant>, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Ok(Some(Variant::Scalar)),
+        "direct" => Ok(Some(Variant::Direct)),
+        "avx2" => Ok(Some(Variant::Avx2)),
+        "" | "auto" => Ok(None),
+        other => Err(format!(
+            "HSCONAS_KERNEL={other} not recognized; valid values are scalar|avx2|direct|auto"
+        )),
+    }
+}
+
 /// The `HSCONAS_KERNEL` override, parsed once per process.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo'd A/B run must fail loudly,
+/// not silently benchmark the auto path. `avx2` on a host without
+/// AVX2+FMA is a recognized value that cannot be honored; it warns and
+/// falls back to the scalar packed kernel so the same command line works
+/// across a heterogeneous fleet.
 fn env_override() -> Option<Variant> {
     static OVERRIDE: OnceLock<Option<Variant>> = OnceLock::new();
     *OVERRIDE.get_or_init(|| match std::env::var("HSCONAS_KERNEL") {
-        Ok(v) => match v.to_ascii_lowercase().as_str() {
-            "scalar" => Some(Variant::Scalar),
-            "direct" => Some(Variant::Direct),
-            "avx2" => {
-                if avx2_available() {
-                    Some(Variant::Avx2)
-                } else {
-                    eprintln!(
-                        "HSCONAS_KERNEL=avx2 requested but the CPU lacks avx2+fma; \
-                         falling back to the scalar packed kernel"
-                    );
-                    Some(Variant::Scalar)
-                }
-            }
-            "" | "auto" => None,
-            other => {
+        Ok(v) => match parse_kernel_env(&v) {
+            Ok(Some(Variant::Avx2)) if !avx2_available() => {
                 eprintln!(
-                    "HSCONAS_KERNEL={other} not recognized (scalar|avx2|direct|auto); ignoring"
+                    "HSCONAS_KERNEL=avx2 requested but the CPU lacks avx2+fma; \
+                     falling back to the scalar packed kernel"
                 );
-                None
+                Some(Variant::Scalar)
             }
+            Ok(sel) => sel,
+            Err(msg) => panic!("{msg}"),
+        },
+        Err(_) => None,
+    })
+}
+
+/// Parses an `HSCONAS_KERNEL_THREADS` value. `Ok(None)` means "auto"
+/// (the per-shape-class policy decides).
+fn parse_threads_env(raw: &str) -> Result<Option<usize>, String> {
+    let v = raw.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" | "auto" => Ok(None),
+        s => match s.parse::<usize>() {
+            Ok(0) => Ok(None),
+            Ok(t) => Ok(Some(t)),
+            Err(_) => Err(format!(
+                "HSCONAS_KERNEL_THREADS={raw} not recognized; \
+                 valid values are a worker count, 0, or auto"
+            )),
+        },
+    }
+}
+
+/// The `HSCONAS_KERNEL_THREADS` override, parsed once per process.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value (same loud-failure policy as
+/// [`env_override`]).
+fn env_threads() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("HSCONAS_KERNEL_THREADS") {
+        Ok(v) => match parse_threads_env(&v) {
+            Ok(sel) => sel,
+            Err(msg) => panic!("{msg}"),
         },
         Err(_) => None,
     })
@@ -200,6 +275,20 @@ impl ShapeClass {
             ShapeClass::Square => "square",
         }
     }
+
+    /// MAC count below which the class stays single-threaded. The pool
+    /// spawns fresh scoped threads per call (tens of µs), so only
+    /// problems with several milliseconds of arithmetic go parallel.
+    /// Panel shapes need more work in flight than the others: their
+    /// small `m` limits the band count, so per-band packing overhead is
+    /// amortized over fewer rows.
+    fn parallel_mac_threshold(self) -> usize {
+        match self {
+            ShapeClass::Tiny | ShapeClass::Skinny => usize::MAX,
+            ShapeClass::Panel => 16_000_000,
+            ShapeClass::Deep | ShapeClass::Square => 8_000_000,
+        }
+    }
 }
 
 /// Cache-blocking parameters for the packed loop nest.
@@ -249,24 +338,53 @@ pub struct Selection {
     pub blocking: Blocking,
     /// The shape class that drove the choice.
     pub class: ShapeClass,
+    /// Row-band worker count the parallel driver will use (`1` = serial).
+    pub threads: usize,
 }
 
-/// The kernel selector: shape class → variant + blocking, with the
-/// `HSCONAS_KERNEL` override applied to packed-eligible shapes.
+/// Resolves the band worker count for a packed-eligible shape: serial
+/// inside pool workers (no nested pools), else the
+/// `HSCONAS_KERNEL_THREADS` override, else the per-class MAC threshold
+/// with the band count capped so each worker keeps at least
+/// [`MIN_BAND_ROWS`] rows.
+fn auto_band_threads(class: ShapeClass, m: usize, k: usize, n: usize) -> usize {
+    if hsconas_par::in_worker() {
+        return 1;
+    }
+    if let Some(t) = env_threads() {
+        return t;
+    }
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    if macs < class.parallel_mac_threshold() {
+        return 1;
+    }
+    hsconas_par::default_threads().min(m / MIN_BAND_ROWS).max(1)
+}
+
+/// The kernel selector: shape class → variant + blocking + band worker
+/// count, with the `HSCONAS_KERNEL` / `HSCONAS_KERNEL_THREADS` overrides
+/// applied to packed-eligible shapes.
 ///
-/// Tiny and skinny problems always take the direct path — packing them is
-/// a net loss under every variant — so the override steers the kernels
-/// that matter without pessimizing the long tail of small products.
+/// Tiny and skinny problems always take the direct serial path — packing
+/// or forking them is a net loss under every variant — so the overrides
+/// steer the kernels that matter without pessimizing the long tail of
+/// small products.
 pub fn select(m: usize, k: usize, n: usize) -> Selection {
     let class = classify(m, k, n);
     let variant = match class {
         ShapeClass::Tiny | ShapeClass::Skinny => Variant::Direct,
         _ => selected_variant(),
     };
+    let threads = if variant == Variant::Direct {
+        1
+    } else {
+        auto_band_threads(class, m, k, n)
+    };
     Selection {
         variant,
         blocking: Blocking::for_class(class),
         class,
+        threads,
     }
 }
 
@@ -276,6 +394,8 @@ pub fn select(m: usize, k: usize, n: usize) -> Selection {
 static CALLS_DIRECT: AtomicU64 = AtomicU64::new(0);
 static CALLS_SCALAR: AtomicU64 = AtomicU64::new(0);
 static CALLS_AVX2: AtomicU64 = AtomicU64::new(0);
+static CALLS_SERIAL: AtomicU64 = AtomicU64::new(0);
+static CALLS_PARALLEL: AtomicU64 = AtomicU64::new(0);
 
 /// Telemetry mirrors of the dispatch counters. The registry is compiled
 /// unconditionally (counters are functional API, like the cache hit
@@ -288,6 +408,18 @@ fn telemetry_counters() -> &'static [hsconas_telemetry::Counter; 3] {
             hsconas_telemetry::Counter::register("kernel.dispatch.direct"),
             hsconas_telemetry::Counter::register("kernel.dispatch.scalar"),
             hsconas_telemetry::Counter::register("kernel.dispatch.avx2"),
+        ]
+    })
+}
+
+/// Telemetry mirrors of the packed-driver decomposition counters
+/// (`kernel.gemm.{serial,parallel}`).
+fn band_telemetry() -> &'static [hsconas_telemetry::Counter; 2] {
+    static CELLS: OnceLock<[hsconas_telemetry::Counter; 2]> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        [
+            hsconas_telemetry::Counter::register("kernel.gemm.serial"),
+            hsconas_telemetry::Counter::register("kernel.gemm.parallel"),
         ]
     })
 }
@@ -320,6 +452,24 @@ pub fn dispatch_counts() -> DispatchCounts {
         direct: CALLS_DIRECT.load(Ordering::Relaxed),
         scalar: CALLS_SCALAR.load(Ordering::Relaxed),
         avx2: CALLS_AVX2.load(Ordering::Relaxed),
+    }
+}
+
+/// Packed-driver decomposition totals: how many packed GEMM calls ran
+/// serially vs fanned out across row-band workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelCounts {
+    /// Packed calls executed on the calling thread (one band).
+    pub serial: u64,
+    /// Packed calls split into row bands across pool workers.
+    pub parallel: u64,
+}
+
+/// Snapshot of the decomposition counters (serve `status`, bench).
+pub fn parallel_counts() -> ParallelCounts {
+    ParallelCounts {
+        serial: CALLS_SERIAL.load(Ordering::Relaxed),
+        parallel: CALLS_PARALLEL.load(Ordering::Relaxed),
     }
 }
 
@@ -363,8 +513,39 @@ impl Op {
     }
 }
 
+/// Cache identities of a GEMM call's operands. A `Some` tag routes that
+/// operand's panels through the persistent pack cache ([`cache`]):
+/// supernet weights are tagged (via [`crate::Tensor::pack_tag`]) so they
+/// pack once per mutation generation; activations stay untagged and pack
+/// into per-call scratch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GemmTags {
+    /// Tag for the `a'` operand (e.g. the conv weight in `W·col`).
+    pub a: Option<PackTag>,
+    /// Tag for the `b'` operand (e.g. the linear weight in `x·Wᵀ`).
+    pub b: Option<PackTag>,
+}
+
+impl GemmTags {
+    /// Tags only the `a'` operand.
+    pub fn a_tag(tag: PackTag) -> GemmTags {
+        GemmTags {
+            a: Some(tag),
+            b: None,
+        }
+    }
+
+    /// Tags only the `b'` operand.
+    pub fn b_tag(tag: PackTag) -> GemmTags {
+        GemmTags {
+            a: None,
+            b: Some(tag),
+        }
+    }
+}
+
 /// `c (m×n) ⟵ a' · b'` (overwrite) or `c += a' · b'` (accumulate), with
-/// the kernel chosen by [`select`].
+/// the kernel, blocking, and band worker count chosen by [`select`].
 ///
 /// # Panics
 ///
@@ -380,13 +561,49 @@ pub fn gemm(
     n: usize,
     accumulate: bool,
 ) {
-    let sel = select(m, k, n);
-    gemm_with(sel.variant, op, a, b, c, m, k, n, accumulate);
+    gemm_tagged(op, a, b, c, m, k, n, accumulate, GemmTags::default());
 }
 
-/// [`gemm`] with an explicit kernel variant — the A/B hook the
-/// differential suite and criterion benches are built on. An unavailable
-/// variant (AVX2 on a non-AVX2 host) falls back to `Scalar`.
+/// [`gemm`] with operand cache tags: tagged operands read their packed
+/// panels from the persistent weight cache. Results are bit-identical to
+/// the untagged call (cached panels hold the same bytes the per-call
+/// packing produces).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions for `op`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tagged(
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    tags: GemmTags,
+) {
+    let sel = select(m, k, n);
+    gemm_ext(
+        sel.variant,
+        sel.threads,
+        op,
+        a,
+        b,
+        c,
+        m,
+        k,
+        n,
+        accumulate,
+        tags,
+    );
+}
+
+/// [`gemm`] with an explicit kernel variant (band worker count still
+/// resolved by the auto policy) — the A/B hook the differential suite and
+/// criterion benches are built on. An unavailable variant (AVX2 on a
+/// non-AVX2 host) falls back to `Scalar`.
 ///
 /// # Panics
 ///
@@ -403,6 +620,76 @@ pub fn gemm_with(
     n: usize,
     accumulate: bool,
 ) {
+    gemm_ext(
+        variant,
+        0,
+        op,
+        a,
+        b,
+        c,
+        m,
+        k,
+        n,
+        accumulate,
+        GemmTags::default(),
+    );
+}
+
+/// [`gemm_with`] with an explicit band worker count (`0` = auto policy,
+/// `1` = serial, `t` = up to `t` row bands) — the thread-scaling A/B
+/// hook. Results are bit-identical across worker counts.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions for `op`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_threads(
+    variant: Variant,
+    threads: usize,
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    gemm_ext(
+        variant,
+        threads,
+        op,
+        a,
+        b,
+        c,
+        m,
+        k,
+        n,
+        accumulate,
+        GemmTags::default(),
+    );
+}
+
+/// The fully explicit entry point: variant, band worker count (`0` =
+/// auto), and operand cache tags. Everything above delegates here.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions for `op`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ext(
+    variant: Variant,
+    threads: usize,
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    tags: GemmTags,
+) {
     assert_eq!(a.len(), op.a_len(m, k), "gemm: a has wrong length");
     assert_eq!(b.len(), op.b_len(k, n), "gemm: b has wrong length");
     assert_eq!(c.len(), m * n, "gemm: c has wrong length");
@@ -418,16 +705,28 @@ pub fn gemm_with(
         Variant::Scalar
     };
     count_dispatch(resolved);
-    let blocking = Blocking::for_class(classify(m, k, n));
+    let class = classify(m, k, n);
+    let blocking = Blocking::for_class(class);
+    let threads = if threads == 0 {
+        auto_band_threads(class, m, k, n)
+    } else {
+        threads
+    };
     match resolved {
+        // The direct loops neither pack nor fork; tags and threads are
+        // moot for the tiny shapes routed here.
         Variant::Direct => match op {
             Op::Ab => direct::matmul_accumulate(a, b, c, m, k, n),
             Op::AtB => direct::matmul_at_b(a, b, c, k, m, n),
             Op::ABt => direct::matmul_a_bt(a, b, c, m, k, n),
         },
-        Variant::Scalar => gemm_packed::<ScalarKernel>(op, a, b, c, m, k, n, blocking),
+        Variant::Scalar => {
+            gemm_packed::<ScalarKernel>(op, a, b, c, m, k, n, blocking, threads, tags)
+        }
         #[cfg(target_arch = "x86_64")]
-        Variant::Avx2 => gemm_packed::<avx2::Avx2Kernel>(op, a, b, c, m, k, n, blocking),
+        Variant::Avx2 => {
+            gemm_packed::<avx2::Avx2Kernel>(op, a, b, c, m, k, n, blocking, threads, tags)
+        }
         #[cfg(not(target_arch = "x86_64"))]
         Variant::Avx2 => unreachable!("avx2 unavailable off x86-64"),
     }
@@ -436,8 +735,10 @@ pub fn gemm_with(
 // ---------------------------------------------------------------------------
 // packed driver
 
-/// BLIS-style blocked loop nest over packed panels; see the module docs
-/// for the nesting and the zero-panel skip.
+/// Packed-driver front end: resolves cached panels for tagged operands,
+/// then either runs one serial band or splits `c` into `MR`-aligned row
+/// bands across pool workers. See the module docs for why the
+/// decomposition is bit-identical at any band count.
 #[allow(clippy::too_many_arguments)]
 fn gemm_packed<K: Micro>(
     op: Op,
@@ -448,33 +749,180 @@ fn gemm_packed<K: Micro>(
     k: usize,
     n: usize,
     blk: Blocking,
+    threads: usize,
+    tags: GemmTags,
 ) {
     debug_assert!(K::MR * K::NR <= MAX_TILE);
     let (la, lb) = op.layouts(m, k, n);
     let kc_max = blk.kc.min(k);
+    let ca_arc = tags
+        .a
+        .and_then(|t| cache::get_or_pack_a(t, a, la, m, k, kc_max, K::MR));
+    let cb_arc = tags
+        .b
+        .and_then(|t| cache::get_or_pack_b(t, b, lb, k, n, kc_max, K::NR));
+    let ca = ca_arc.as_deref().map(cache::PackedMatrix::as_ref);
+    let cb = cb_arc.as_deref().map(cache::PackedMatrix::as_ref);
+    let nbands = threads.min(m.div_ceil(K::MR)).max(1);
+    if nbands <= 1 {
+        CALLS_SERIAL.fetch_add(1, Ordering::Relaxed);
+        band_telemetry()[0].add(1);
+        gemm_band::<K>(a, la, b, lb, c, 0, m, m, k, n, blk, ca, cb);
+        return;
+    }
+    CALLS_PARALLEL.fetch_add(1, Ordering::Relaxed);
+    band_telemetry()[1].add(1);
+    let band_rows = m.div_ceil(nbands).next_multiple_of(K::MR);
+    if cb.is_some() {
+        run_bands::<K>(a, la, b, lb, c, m, k, n, blk, band_rows, nbands, ca, cb);
+    } else {
+        // Pack all of b once on the dispatching thread and share the
+        // read-only panels across bands. The bytes equal the per-block
+        // packs the serial driver produces (asserted in cache::tests), so
+        // results are unchanged — only the per-band repacking is gone.
+        with_scratch(cache::full_b_len(k, n, K::NR), |bfull| {
+            cache::pack_full_b(b, lb, k, n, kc_max, K::NR, bfull);
+            let shared = PackedRef {
+                data: bfull,
+                masks: &[],
+                words_per_block: 0,
+            };
+            run_bands::<K>(
+                a,
+                la,
+                b,
+                lb,
+                c,
+                m,
+                k,
+                n,
+                blk,
+                band_rows,
+                nbands,
+                ca,
+                Some(shared),
+            );
+        });
+    }
+}
+
+/// Fans `MR`-aligned row bands of `c` out to pool workers. Each band is
+/// written by exactly one worker; `a`/`b` (and any resolved packed
+/// panels) are shared read-only.
+#[allow(clippy::too_many_arguments)]
+fn run_bands<K: Micro>(
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    lb: Layout,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    blk: Blocking,
+    band_rows: usize,
+    nbands: usize,
+    ca: Option<PackedRef<'_>>,
+    cb: Option<PackedRef<'_>>,
+) {
+    let bands: Vec<&mut [f32]> = c.chunks_mut(band_rows * n).collect();
+    hsconas_par::par_for_each(bands, nbands, |i, band| {
+        let r0 = i * band_rows;
+        let mb = band.len() / n;
+        gemm_band::<K>(a, la, b, lb, band, r0, mb, m, k, n, blk, ca, cb);
+    });
+}
+
+/// BLIS-style blocked loop nest over one row band (`rows r0 .. r0+mb` of
+/// the full problem; the serial path is the single band `r0 = 0, mb = m`).
+/// `c` is the band's `mb × n` slice of the output. Cached operands
+/// (`ca`/`cb`) supply pre-packed panels — indexed by *global* panel
+/// number, hence the full `m` parameter — and skip the scratch packing
+/// entirely; uncached operands pack per cache block exactly as before.
+#[allow(clippy::too_many_arguments)]
+fn gemm_band<K: Micro>(
+    a: &[f32],
+    la: Layout,
+    b: &[f32],
+    lb: Layout,
+    c: &mut [f32],
+    r0: usize,
+    mb: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    blk: Blocking,
+    ca: Option<PackedRef<'_>>,
+    cb: Option<PackedRef<'_>>,
+) {
+    debug_assert!(
+        r0.is_multiple_of(K::MR),
+        "bands must start on a panel boundary"
+    );
+    debug_assert_eq!(c.len(), mb * n);
+    let kc_max = blk.kc.min(k);
     // The zero-panel bitmask is a u64: never more than 64 a-panels per block.
-    let mc_max = blk.mc.min(64 * K::MR).min(m.max(1));
+    let mc_max = blk.mc.min(64 * K::MR).min(mb.max(1));
     let nc_max = blk.nc.min(n.max(1));
-    let apack_len = mc_max.div_ceil(K::MR) * K::MR * kc_max;
-    let bpack_len = nc_max.div_ceil(K::NR) * K::NR * kc_max;
+    let apack_len = if ca.is_some() {
+        0
+    } else {
+        mc_max.div_ceil(K::MR) * K::MR * kc_max
+    };
+    let bpack_len = if cb.is_some() {
+        0
+    } else {
+        nc_max.div_ceil(K::NR) * K::NR * kc_max
+    };
+    let a_panels_total = m.div_ceil(K::MR);
+    let b_panels_total = n.div_ceil(K::NR);
     with_scratch(bpack_len, |bpack| {
         with_scratch(apack_len, |apack| {
             let mut jc = 0;
             while jc < n {
                 let nc = nc_max.min(n - jc);
+                let b_panels = nc.div_ceil(K::NR);
                 let mut pc = 0;
+                let mut pc_idx = 0;
                 while pc < k {
                     let kc = kc_max.min(k - pc);
-                    pack_b(b, lb, pc, kc, jc, nc, K::NR, bpack);
+                    let bblock: &[f32] = match cb {
+                        Some(full) => {
+                            // jc is NR-aligned (nc_max is, when multiple
+                            // blocks exist), so the block's panels start
+                            // at global panel jc/NR.
+                            let base = b_panels_total * K::NR * pc + (jc / K::NR) * kc * K::NR;
+                            &full.data[base..base + b_panels * kc * K::NR]
+                        }
+                        None => {
+                            pack_b(b, lb, pc, kc, jc, nc, K::NR, bpack);
+                            bpack.as_slice()
+                        }
+                    };
                     let mut ic = 0;
-                    while ic < m {
-                        let mc = mc_max.min(m - ic);
-                        let zero_mask = pack_a(a, la, ic, mc, pc, kc, K::MR, apack);
+                    while ic < mb {
+                        let mc = mc_max.min(mb - ic);
                         let a_panels = mc.div_ceil(K::MR);
-                        let b_panels = nc.div_ceil(K::NR);
+                        let (ablock, zero_mask): (&[f32], u64) = match ca {
+                            Some(full) => {
+                                let p0 = (r0 + ic) / K::MR;
+                                let base = a_panels_total * K::MR * pc + p0 * kc * K::MR;
+                                let words = full.words_per_block;
+                                let mask = cache::extract_mask(
+                                    &full.masks[pc_idx * words..(pc_idx + 1) * words],
+                                    p0,
+                                    a_panels,
+                                );
+                                (&full.data[base..base + a_panels * kc * K::MR], mask)
+                            }
+                            None => {
+                                let mask = pack_a(a, la, r0 + ic, mc, pc, kc, K::MR, apack);
+                                (apack.as_slice(), mask)
+                            }
+                        };
                         for q in 0..b_panels {
                             let nr = K::NR.min(nc - q * K::NR);
-                            let bp = &bpack[q * kc * K::NR..(q + 1) * kc * K::NR];
+                            let bp = &bblock[q * kc * K::NR..(q + 1) * kc * K::NR];
                             for p in 0..a_panels {
                                 if zero_mask >> p & 1 == 1 {
                                     // All-zero a panel (masked channels):
@@ -482,7 +930,7 @@ fn gemm_packed<K: Micro>(
                                     continue;
                                 }
                                 let mr = K::MR.min(mc - p * K::MR);
-                                let ap = &apack[p * kc * K::MR..(p + 1) * kc * K::MR];
+                                let ap = &ablock[p * kc * K::MR..(p + 1) * kc * K::MR];
                                 let c_off = (ic + p * K::MR) * n + jc + q * K::NR;
                                 if mr == K::MR && nr == K::NR {
                                     K::tile(ap, bp, &mut c[c_off..], n, kc);
@@ -506,6 +954,7 @@ fn gemm_packed<K: Micro>(
                         ic += mc;
                     }
                     pc += kc;
+                    pc_idx += 1;
                 }
                 jc += nc;
             }
@@ -673,6 +1122,139 @@ mod tests {
     }
 
     #[test]
+    fn band_parallel_is_bit_identical_to_serial() {
+        // The central decomposition claim: any band count, any op, any
+        // edge geometry — bitwise the same output, overwrite and
+        // accumulate alike.
+        let mut rng = SmallRng::new(12);
+        for &(m, k, n) in &[(37, 300, 129), (130, 64, 257), (8, 520, 96), (96, 96, 96)] {
+            for op in [Op::Ab, Op::AtB, Op::ABt] {
+                let a = rand_vec(op.a_len(m, k), &mut rng);
+                let b = rand_vec(op.b_len(k, n), &mut rng);
+                let seed = rand_vec(m * n, &mut rng);
+                for variant in [Variant::Scalar, Variant::Avx2] {
+                    if !variant.is_available() {
+                        continue;
+                    }
+                    let mut serial = seed.clone();
+                    gemm_with_threads(variant, 1, op, &a, &b, &mut serial, m, k, n, true);
+                    for threads in [2, 3, 8] {
+                        let mut par = seed.clone();
+                        gemm_with_threads(variant, threads, op, &a, &b, &mut par, m, k, n, true);
+                        assert_eq!(
+                            serial, par,
+                            "{variant:?} {op:?} ({m},{k},{n}) threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_operands_are_bit_identical_and_hit_the_cache() {
+        let _guard = cache::test_lock();
+        let mut rng = SmallRng::new(13);
+        let (m, k, n) = (48, 96, 80);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut plain = vec![0.0; m * n];
+        gemm_with(Variant::Scalar, Op::Ab, &a, &b, &mut plain, m, k, n, false);
+        // Unique synthetic ids so this test cannot collide with others.
+        let tags = GemmTags {
+            a: Some(PackTag {
+                id: u64::MAX - 10,
+                version: 1,
+                offset: 0,
+                mask_sig: 0,
+            }),
+            b: Some(PackTag {
+                id: u64::MAX - 11,
+                version: 1,
+                offset: 0,
+                mask_sig: 0,
+            }),
+        };
+        let before = cache::stats();
+        for round in 0..3 {
+            let mut tagged = vec![0.0; m * n];
+            gemm_ext(
+                Variant::Scalar,
+                1,
+                Op::Ab,
+                &a,
+                &b,
+                &mut tagged,
+                m,
+                k,
+                n,
+                false,
+                tags,
+            );
+            assert_eq!(plain, tagged, "round {round}: cache must not change bits");
+        }
+        let after = cache::stats();
+        assert!(after.misses >= before.misses + 2, "first round packs both");
+        assert!(after.hits >= before.hits + 4, "later rounds hit both");
+        // Parallel run over the cached panels: still bitwise identical.
+        let mut par = vec![0.0; m * n];
+        gemm_ext(
+            Variant::Scalar,
+            4,
+            Op::Ab,
+            &a,
+            &b,
+            &mut par,
+            m,
+            k,
+            n,
+            false,
+            tags,
+        );
+        assert_eq!(plain, par);
+    }
+
+    #[test]
+    fn tagged_masked_rows_skip_through_the_cached_panels() {
+        let _guard = cache::test_lock();
+        let mut rng = SmallRng::new(14);
+        let (m, k, n) = (24, 64, 48);
+        let mut a = rand_vec(m * k, &mut rng);
+        for r in 4..12 {
+            a[r * k..(r + 1) * k].fill(0.0);
+        }
+        let b = rand_vec(k * n, &mut rng);
+        let tag = PackTag {
+            id: u64::MAX - 12,
+            version: 1,
+            offset: 0,
+            mask_sig: 0,
+        };
+        for round in 0..2 {
+            let mut c = vec![0.0; m * n];
+            gemm_ext(
+                Variant::Scalar,
+                1,
+                Op::Ab,
+                &a,
+                &b,
+                &mut c,
+                m,
+                k,
+                n,
+                false,
+                GemmTags::a_tag(tag),
+            );
+            for r in 4..12 {
+                assert!(
+                    c[r * n..(r + 1) * n].iter().all(|&v| v == 0.0),
+                    "round {round} row {r} not exactly zero via cached mask"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn selector_routes_tiny_to_direct_and_large_to_simd() {
         assert_eq!(select(2, 4, 8).variant, Variant::Direct);
         assert_eq!(select(1, 1000, 1000).variant, Variant::Direct); // skinny m
@@ -686,16 +1268,72 @@ mod tests {
     }
 
     #[test]
+    fn selector_threads_policy() {
+        // Tiny/skinny shapes are always serial.
+        assert_eq!(select(2, 4, 8).threads, 1);
+        assert_eq!(select(1, 1000, 1000).threads, 1);
+        // Below the per-class MAC threshold: serial.
+        assert_eq!(select(64, 64, 64).threads, 1);
+        if std::env::var_os("HSCONAS_KERNEL_THREADS").is_some() {
+            return; // pinned by the CI thread matrix; auto policy is moot
+        }
+        // Above the threshold the band count tracks the pool default,
+        // capped so each band keeps at least MIN_BAND_ROWS rows.
+        hsconas_par::set_default_threads(4);
+        let sel = select(512, 512, 512);
+        assert_eq!(sel.threads, 4);
+        let narrow = select(64, 1024, 1024); // 67M MACs but only 64 rows
+        assert_eq!(narrow.threads, 64 / MIN_BAND_ROWS);
+        hsconas_par::set_default_threads(0);
+    }
+
+    #[test]
+    fn env_parsers_accept_known_and_reject_unknown() {
+        assert_eq!(parse_kernel_env("scalar"), Ok(Some(Variant::Scalar)));
+        assert_eq!(parse_kernel_env("AVX2"), Ok(Some(Variant::Avx2)));
+        assert_eq!(parse_kernel_env("direct"), Ok(Some(Variant::Direct)));
+        assert_eq!(parse_kernel_env("auto"), Ok(None));
+        assert_eq!(parse_kernel_env(""), Ok(None));
+        assert!(parse_kernel_env("sse2").is_err());
+        assert!(parse_kernel_env("fastest").is_err());
+
+        assert_eq!(parse_threads_env("8"), Ok(Some(8)));
+        assert_eq!(parse_threads_env(" 2 "), Ok(Some(2)));
+        assert_eq!(parse_threads_env("0"), Ok(None));
+        assert_eq!(parse_threads_env("auto"), Ok(None));
+        assert_eq!(parse_threads_env(""), Ok(None));
+        assert!(parse_threads_env("-1").is_err());
+        assert!(parse_threads_env("many").is_err());
+        assert!(parse_threads_env("8x").is_err());
+    }
+
+    #[test]
     fn dispatch_counters_attribute_calls() {
         let before = dispatch_counts();
+        let pbefore = parallel_counts();
         let a = vec![1.0; 64 * 64];
         let b = vec![1.0; 64 * 64];
         let mut c = vec![0.0; 64 * 64];
         gemm_with(Variant::Scalar, Op::Ab, &a, &b, &mut c, 64, 64, 64, false);
         gemm_with(Variant::Direct, Op::Ab, &a, &b, &mut c, 64, 64, 64, false);
+        gemm_with_threads(
+            Variant::Scalar,
+            4,
+            Op::Ab,
+            &a,
+            &b,
+            &mut c,
+            64,
+            64,
+            64,
+            false,
+        );
         let after = dispatch_counts();
+        let pafter = parallel_counts();
         assert!(after.scalar > before.scalar);
         assert!(after.direct > before.direct);
+        assert!(pafter.serial > pbefore.serial);
+        assert!(pafter.parallel > pbefore.parallel);
     }
 
     #[test]

@@ -10,9 +10,16 @@
 //! small to amortize packing. The supernet channel-mask zero-skip is
 //! preserved at packed-panel granularity — all-zero `MR`-row panels of `a`
 //! are detected during packing and skipped before any arithmetic. Set
-//! `HSCONAS_KERNEL=scalar|avx2|direct` to pin the variant for A/B runs.
+//! `HSCONAS_KERNEL=scalar|avx2|direct` to pin the variant and
+//! `HSCONAS_KERNEL_THREADS` to pin the band worker count for A/B runs.
+//!
+//! The `_tagged` variants additionally carry [`GemmTags`] naming which
+//! operand is a long-lived weight (via [`crate::Tensor::pack_tag`]); those
+//! operands read their packed panels from the persistent weight cache
+//! ([`crate::kernels::cache`]) instead of repacking per call. Results are
+//! bit-identical with tags present or absent.
 
-use crate::kernels::{gemm, Op};
+use crate::kernels::{gemm, gemm_tagged, GemmTags, Op};
 
 /// `c = a (m×k) · b (k×n)`, overwriting `c` (m×n).
 ///
@@ -38,6 +45,28 @@ pub fn matmul_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize
     gemm(Op::Ab, a, b, c, m, k, n, true);
 }
 
+/// [`matmul_accumulate`] with operand cache tags (e.g. the conv forward's
+/// weight operand `a`, or the linear backward's weight operand `b`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_accumulate_tagged(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    tags: GemmTags,
+) {
+    assert_eq!(a.len(), m * k, "matmul: a has wrong length");
+    assert_eq!(b.len(), k * n, "matmul: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul: c has wrong length");
+    gemm_tagged(Op::Ab, a, b, c, m, k, n, true, tags);
+}
+
 /// `c += aᵀ (k×m, given as m×k) · b (k×n)` — used for weight gradients.
 ///
 /// `a` is stored row-major with shape `(k, m)`; conceptually we compute
@@ -55,6 +84,29 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: u
     gemm(Op::AtB, a, b, c, m, k, n, true);
 }
 
+/// [`matmul_at_b`] with operand cache tags (the conv backward's `Wᵀ·dOut`
+/// product tags the weight operand `a`; its transposed panels — the
+/// "At-panels" — cache separately from the forward's).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_at_b_tagged(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    tags: GemmTags,
+) {
+    assert_eq!(a.len(), k * m, "matmul_at_b: a has wrong length");
+    assert_eq!(b.len(), k * n, "matmul_at_b: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul_at_b: c has wrong length");
+    gemm_tagged(Op::AtB, a, b, c, m, k, n, true, tags);
+}
+
 /// `c += a (m×k) · bᵀ (n×k, given row-major)` — used for input gradients.
 ///
 /// # Panics
@@ -65,6 +117,28 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(b.len(), n * k, "matmul_a_bt: b has wrong length");
     assert_eq!(c.len(), m * n, "matmul_a_bt: c has wrong length");
     gemm(Op::ABt, a, b, c, m, k, n, true);
+}
+
+/// [`matmul_a_bt`] with operand cache tags (the linear forward's `x·Wᵀ`
+/// product tags the weight operand `b`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_a_bt_tagged(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    tags: GemmTags,
+) {
+    assert_eq!(a.len(), m * k, "matmul_a_bt: a has wrong length");
+    assert_eq!(b.len(), n * k, "matmul_a_bt: b has wrong length");
+    assert_eq!(c.len(), m * n, "matmul_a_bt: c has wrong length");
+    gemm_tagged(Op::ABt, a, b, c, m, k, n, true, tags);
 }
 
 #[cfg(test)]

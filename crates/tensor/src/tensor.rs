@@ -1,5 +1,16 @@
+use crate::kernels::cache::PackTag;
 use crate::rng::SmallRng;
 use crate::{arena, Shape4, TensorError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic process-wide tensor id counter. Ids are never reused (the
+/// arena recycles *buffers*, not identities), so a packed-panel cache
+/// entry keyed by `(id, version)` can never alias a different tensor.
+static NEXT_TENSOR_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_tensor_id() -> u64 {
+    NEXT_TENSOR_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A dense, row-major, rank-4 (NCHW) tensor of `f32` values.
 ///
@@ -20,10 +31,24 @@ use crate::{arena, Shape4, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, PartialEq)]
+#[derive(Debug)]
 pub struct Tensor {
     shape: Shape4,
     data: Vec<f32>,
+    /// Unique identity for cache keying; fresh per tensor, never reused.
+    id: u64,
+    /// Mutation generation: bumped by every `&mut` access to the buffer,
+    /// so caches keyed on `(id, version)` self-invalidate on weight
+    /// updates without explicit hooks.
+    version: u64,
+}
+
+/// Value semantics: identity (`id`/`version`) is cache bookkeeping, not
+/// part of the tensor's value.
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 /// Every tensor buffer comes from the thread-local activation arena
@@ -39,14 +64,24 @@ impl Clone for Tensor {
     fn clone(&self) -> Self {
         let mut data = arena::take_buffer(self.data.len());
         data.extend_from_slice(&self.data);
-        Tensor {
-            shape: self.shape,
-            data,
-        }
+        // A clone is a distinct tensor: it gets its own identity so
+        // mutating it never invalidates (or falsely hits) the original's
+        // cached panels.
+        Tensor::with_data(self.shape, data)
     }
 }
 
 impl Tensor {
+    /// Internal constructor: wraps `data` under `shape` with a fresh id.
+    pub(crate) fn with_data(shape: Shape4, data: Vec<f32>) -> Self {
+        Tensor {
+            shape,
+            data,
+            id: fresh_tensor_id(),
+            version: 0,
+        }
+    }
+
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape4>) -> Self {
         Self::full(shape, 0.0)
@@ -57,7 +92,7 @@ impl Tensor {
         let shape = shape.into();
         let mut data = arena::take_buffer(shape.len());
         data.resize(shape.len(), value);
-        Tensor { shape, data }
+        Tensor::with_data(shape, data)
     }
 
     /// Creates a tensor from an existing buffer.
@@ -75,7 +110,7 @@ impl Tensor {
                 actual: vec![data.len()],
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor::with_data(shape, data))
     }
 
     /// Creates a tensor of i.i.d. Gaussian samples with the given standard
@@ -84,7 +119,7 @@ impl Tensor {
         let shape = shape.into();
         let mut data = arena::take_buffer(shape.len());
         data.extend((0..shape.len()).map(|_| rng.next_normal() as f32 * std));
-        Tensor { shape, data }
+        Tensor::with_data(shape, data)
     }
 
     /// Kaiming-He normal initialization for a convolution / linear weight
@@ -115,8 +150,32 @@ impl Tensor {
     }
 
     /// Mutable view of the underlying buffer (row-major NCHW).
+    ///
+    /// Bumps the tensor's mutation version: any packed-panel cache entry
+    /// built from the previous contents is invalidated on next lookup.
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.version = self.version.wrapping_add(1);
         &mut self.data
+    }
+
+    /// Cache tag for GEMM calls that use this tensor's full buffer as an
+    /// operand (see [`crate::kernels::cache`]). The tag pins the tensor's
+    /// identity and current mutation version, so packed panels are reused
+    /// across calls exactly until the next `&mut` access.
+    pub fn pack_tag(&self) -> PackTag {
+        self.pack_tag_at(0)
+    }
+
+    /// [`Tensor::pack_tag`] for a GEMM operand that is a sub-slice of the
+    /// buffer starting at element `offset` (grouped convolutions slice
+    /// their weight per group).
+    pub fn pack_tag_at(&self, offset: usize) -> PackTag {
+        PackTag {
+            id: self.id,
+            version: self.version,
+            offset,
+            mask_sig: 0,
+        }
     }
 
     /// Consumes the tensor and returns its buffer (detached from the
@@ -135,6 +194,7 @@ impl Tensor {
     /// Mutable element accessor.
     #[inline]
     pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        self.version = self.version.wrapping_add(1);
         let i = self.shape.index(n, c, h, w);
         &mut self.data[i]
     }
@@ -161,14 +221,12 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
         let mut data = arena::take_buffer(self.data.len());
         data.extend(self.data.iter().map(|&v| f(v)));
-        Tensor {
-            shape: self.shape,
-            data,
-        }
+        Tensor::with_data(self.shape, data)
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.version = self.version.wrapping_add(1);
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -194,10 +252,7 @@ impl Tensor {
         }
         let mut data = arena::take_buffer(self.data.len());
         data.extend(self.data.iter().zip(&other.data).map(|(a, b)| a + b));
-        Ok(Tensor {
-            shape: self.shape,
-            data,
-        })
+        Ok(Tensor::with_data(self.shape, data))
     }
 
     /// In-place `self += k * other`; shapes must match.
@@ -213,6 +268,7 @@ impl Tensor {
                 actual: other.shape.to_vec(),
             });
         }
+        self.version = self.version.wrapping_add(1);
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += k * b;
         }
@@ -458,6 +514,30 @@ mod tests {
             (var / expected - 1.0).abs() < 0.1,
             "var {var} vs {expected}"
         );
+    }
+
+    #[test]
+    fn pack_tags_track_identity_and_mutation() {
+        let mut t = Tensor::zeros([1, 2, 2, 2]);
+        let u = Tensor::zeros([1, 2, 2, 2]);
+        assert_ne!(t.pack_tag().id, u.pack_tag().id, "ids are unique");
+        assert_eq!(t, u, "identity is not part of value equality");
+
+        let v0 = t.pack_tag().version;
+        let _ = t.data_mut();
+        assert!(t.pack_tag().version > v0, "data_mut bumps the version");
+        *t.at_mut(0, 0, 0, 0) = 1.0;
+        t.map_inplace(|x| x);
+        t.axpy(1.0, &u).unwrap();
+        assert!(t.pack_tag().version >= v0 + 4, "every mutator bumps");
+
+        let c = t.clone();
+        assert_ne!(c.pack_tag().id, t.pack_tag().id, "clone gets its own id");
+        assert_eq!(t.pack_tag_at(8).offset, 8);
+        // Read-only accessors leave the version alone.
+        let v = t.pack_tag().version;
+        let _ = (t.data(), t.at(0, 0, 0, 0), t.sum(), t.norm());
+        assert_eq!(t.pack_tag().version, v);
     }
 
     #[test]

@@ -9,12 +9,15 @@
 # containing archs/sec and forwards/sec for population evaluation with the
 # prefix-activation cache off/on, allocations per steady-state forward,
 # the prefix-cache hit rate, end-to-end fixed-seed search throughput, and a
-# `kernels` block (selected GEMM variant, per-variant dispatch counts, and
-# GFLOP/s per shape class for direct / packed scalar / packed AVX2).
+# `kernels` block (selected GEMM variant, per-variant dispatch counts,
+# GFLOP/s per shape class × variant × band count, and packed-weight-cache
+# counters with the steady-state hit rate). Extra args are forwarded to
+# bench_snapshot (e.g. --threads 8 to cap the band sweep).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out_dir="${1:-.}"
+shift || true
 sha="$(git rev-parse --short HEAD)"
 out="${out_dir}/BENCH_${sha}.json"
 
@@ -22,7 +25,7 @@ echo "==> criterion suite (full timings under target/criterion/)"
 cargo bench -p hsconas-bench --bench paper_benches
 
 echo "==> fixed-seed snapshot -> ${out}"
-cargo run --release -q -p hsconas-bench --bin bench_snapshot > "${out}"
+cargo run --release -q -p hsconas-bench --bin bench_snapshot -- "$@" > "${out}"
 
 cat "${out}"
 echo "Wrote ${out}"

@@ -17,6 +17,11 @@ use hsconas_tensor::rng::SmallRng;
 use hsconas_tensor::Tensor;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: they all read deltas of the one
+/// global allocation counter, so concurrent runs would inflate each other.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Maximum heap allocations one steady-state eval forward may perform.
 /// Measured: 4 on a warm arena (vs 12 cold) for the 4-layer tiny supernet;
@@ -55,6 +60,9 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_forward_allocations_stay_in_budget() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     // Keep everything on this thread so the warm arena is the one used.
     hsconas_par::set_default_threads(1);
     let space = SearchSpace::tiny(4);
@@ -85,5 +93,64 @@ fn steady_state_forward_allocations_stay_in_budget() {
     assert!(
         cold > warm,
         "cold forward ({cold}) should out-allocate warm forward ({warm})"
+    );
+}
+
+/// Maximum heap allocations one steady-state *tagged* GEMM may perform.
+/// A pack-cache hit is an `Arc` clone and the activation pack reuses the
+/// scratch arena, so the warm path is allocation-free; the slack absorbs
+/// allocator bookkeeping noise only.
+const TAGGED_GEMM_BUDGET: u64 = 4;
+
+/// The pack-cache hit path must be O(1) allocations too: after the first
+/// (miss) call packs the weight into the persistent cache and warms the
+/// scratch arena, repeat calls on the same weight generation allocate
+/// nothing. The tiny-supernet gate above routes its small GEMMs through
+/// the direct kernel, so this measures the packed path explicitly.
+#[test]
+fn warm_tagged_gemm_allocations_stay_in_budget() {
+    use hsconas_tensor::kernels::cache::{self, PackTag};
+    use hsconas_tensor::kernels::{gemm_ext, GemmTags, Op, Variant};
+
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (m, k, n) = (96, 128, 160);
+    let mut rng = SmallRng::new(9);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.next_f32() - 0.5).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.next_f32() - 0.5).collect();
+    let mut c = vec![0.0f32; m * n];
+    let tags = GemmTags::a_tag(PackTag {
+        id: u64::MAX - 50,
+        version: 1,
+        offset: 0,
+        mask_sig: 0,
+    });
+    cache::set_enabled(true);
+
+    // Warm-up: first call misses the pack cache (allocates the panel
+    // buffer) and sizes the thread-local scratch arena.
+    let run = |c: &mut [f32]| {
+        #[rustfmt::skip]
+        gemm_ext(Variant::Scalar, 1, Op::Ab, &a, &b, c, m, k, n, false, tags);
+    };
+    let cold_start = ALLOCS.load(Ordering::Relaxed);
+    run(&mut c);
+    let cold = ALLOCS.load(Ordering::Relaxed) - cold_start;
+    run(&mut c);
+
+    let warm_start = ALLOCS.load(Ordering::Relaxed);
+    run(&mut c);
+    let warm = ALLOCS.load(Ordering::Relaxed) - warm_start;
+
+    assert!(
+        warm <= TAGGED_GEMM_BUDGET,
+        "steady-state tagged GEMM performed {warm} heap allocations \
+         (budget {TAGGED_GEMM_BUDGET}, cold run {cold}); the pack-cache \
+         hit path has regressed"
+    );
+    assert!(
+        cold > warm,
+        "cold tagged GEMM ({cold}) should out-allocate warm ({warm})"
     );
 }

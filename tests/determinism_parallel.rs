@@ -153,21 +153,26 @@ fn shrink_is_byte_identical_across_thread_counts_and_memo() {
 
 /// Supernet population evaluation (the accuracy oracle of the real-training
 /// pipeline) must be byte-identical with the prefix-activation cache on or
-/// off, at one worker thread or eight. Thread count here drives the conv
-/// batch-parallel kernels and the per-thread activation arenas, so this
-/// pins both memory-planning layers to the determinism contract at once.
+/// off, the GEMM pack-weight cache on or off, at one worker thread or
+/// eight. Thread count here drives the conv batch-parallel kernels, the
+/// per-thread activation arenas, and the GEMM band split, so this pins
+/// every memory-planning and decomposition layer to the determinism
+/// contract at once.
 #[test]
 fn supernet_evaluation_is_identical_across_cache_and_threads() {
     use hsconas_data::SyntheticDataset;
     use hsconas_supernet::{Supernet, SupernetTrainer, TrainConfig};
+    use hsconas_tensor::kernels::cache as pack_cache;
     use hsconas_tensor::rng::SmallRng;
 
     let space = SearchSpace::tiny(4);
     let data = SyntheticDataset::new(4, 32, 21);
     let population = space.sample_n(6, &mut StdRng::seed_from_u64(22));
 
-    let run = |cache: bool, threads: usize| -> Vec<f64> {
+    let run = |cache: bool, threads: usize, packs: bool| -> Vec<f64> {
         hsconas_par::set_default_threads(threads);
+        pack_cache::set_enabled(packs);
+        pack_cache::clear();
         let mut rng = SmallRng::new(23);
         let net = Supernet::build(space.skeleton(), &mut rng).unwrap();
         let mut trainer = SupernetTrainer::new(net, TrainConfig::quick_test());
@@ -182,16 +187,24 @@ fn supernet_evaluation_is_identical_across_cache_and_threads() {
             .collect()
     };
 
-    let reference = run(false, 1);
-    for (cache, threads) in [(true, 1), (false, 8), (true, 8)] {
+    let reference = run(false, 1, false);
+    for (cache, threads, packs) in [
+        (true, 1, false),
+        (false, 8, false),
+        (true, 8, false),
+        (false, 1, true),
+        (true, 8, true),
+    ] {
         assert_eq!(
             reference,
-            run(cache, threads),
-            "cache={cache} threads={threads} changed evaluation results"
+            run(cache, threads, packs),
+            "cache={cache} threads={threads} pack_cache={packs} changed evaluation results"
         );
     }
-    // Restore "auto" so this test leaves no process-wide state behind.
+    // Restore defaults so this test leaves no process-wide state behind.
     hsconas_par::set_default_threads(0);
+    pack_cache::set_enabled(true);
+    pack_cache::clear();
 }
 
 /// Telemetry is observation-only: installing a sink (which captures every

@@ -237,6 +237,97 @@ fn all_zero_a_is_exact() {
     }
 }
 
+/// Band-parallel execution is bit-identical to serial for every packed
+/// variant and layout: row bands are `MR`-aligned, each output element is
+/// owned by exactly one worker, and its accumulation order is unchanged by
+/// the split. CI runs this whole binary at `HSCONAS_KERNEL_THREADS` 1 and
+/// 8 on top, so the auto path is pinned too.
+#[test]
+fn thread_counts_are_bit_identical() {
+    use hsconas_tensor::kernels::gemm_with_threads;
+    let (m, k, n) = (130, 96, 257);
+    for op in [Op::Ab, Op::AtB, Op::ABt] {
+        let (a, b) = make_inputs(op, m, k, n, 31, 0);
+        for v in variants() {
+            if v == Variant::Direct {
+                continue; // the direct loops never fork
+            }
+            let mut serial = vec![0.25f32; m * n];
+            gemm_with_threads(v, 1, op, &a, &b, &mut serial, m, k, n, true);
+            for threads in [2, 3, 8] {
+                let mut par = vec![0.25f32; m * n];
+                gemm_with_threads(v, threads, op, &a, &b, &mut par, m, k, n, true);
+                let sb: Vec<u32> = serial.iter().map(|x| x.to_bits()).collect();
+                let pb: Vec<u32> = par.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(
+                    sb,
+                    pb,
+                    "{} {op:?} threads={threads} diverged from serial",
+                    v.name()
+                );
+            }
+        }
+    }
+}
+
+/// Tagged operands served from the persistent pack cache are bitwise the
+/// same as per-call packing — across repeat calls (hits), and after the
+/// operand mutates (a new version, as every `Tensor` mutator produces,
+/// must drop the stale panels rather than serve them).
+#[test]
+fn pack_cache_round_trip_is_bit_identical_and_invalidates() {
+    use hsconas_tensor::kernels::cache::{self, PackTag};
+    use hsconas_tensor::kernels::{gemm_ext, GemmTags};
+
+    let (m, k, n) = (96, 64, 200);
+    let (mut a, b) = make_inputs(Op::Ab, m, k, n, 57, 0);
+    // Synthetic id far above anything the monotonic tensor-id counter
+    // reaches, so this test cannot collide with real tensors.
+    let tag = |version: u64| PackTag {
+        id: u64::MAX - 40,
+        version,
+        offset: 0,
+        mask_sig: 0,
+    };
+    let untagged = |a: &[f32], b: &[f32]| -> Vec<u32> {
+        let mut c = vec![0.0f32; m * n];
+        #[rustfmt::skip]
+        gemm_ext(Variant::Scalar, 1, Op::Ab, a, b, &mut c, m, k, n, false, GemmTags::default());
+        c.iter().map(|x| x.to_bits()).collect()
+    };
+
+    let want = untagged(&a, &b);
+    for round in 0..3 {
+        let mut c = vec![0.0f32; m * n];
+        #[rustfmt::skip]
+        gemm_ext(Variant::Scalar, 1, Op::Ab, &a, &b, &mut c, m, k, n, false, GemmTags::a_tag(tag(1)));
+        let got: Vec<u32> = c.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            want, got,
+            "cached round {round} diverged from per-call packing"
+        );
+    }
+
+    let before = cache::stats();
+    for v in a.iter_mut() {
+        *v = -*v;
+    }
+    let want2 = untagged(&a, &b);
+    let mut c = vec![0.0f32; m * n];
+    #[rustfmt::skip]
+    gemm_ext(Variant::Scalar, 1, Op::Ab, &a, &b, &mut c, m, k, n, false, GemmTags::a_tag(tag(2)));
+    let got: Vec<u32> = c.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(
+        want2, got,
+        "stale cached panels served after operand mutation"
+    );
+    let after = cache::stats();
+    assert!(
+        after.invalidations > before.invalidations,
+        "version bump did not record an invalidation"
+    );
+}
+
 /// The suite is meaningful only if it actually exercises the SIMD path on
 /// hosts that have it; surface which variants ran (visible with
 /// `--nocapture`, and keeps CI logs honest about coverage).

@@ -1,0 +1,168 @@
+//! End-to-end contract tests for the persistent packed-weight cache
+//! (DESIGN.md §11): real `Linear`/`Conv2d` layers tag their weight
+//! operands, so steady-state forwards must *hit* the cache, optimizer-style
+//! weight updates must *invalidate* it (the layer keeps producing results
+//! bitwise identical to a cache-disabled run), and cloned layers must not
+//! alias each other's panels.
+//!
+//! The cache and its counters are process-global; the tests in this binary
+//! serialize on one mutex so concurrent test threads cannot read each
+//! other's counter deltas.
+
+use hsconas_nn::{Conv2d, Layer, Linear};
+use hsconas_tensor::kernels::cache;
+use hsconas_tensor::rng::SmallRng;
+use hsconas_tensor::Tensor;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Forward `layer` on `x` with the pack cache forced off, restoring the
+/// enabled state afterwards — the uncached reference for bitwise checks.
+fn forward_uncached(layer: &mut dyn Layer, x: &Tensor) -> Tensor {
+    let was = cache::is_enabled();
+    cache::set_enabled(false);
+    let y = layer.forward(x, false).unwrap();
+    cache::set_enabled(was);
+    y
+}
+
+/// Steady-state population evaluation: repeat forwards on an unchanged
+/// weight hit the cache (the ≥90 % steady-state hit-rate budget in the
+/// bench gate starts here) and stay bitwise stable.
+#[test]
+fn linear_steady_state_forwards_hit_the_cache() {
+    let _g = lock();
+    cache::set_enabled(true);
+    let mut rng = SmallRng::new(41);
+    // 32×256·Wᵀ(256×512) is Panel-class: the packed path, not direct.
+    let mut fc = Linear::new(256, 512, &mut rng);
+    let x = Tensor::randn([32, 256, 1, 1], 1.0, &mut rng);
+
+    let first = fc.forward(&x, false).unwrap();
+    let before = cache::stats();
+    let mut hits = 0u64;
+    for _ in 0..4 {
+        let y = fc.forward(&x, false).unwrap();
+        assert_eq!(bits(&first), bits(&y), "repeat forward changed bytes");
+    }
+    let after = cache::stats();
+    hits += after.hits - before.hits;
+    assert!(
+        hits >= 4,
+        "4 steady-state forwards produced only {hits} pack-cache hits"
+    );
+    assert_eq!(bits(&first), bits(&forward_uncached(&mut fc, &x)));
+}
+
+/// An optimizer step (any `&mut` access to the weight buffer) must
+/// invalidate the cached panels: the next forward matches a cache-disabled
+/// run bitwise and the invalidation counter moves.
+#[test]
+fn linear_weight_update_invalidates_cached_panels() {
+    let _g = lock();
+    cache::set_enabled(true);
+    let mut rng = SmallRng::new(42);
+    let mut fc = Linear::new(256, 512, &mut rng);
+    let x = Tensor::randn([32, 256, 1, 1], 1.0, &mut rng);
+
+    // Populate the cache with the generation-0 panels.
+    fc.forward(&x, false).unwrap();
+
+    // SGD-style update through the same visitor the real optimizer uses.
+    fc.visit_params(&mut |p, _, decay| {
+        if decay {
+            for w in p.data_mut() {
+                *w = 0.9 * *w + 0.01;
+            }
+        }
+    });
+
+    let before = cache::stats();
+    let got = fc.forward(&x, false).unwrap();
+    let after = cache::stats();
+    assert!(
+        after.invalidations > before.invalidations,
+        "weight update did not invalidate the cached panels"
+    );
+    assert_eq!(
+        bits(&got),
+        bits(&forward_uncached(&mut fc, &x)),
+        "post-update forward diverged from the uncached reference"
+    );
+}
+
+/// The conv path (weight as the `a'` operand of `W·col`, including the
+/// 1×1 fast path that skips im2col) obeys the same invalidation contract.
+#[test]
+fn conv_weight_update_invalidates_cached_panels() {
+    let _g = lock();
+    cache::set_enabled(true);
+    let mut rng = SmallRng::new(43);
+    // Pointwise 64→128 on a 16×16 plane: a Square-class packed GEMM.
+    let mut conv = Conv2d::pointwise(64, 128, &mut rng);
+    let x = Tensor::randn([2, 64, 16, 16], 1.0, &mut rng);
+
+    let first = conv.forward(&x, false).unwrap();
+    assert_eq!(bits(&first), bits(&conv.forward(&x, false).unwrap()));
+
+    conv.visit_params(&mut |p, _, _| {
+        for w in p.data_mut() {
+            *w *= 1.25;
+        }
+    });
+
+    let before = cache::stats();
+    let got = conv.forward(&x, false).unwrap();
+    let after = cache::stats();
+    assert!(
+        after.invalidations > before.invalidations,
+        "conv weight update did not invalidate the cached panels"
+    );
+    assert_eq!(
+        bits(&got),
+        bits(&forward_uncached(&mut conv, &x)),
+        "post-update conv forward diverged from the uncached reference"
+    );
+}
+
+/// Cloned layers are distinct cache citizens: mutating the clone's weight
+/// must not invalidate (or corrupt) the original's panels — `Tensor::clone`
+/// assigns a fresh identity.
+#[test]
+fn cloned_layer_does_not_alias_the_originals_panels() {
+    let _g = lock();
+    cache::set_enabled(true);
+    let mut rng = SmallRng::new(44);
+    let mut fc = Linear::new(256, 512, &mut rng);
+    let x = Tensor::randn([32, 256, 1, 1], 1.0, &mut rng);
+    let want = bits(&fc.forward(&x, false).unwrap());
+
+    let mut twin = fc.clone();
+    twin.visit_params(&mut |p, _, decay| {
+        if decay {
+            for w in p.data_mut() {
+                *w = -*w;
+            }
+        }
+    });
+    let twin_out = twin.forward(&x, false).unwrap();
+    assert_ne!(want, bits(&twin_out), "twin mutation had no effect");
+
+    // The original still serves its own (unchanged) generation.
+    assert_eq!(
+        want,
+        bits(&fc.forward(&x, false).unwrap()),
+        "mutating a clone corrupted the original's cached panels"
+    );
+}

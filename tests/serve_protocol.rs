@@ -53,6 +53,42 @@ fn happy_path_round_trips() {
             "missing kernel.dispatch.{key}"
         );
     }
+    // Band-split and packed-weight-cache observability ride along.
+    for key in ["serial", "parallel"] {
+        assert!(
+            kernel
+                .get("bands")
+                .and_then(|b| b.get(key))
+                .and_then(Json::as_u64)
+                .is_some(),
+            "missing kernel.bands.{key}"
+        );
+    }
+    for key in [
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+        "entries",
+        "bytes",
+    ] {
+        assert!(
+            kernel
+                .get("pack_cache")
+                .and_then(|p| p.get(key))
+                .and_then(Json::as_u64)
+                .is_some(),
+            "missing kernel.pack_cache.{key}"
+        );
+    }
+    assert!(
+        kernel
+            .get("pack_cache")
+            .and_then(|p| p.get("hit_rate"))
+            .and_then(Json::as_f64)
+            .is_some(),
+        "missing kernel.pack_cache.hit_rate"
+    );
 
     // predict_latency: positive latency, device echoed canonically.
     let arch = widest_arch_encoding();
