@@ -21,7 +21,11 @@
 //!   GFLOP/s-vs-band-count sweep for the packed variants (`--threads N`
 //!   caps the sweep; host parallelism is recorded so single-core hosts
 //!   are interpretable), and packed-weight-cache counters with the
-//!   steady-state population-eval hit rate.
+//!   steady-state population-eval hit rate;
+//! * **graph** — deployment pipeline numbers for a fixed mixed genome:
+//!   compile time, patch counts, artifact byte size, and min-of-N
+//!   single-image latency for the specialized graph vs the masked
+//!   supernet forward it is bit-identical to.
 //!
 //! Usage: `cargo run --release -p hsconas-bench --bin bench_snapshot`
 //! (prints one JSON object to stdout). Requires the default `telemetry`
@@ -414,6 +418,87 @@ fn main() {
             ("shapes", Value::Object(shape_objs)),
         ])
     };
+    // --- graph deployment: optimized artifact vs masked supernet --------
+    // Compile a mixed genome (narrow + grouped + skip layers so every
+    // patch fires), then race single-image inference through the
+    // specialized graph against the masked supernet forward it is
+    // bit-identical to. Min-of-N cancels scheduler noise; the artifact
+    // byte size is the on-disk deployment cost.
+    let graph_block = {
+        use hsconas_graph::{artifact, compile, execute, CompileOptions};
+        use hsconas_space::{ChannelScale, Gene, NetworkSkeleton, OpKind};
+        let sk = NetworkSkeleton::tiny(10);
+        let genome = Arch::new(vec![
+            Gene::new(
+                OpKind::Xception,
+                ChannelScale::from_tenths(4).expect("scale"),
+            ),
+            Gene::new(
+                OpKind::Shuffle3,
+                ChannelScale::from_tenths(4).expect("scale"),
+            ),
+            Gene::new(
+                OpKind::Shuffle5,
+                ChannelScale::from_tenths(6).expect("scale"),
+            ),
+            Gene::new(OpKind::Skip, ChannelScale::from_tenths(10).expect("scale")),
+        ]);
+        let opts = CompileOptions::default();
+        let start = Instant::now();
+        let (art, stats) = compile(&sk, &genome, &opts).expect("graph compile");
+        let compile_ms = start.elapsed().as_secs_f64() * 1e3;
+        let artifact_bytes = artifact::to_bytes(&art).len();
+        let mut reference =
+            hsconas_graph::build_reference(&sk, &genome, opts.seed, opts.warmup_steps)
+                .expect("reference supernet");
+        let res = sk.input_resolution;
+        let mut grng = SmallRng::new(seed ^ 11);
+        let x = hsconas_tensor::Tensor::randn([1, sk.input_channels, res, res], 1.0, &mut grng);
+        let time_min = |run: &mut dyn FnMut()| -> f64 {
+            for _ in 0..3 {
+                run();
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..30 {
+                let start = Instant::now();
+                run();
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+            (best * 1e4).round() / 1e4
+        };
+        let graph_ms = time_min(&mut || {
+            black_box(execute(&art.graph, &x).expect("graph execute"));
+        });
+        let reference_ms = time_min(&mut || {
+            black_box(reference.forward(&x, &genome, false).expect("reference"));
+        });
+        obj(vec![
+            ("arch", Value::Str(genome.to_string())),
+            ("nodes", Value::U64(art.graph.nodes.len() as u64)),
+            (
+                "weight_floats",
+                Value::U64(art.graph.const_elements() as u64),
+            ),
+            ("artifact_bytes", Value::U64(artifact_bytes as u64)),
+            ("compile_ms", Value::F64((compile_ms * 1e2).round() / 1e2)),
+            (
+                "patches",
+                obj(vec![
+                    ("fused", Value::U64(stats.fused as u64)),
+                    ("specialized", Value::U64(stats.specialized as u64)),
+                    ("folded", Value::U64(stats.folded as u64)),
+                    ("removed", Value::U64(stats.removed as u64)),
+                ]),
+            ),
+            ("infer_ms_graph", Value::F64(graph_ms)),
+            ("infer_ms_reference", Value::F64(reference_ms)),
+            (
+                "speedup",
+                Value::F64((reference_ms / graph_ms * 1e3).round() / 1e3),
+            ),
+        ])
+    };
+
     let snapshot = obj(vec![
         ("seed", Value::U64(seed)),
         (
@@ -461,6 +546,7 @@ fn main() {
             ]),
         ),
         ("kernels", kernels),
+        ("graph", graph_block),
     ]);
     println!("{}", serde_json::to_string_pretty(&snapshot).expect("json"));
 }

@@ -23,6 +23,7 @@ use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
 use hsconas_hwsim::{lower_arch, DeviceSpec};
 use hsconas_latency::LatencyPredictor;
 use hsconas_space::{ChannelLayout, NetworkSkeleton, SearchSpace};
+use hsconas_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,9 +39,12 @@ fn main() {
         Some("ckpt") => cmd_ckpt(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("infer") => cmd_infer(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hsconas <search|table|baselines|measure|report|ckpt|serve|client> [options]\n\
+                "usage: hsconas <search|table|baselines|measure|report|ckpt|serve|client|compile|infer|compare> [options]\n\
                  \n\
                  search    --device gpu|cpu|edge --target-ms N [--layout a|b] [--seed N] [--fast] [--out FILE] [--telemetry RUN.jsonl]\n\
                  \x20         [--checkpoint DIR] [--resume] [--keep-last K]\n\
@@ -53,8 +57,12 @@ fn main() {
                  serve     [--host H] [--port N] [--state-dir DIR] [--budget fast|full] [--devices a,b]\n\
                  \x20         [--queue-cap N] [--eval-workers N] [--pool-threads N] [--batch-max N]\n\
                  \x20         [--lut-watch-ms N] [--telemetry RUN.jsonl]\n\
-                 client    --addr HOST:PORT <status|shutdown|predict|score|search> [--device D]\n\
-                 \x20         [--target-ms N] [--seed N] [--arch 0,9,1,3,...]"
+                 client    --addr HOST:PORT <status|shutdown|predict|score|search|infer> [--device D]\n\
+                 \x20         [--target-ms N] [--seed N] [--arch 0,9,1,3,...] [--input-seed N] [--batch N]\n\
+                 compile   (--arch 0,9,1,3,... | --widest) -o model.hsart [--skeleton tiny|imagenet-a|imagenet-b]\n\
+                 \x20         [--classes N] [--seed N] [--warmup N]\n\
+                 infer     model.hsart [--input-seed N] [--batch N]\n\
+                 compare   model.hsart [--input-seed N] [--batch N] [--tolerance X]"
             );
             std::process::exit(2);
         }
@@ -254,8 +262,9 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             break;
         }
     }
-    let cmd =
-        cmd.ok_or("usage: hsconas client --addr HOST:PORT <status|shutdown|predict|score|search>")?;
+    let cmd = cmd.ok_or(
+        "usage: hsconas client --addr HOST:PORT <status|shutdown|predict|score|search|infer>",
+    )?;
     let device = || flag(args, "--device").ok_or("--device is required".to_string());
     let target_ms = || -> Result<f64, String> {
         flag(args, "--target-ms")
@@ -290,6 +299,17 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 .transpose()?
                 .unwrap_or(0),
         },
+        "infer" => Command::Infer {
+            arch: arch()?,
+            input_seed: flag(args, "--input-seed")
+                .map(|s| s.parse().map_err(|e| format!("--input-seed: {e}")))
+                .transpose()?
+                .unwrap_or(0),
+            batch: flag(args, "--batch")
+                .map(|s| s.parse().map_err(|e| format!("--batch: {e}")))
+                .transpose()?
+                .unwrap_or(1),
+        },
         other => return Err(format!("unknown client command '{other}'")),
     };
     let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -301,6 +321,167 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         (Some(result), _) => println!("{}", render_pretty(result)),
         (None, Some(error)) => return Err(format!("{} {error}", response.code)),
         (None, None) => return Err(format!("{} (empty response)", response.code)),
+    }
+    Ok(())
+}
+
+/// Shared by the graph subcommands: `--skeleton tiny|imagenet-a|imagenet-b`
+/// (default tiny, whose class count `--classes` overrides).
+fn skeleton_from_args(args: &[String]) -> Result<NetworkSkeleton, String> {
+    let classes: usize = flag(args, "--classes")
+        .map(|s| s.parse().map_err(|e| format!("--classes: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    match flag(args, "--skeleton").as_deref() {
+        None | Some("tiny") => Ok(NetworkSkeleton::tiny(classes)),
+        Some("imagenet-a") => Ok(NetworkSkeleton::imagenet(ChannelLayout::A)),
+        Some("imagenet-b") => Ok(NetworkSkeleton::imagenet(ChannelLayout::B)),
+        Some(other) => Err(format!(
+            "unknown skeleton '{other}' (use tiny|imagenet-a|imagenet-b)"
+        )),
+    }
+}
+
+/// First non-flag token: the artifact path for `infer` / `compare`.
+fn artifact_path(args: &[String]) -> Result<String, String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            return Ok(args[i].clone());
+        }
+    }
+    Err("an artifact path is required".into())
+}
+
+/// Seeded synthetic input batch matching an artifact's input geometry.
+fn synthetic_input(args: &[String], art: &hsconas_graph::Artifact) -> Result<Tensor, String> {
+    let input_seed: u64 = flag(args, "--input-seed")
+        .map(|s| s.parse().map_err(|e| format!("--input-seed: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let batch: usize = flag(args, "--batch")
+        .map(|s| s.parse().map_err(|e| format!("--batch: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let g = &art.graph;
+    let mut rng = hsconas_tensor::rng::SmallRng::new(input_seed);
+    Ok(Tensor::randn(
+        [batch, g.input_c, g.input_h, g.input_w],
+        1.0,
+        &mut rng,
+    ))
+}
+
+/// `hsconas compile`: lower a genome into an optimized graph artifact.
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    use hsconas_graph::{artifact, compile, CompileOptions};
+    use hsconas_space::Arch;
+
+    let skeleton = skeleton_from_args(args)?;
+    let out = flag(args, "-o")
+        .or_else(|| flag(args, "--out"))
+        .ok_or("-o FILE is required")?;
+    let arch = if has_flag(args, "--widest") {
+        Arch::widest(skeleton.num_layers())
+    } else {
+        let encoded: Vec<usize> = flag(args, "--arch")
+            .ok_or("--arch is required (comma-separated genome, or --widest)")?
+            .split(',')
+            .map(|g| g.trim().parse().map_err(|e| format!("--arch: {e}")))
+            .collect::<Result<_, String>>()?;
+        Arch::decode(&encoded).map_err(|e| e.to_string())?
+    };
+    if arch.len() != skeleton.num_layers() {
+        return Err(format!(
+            "genome has {} layers but the skeleton searches {}",
+            arch.len(),
+            skeleton.num_layers()
+        ));
+    }
+    let opts = CompileOptions {
+        seed: flag(args, "--seed")
+            .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+            .transpose()?
+            .unwrap_or(0),
+        warmup_steps: flag(args, "--warmup")
+            .map(|s| s.parse().map_err(|e| format!("--warmup: {e}")))
+            .transpose()?
+            .unwrap_or(CompileOptions::default().warmup_steps),
+    };
+    let _telemetry = telemetry_from_args(args);
+    let (art, stats) = compile(&skeleton, &arch, &opts).map_err(|e| e.to_string())?;
+    let bytes = artifact::to_bytes(&art);
+    artifact::save(&art, std::path::Path::new(&out)).map_err(|e| e.to_string())?;
+    println!("architecture : {arch}");
+    println!(
+        "graph        : {} nodes, {} weight floats",
+        art.graph.nodes.len(),
+        art.graph.const_elements()
+    );
+    println!(
+        "patches      : {} fused, {} specialized, {} folded, {} removed",
+        stats.fused, stats.specialized, stats.folded, stats.removed
+    );
+    println!("artifact     : {out} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+/// `hsconas infer`: run a compiled artifact on a seeded synthetic batch.
+fn cmd_infer(args: &[String]) -> Result<(), String> {
+    use hsconas_graph::{artifact, execute};
+
+    let path = artifact_path(args)?;
+    let _telemetry = telemetry_from_args(args);
+    let art = artifact::load(std::path::Path::new(&path)).map_err(|e| e.to_string())?;
+    let x = synthetic_input(args, &art)?;
+    let logits = execute(&art.graph, &x).map_err(|e| e.to_string())?;
+    let s = logits.shape();
+    for n in 0..s.n {
+        let row: Vec<f32> = (0..s.c).map(|c| logits.at(n, c, 0, 0)).collect();
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        println!("image {n}: class {argmax}  logits {row:?}");
+    }
+    Ok(())
+}
+
+/// `hsconas compare`: diff an artifact layer-by-layer against the
+/// reference supernet rebuilt from its provenance. Exits nonzero when the
+/// worst error exceeds `--tolerance` (default 0 — bit-identity).
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    use hsconas_graph::{artifact, compare};
+
+    let path = artifact_path(args)?;
+    let tolerance: f32 = flag(args, "--tolerance")
+        .map(|s| s.parse().map_err(|e| format!("--tolerance: {e}")))
+        .transpose()?
+        .unwrap_or(0.0);
+    let _telemetry = telemetry_from_args(args);
+    let art = artifact::load(std::path::Path::new(&path)).map_err(|e| e.to_string())?;
+    let x = synthetic_input(args, &art)?;
+    let report = compare(&art, &x).map_err(|e| e.to_string())?;
+    println!(
+        "{:<10} {:>9} {:>9} {:>13} {:>13}",
+        "boundary", "logical C", "actual C", "max |err|", "tail max"
+    );
+    for row in &report.layers {
+        println!(
+            "{:<10} {:>9} {:>9} {:>13e} {:>13e}",
+            row.label, row.logical_c, row.physical_c, row.max_abs_err, row.ref_tail_max
+        );
+    }
+    println!("overall max |err| = {:e}", report.max_abs_err);
+    if report.max_abs_err > tolerance {
+        return Err(format!(
+            "max |err| {:e} exceeds tolerance {tolerance:e}",
+            report.max_abs_err
+        ));
     }
     Ok(())
 }

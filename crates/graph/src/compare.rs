@@ -1,0 +1,162 @@
+//! Layer-by-layer diffing of a compiled artifact against its reference
+//! supernet.
+//!
+//! The reference forward is decomposed with `forward_stem` /
+//! `forward_layer` / `forward_head` — the exact operation sequence of a
+//! plain `forward` — and each boundary activation is compared with the
+//! graph checkpoint of the same label. Because specialization removes
+//! masked channels *physically*, a graph activation can be narrower than
+//! the reference's: the live prefix is diffed elementwise, and the
+//! reference's tail (the channels the graph no longer carries) is checked
+//! to be exactly zero — a nonzero tail would mean specialization dropped
+//! live data and is reported as error mass, not silently ignored.
+
+use hsconas_space::Arch;
+use hsconas_supernet::Supernet;
+use hsconas_tensor::Tensor;
+
+use crate::artifact::Artifact;
+use crate::compile::build_reference;
+use crate::exec::execute_traced;
+use crate::GraphError;
+
+/// One boundary's comparison result.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Boundary label (`"stem"`, `"layer4"`, `"logits"`).
+    pub label: String,
+    /// Reference (logical) channel width.
+    pub logical_c: usize,
+    /// Graph (physical) channel width.
+    pub physical_c: usize,
+    /// Max elementwise |reference − graph| over the live prefix.
+    pub max_abs_err: f32,
+    /// Max |reference| over channels the graph no longer carries
+    /// (must be exactly 0 for a correct specialization).
+    pub ref_tail_max: f32,
+}
+
+/// Full comparison result.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-boundary rows in network order.
+    pub layers: Vec<LayerReport>,
+    /// Max over all rows of `max(max_abs_err, ref_tail_max)`.
+    pub max_abs_err: f32,
+}
+
+fn cmp_err(detail: String) -> GraphError {
+    GraphError::Exec { detail }
+}
+
+fn diff(reference: &Tensor, got: &Tensor) -> Result<(f32, f32), GraphError> {
+    let rs = reference.shape();
+    let gs = got.shape();
+    if rs.n != gs.n || rs.h != gs.h || rs.w != gs.w || gs.c > rs.c {
+        return Err(cmp_err(format!(
+            "boundary shapes incompatible: reference {:?} vs graph {:?}",
+            rs.to_vec(),
+            gs.to_vec()
+        )));
+    }
+    let mut max_err = 0.0f32;
+    let mut tail_max = 0.0f32;
+    for n in 0..rs.n {
+        for c in 0..rs.c {
+            for h in 0..rs.h {
+                for w in 0..rs.w {
+                    let r = reference.at(n, c, h, w);
+                    if c < gs.c {
+                        max_err = max_err.max((r - got.at(n, c, h, w)).abs());
+                    } else {
+                        tail_max = tail_max.max(r.abs());
+                    }
+                }
+            }
+        }
+    }
+    Ok((max_err, tail_max))
+}
+
+/// Rebuilds the reference supernet from the artifact's provenance and
+/// diffs every checkpoint on `input`.
+///
+/// # Errors
+///
+/// Returns [`GraphError`] if the provenance is invalid or either forward
+/// fails.
+pub fn compare(artifact: &Artifact, input: &Tensor) -> Result<CompareReport, GraphError> {
+    let arch = Arch::decode(&artifact.meta.genome).map_err(|e| GraphError::Artifact {
+        detail: format!("artifact genome does not decode: {e}"),
+    })?;
+    let mut net = build_reference(
+        &artifact.meta.skeleton,
+        &arch,
+        artifact.meta.seed,
+        artifact.meta.warmup_steps,
+    )?;
+    compare_against(artifact, &mut net, &arch, input)
+}
+
+/// Like [`compare`] but against a caller-supplied reference supernet
+/// (must match the artifact's provenance for a meaningful result).
+///
+/// # Errors
+///
+/// Returns [`GraphError`] if either forward fails or the checkpoint
+/// tables disagree.
+pub fn compare_against(
+    artifact: &Artifact,
+    net: &mut Supernet,
+    arch: &Arch,
+    input: &Tensor,
+) -> Result<CompareReport, GraphError> {
+    let wrap = |e: hsconas_supernet::SupernetError| cmp_err(e.to_string());
+
+    // reference boundary activations
+    let mut reference: Vec<(String, Tensor)> = Vec::new();
+    let mut x = net.forward_stem(input, false).map_err(wrap)?;
+    reference.push(("stem".into(), x.clone()));
+    for (i, gene) in arch.genes().iter().enumerate() {
+        x = net.forward_layer(i, &x, *gene, false).map_err(wrap)?;
+        reference.push((format!("layer{i}"), x.clone()));
+    }
+    let logits = net.forward_head(&x, false).map_err(wrap)?;
+    reference.push(("logits".into(), logits));
+
+    // graph checkpoint activations
+    let run = execute_traced(&artifact.graph, input)?;
+    if run.checkpoints.len() != reference.len() {
+        return Err(cmp_err(format!(
+            "graph has {} checkpoints, reference produced {}",
+            run.checkpoints.len(),
+            reference.len()
+        )));
+    }
+
+    let mut layers = Vec::with_capacity(reference.len());
+    let mut overall = 0.0f32;
+    for (i, cp) in artifact.graph.checkpoints.iter().enumerate() {
+        let (_, got) = &run.checkpoints[i];
+        let (ref_label, ref_act) = &reference[i];
+        if &cp.label != ref_label {
+            return Err(cmp_err(format!(
+                "checkpoint order mismatch: graph {:?} vs reference {:?}",
+                cp.label, ref_label
+            )));
+        }
+        let (max_abs_err, ref_tail_max) = diff(ref_act, got)?;
+        overall = overall.max(max_abs_err).max(ref_tail_max);
+        layers.push(LayerReport {
+            label: cp.label.clone(),
+            logical_c: cp.logical_c,
+            physical_c: got.shape().c,
+            max_abs_err,
+            ref_tail_max,
+        });
+    }
+    Ok(CompareReport {
+        layers,
+        max_abs_err: overall,
+    })
+}

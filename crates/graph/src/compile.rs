@@ -1,0 +1,113 @@
+//! End-to-end compilation: deterministic reference supernet → lowering →
+//! patches → artifact.
+//!
+//! The reference build is a pure function of `(skeleton, seed,
+//! warmup_steps)`: weights come from a seeded RNG and the warmup runs
+//! training-mode forwards on seeded synthetic batches (populating
+//! nontrivial batch-norm running statistics) along the compiled genome's
+//! own path. `compare` and the bit-identity tests rebuild the identical
+//! supernet from the provenance stored in the artifact.
+
+use hsconas_space::{Arch, NetworkSkeleton};
+use hsconas_supernet::Supernet;
+use hsconas_tensor::rng::SmallRng;
+use hsconas_tensor::Tensor;
+
+use crate::artifact::{Artifact, ArtifactMeta};
+use crate::lower::lower;
+use crate::patch::{optimize, PatchStats};
+use crate::GraphError;
+
+/// Batch size of the warmup forwards (fixed: it is part of the
+/// deterministic reference definition).
+pub const WARMUP_BATCH: usize = 2;
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Seed for weight initialization and warmup data.
+    pub seed: u64,
+    /// Training-mode forward passes before export; populates batch-norm
+    /// running statistics so the compiled normalization is nontrivial.
+    pub warmup_steps: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            seed: 0,
+            warmup_steps: 4,
+        }
+    }
+}
+
+/// Builds the deterministic reference supernet for `(skeleton, seed,
+/// warmup_steps)`, warming batch-norm statistics along `arch`'s path.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Lower`] if the skeleton cannot be built or a
+/// warmup forward fails.
+pub fn build_reference(
+    skeleton: &NetworkSkeleton,
+    arch: &Arch,
+    seed: u64,
+    warmup_steps: usize,
+) -> Result<Supernet, GraphError> {
+    let wrap = |e: hsconas_supernet::SupernetError| GraphError::Lower {
+        detail: e.to_string(),
+    };
+    let mut rng = SmallRng::new(seed);
+    let mut net = Supernet::build(skeleton, &mut rng).map_err(wrap)?;
+    let res = skeleton.input_resolution;
+    for _ in 0..warmup_steps {
+        let x = Tensor::randn(
+            [WARMUP_BATCH, skeleton.input_channels, res, res],
+            1.0,
+            &mut rng,
+        );
+        net.forward(&x, arch, true).map_err(wrap)?;
+    }
+    Ok(net)
+}
+
+/// Compiles `arch` against a freshly built reference supernet.
+///
+/// # Errors
+///
+/// Returns [`GraphError`] if the reference build, lowering, or a patch
+/// fails.
+pub fn compile(
+    skeleton: &NetworkSkeleton,
+    arch: &Arch,
+    opts: &CompileOptions,
+) -> Result<(Artifact, PatchStats), GraphError> {
+    let net = build_reference(skeleton, arch, opts.seed, opts.warmup_steps)?;
+    compile_from(&net, arch, opts)
+}
+
+/// Compiles `arch` against an already-built supernet (whose provenance
+/// must match `opts` for `compare` to reproduce it).
+///
+/// # Errors
+///
+/// Returns [`GraphError`] if lowering or a patch fails.
+pub fn compile_from(
+    net: &Supernet,
+    arch: &Arch,
+    opts: &CompileOptions,
+) -> Result<(Artifact, PatchStats), GraphError> {
+    let _span = hsconas_telemetry::span!("graph.compile");
+    let (mut graph, plan) = lower(net, arch)?;
+    let stats = optimize(&mut graph, &plan)?;
+    let artifact = Artifact {
+        graph,
+        meta: ArtifactMeta {
+            skeleton: net.skeleton().clone(),
+            genome: arch.encode(),
+            seed: opts.seed,
+            warmup_steps: opts.warmup_steps,
+        },
+    };
+    Ok((artifact, stats))
+}

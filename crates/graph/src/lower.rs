@@ -1,0 +1,435 @@
+//! Lowering: a supernet plus one sampled genome → a typed [`Graph`].
+//!
+//! The lowered graph reproduces the masked supernet forward *structurally*:
+//! every layer of the selected path becomes explicit nodes (including the
+//! `MaskChannels` node realizing the gene's `I^l` mask), and every
+//! convolution records the full-width per-group GEMM shape it runs here as
+//! `ref_gemm`, so later channel specialization can shrink the operands
+//! without changing which kernel variant or blocking the GEMM dispatches
+//! to — the bit-exactness contract of the whole pipeline.
+//!
+//! Alongside the graph a [`Plan`] side-table records which node ids play
+//! which structural role in each layer (slices, branch convs, the
+//! concat/shuffle/mask tail), because the optimization patches rewrite by
+//! role, not by pattern matching.
+
+use hsconas_nn::{Layer, LayerExport};
+use hsconas_space::{Arch, OpKind};
+use hsconas_supernet::Supernet;
+use hsconas_tensor::Tensor;
+
+use crate::ir::{BnParams, BnScale, Checkpoint, Graph, GraphOp, NodeShape, Outlet};
+use crate::GraphError;
+
+/// Structural roles of one lowered layer, consumed by the specialization
+/// patch.
+#[derive(Debug, Clone)]
+pub enum PlanKind {
+    /// Stride-1 skip: no nodes at all (identity, unmasked).
+    SkipS1,
+    /// Stride-2 skip: pool → adapt → mask.
+    SkipS2 {
+        /// The `AdaptChannels` node.
+        adapt: usize,
+        /// The trailing `MaskChannels` node.
+        mask: usize,
+    },
+    /// A shuffle unit (standard or Xception, either stride).
+    Unit {
+        /// The node feeding the unit.
+        input: usize,
+        /// Stride-1 only: the left-half passthrough slice.
+        slice_l: Option<usize>,
+        /// Stride-1 only: the right-half branch entry slice.
+        slice_r: Option<usize>,
+        /// Conv node ids of the stride-2 left branch, in order.
+        left_convs: Vec<usize>,
+        /// Conv node ids of the right branch, in order.
+        right_convs: Vec<usize>,
+        /// The channel concat joining the branches.
+        concat: usize,
+        /// The `ChannelShuffle` after the concat.
+        shuffle: usize,
+        /// The trailing `MaskChannels` node.
+        mask: usize,
+    },
+}
+
+/// One layer's lowering record.
+#[derive(Debug, Clone)]
+pub struct LayerPlan {
+    /// The gene's post-mask width (`scale.apply(c_out)`, or `c_out` for a
+    /// stride-1 skip, which is never masked).
+    pub keep: usize,
+    /// Slot input width.
+    pub c_in: usize,
+    /// Slot maximum output width `S^l`.
+    pub c_out: usize,
+    /// Slot stride.
+    pub stride: usize,
+    /// Structural roles.
+    pub kind: PlanKind,
+}
+
+/// Side-table produced by [`lower`] and consumed by the patch pipeline.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Per mixed layer, in network order.
+    pub layers: Vec<LayerPlan>,
+    /// The head's pointwise conv node (input-pruned during specialization).
+    pub head_conv: usize,
+}
+
+fn lower_err(detail: String) -> GraphError {
+    GraphError::Lower { detail }
+}
+
+/// Interns BN parameters: gamma/beta arrive as `[1,C,1,1]` tensors, the
+/// running statistics as plain vectors.
+fn intern_bn(
+    g: &mut Graph,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    eps: f32,
+) -> Result<BnParams, GraphError> {
+    let c = gamma.shape().c;
+    let mean = Tensor::from_vec([1, c, 1, 1], running_mean)?;
+    let var = Tensor::from_vec([1, c, 1, 1], running_var)?;
+    Ok(BnParams {
+        gamma: g.add_const(gamma),
+        beta: g.add_const(beta),
+        mean: g.add_const(mean),
+        scale: BnScale::Var {
+            var: g.add_const(var),
+            eps,
+        },
+    })
+}
+
+/// Lowers a straight-line chain of exported layers starting from node
+/// `cur` with per-image shape `shape`. Conv node ids are appended to
+/// `convs` in chain order. Returns the final node and shape.
+fn lower_chain(
+    g: &mut Graph,
+    exports: Vec<LayerExport>,
+    mut cur: usize,
+    mut shape: NodeShape,
+    convs: &mut Vec<usize>,
+) -> Result<(usize, NodeShape), GraphError> {
+    for export in exports {
+        match export {
+            LayerExport::Conv { params, weight } => {
+                if params.c_in != shape.c {
+                    return Err(lower_err(format!(
+                        "conv expects {} input channels, chain carries {}",
+                        params.c_in, shape.c
+                    )));
+                }
+                let (oh, ow) = params.out_hw(shape.h, shape.w);
+                // Full-width per-group GEMM shape: pins kernel selection
+                // for any specialized (smaller) version of this conv.
+                let m = params.c_out / params.groups;
+                let k = (params.c_in / params.groups) * params.kernel * params.kernel;
+                let n = oh * ow;
+                let weight = g.add_const(weight);
+                shape = NodeShape::new(params.c_out, oh, ow);
+                cur = g.add(
+                    GraphOp::Conv {
+                        params,
+                        weight,
+                        ref_gemm: Some((m, k, n)),
+                    },
+                    vec![Outlet::of(cur)],
+                    shape,
+                );
+                convs.push(cur);
+            }
+            LayerExport::BatchNorm {
+                gamma,
+                beta,
+                running_mean,
+                running_var,
+                eps,
+            } => {
+                let bn = intern_bn(g, gamma, beta, running_mean, running_var, eps)?;
+                cur = g.add(GraphOp::BatchNorm { bn }, vec![Outlet::of(cur)], shape);
+            }
+            LayerExport::Relu => {
+                cur = g.add(GraphOp::Relu, vec![Outlet::of(cur)], shape);
+            }
+            LayerExport::ChannelShuffle { groups } => {
+                cur = g.add(
+                    GraphOp::ChannelShuffle { groups },
+                    vec![Outlet::of(cur)],
+                    shape,
+                );
+            }
+            LayerExport::GlobalAvgPool => {
+                shape = NodeShape::new(shape.c, 1, 1);
+                cur = g.add(GraphOp::GlobalAvgPool, vec![Outlet::of(cur)], shape);
+            }
+            LayerExport::Linear { weight, bias } => {
+                let (out_features, in_features) = (weight.shape().n, weight.shape().c);
+                if shape.c != in_features || shape.h != 1 || shape.w != 1 {
+                    return Err(lower_err(format!(
+                        "linear expects [{in_features}, 1, 1], chain carries [{}, {}, {}]",
+                        shape.c, shape.h, shape.w
+                    )));
+                }
+                let weight = g.add_const(weight);
+                let bias = g.add_const(bias);
+                shape = NodeShape::new(out_features, 1, 1);
+                cur = g.add(
+                    GraphOp::Linear { weight, bias },
+                    vec![Outlet::of(cur)],
+                    shape,
+                );
+            }
+            other => {
+                return Err(lower_err(format!(
+                    "unsupported layer {other:?} in a straight-line chain"
+                )));
+            }
+        }
+    }
+    Ok((cur, shape))
+}
+
+/// Lowers one exported shuffle unit. Returns the trailing mask node, the
+/// output shape, and the unit's [`PlanKind`].
+#[allow(clippy::too_many_arguments)] // one call site; mirrors the export layout
+fn lower_unit(
+    g: &mut Graph,
+    input: usize,
+    in_shape: NodeShape,
+    stride: usize,
+    c_in: usize,
+    c_out: usize,
+    left: Vec<LayerExport>,
+    right: Vec<LayerExport>,
+    keep: usize,
+) -> Result<(usize, NodeShape, PlanKind), GraphError> {
+    if in_shape.c != c_in {
+        return Err(lower_err(format!(
+            "unit expects {c_in} input channels, chain carries {}",
+            in_shape.c
+        )));
+    }
+    let mut left_convs = Vec::new();
+    let mut right_convs = Vec::new();
+    let (left_end, left_shape, slice_l, slice_r, right_end, right_shape);
+    if stride == 1 {
+        let half = c_in / 2;
+        let sl = g.add(
+            GraphOp::SliceChannels {
+                start: 0,
+                len: half,
+            },
+            vec![Outlet::of(input)],
+            NodeShape::new(half, in_shape.h, in_shape.w),
+        );
+        let sr = g.add(
+            GraphOp::SliceChannels {
+                start: half,
+                len: c_in - half,
+            },
+            vec![Outlet::of(input)],
+            NodeShape::new(c_in - half, in_shape.h, in_shape.w),
+        );
+        let (re, rs) = lower_chain(
+            g,
+            right,
+            sr,
+            NodeShape::new(c_in - half, in_shape.h, in_shape.w),
+            &mut right_convs,
+        )?;
+        left_end = sl;
+        left_shape = NodeShape::new(half, in_shape.h, in_shape.w);
+        slice_l = Some(sl);
+        slice_r = Some(sr);
+        right_end = re;
+        right_shape = rs;
+    } else {
+        let (le, ls) = lower_chain(g, left, input, in_shape, &mut left_convs)?;
+        let (re, rs) = lower_chain(g, right, input, in_shape, &mut right_convs)?;
+        left_end = le;
+        left_shape = ls;
+        slice_l = None;
+        slice_r = None;
+        right_end = re;
+        right_shape = rs;
+    }
+    if left_shape.h != right_shape.h || left_shape.w != right_shape.w {
+        return Err(lower_err(format!(
+            "unit branch resolutions diverge: {left_shape:?} vs {right_shape:?}"
+        )));
+    }
+    let out_c = left_shape.c + right_shape.c;
+    if out_c != c_out {
+        return Err(lower_err(format!(
+            "unit branches produce {out_c} channels, slot expects {c_out}"
+        )));
+    }
+    let out_shape = NodeShape::new(out_c, left_shape.h, left_shape.w);
+    let concat = g.add(
+        GraphOp::Concat,
+        vec![Outlet::of(left_end), Outlet::of(right_end)],
+        out_shape,
+    );
+    let shuffle = g.add(
+        GraphOp::ChannelShuffle { groups: 2 },
+        vec![Outlet::of(concat)],
+        out_shape,
+    );
+    let mask = g.add(
+        GraphOp::MaskChannels { keep },
+        vec![Outlet::of(shuffle)],
+        out_shape,
+    );
+    Ok((
+        mask,
+        out_shape,
+        PlanKind::Unit {
+            input,
+            slice_l,
+            slice_r,
+            left_convs,
+            right_convs,
+            concat,
+            shuffle,
+            mask,
+        },
+    ))
+}
+
+/// Lowers the path selected by `arch` through `net` into a full-width
+/// graph plus its [`Plan`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Lower`] if the genome does not fit the supernet
+/// or an exported structure is not one the lowering understands.
+pub fn lower(net: &Supernet, arch: &Arch) -> Result<(Graph, Plan), GraphError> {
+    net.check_arch(arch).map_err(|e| lower_err(e.to_string()))?;
+    let sk = net.skeleton().clone();
+    let mut g = Graph::new(sk.input_channels, sk.input_resolution, sk.input_resolution);
+    let input = g.add(
+        GraphOp::Input,
+        Vec::new(),
+        NodeShape::new(sk.input_channels, sk.input_resolution, sk.input_resolution),
+    );
+
+    // stem
+    let mut stem_exports = Vec::new();
+    net.stem().export(&mut stem_exports);
+    let mut stem_convs = Vec::new();
+    let (mut cur, mut shape) = lower_chain(
+        &mut g,
+        stem_exports,
+        input,
+        NodeShape::new(sk.input_channels, sk.input_resolution, sk.input_resolution),
+        &mut stem_convs,
+    )?;
+    g.checkpoints.push(Checkpoint {
+        label: "stem".into(),
+        node: cur,
+        logical_c: shape.c,
+    });
+
+    // mixed layers
+    let mut layers = Vec::with_capacity(arch.len());
+    for (l, gene) in arch.genes().iter().enumerate() {
+        let ml = &net.mixed_layers()[l];
+        let (c_in, c_out, stride) = (ml.c_in(), ml.c_out(), ml.stride());
+        let mut exports = Vec::new();
+        ml.candidate(gene.op.index()).export(&mut exports);
+        if exports.len() != 1 {
+            return Err(lower_err(format!(
+                "layer {l}: candidate exported {} structures, expected 1",
+                exports.len()
+            )));
+        }
+        let keep = if gene.op == OpKind::Skip && stride == 1 {
+            c_out
+        } else {
+            gene.scale.apply(c_out)
+        };
+        let kind = match exports.remove(0) {
+            LayerExport::Identity => PlanKind::SkipS1,
+            LayerExport::DownsampleSkip { c_out: skip_out } => {
+                let (oh, ow) = ((shape.h - 2) / 2 + 1, (shape.w - 2) / 2 + 1);
+                let pool = g.add(
+                    GraphOp::AvgPool {
+                        kernel: 2,
+                        stride: 2,
+                        pad: 0,
+                    },
+                    vec![Outlet::of(cur)],
+                    NodeShape::new(shape.c, oh, ow),
+                );
+                let adapt = g.add(
+                    GraphOp::AdaptChannels { c_out: skip_out },
+                    vec![Outlet::of(pool)],
+                    NodeShape::new(skip_out, oh, ow),
+                );
+                let mask = g.add(
+                    GraphOp::MaskChannels { keep },
+                    vec![Outlet::of(adapt)],
+                    NodeShape::new(skip_out, oh, ow),
+                );
+                cur = mask;
+                shape = NodeShape::new(skip_out, oh, ow);
+                PlanKind::SkipS2 { adapt, mask }
+            }
+            LayerExport::ShuffleUnit {
+                stride: s,
+                c_in: uc_in,
+                c_out: uc_out,
+                left,
+                right,
+            } => {
+                let (mask, out_shape, kind) =
+                    lower_unit(&mut g, cur, shape, s, uc_in, uc_out, left, right, keep)?;
+                cur = mask;
+                shape = out_shape;
+                kind
+            }
+            other => {
+                return Err(lower_err(format!(
+                    "layer {l}: unsupported candidate export {other:?}"
+                )));
+            }
+        };
+        layers.push(LayerPlan {
+            keep,
+            c_in,
+            c_out,
+            stride,
+            kind,
+        });
+        g.checkpoints.push(Checkpoint {
+            label: format!("layer{l}"),
+            node: cur,
+            logical_c: c_out,
+        });
+    }
+
+    // head
+    let mut head_exports = Vec::new();
+    net.head().export(&mut head_exports);
+    let mut head_convs = Vec::new();
+    let (logits, logits_shape) = lower_chain(&mut g, head_exports, cur, shape, &mut head_convs)?;
+    let &head_conv = head_convs
+        .first()
+        .ok_or_else(|| lower_err("head exported no convolution".into()))?;
+    g.output = logits;
+    g.checkpoints.push(Checkpoint {
+        label: "logits".into(),
+        node: logits,
+        logical_c: logits_shape.c,
+    });
+    g.validate()?;
+    Ok((g, Plan { layers, head_conv }))
+}

@@ -53,6 +53,10 @@ impl Layer for Relu {
     fn name(&self) -> &'static str {
         "Relu"
     }
+
+    fn export(&self, out: &mut Vec<crate::layer::LayerExport>) {
+        out.push(crate::layer::LayerExport::Relu);
+    }
 }
 
 #[cfg(test)]

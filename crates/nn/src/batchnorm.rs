@@ -1,6 +1,6 @@
 //! Batch normalization over the channel axis of NCHW tensors.
 
-use crate::layer::{BnMode, Layer, ParamVisitor};
+use crate::layer::{BnMode, Layer, LayerExport, ParamVisitor};
 use crate::NnError;
 use hsconas_tensor::{Tensor, TensorError};
 
@@ -232,6 +232,16 @@ impl Layer for BatchNorm2d {
 
     fn name(&self) -> &'static str {
         "BatchNorm2d"
+    }
+
+    fn export(&self, out: &mut Vec<LayerExport>) {
+        out.push(LayerExport::BatchNorm {
+            gamma: self.gamma.clone(),
+            beta: self.beta.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            eps: self.eps,
+        });
     }
 }
 

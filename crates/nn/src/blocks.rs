@@ -224,6 +224,22 @@ impl Layer for ShuffleUnit {
     fn name(&self) -> &'static str {
         "ShuffleUnit"
     }
+
+    fn export(&self, out: &mut Vec<crate::layer::LayerExport>) {
+        let mut left = Vec::new();
+        if let Some(l) = &self.left {
+            l.export(&mut left);
+        }
+        let mut right = Vec::new();
+        self.right.export(&mut right);
+        out.push(crate::layer::LayerExport::ShuffleUnit {
+            stride: self.stride,
+            c_in: self.c_in,
+            c_out: self.c_out,
+            left,
+            right,
+        });
+    }
 }
 
 /// An identity ("skip connection") operator, the fifth candidate in the
@@ -251,6 +267,10 @@ impl Layer for SkipConnection {
 
     fn name(&self) -> &'static str {
         "SkipConnection"
+    }
+
+    fn export(&self, out: &mut Vec<crate::layer::LayerExport>) {
+        out.push(crate::layer::LayerExport::Identity);
     }
 }
 

@@ -1,6 +1,6 @@
 //! Convolution layer owning its weight and gradient buffers.
 
-use crate::layer::{Layer, ParamVisitor};
+use crate::layer::{Layer, LayerExport, ParamVisitor};
 use crate::NnError;
 use hsconas_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dParams};
 use hsconas_tensor::rng::SmallRng;
@@ -113,6 +113,13 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "Conv2d"
+    }
+
+    fn export(&self, out: &mut Vec<LayerExport>) {
+        out.push(LayerExport::Conv {
+            params: self.params,
+            weight: self.weight.clone(),
+        });
     }
 }
 

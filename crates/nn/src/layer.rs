@@ -1,4 +1,5 @@
 use crate::NnError;
+use hsconas_tensor::conv::Conv2dParams;
 use hsconas_tensor::Tensor;
 
 /// Callback invoked for every trainable parameter of a layer.
@@ -20,6 +21,82 @@ pub enum BnMode {
     /// so the stats converge exactly to the evaluated path's statistics
     /// regardless of prior state.
     Accumulate,
+}
+
+/// A structural snapshot of one layer — its static configuration plus
+/// owned copies of its parameters — produced by [`Layer::export`].
+///
+/// This is the seam between the training stack and the graph compiler
+/// (`hsconas-graph`): exports carry everything needed to rebuild the
+/// layer's *inference* forward pass as dataflow-graph nodes, and nothing
+/// training-specific (no gradients, caches, or optimizer state).
+/// Containers flatten (a [`crate::Sequential`] exports its children in
+/// forward order); composite blocks export a single structured entry.
+#[derive(Debug, Clone)]
+pub enum LayerExport {
+    /// Bias-free convolution: static params + weight `[c_out, c_in/g, k, k]`.
+    Conv {
+        /// Convolution geometry.
+        params: Conv2dParams,
+        /// Weight tensor snapshot.
+        weight: Tensor,
+    },
+    /// Batch normalization in inference form (running statistics).
+    BatchNorm {
+        /// Scale, shape `[1, C, 1, 1]`.
+        gamma: Tensor,
+        /// Shift, shape `[1, C, 1, 1]`.
+        beta: Tensor,
+        /// Per-channel running mean.
+        running_mean: Vec<f32>,
+        /// Per-channel running variance.
+        running_var: Vec<f32>,
+        /// Stabilizer added to the variance before the square root.
+        eps: f32,
+    },
+    /// Rectified linear activation.
+    Relu,
+    /// Channel shuffle with the given group count.
+    ChannelShuffle {
+        /// Shuffle group count.
+        groups: usize,
+    },
+    /// Global average pooling to `1×1`.
+    GlobalAvgPool,
+    /// Fully connected layer on `[n, c, 1, 1]` activations.
+    Linear {
+        /// Weight, shape `[out, in, 1, 1]`.
+        weight: Tensor,
+        /// Bias, shape `[1, out, 1, 1]`.
+        bias: Tensor,
+    },
+    /// A ShuffleNetV2 unit with its branch layers exported recursively.
+    ShuffleUnit {
+        /// 1 (split/passthrough) or 2 (downsample).
+        stride: usize,
+        /// Input channel count.
+        c_in: usize,
+        /// Output channel count.
+        c_out: usize,
+        /// Left-branch layers (empty for stride-1 passthrough).
+        left: Vec<LayerExport>,
+        /// Right-branch layers.
+        right: Vec<LayerExport>,
+    },
+    /// Identity (the stride-1 skip operator).
+    Identity,
+    /// Stride-2 skip: 2×2 average pool then channel pad/truncate to
+    /// `c_out` (the supernet's `DownsampleSkip`).
+    DownsampleSkip {
+        /// Output channel count.
+        c_out: usize,
+    },
+    /// A layer type without a structural export; graph lowering rejects
+    /// networks containing one.
+    Opaque {
+        /// The layer's [`Layer::name`].
+        name: &'static str,
+    },
 }
 
 /// A differentiable network layer with owned parameters.
@@ -75,6 +152,14 @@ pub trait Layer {
 
     /// Short human-readable layer name for diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Appends this layer's structural snapshot(s) to `out`. Containers
+    /// append one entry per child in forward order. The default appends
+    /// [`LayerExport::Opaque`], which graph lowering rejects loudly —
+    /// a new layer type must opt in explicitly.
+    fn export(&self, out: &mut Vec<LayerExport>) {
+        out.push(LayerExport::Opaque { name: self.name() });
+    }
 }
 
 #[cfg(test)]

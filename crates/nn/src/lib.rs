@@ -47,7 +47,7 @@ pub use batchnorm::BatchNorm2d;
 pub use blocks::{ShuffleUnit, ShuffleUnitKind, SkipConnection};
 pub use conv_layer::Conv2d;
 pub use error::NnError;
-pub use layer::{BnMode, Layer, ParamVisitor};
+pub use layer::{BnMode, Layer, LayerExport, ParamVisitor};
 pub use linear::Linear;
 pub use loss::SoftmaxCrossEntropy;
 pub use mbconv::InvertedResidual;

@@ -136,6 +136,13 @@ impl Layer for Linear {
     fn name(&self) -> &'static str {
         "Linear"
     }
+
+    fn export(&self, out: &mut Vec<crate::layer::LayerExport>) {
+        out.push(crate::layer::LayerExport::Linear {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+        });
+    }
 }
 
 #[cfg(test)]

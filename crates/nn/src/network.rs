@@ -83,6 +83,12 @@ impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "Sequential"
     }
+
+    fn export(&self, out: &mut Vec<crate::layer::LayerExport>) {
+        for layer in &self.layers {
+            layer.export(out);
+        }
+    }
 }
 
 #[cfg(test)]

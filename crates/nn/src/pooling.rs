@@ -38,6 +38,10 @@ impl Layer for GlobalAvgPool {
     fn name(&self) -> &'static str {
         "GlobalAvgPool"
     }
+
+    fn export(&self, out: &mut Vec<crate::layer::LayerExport>) {
+        out.push(crate::layer::LayerExport::GlobalAvgPool);
+    }
 }
 
 /// Max pooling layer with square kernel.

@@ -37,6 +37,12 @@ impl Layer for ChannelShuffle {
     fn name(&self) -> &'static str {
         "ChannelShuffle"
     }
+
+    fn export(&self, out: &mut Vec<crate::layer::LayerExport>) {
+        out.push(crate::layer::LayerExport::ChannelShuffle {
+            groups: self.groups,
+        });
+    }
 }
 
 #[cfg(test)]

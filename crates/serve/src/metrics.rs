@@ -31,6 +31,10 @@ pub struct ServeMetrics {
     pub served_search: AtomicU64,
     /// 200-answered `shutdown` requests.
     pub served_shutdown: AtomicU64,
+    /// 200-answered `infer` requests.
+    pub served_infer: AtomicU64,
+    /// `infer` requests answered from the compiled-artifact cache.
+    pub infer_cache_hits: AtomicU64,
     /// 429 responses (queue full).
     pub rejected_overloaded: AtomicU64,
     /// 400 responses (malformed frame or fields).
@@ -55,6 +59,7 @@ pub struct ServeMetrics {
     hist_predict_ms: Histogram,
     hist_score_ms: Histogram,
     hist_search_ms: Histogram,
+    hist_infer_ms: Histogram,
     counter_served: Counter,
     counter_rejected: Counter,
 }
@@ -70,6 +75,8 @@ impl ServeMetrics {
             served_score: AtomicU64::new(0),
             served_search: AtomicU64::new(0),
             served_shutdown: AtomicU64::new(0),
+            served_infer: AtomicU64::new(0),
+            infer_cache_hits: AtomicU64::new(0),
             rejected_overloaded: AtomicU64::new(0),
             rejected_malformed: AtomicU64::new(0),
             rejected_oversized: AtomicU64::new(0),
@@ -83,6 +90,7 @@ impl ServeMetrics {
             hist_predict_ms: Histogram::register("serve.latency_ms.predict_latency"),
             hist_score_ms: Histogram::register("serve.latency_ms.score"),
             hist_search_ms: Histogram::register("serve.latency_ms.search"),
+            hist_infer_ms: Histogram::register("serve.latency_ms.infer"),
             counter_served: Counter::register("serve.requests_served"),
             counter_rejected: Counter::register("serve.requests_rejected"),
         }
@@ -101,6 +109,7 @@ impl ServeMetrics {
             "score" => &self.served_score,
             "search" => &self.served_search,
             "shutdown" => &self.served_shutdown,
+            "infer" => &self.served_infer,
             _ => return,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -109,6 +118,7 @@ impl ServeMetrics {
             "predict_latency" => self.hist_predict_ms.record(elapsed_ms),
             "score" => self.hist_score_ms.record(elapsed_ms),
             "search" => self.hist_search_ms.record(elapsed_ms),
+            "infer" => self.hist_infer_ms.record(elapsed_ms),
             _ => {}
         }
     }
@@ -139,6 +149,7 @@ impl ServeMetrics {
             "predict_latency" => &self.hist_predict_ms,
             "score" => &self.hist_score_ms,
             "search" => &self.hist_search_ms,
+            "infer" => &self.hist_infer_ms,
             _ => return (0, 0.0, 0.0, 0.0),
         };
         let snap = hist.snapshot();

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! request  = { "v": 1, "id": string, "cmd": command, ...fields } "\n"
-//! command  = "status" | "predict_latency" | "score" | "search" | "shutdown"
+//! command  = "status" | "predict_latency" | "score" | "search" | "infer"
+//!          | "shutdown"
 //! response = { "v": 1, "id": string, "code": number,
 //!              "result": value | "error": string } "\n"
 //! ```
@@ -15,6 +16,9 @@
 //! * `predict_latency`: `device` (string), `arch` (array of ints).
 //! * `score`: `device`, `target_ms` (finite, > 0), `arch`.
 //! * `search`: `device`, `target_ms`, `seed` (unsigned int, default 0).
+//! * `infer`: `arch`, `input_seed` (unsigned int, default 0), `batch`
+//!   (1..=[`MAX_INFER_BATCH`], default 1). Compiled artifacts are cached
+//!   per genome, so repeated `infer` requests skip compilation.
 //! * `status` / `shutdown`: no extra fields.
 //!
 //! Response codes mirror HTTP where a familiar number exists:
@@ -33,6 +37,10 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// Oversized frames are consumed to the next newline and rejected with
 /// [`CODE_FRAME_TOO_LARGE`], leaving the connection usable.
 pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Largest `infer` batch one request may ask for — keeps the logits
+/// response comfortably inside [`MAX_FRAME_BYTES`].
+pub const MAX_INFER_BATCH: usize = 16;
 
 /// Request accepted and answered.
 pub const CODE_OK: u16 = 200;
@@ -81,6 +89,16 @@ pub enum Command {
         /// RNG seed driving the EA — same seed, same result bytes.
         seed: u64,
     },
+    /// Compile (or fetch from the artifact cache) the genome's optimized
+    /// graph and run it on a seeded synthetic batch.
+    Infer {
+        /// Encoded architecture.
+        arch: Vec<usize>,
+        /// Seed for the synthetic input batch.
+        input_seed: u64,
+        /// Images in the batch (1..=[`MAX_INFER_BATCH`]).
+        batch: usize,
+    },
 }
 
 impl Command {
@@ -92,6 +110,7 @@ impl Command {
             Command::PredictLatency { .. } => "predict_latency",
             Command::Score { .. } => "score",
             Command::Search { .. } => "search",
+            Command::Infer { .. } => "infer",
         }
     }
 }
@@ -244,6 +263,33 @@ impl Request {
                     })?,
                 },
             },
+            "infer" => {
+                let batch = match value.get("batch") {
+                    None => 1,
+                    Some(v) => v.as_u64().map(|n| n as usize).ok_or_else(|| {
+                        ProtoError::bad("'batch' must be an unsigned integer", id_for_err.clone())
+                    })?,
+                };
+                if batch == 0 || batch > MAX_INFER_BATCH {
+                    return Err(ProtoError::bad(
+                        format!("batch must be in 1..={MAX_INFER_BATCH}, got {batch}"),
+                        id_for_err,
+                    ));
+                }
+                Command::Infer {
+                    arch: field_arch(&value, &id_for_err)?,
+                    input_seed: match value.get("input_seed") {
+                        None => 0,
+                        Some(v) => v.as_u64().ok_or_else(|| {
+                            ProtoError::bad(
+                                "'input_seed' must be an unsigned integer",
+                                id_for_err.clone(),
+                            )
+                        })?,
+                    },
+                    batch,
+                }
+            }
             other => {
                 return Err(ProtoError::bad(
                     format!("unknown cmd '{other}'"),
@@ -285,6 +331,15 @@ impl Request {
                 pairs.push(("device", Json::Str(device.clone())));
                 pairs.push(("target_ms", Json::Num(*target_ms)));
                 pairs.push(("seed", Json::Num(*seed as f64)));
+            }
+            Command::Infer {
+                arch,
+                input_seed,
+                batch,
+            } => {
+                pairs.push(("arch", encode_arch(arch)));
+                pairs.push(("input_seed", Json::Num(*input_seed as f64)));
+                pairs.push(("batch", Json::Num(*batch as f64)));
             }
         }
         Json::obj(pairs).encode()
@@ -516,6 +571,14 @@ mod tests {
                     seed: u64::MAX >> 12,
                 },
             },
+            Request {
+                id: "f".into(),
+                command: Command::Infer {
+                    arch: vec![3, 3, 0, 9],
+                    input_seed: 7,
+                    batch: 2,
+                },
+            },
         ];
         for req in requests {
             let line = req.encode();
@@ -543,6 +606,13 @@ mod tests {
 
         let e = Request::decode(br#"{"id":"r2","cmd":"warp"}"#).unwrap_err();
         assert!(e.detail.contains("unknown cmd"));
+
+        let e =
+            Request::decode(br#"{"id":"r4","cmd":"infer","arch":[0,9],"batch":0}"#).unwrap_err();
+        assert!(e.detail.contains("batch"));
+        let e =
+            Request::decode(br#"{"id":"r5","cmd":"infer","arch":[0,9],"batch":999}"#).unwrap_err();
+        assert!(e.detail.contains("batch"));
 
         let e = Request::decode(br#"{"v":2,"id":"r3","cmd":"status"}"#).unwrap_err();
         assert!(e.detail.contains("version"));

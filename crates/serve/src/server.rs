@@ -340,6 +340,19 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<ConnWriter>, request: Request) {
                 |_| Ok(JobKind::Search { seed }),
             );
         }
+        Command::Infer {
+            arch,
+            input_seed,
+            batch,
+        } => {
+            let response = infer_inline(shared, &request.id, &arch, input_seed, batch);
+            if response.is_ok() {
+                shared.metrics.record_served("infer", ms_since(received));
+            } else {
+                shared.metrics.record_rejected(response.code);
+            }
+            conn.send(&response);
+        }
     }
 }
 
@@ -373,6 +386,63 @@ fn predict_inline(
         ),
         Err(detail) => Response::fail(id, CODE_INTERNAL, detail),
     }
+}
+
+/// Answers `infer` inline: compile (or fetch) the genome's optimized
+/// graph artifact, run it on a seeded synthetic batch, return the logits.
+/// Inline because a tiny-skeleton compile is milliseconds and the cache
+/// absorbs the repeated-genome path entirely.
+fn infer_inline(
+    shared: &Arc<Shared>,
+    id: &str,
+    arch: &[usize],
+    input_seed: u64,
+    batch: usize,
+) -> Response {
+    let (artifact, cached) = match shared.state.compiled_graph(arch) {
+        Ok(pair) => pair,
+        Err(detail) => return Response::fail(id, crate::proto::CODE_BAD_REQUEST, detail),
+    };
+    if cached {
+        shared
+            .metrics
+            .infer_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let g = &artifact.graph;
+    let mut rng = hsconas_tensor::rng::SmallRng::new(input_seed);
+    let input =
+        hsconas_tensor::Tensor::randn([batch, g.input_c, g.input_h, g.input_w], 1.0, &mut rng);
+    let logits = match hsconas_graph::execute(g, &input) {
+        Ok(logits) => logits,
+        Err(e) => return Response::fail(id, CODE_INTERNAL, e.to_string()),
+    };
+    let s = logits.shape();
+    let mut classes = Vec::with_capacity(s.n);
+    let mut rows = Vec::with_capacity(s.n);
+    for n in 0..s.n {
+        let row: Vec<f32> = (0..s.c).map(|c| logits.at(n, c, 0, 0)).collect();
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        classes.push(Json::Num(argmax as f64));
+        rows.push(Json::Arr(
+            row.into_iter().map(|v| Json::Num(f64::from(v))).collect(),
+        ));
+    }
+    Response::ok(
+        id,
+        Json::obj(vec![
+            ("cached", Json::Bool(cached)),
+            ("nodes", Json::Num(g.nodes.len() as f64)),
+            ("weight_floats", Json::Num(g.const_elements() as f64)),
+            ("classes", Json::Arr(classes)),
+            ("logits", Json::Arr(rows)),
+        ]),
+    )
 }
 
 fn serve_error_response(id: &str, error: &ServeError) -> Response {
@@ -661,6 +731,7 @@ fn build_status(shared: &Arc<Shared>) -> Json {
                 ("score", load(&m.served_score)),
                 ("search", load(&m.served_search)),
                 ("shutdown", load(&m.served_shutdown)),
+                ("infer", load(&m.served_infer)),
             ]),
         ),
         (
@@ -687,6 +758,15 @@ fn build_status(shared: &Arc<Shared>) -> Json {
                 ("predict_latency", latency("predict_latency")),
                 ("score", latency("score")),
                 ("search", latency("search")),
+                ("infer", latency("infer")),
+            ]),
+        ),
+        (
+            // Compiled-artifact cache backing the `infer` command.
+            "graphs",
+            Json::obj(vec![
+                ("cached", Json::Num(shared.state.graphs_cached() as f64)),
+                ("cache_hits", load(&m.infer_cache_hits)),
             ]),
         ),
         ("devices", Json::Obj(devices)),

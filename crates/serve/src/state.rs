@@ -373,7 +373,13 @@ fn load_snapshot(
 pub struct WarmState {
     options: ServeOptions,
     devices: Mutex<HashMap<String, Arc<DeviceState>>>,
+    graphs: Mutex<HashMap<Vec<usize>, Arc<hsconas_graph::Artifact>>>,
 }
+
+/// Compiled-artifact cache bound: past this many distinct genomes an
+/// arbitrary entry is evicted (compiling is cheap; the cache exists to
+/// make the *repeated*-genome path fast).
+const MAX_CACHED_GRAPHS: usize = 64;
 
 impl WarmState {
     /// Creates an empty warm state.
@@ -381,7 +387,52 @@ impl WarmState {
         WarmState {
             options,
             devices: Mutex::new(HashMap::new()),
+            graphs: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The compiled artifact for `encoded`, building it on first touch
+    /// against the tiny skeleton with the default deterministic
+    /// provenance (so identical genomes produce identical artifacts on
+    /// every server). Returns the artifact and whether it was a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-safe message if the genome does not decode or does
+    /// not fit the skeleton.
+    pub fn compiled_graph(
+        &self,
+        encoded: &[usize],
+    ) -> Result<(Arc<hsconas_graph::Artifact>, bool), String> {
+        let mut graphs = lock(&self.graphs);
+        if let Some(art) = graphs.get(encoded) {
+            return Ok((Arc::clone(art), true));
+        }
+        let arch = Arch::decode(encoded).map_err(|e| format!("bad arch: {e}"))?;
+        let skeleton = hsconas_space::NetworkSkeleton::tiny(10);
+        if arch.len() != skeleton.num_layers() {
+            return Err(format!(
+                "genome has {} layers but the infer skeleton searches {}",
+                arch.len(),
+                skeleton.num_layers()
+            ));
+        }
+        let opts = hsconas_graph::CompileOptions::default();
+        let (artifact, _stats) =
+            hsconas_graph::compile(&skeleton, &arch, &opts).map_err(|e| e.to_string())?;
+        if graphs.len() >= MAX_CACHED_GRAPHS {
+            if let Some(key) = graphs.keys().next().cloned() {
+                graphs.remove(&key);
+            }
+        }
+        let artifact = Arc::new(artifact);
+        graphs.insert(encoded.to_vec(), Arc::clone(&artifact));
+        Ok((artifact, false))
+    }
+
+    /// Distinct genomes in the compiled-artifact cache (for `status`).
+    pub fn graphs_cached(&self) -> usize {
+        lock(&self.graphs).len()
     }
 
     /// The options this state was built with.

@@ -105,6 +105,10 @@ impl Layer for DownsampleSkip {
     fn name(&self) -> &'static str {
         "DownsampleSkip"
     }
+
+    fn export(&self, out: &mut Vec<hsconas_nn::LayerExport>) {
+        out.push(hsconas_nn::LayerExport::DownsampleSkip { c_out: self.c_out });
+    }
 }
 
 #[cfg(test)]

@@ -102,6 +102,26 @@ impl MixedLayer {
         self.c_out
     }
 
+    /// Input width (the previous slot's maximum output width).
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// The slot's stride (1 or 2).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The candidate operator at `op_index` (canonical [`OpKind::ALL`]
+    /// order), for structural export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_index >= 5`.
+    pub fn candidate(&self, op_index: usize) -> &dyn Layer {
+        &*self.candidates[op_index]
+    }
+
     /// Runs the selected candidate with the gene's channel mask:
     /// `I^l × op^l(x)`. A stride-1 skip is left unmasked (there is nothing
     /// to scale on an identity).

@@ -86,6 +86,22 @@ impl Supernet {
         self.layers.len()
     }
 
+    /// The stem container (conv → BN → ReLU), for structural export.
+    pub fn stem(&self) -> &Sequential {
+        &self.stem
+    }
+
+    /// The head container (pointwise conv → BN → ReLU → global pool →
+    /// linear), for structural export.
+    pub fn head(&self) -> &Sequential {
+        &self.head
+    }
+
+    /// The mixed layers in network order, for structural export.
+    pub fn mixed_layers(&self) -> &[MixedLayer] {
+        &self.layers
+    }
+
     /// Checks that `arch` has one gene per mixed layer.
     ///
     /// # Errors

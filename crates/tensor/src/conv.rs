@@ -130,6 +130,27 @@ pub fn conv2d_forward(
     weight: &Tensor,
     params: &Conv2dParams,
 ) -> Result<Tensor, TensorError> {
+    conv2d_forward_pinned(input, weight, params, None)
+}
+
+/// [`conv2d_forward`] with the per-image GEMM's kernel selection pinned
+/// to a reference `(m, k, n)` shape ([`crate::kernels::gemm_pinned`]).
+///
+/// Used by the graph compiler for channel-specialized convolutions: the
+/// pruned product must accumulate in the same order as the full-width
+/// reference product so that removing exactly-zero rows/columns is
+/// bit-preserving. `None` behaves exactly like [`conv2d_forward`].
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if `params` are inconsistent or the input /
+/// weight shapes do not match them.
+pub fn conv2d_forward_pinned(
+    input: &Tensor,
+    weight: &Tensor,
+    params: &Conv2dParams,
+    ref_gemm: Option<(usize, usize, usize)>,
+) -> Result<Tensor, TensorError> {
     params.validate()?;
     let ishape = input.shape();
     if ishape.c != params.c_in {
@@ -168,15 +189,30 @@ pub fn conv2d_forward(
         let group_product = |g: usize, col: &[f32], out_image: &mut [f32]| {
             let w_off = g * coutpg * krows;
             let o_off = g * coutpg * out_plane;
-            matmul_accumulate_tagged(
-                &weight_data[w_off..w_off + coutpg * krows],
-                col,
-                &mut out_image[o_off..o_off + coutpg * out_plane],
-                coutpg,
-                krows,
-                cols,
-                GemmTags::a_tag(weight.pack_tag_at(w_off)),
-            );
+            let tags = GemmTags::a_tag(weight.pack_tag_at(w_off));
+            match ref_gemm {
+                Some(r) => crate::kernels::gemm_pinned(
+                    r,
+                    crate::kernels::Op::Ab,
+                    &weight_data[w_off..w_off + coutpg * krows],
+                    col,
+                    &mut out_image[o_off..o_off + coutpg * out_plane],
+                    coutpg,
+                    krows,
+                    cols,
+                    true,
+                    tags,
+                ),
+                None => matmul_accumulate_tagged(
+                    &weight_data[w_off..w_off + coutpg * krows],
+                    col,
+                    &mut out_image[o_off..o_off + coutpg * out_plane],
+                    coutpg,
+                    krows,
+                    cols,
+                    tags,
+                ),
+            }
         };
         if pointwise {
             // col ≡ the input plane matrix: multiply in place, no staging.

@@ -33,6 +33,20 @@
 //! panel per k-block), so masked-channel skipping works unchanged on the
 //! cached path.
 //!
+//! ## Clones never alias cache entries
+//!
+//! `Tensor::clone` deliberately takes a **fresh id** (and version 0) even
+//! though the cloned bytes are bit-identical to the original's. This is
+//! intended, not an oversight: an id identifies a *buffer lineage*, and
+//! sharing one across clones would let a later `&mut` mutation of the
+//! original serve stale panels to GEMMs on the clone (or vice versa) —
+//! version bumps on one lineage cannot invalidate the other. The cost is
+//! one redundant pack per cloned weight, which steady-state workloads
+//! never pay (weights are cloned rarely; activations are never tagged).
+//! A future "optimization" that aliases clone ids would silently break
+//! the invalidation contract; `clone_takes_fresh_pack_identity` in
+//! `tests/pack_cache.rs` pins the fresh-id behaviour.
+//!
 //! ## Memory
 //!
 //! The cache is process-global behind a mutex (entries are shared

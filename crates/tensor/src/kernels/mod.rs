@@ -690,6 +690,105 @@ pub fn gemm_ext(
     accumulate: bool,
     tags: GemmTags,
 ) {
+    let class = classify(m, k, n);
+    let threads = if threads == 0 {
+        auto_band_threads(class, m, k, n)
+    } else {
+        threads
+    };
+    gemm_resolved(
+        variant,
+        Blocking::for_class(class),
+        threads,
+        op,
+        a,
+        b,
+        c,
+        m,
+        k,
+        n,
+        accumulate,
+        tags,
+    );
+}
+
+/// [`gemm_tagged`] with variant and blocking derived from a *reference*
+/// problem shape instead of the actual one.
+///
+/// The graph compiler's channel-mask specialization physically removes
+/// masked rows/columns from a product whose reference run computed them
+/// as zeros. Per-element bits depend on the kernel variant (FMA vs
+/// mul+add) and on the `KC` blocking (each `kc`-deep block is accumulated
+/// in registers before being added to `c`), and both are normally chosen
+/// from `(m, k, n)` — so a shrunken product could cross the tiny/skinny
+/// threshold and flip to a different accumulation order. Pinning the
+/// selection to the reference shape keeps every surviving addend in the
+/// same block of the same kernel, which makes dropping exactly-zero
+/// addends bit-preserving (modulo IEEE zero sign; `±0.0` compare equal).
+/// The band worker count still follows the auto policy on the actual
+/// shape — band count never affects bits (module docs).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions for `op`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_pinned(
+    ref_mkn: (usize, usize, usize),
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    tags: GemmTags,
+) {
+    let (rm, rk, rn) = ref_mkn;
+    let ref_class = classify(rm, rk, rn);
+    let variant = match ref_class {
+        ShapeClass::Tiny | ShapeClass::Skinny => Variant::Direct,
+        _ => selected_variant(),
+    };
+    let threads = if variant == Variant::Direct {
+        1
+    } else {
+        auto_band_threads(ref_class, m, k, n)
+    };
+    gemm_resolved(
+        variant,
+        Blocking::for_class(ref_class),
+        threads,
+        op,
+        a,
+        b,
+        c,
+        m,
+        k,
+        n,
+        accumulate,
+        tags,
+    );
+}
+
+/// Shared tail of [`gemm_ext`] / [`gemm_pinned`]: validation, dispatch
+/// counting, and the variant match, with blocking and band worker count
+/// fully decided by the caller.
+#[allow(clippy::too_many_arguments)]
+fn gemm_resolved(
+    variant: Variant,
+    blocking: Blocking,
+    threads: usize,
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    tags: GemmTags,
+) {
     assert_eq!(a.len(), op.a_len(m, k), "gemm: a has wrong length");
     assert_eq!(b.len(), op.b_len(k, n), "gemm: b has wrong length");
     assert_eq!(c.len(), m * n, "gemm: c has wrong length");
@@ -705,13 +804,6 @@ pub fn gemm_ext(
         Variant::Scalar
     };
     count_dispatch(resolved);
-    let class = classify(m, k, n);
-    let blocking = Blocking::for_class(class);
-    let threads = if threads == 0 {
-        auto_band_threads(class, m, k, n)
-    } else {
-        threads
-    };
     match resolved {
         // The direct loops neither pack nor fork; tags and threads are
         // moot for the tiny shapes routed here.

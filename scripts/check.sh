@@ -40,7 +40,7 @@ run_gate "clippy (telemetry off)" \
     cargo clippy \
     -p hsconas -p hsconas-bench -p hsconas-telemetry -p hsconas-par \
     -p hsconas-evo -p hsconas-supernet -p hsconas-shrink -p hsconas-latency \
-    -p hsconas-serve \
+    -p hsconas-serve -p hsconas-graph \
     --all-targets --no-default-features -- -D warnings
 
 run_gate "cargo test" \
@@ -86,6 +86,12 @@ run_gate "telemetry-overhead gate (release)" \
 # kind, verify determinism, drain, and fail on a leaked process.
 run_gate "serve smoke" \
     scripts/serve_smoke.sh
+
+# Graph deployment pipeline: fixed-seed compile, bit-identity compare gate
+# (max-abs-err 0), deterministic artifact round-trip, and loud rejection of
+# corrupted / truncated / foreign-version artifacts.
+run_gate "graph smoke" \
+    scripts/graph_smoke.sh
 
 echo
 echo "==================== gate summary ===================="

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the graph deployment pipeline (DESIGN.md §12),
+# runnable locally and in CI: compile a fixed-seed genome into a `.hsart`
+# artifact, prove the compile is deterministic (byte-identical recompile),
+# run standalone inference, gate bit-identity against the rebuilt reference
+# supernet via `hsconas compare` (tolerance 0), and verify that corrupted,
+# truncated, and foreign-version artifacts are rejected loudly with a
+# nonzero exit instead of partially loading.
+#
+# Usage: scripts/graph_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+# Mixed ops and scales across the tiny skeleton's four layers, including a
+# narrow (0.2) layer so channel specialization actually prunes weights.
+ARCH="3,3,0,3,1,5,4,9"
+ART="${TMP}/model.hsart"
+
+echo "==> build"
+cargo build --release -q -p hsconas --bin hsconas
+BIN=target/release/hsconas
+
+echo "==> compile (fixed seed)"
+"${BIN}" compile --arch "${ARCH}" -o "${ART}" | tee "${TMP}/compile.out"
+grep -q "specialized" "${TMP}/compile.out" || {
+    echo "compile output missing patch stats" >&2
+    exit 1
+}
+
+echo "==> deterministic recompile"
+"${BIN}" compile --arch "${ARCH}" -o "${TMP}/again.hsart" >/dev/null
+cmp "${ART}" "${TMP}/again.hsart" || {
+    echo "recompiling the same genome produced different artifact bytes" >&2
+    exit 1
+}
+
+echo "==> standalone inference (repeatable)"
+"${BIN}" infer "${ART}" --batch 2 --input-seed 7 >"${TMP}/infer1.out"
+"${BIN}" infer "${ART}" --batch 2 --input-seed 7 >"${TMP}/infer2.out"
+cmp "${TMP}/infer1.out" "${TMP}/infer2.out" || {
+    echo "two identical infer runs produced different output" >&2
+    exit 1
+}
+grep -q "class" "${TMP}/infer1.out" || {
+    echo "infer output missing predictions" >&2
+    cat "${TMP}/infer1.out" >&2
+    exit 1
+}
+
+echo "==> compare gate (bit-identity, tolerance 0)"
+"${BIN}" compare "${ART}"
+
+# --- loud rejection of damaged artifacts -------------------------------
+
+# Overwrite the byte at $2 in $1 with (value+1) mod 256.
+corrupt_byte() {
+    local file="$1" off="$2" orig new
+    orig="$(dd if="${file}" bs=1 skip="${off}" count=1 2>/dev/null \
+        | od -An -tu1 | tr -d ' \n')"
+    new=$(( (orig + 1) % 256 ))
+    printf "\\$(printf '%03o' "${new}")" \
+        | dd of="${file}" bs=1 seek="${off}" conv=notrunc 2>/dev/null
+}
+
+# expect_reject <label> <pattern> <file>: `infer` on the damaged file must
+# exit nonzero and name the failure.
+expect_reject() {
+    local label="$1" pattern="$2" file="$3"
+    if "${BIN}" infer "${file}" >"${TMP}/rej.out" 2>"${TMP}/rej.err"; then
+        echo "FAIL: ${label}: damaged artifact was accepted" >&2
+        exit 1
+    fi
+    if ! grep -qi "${pattern}" "${TMP}/rej.err"; then
+        echo "FAIL: ${label}: rejection did not mention '${pattern}':" >&2
+        cat "${TMP}/rej.err" >&2
+        exit 1
+    fi
+    echo "    rejected (${label}): $(head -c 120 "${TMP}/rej.err")"
+}
+
+echo "==> rejection: bad magic"
+cp "${ART}" "${TMP}/bad-magic.hsart"
+corrupt_byte "${TMP}/bad-magic.hsart" 0
+expect_reject "bad magic" "magic" "${TMP}/bad-magic.hsart"
+
+echo "==> rejection: foreign format version"
+cp "${ART}" "${TMP}/bad-version.hsart"
+printf '\x63\x00\x00\x00' \
+    | dd of="${TMP}/bad-version.hsart" bs=1 seek=4 conv=notrunc 2>/dev/null
+expect_reject "version 99" "version" "${TMP}/bad-version.hsart"
+
+echo "==> rejection: truncated payload"
+SIZE="$(wc -c <"${ART}")"
+head -c "$((SIZE - 7))" "${ART}" >"${TMP}/truncated.hsart"
+expect_reject "truncated" "truncated" "${TMP}/truncated.hsart"
+
+echo "==> rejection: flipped payload byte (checksum)"
+cp "${ART}" "${TMP}/flipped.hsart"
+corrupt_byte "${TMP}/flipped.hsart" "$(( (SIZE + 24) / 2 ))"
+expect_reject "checksum" "checksum" "${TMP}/flipped.hsart"
+
+echo "graph smoke: OK"

@@ -1,0 +1,91 @@
+//! Property tests for the graph compile → infer pipeline (DESIGN.md §12):
+//! for *random* genomes, executing the compiled (optimized, specialized)
+//! graph is bit-identical to the masked supernet forward — at thread
+//! counts 1 and 8, and under whatever `HSCONAS_KERNEL` variant this
+//! process latched (the CI matrix re-runs this binary per variant). The
+//! serialized artifact must round-trip to the same bits as well.
+
+use hsconas_graph::{artifact, build_reference, compile, execute, CompileOptions};
+use hsconas_space::{Arch, ChannelScale, Gene, NetworkSkeleton, OpKind};
+use hsconas_tensor::rng::SmallRng;
+use hsconas_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Small skeleton with both stride-1 and stride-2 searchable slots, so
+/// random genomes exercise every specialization path (slice narrowing,
+/// branch collapse, downsample-skip adaptation, grouped-conv padding).
+fn skeleton() -> NetworkSkeleton {
+    NetworkSkeleton {
+        input_resolution: 16,
+        input_channels: 3,
+        stem_channels: 8,
+        stage_channels: [16, 32, 32, 32],
+        stage_depths: [2, 2, 0, 0],
+        head_channels: 64,
+        num_classes: 10,
+    }
+}
+
+fn arch_strategy(layers: usize) -> impl Strategy<Value = Arch> {
+    proptest::collection::vec((0usize..OpKind::ALL.len(), 1u8..=10u8), layers).prop_map(|genes| {
+        Arch::new(
+            genes
+                .into_iter()
+                .map(|(op, tenths)| {
+                    Gene::new(
+                        OpKind::from_index(op).expect("index in range"),
+                        ChannelScale::from_tenths(tenths).expect("tenths in range"),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    // Each case compiles a supernet and runs four forwards; keep the case
+    // count modest so the suite stays inside tier-1 time budgets.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn compiled_graph_is_bit_identical_across_threads(
+        arch in arch_strategy(4),
+        input_seed in 0u64..1000,
+        batch in 1usize..=3,
+    ) {
+        let sk = skeleton();
+        let opts = CompileOptions::default();
+        let (art, _) = compile(&sk, &arch, &opts).expect("compile");
+        let mut net =
+            build_reference(&sk, &arch, opts.seed, opts.warmup_steps).expect("reference");
+        let mut rng = SmallRng::new(input_seed);
+        let res = sk.input_resolution;
+        let x = Tensor::randn([batch, sk.input_channels, res, res], 1.0, &mut rng);
+
+        // Round-trip through the serialized artifact before executing: the
+        // loaded graph must carry the exact same constants and structure.
+        let loaded = artifact::from_bytes(&artifact::to_bytes(&art)).expect("round-trip");
+        prop_assert_eq!(&art.graph, &loaded.graph);
+
+        let mut outputs: Vec<Vec<u32>> = Vec::new();
+        for threads in [1usize, 8] {
+            hsconas_par::set_default_threads(threads);
+            outputs.push(bits(&net.forward(&x, &arch, false).expect("reference forward")));
+            outputs.push(bits(&execute(&art.graph, &x).expect("graph execute")));
+            outputs.push(bits(&execute(&loaded.graph, &x).expect("loaded execute")));
+        }
+        hsconas_par::set_default_threads(0);
+        let first = &outputs[0];
+        for (i, out) in outputs.iter().enumerate().skip(1) {
+            prop_assert_eq!(
+                first, out,
+                "output {} diverged for genome {} (0/3 = reference/graph at t=1, 3.. at t=8)",
+                i, arch
+            );
+        }
+    }
+}

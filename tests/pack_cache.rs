@@ -136,6 +136,29 @@ fn conv_weight_update_invalidates_cached_panels() {
     );
 }
 
+/// Pins the identity contract the cache doc (`kernels/cache.rs`) promises:
+/// `Tensor::clone` always takes a fresh id and restarts at version 0, even
+/// though the cloned bytes are identical. Aliasing the id would let a
+/// `&mut` mutation of one lineage serve stale panels to the other, so any
+/// future "optimization" that shares ids across clones must fail here.
+#[test]
+fn clone_takes_fresh_pack_identity() {
+    let mut rng = SmallRng::new(9);
+    let mut t = Tensor::randn([4, 4, 1, 1], 1.0, &mut rng);
+    for d in t.data_mut() {
+        *d += 0.0; // bump the version so the clone's reset is observable
+    }
+    let twin = t.clone();
+    assert_eq!(t.data(), twin.data(), "clone must copy the bytes verbatim");
+    assert_ne!(
+        t.pack_tag().id,
+        twin.pack_tag().id,
+        "a clone aliasing its source's id breaks cache invalidation"
+    );
+    assert_eq!(twin.pack_tag().version, 0, "clones restart their lineage");
+    assert!(t.pack_tag().version > 0, "source kept its mutation history");
+}
+
 /// Cloned layers are distinct cache citizens: mutating the clone's weight
 /// must not invalidate (or corrupt) the original's panels — `Tensor::clone`
 /// assigns a fresh identity.
