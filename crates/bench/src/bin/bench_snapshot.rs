@@ -25,7 +25,11 @@
 //! * **graph** — deployment pipeline numbers for a fixed mixed genome:
 //!   compile time, patch counts, artifact byte size, and min-of-N
 //!   single-image latency for the specialized graph vs the masked
-//!   supernet forward it is bit-identical to.
+//!   supernet forward it is bit-identical to;
+//! * **fleet** (only with `--fleet N`) — the same mixed serving workload
+//!   driven against one in-process daemon and against a router fronting
+//!   N in-process workers: requests/sec plus p50/p99 latency per request
+//!   type, and the router's routed/retried/failed counters.
 //!
 //! Usage: `cargo run --release -p hsconas-bench --bin bench_snapshot`
 //! (prints one JSON object to stdout). Requires the default `telemetry`
@@ -106,6 +110,12 @@ fn main() {
         .and_then(|w| w[1].parse().ok())
         .filter(|&t| t > 0)
         .unwrap_or(8);
+    // `--fleet N` adds the single-daemon vs N-shard serving comparison.
+    let fleet_workers: usize = args
+        .windows(2)
+        .find(|w| w[0] == "--fleet")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(0);
     hsconas_par::set_default_threads(1);
 
     // --- population evaluation, cache off vs on -------------------------
@@ -499,7 +509,14 @@ fn main() {
         ])
     };
 
-    let snapshot = obj(vec![
+    // --- fleet serving throughput (opt-in via --fleet N) ----------------
+    let fleet_block = if fleet_workers > 0 {
+        Some(fleet_bench(fleet_workers))
+    } else {
+        None
+    };
+
+    let mut snapshot = obj(vec![
         ("seed", Value::U64(seed)),
         (
             "population_eval",
@@ -548,5 +565,216 @@ fn main() {
         ("kernels", kernels),
         ("graph", graph_block),
     ]);
+    if let (Value::Object(fields), Some(fleet)) = (&mut snapshot, fleet_block) {
+        fields.push(("fleet".to_string(), fleet));
+    }
     println!("{}", serde_json::to_string_pretty(&snapshot).expect("json"));
+}
+
+/// One topology's share of the `--fleet` comparison: requests/sec over
+/// the mixed workload plus per-request-type latency samples.
+struct ServingOutcome {
+    requests_per_sec: f64,
+    latency_ms: Vec<(String, Vec<f64>)>,
+}
+
+/// Drives the fixed mixed workload (predict/score/infer/search) over one
+/// connection to `addr` and times every request client-side.
+fn serving_workload(addr: &str) -> ServingOutcome {
+    use hsconas_serve::proto::Command;
+    use hsconas_serve::Client;
+
+    let wide: Vec<usize> = (0..20).flat_map(|_| [0usize, 9]).collect();
+    let tiny: Vec<usize> = (0..4).flat_map(|_| [0usize, 9]).collect();
+    let predict = |arch: &[usize]| Command::PredictLatency {
+        device: "edge".to_string(),
+        arch: arch.to_vec(),
+    };
+    let score = |target_ms: f64| Command::Score {
+        device: "edge".to_string(),
+        target_ms,
+        arch: wide.clone(),
+    };
+    // Distinct score targets and infer seeds defeat the eval memo, so
+    // both topologies do real work on every request; the identical fixed
+    // sequence keeps the comparison apples-to-apples.
+    let mut requests: Vec<(&str, Command)> = Vec::new();
+    for i in 0..40 {
+        requests.push(("predict_latency", predict(&wide)));
+        requests.push(("score", score(1_000.0 + i as f64)));
+    }
+    for i in 0..20u64 {
+        requests.push((
+            "infer",
+            Command::Infer {
+                arch: tiny.clone(),
+                input_seed: i,
+                batch: 1,
+            },
+        ));
+    }
+    for seed in 0..3u64 {
+        requests.push((
+            "search",
+            Command::Search {
+                device: "edge".to_string(),
+                target_ms: 34.0,
+                seed,
+            },
+        ));
+    }
+
+    let mut client = Client::connect(addr).expect("connect serving bench");
+    client
+        .set_timeout(Some(std::time::Duration::from_secs(600)))
+        .ok();
+    // Warm every request path once so first-touch calibration and graph
+    // compilation don't land in the percentiles.
+    for cmd in [
+        predict(&wide),
+        score(999.0),
+        Command::Infer {
+            arch: tiny.clone(),
+            input_seed: 999,
+            batch: 1,
+        },
+    ] {
+        assert!(client.call(cmd).expect("warm call").is_ok());
+    }
+
+    let mut latency_ms: Vec<(String, Vec<f64>)> = Vec::new();
+    let start = Instant::now();
+    for (kind, cmd) in requests {
+        let t0 = Instant::now();
+        let response = client.call(cmd).expect("bench call");
+        assert!(response.is_ok(), "bench request failed: {response:?}");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        match latency_ms.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, samples)) => samples.push(ms),
+            None => latency_ms.push((kind.to_string(), vec![ms])),
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let total: usize = latency_ms.iter().map(|(_, s)| s.len()).sum();
+    ServingOutcome {
+        requests_per_sec: total as f64 / secs,
+        latency_ms,
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample set.
+fn percentile_ms(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    (sorted[idx] * 1e3).round() / 1e3
+}
+
+/// The `fleet` snapshot block: the same mixed workload against one
+/// in-process daemon and against a router fronting `workers` in-process
+/// daemons, so nightly runs record the routing overhead and the shard
+/// scaling side by side.
+fn fleet_bench(workers: usize) -> Value {
+    use hsconas_serve::{Json, Router, RouterOptions, ServeOptions, Server};
+
+    let serve_options = || ServeOptions {
+        preload: vec!["edge".to_string()],
+        ..Default::default()
+    };
+    let outcome_obj = |outcome: &ServingOutcome| -> Vec<(String, Value)> {
+        let mut fields = vec![(
+            "requests_per_sec".to_string(),
+            Value::F64((outcome.requests_per_sec * 1e2).round() / 1e2),
+        )];
+        let latency: Vec<(String, Value)> = outcome
+            .latency_ms
+            .iter()
+            .map(|(kind, samples)| {
+                (
+                    kind.clone(),
+                    Value::Object(vec![
+                        ("count".to_string(), Value::U64(samples.len() as u64)),
+                        (
+                            "p50_ms".to_string(),
+                            Value::F64(percentile_ms(samples, 0.5)),
+                        ),
+                        (
+                            "p99_ms".to_string(),
+                            Value::F64(percentile_ms(samples, 0.99)),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        fields.push(("latency_ms".to_string(), Value::Object(latency)));
+        fields
+    };
+
+    // Single daemon baseline.
+    let server = Server::bind(serve_options()).expect("bind single daemon");
+    let single_addr = server.local_addr().to_string();
+    let single_thread = std::thread::spawn(move || server.run());
+    let single = serving_workload(&single_addr);
+    hsconas_serve::Client::connect(&single_addr)
+        .and_then(|mut c| c.shutdown())
+        .expect("drain single daemon");
+    single_thread
+        .join()
+        .expect("join single daemon")
+        .expect("single daemon run");
+
+    // Router + N in-process workers (drained by the router on shutdown).
+    let mut worker_threads = Vec::new();
+    let mut shard_addrs = Vec::new();
+    for _ in 0..workers {
+        let worker = Server::bind(serve_options()).expect("bind worker");
+        shard_addrs.push(worker.local_addr().to_string());
+        worker_threads.push(std::thread::spawn(move || worker.run()));
+    }
+    let router = Router::bind(RouterOptions {
+        shards: shard_addrs,
+        ..Default::default()
+    })
+    .expect("bind router");
+    let router_addr = router.local_addr().to_string();
+    let router_thread = std::thread::spawn(move || router.run());
+    let sharded = serving_workload(&router_addr);
+    let mut status_client =
+        hsconas_serve::Client::connect(&router_addr).expect("connect for fleet status");
+    let status = status_client.status().expect("fleet status");
+    let router_counter = |name: &str| -> u64 {
+        status
+            .result
+            .as_ref()
+            .and_then(|r| r.get("router"))
+            .and_then(|r| r.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let (routed, retried, failed) = (
+        router_counter("routed"),
+        router_counter("retried"),
+        router_counter("failed"),
+    );
+    status_client.shutdown().expect("drain fleet");
+    router_thread
+        .join()
+        .expect("join router")
+        .expect("router run");
+    for thread in worker_threads {
+        thread.join().expect("join worker").expect("worker run");
+    }
+
+    let mut sharded_fields = outcome_obj(&sharded);
+    sharded_fields.push(("routed".to_string(), Value::U64(routed)));
+    sharded_fields.push(("retried".to_string(), Value::U64(retried)));
+    sharded_fields.push(("failed".to_string(), Value::U64(failed)));
+    Value::Object(vec![
+        ("workers".to_string(), Value::U64(workers as u64)),
+        ("single".to_string(), Value::Object(outcome_obj(&single))),
+        ("sharded".to_string(), Value::Object(sharded_fields)),
+    ])
 }

@@ -57,6 +57,8 @@ fn main() {
                  serve     [--host H] [--port N] [--state-dir DIR] [--budget fast|full] [--devices a,b]\n\
                  \x20         [--queue-cap N] [--eval-workers N] [--pool-threads N] [--batch-max N]\n\
                  \x20         [--lut-watch-ms N] [--telemetry RUN.jsonl]\n\
+                 \x20         [--fleet N | --workers H:P,H:P,...] [--vnodes N] [--health-ms N]\n\
+                 \x20         [--shard-timeout-ms N] [--drain-workers]\n\
                  client    --addr HOST:PORT <status|shutdown|predict|score|search|infer> [--device D]\n\
                  \x20         [--target-ms N] [--seed N] [--arch 0,9,1,3,...] [--input-seed N] [--batch N]\n\
                  compile   (--arch 0,9,1,3,... | --widest) -o model.hsart [--skeleton tiny|imagenet-a|imagenet-b]\n\
@@ -212,6 +214,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .transpose()
             .map(|v| v.unwrap_or(default))
     };
+    let fleet_workers = parse_num("--fleet", 0)? as usize;
+    let attach = flag(args, "--workers").map(|s| {
+        s.split(',')
+            .map(|a| a.trim().to_string())
+            .collect::<Vec<_>>()
+    });
+    if fleet_workers > 0 && attach.is_some() {
+        return Err("--fleet and --workers are mutually exclusive".into());
+    }
+    if fleet_workers > 0 || attach.is_some() {
+        return cmd_serve_fleet(args, fleet_workers, attach);
+    }
     let defaults = ServeOptions::default();
     let options = ServeOptions {
         host: flag(args, "--host").unwrap_or(defaults.host),
@@ -240,6 +254,95 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     use std::io::Write;
     std::io::stdout().flush().ok();
     server.run().map_err(|e| e.to_string())
+}
+
+/// `hsconas serve --fleet N` / `--workers A,B`: run the routing front-end
+/// over a sharded worker fleet. In `--fleet` mode the router spawns and
+/// owns N worker processes (this same binary, ephemeral ports) and drains
+/// them on shutdown; in `--workers` attach mode it routes to externally
+/// managed daemons and leaves them running unless `--drain-workers` is
+/// passed. Either way the stdout greeting is byte-identical to the
+/// single-daemon one so scripts don't care which mode they got.
+fn cmd_serve_fleet(
+    args: &[String],
+    fleet_workers: usize,
+    attach: Option<Vec<String>>,
+) -> Result<(), String> {
+    use hsconas_serve::{Fleet, FleetOptions, Router, RouterOptions};
+
+    let parse_num = |name: &str, default: u64| -> Result<u64, String> {
+        flag(args, name)
+            .map(|s| s.parse().map_err(|e| format!("{name}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let _telemetry = telemetry_from_args(args);
+    let mut fleet: Option<Fleet> = None;
+    let shards = match attach {
+        Some(addrs) => addrs,
+        None => {
+            // Forward only the worker-relevant serve flags; the router-level
+            // flags (and --port, which the fleet pins to 0) stay here.
+            let mut worker_args = Vec::new();
+            for name in [
+                "--host",
+                "--state-dir",
+                "--budget",
+                "--devices",
+                "--queue-cap",
+                "--eval-workers",
+                "--pool-threads",
+                "--batch-max",
+                "--lut-watch-ms",
+                "--calibration-seed",
+                "--test-slow-eval-ms",
+            ] {
+                if let Some(value) = flag(args, name) {
+                    worker_args.push(name.to_string());
+                    worker_args.push(value);
+                }
+            }
+            let program = std::env::current_exe()
+                .map_err(|e| format!("cannot locate own binary for fleet spawn: {e}"))?;
+            let spawned = Fleet::spawn(&FleetOptions {
+                program,
+                workers: fleet_workers,
+                worker_args,
+                startup_timeout_ms: parse_num("--fleet-startup-timeout-ms", 60_000)?,
+            })
+            .map_err(|e| e.to_string())?;
+            eprintln!(
+                "hsconas-route: {} worker(s) up: {}",
+                spawned.addrs().len(),
+                spawned.addrs().join(", ")
+            );
+            let addrs = spawned.addrs().to_vec();
+            fleet = Some(spawned);
+            addrs
+        }
+    };
+    let defaults = RouterOptions::default();
+    let options = RouterOptions {
+        host: flag(args, "--host").unwrap_or(defaults.host),
+        port: parse_num("--port", 0)? as u16,
+        shards,
+        vnodes: parse_num("--vnodes", defaults.vnodes as u64)? as usize,
+        health_ms: parse_num("--health-ms", defaults.health_ms)?,
+        shard_timeout_ms: parse_num("--shard-timeout-ms", defaults.shard_timeout_ms)?,
+        drain_shards: fleet.is_some() || has_flag(args, "--drain-workers"),
+    };
+    let router = Router::bind(options).map_err(|e| e.to_string())?;
+    println!("hsconas-serve listening on {}", router.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    let run = router.run().map_err(|e| e.to_string());
+    if let Some(mut fleet) = fleet {
+        let killed = fleet.wait_exit(std::time::Duration::from_secs(30));
+        if killed > 0 {
+            eprintln!("hsconas-route: killed {killed} straggler worker(s)");
+        }
+    }
+    run
 }
 
 /// `hsconas client`: one request against a running daemon, response

@@ -47,6 +47,23 @@ impl SharedEvalCache {
     pub fn is_empty(&self) -> bool {
         self.entries.lock().is_empty()
     }
+
+    /// Exports every entry as `(fingerprint, evaluation)` pairs sorted by
+    /// fingerprint, so persisted spill files are byte-deterministic.
+    pub fn export_entries(&self) -> Vec<(u64, Evaluation)> {
+        let mut entries: Vec<(u64, Evaluation)> =
+            self.entries.lock().iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Merges exported entries into the cache. Safe for determinism for the
+    /// same reason memo hits are: an entry's value is a pure function of its
+    /// fingerprint (given a fixed predictor generation and target), so a
+    /// preloaded hit returns exactly what recomputation would.
+    pub fn import_entries(&self, entries: impl IntoIterator<Item = (u64, Evaluation)>) {
+        self.entries.lock().extend(entries);
+    }
 }
 
 /// Cache effectiveness counters for a [`MemoObjective`].

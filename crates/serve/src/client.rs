@@ -33,6 +33,9 @@ impl Client {
     ///
     /// Fails if the stream cannot be cloned into read/write halves.
     pub fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        // One-line request/response frames: Nagle + delayed ACK would add
+        // a ~40 ms stall per call, so flush segments immediately.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),

@@ -29,19 +29,29 @@
 //!   picked up live, but only after revalidation against the search
 //!   space; a foreign or corrupt LUT is refused loudly and the previous
 //!   predictor stays in service.
+//!
+//! Past one process, the crate scales horizontally: [`router`] puts a
+//! protocol-transparent consistent-hash front-end over N worker daemons
+//! (spawned by [`fleet`] or attached by address), sharding on
+//! `{device, target}` so every property above — including byte-identical
+//! search responses — holds fleet-wide.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fleet;
 pub mod json;
 pub mod metrics;
 pub mod proto;
+pub mod router;
 pub mod server;
 pub mod state;
 
 pub use client::Client;
+pub use fleet::{Fleet, FleetOptions};
 pub use json::Json;
 pub use proto::{Command, Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use router::{HashRing, Router, RouterOptions};
 pub use server::Server;
 pub use state::{Budget, ServeError, ServeOptions, WarmState};

@@ -226,6 +226,9 @@ impl Server {
                     return Err(e);
                 }
             };
+            // One-line frames; without TCP_NODELAY the Nagle/delayed-ACK
+            // interaction costs ~40 ms per request on loopback.
+            let _ = stream.set_nodelay(true);
             shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
             let shared = Arc::clone(&shared);
             // Detached: a connection blocked in read must not block drain.
@@ -241,6 +244,9 @@ impl Server {
         if let Some(watcher) = watcher {
             let _ = watcher.join();
         }
+        // Workers are quiet now — flush whatever the periodic ticks
+        // haven't, so a restart (or a sibling shard) starts warm.
+        shared.state.spill_all();
         Ok(())
     }
 }
@@ -558,6 +564,9 @@ fn execute_batch(shared: &Arc<Shared>, batch: Vec<EvalJob>) {
             }
         }
     }
+    // Responses are already on the wire; persisting freshly memoized
+    // evaluations is off the request path (a no-op without --state-dir).
+    device.spill_tick();
 }
 
 fn execute_scores(
@@ -695,11 +704,25 @@ fn build_status(shared: &Arc<Shared>) -> Json {
                 ("bias_us", Json::Num(bias_us)),
                 ("predictor_version", Json::Num(device.version() as f64)),
                 (
+                    // Content hash of the live predictor, identical across
+                    // every shard serving the same snapshot. Hex string:
+                    // Json numbers are f64 and would round 64-bit stamps.
+                    "lut_generation",
+                    Json::Str(format!("{:016x}", device.lut_generation())),
+                ),
+                (
                     "cached_evaluations",
                     Json::Num(device.cached_evaluations() as f64),
                 ),
                 ("reloads_ok", load(&device.reloads_ok)),
                 ("reloads_rejected", load(&device.reloads_rejected)),
+                (
+                    "spill",
+                    Json::obj(vec![
+                        ("loaded", load(&device.spill_loaded)),
+                        ("written", load(&device.spill_written)),
+                    ]),
+                ),
             ]);
             (device.name.clone(), detail)
         })

@@ -22,6 +22,21 @@
 //!   would serve wrong bytes. A successful reload bumps the version and
 //!   drops the old caches; in-flight work keeps its `Arc` to the old
 //!   predictor and stays internally consistent.
+//! * **Generation stamps** — the per-process `version` counter cannot
+//!   name a predictor across processes (two shards loading the same
+//!   snapshot would both say 0). [`DeviceState::lut_generation`] is the
+//!   FNV-1a hash of the serialized predictor export: a pure function of
+//!   the LUT contents, so every shard of a fleet reports the same stamp
+//!   for the same snapshot and a `--lut-watch-ms` rollout can be observed
+//!   converging shard by shard without mixing generations.
+//! * **Persistent spill tier** — with a `--state-dir`, memo caches spill
+//!   to `<dir>/spill/<device>.t<target>.g<generation>.evals` through the
+//!   same crash-safe atomic writer, and a fresh cache for that exact
+//!   `(device, target, generation)` preloads the file. Values are pure
+//!   functions of the fingerprint given the generation and target, so a
+//!   preloaded hit returns exactly what recomputation would — restarts
+//!   (and sibling shards sharing the dir) skip the work without risking
+//!   the determinism contract.
 
 use hsconas_accuracy::{AccuracyModel, SurrogateAccuracy};
 use hsconas_evo::{tradeoff_score, Evaluation, EvoError, SharedEvalCache};
@@ -190,6 +205,19 @@ pub struct EvalContext {
     pub target_ms: f64,
 }
 
+/// Spill a cache once it has grown by this many entries since its last
+/// spill (the drain path spills any growth regardless).
+const SPILL_EVERY: usize = 64;
+
+/// Per-cache spill bookkeeping: the generation the cache was created
+/// under (spills must never write old entries under a newer generation's
+/// filename) and the entry count already on disk.
+#[derive(Clone, Copy)]
+struct SpillMeta {
+    generation: u64,
+    last_spilled: usize,
+}
+
 /// Warm state for one device.
 pub struct DeviceState {
     /// Canonical device name (e.g. `edge-xavier`).
@@ -200,39 +228,133 @@ pub struct DeviceState {
     predictor: Mutex<Arc<LatencyPredictor>>,
     /// Bumped on every successful hot reload.
     version: AtomicU64,
+    /// Content hash of the live predictor (see module docs); updated
+    /// together with `version` on reload.
+    lut_generation: AtomicU64,
     /// Memo caches keyed by `(predictor version, target_ms.to_bits())`.
     caches: Mutex<HashMap<(u64, u64), SharedEvalCache>>,
+    /// Spill bookkeeping per cache key; cleared with the caches on reload.
+    spill_meta: Mutex<HashMap<(u64, u64), SpillMeta>>,
+    /// Spill-file directory; `None` disables the persistent tier.
+    spill_dir: Option<PathBuf>,
     snapshot_path: Option<PathBuf>,
     snapshot_mtime: Mutex<Option<SystemTime>>,
     /// Successful hot reloads.
     pub reloads_ok: AtomicU64,
     /// Snapshot files refused by validation (stale/foreign/corrupt).
     pub reloads_rejected: AtomicU64,
+    /// Evaluations preloaded from spill files into fresh caches.
+    pub spill_loaded: AtomicU64,
+    /// New evaluations written out to spill files.
+    pub spill_written: AtomicU64,
 }
 
 impl DeviceState {
-    /// The current predictor generation (0 until the first reload).
+    /// The current predictor reload count (0 until the first reload).
+    /// Process-local — use [`DeviceState::lut_generation`] to compare
+    /// predictors across shards.
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
 
+    /// The content-hash generation stamp of the live predictor.
+    pub fn lut_generation(&self) -> u64 {
+        self.lut_generation.load(Ordering::Acquire)
+    }
+
     /// A consistent `(predictor, cache)` pair for evaluating against
     /// `target_ms`. Concurrent callers with the same target and predictor
-    /// generation share one cache — that is the cross-request dedup.
+    /// generation share one cache — that is the cross-request dedup. A
+    /// cache's first touch preloads its spill file, when the tier is on.
     pub fn eval_context(&self, target_ms: f64) -> EvalContext {
         let (predictor, version) = {
             let guard = lock(&self.predictor);
             (Arc::clone(&guard), self.version())
         };
-        let cache = lock(&self.caches)
-            .entry((version, target_ms.to_bits()))
-            .or_default()
-            .clone();
+        let key = (version, target_ms.to_bits());
+        let mut caches = lock(&self.caches);
+        let cache = match caches.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => slot.get().clone(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let cache = SharedEvalCache::default();
+                let generation = self.lut_generation();
+                let mut on_disk = 0usize;
+                if let Some(dir) = &self.spill_dir {
+                    let path = spill_path(dir, &self.name, key.1, generation);
+                    if let Some(entries) = read_spill(&path, &self.name, key.1, generation) {
+                        on_disk = entries.len();
+                        self.spill_loaded
+                            .fetch_add(on_disk as u64, Ordering::Relaxed);
+                        cache.import_entries(entries);
+                    }
+                }
+                lock(&self.spill_meta).insert(
+                    key,
+                    SpillMeta {
+                        generation,
+                        last_spilled: on_disk,
+                    },
+                );
+                slot.insert(cache).clone()
+            }
+        };
+        drop(caches);
         EvalContext {
             predictor,
             cache,
             target_ms,
         }
+    }
+
+    /// Spills caches that accumulated at least [`SPILL_EVERY`] new
+    /// entries since their last spill. Returns new entries persisted.
+    pub fn spill_tick(&self) -> usize {
+        self.spill(false)
+    }
+
+    /// Spills every cache with any unpersisted entries (the drain path).
+    pub fn spill_all(&self) -> usize {
+        self.spill(true)
+    }
+
+    fn spill(&self, force: bool) -> usize {
+        let Some(dir) = &self.spill_dir else { return 0 };
+        let snapshot: Vec<((u64, u64), SharedEvalCache)> = lock(&self.caches)
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let mut written = 0usize;
+        for (key, cache) in snapshot {
+            // A missing meta entry means a reload retired this cache
+            // between the snapshot and now — its entries belong to a dead
+            // generation, so skip rather than pollute the new one's file.
+            let Some(meta) = lock(&self.spill_meta).get(&key).copied() else {
+                continue;
+            };
+            let len = cache.len();
+            let grown = len.saturating_sub(meta.last_spilled);
+            if grown == 0 || (!force && grown < SPILL_EVERY) {
+                continue;
+            }
+            let entries = cache.export_entries();
+            let path = spill_path(dir, &self.name, key.1, meta.generation);
+            match write_spill(&path, &self.name, key.1, meta.generation, &entries) {
+                Ok(()) => {
+                    written += grown;
+                    if let Some(m) = lock(&self.spill_meta).get_mut(&key) {
+                        m.last_spilled = m.last_spilled.max(entries.len());
+                    }
+                }
+                Err(e) => eprintln!(
+                    "hsconas-serve: spill of {} entries to {} failed: {e}",
+                    entries.len(),
+                    path.display()
+                ),
+            }
+        }
+        self.spill_written
+            .fetch_add(written as u64, Ordering::Relaxed);
+        written
     }
 
     /// Eq. 2 prediction for one architecture (no queueing — reads only).
@@ -327,11 +449,16 @@ impl DeviceState {
         }
         match load_snapshot(path, &self.name, &self.space) {
             Ok(predictor) => {
+                let generation = predictor_generation(&predictor);
                 *lock(&self.predictor) = Arc::new(predictor);
+                self.lut_generation.store(generation, Ordering::Release);
                 self.version.fetch_add(1, Ordering::AcqRel);
                 // Old-version caches would serve latencies from the
-                // replaced LUT; drop them all.
+                // replaced LUT; drop them all (and their spill meta, so a
+                // racing spill cannot write old entries under the new
+                // generation's filename).
                 lock(&self.caches).clear();
+                lock(&self.spill_meta).clear();
                 self.reloads_ok.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "hsconas-serve: reloaded predictor snapshot for {} from {}",
@@ -367,6 +494,138 @@ fn load_snapshot(
         serde_json::from_str(&text).map_err(|e| format!("parse failed: {e}"))?;
     let device = device_by_name(device_name).ok_or_else(|| "unknown device".to_string())?;
     LatencyPredictor::from_snapshot(device, space, snapshot).map_err(|e| e.to_string())
+}
+
+/// The generation stamp for a predictor: FNV-1a over a canonical
+/// rendering of its export. The export's entry list comes out of a
+/// `HashMap` in arbitrary order, so the entries are sorted first — the
+/// stamp must be a pure function of the LUT *contents* for every process
+/// that loads (or deterministically calibrates) the same predictor to
+/// compute the same value.
+fn predictor_generation(predictor: &LatencyPredictor) -> u64 {
+    let snapshot = predictor.export();
+    let mut lines: Vec<String> = snapshot
+        .lut
+        .entries
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{} {:?} {} {} {:016x}",
+                k.layer,
+                k.op,
+                k.c_in,
+                k.c_out,
+                v.to_bits()
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut canon = format!(
+        "{} {:016x} {:016x} {}\n",
+        snapshot.lut.device_name,
+        snapshot.lut.stem_us.to_bits(),
+        snapshot.bias_us.to_bits(),
+        snapshot.calibration_samples
+    );
+    for line in &lines {
+        canon.push_str(line);
+        canon.push('\n');
+    }
+    crate::router::fnv1a_64(canon.as_bytes())
+}
+
+/// Spill-file path for one `(device, target, generation)` cache. All
+/// three identities are in the name, so files from different targets or
+/// LUT generations can never be confused.
+fn spill_path(dir: &Path, device: &str, target_bits: u64, generation: u64) -> PathBuf {
+    dir.join(format!(
+        "{device}.t{target_bits:016x}.g{generation:016x}.evals"
+    ))
+}
+
+fn spill_header(device: &str, target_bits: u64, generation: u64) -> String {
+    format!("hsconas-evals v1 {device} t{target_bits:016x} g{generation:016x}")
+}
+
+/// Reads and validates one spill file; `None` for absent, foreign, or
+/// corrupt files (the cache then simply starts cold — the tier is an
+/// optimization, never a correctness dependency).
+///
+/// Format: one header line, then one `fp score acc lat` line per entry,
+/// each field the 16-hex-digit bit pattern of its u64/f64. Bit patterns
+/// rather than decimal floats because a decimal roundtrip that loses one
+/// ulp would change served score bytes after a restart.
+fn read_spill(
+    path: &Path,
+    device: &str,
+    target_bits: u64,
+    generation: u64,
+) -> Option<Vec<(u64, Evaluation)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != spill_header(device, target_bits, generation) {
+        return None;
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(' ').map(|f| u64::from_str_radix(f, 16).ok());
+        let fingerprint = fields.next()??;
+        let score = f64::from_bits(fields.next()??);
+        let accuracy = f64::from_bits(fields.next()??);
+        let latency_ms = f64::from_bits(fields.next()??);
+        if fields.next().is_some() {
+            return None;
+        }
+        entries.push((
+            fingerprint,
+            Evaluation {
+                score,
+                accuracy,
+                latency_ms,
+            },
+        ));
+    }
+    Some(entries)
+}
+
+/// Read-merge-write of one spill file: the on-disk result is the union of
+/// the existing file (when it validates) and `entries`, written through
+/// the crash-safe atomic writer so sibling shards sharing the directory
+/// see either the old or the new complete file, never a torn one. The
+/// union is value-safe because entries are pure functions of their
+/// fingerprint for this `(device, target, generation)`.
+fn write_spill(
+    path: &Path,
+    device: &str,
+    target_bits: u64,
+    generation: u64,
+    entries: &[(u64, Evaluation)],
+) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create spill dir: {e}"))?;
+    }
+    let mut merged: std::collections::BTreeMap<u64, Evaluation> =
+        read_spill(path, device, target_bits, generation)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+    merged.extend(entries.iter().copied());
+    let mut out = spill_header(device, target_bits, generation);
+    out.push('\n');
+    for (fingerprint, eval) in &merged {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{fingerprint:016x} {:016x} {:016x} {:016x}",
+            eval.score.to_bits(),
+            eval.accuracy.to_bits(),
+            eval.latency_ms.to_bits()
+        );
+    }
+    hsconas_ckpt::write_atomic_bytes(path, out.as_bytes()).map_err(|e| e.to_string())
 }
 
 /// The full warm state: options plus lazily-built per-device entries.
@@ -509,13 +768,18 @@ impl WarmState {
             name: spec.name,
             space,
             oracle,
+            lut_generation: AtomicU64::new(predictor_generation(&predictor)),
             predictor: Mutex::new(Arc::new(predictor)),
             version: AtomicU64::new(0),
             caches: Mutex::new(HashMap::new()),
+            spill_meta: Mutex::new(HashMap::new()),
+            spill_dir: self.options.state_dir.as_ref().map(|d| d.join("spill")),
             snapshot_path,
             snapshot_mtime: Mutex::new(mtime),
             reloads_ok: AtomicU64::new(0),
             reloads_rejected: AtomicU64::new(0),
+            spill_loaded: AtomicU64::new(0),
+            spill_written: AtomicU64::new(0),
         })
     }
 
@@ -531,6 +795,17 @@ impl WarmState {
         for device in self.loaded() {
             device.maybe_reload();
         }
+    }
+
+    /// One spill tick over every loaded device (called between
+    /// evaluation batches). Returns new entries persisted.
+    pub fn spill_tick(&self) -> usize {
+        self.loaded().iter().map(|d| d.spill_tick()).sum()
+    }
+
+    /// Spills everything unpersisted on every device (the drain path).
+    pub fn spill_all(&self) -> usize {
+        self.loaded().iter().map(|d| d.spill_all()).sum()
     }
 }
 
@@ -658,6 +933,122 @@ mod tests {
         assert_eq!(device.reloads_rejected.load(Ordering::Relaxed), 1);
         let (_, bias_kept) = device.predictor_stats();
         assert_eq!(bias_kept.to_bits(), bias_after.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lut_generation_is_stable_across_processes_and_content_sensitive() {
+        let dir = temp_dir("generation");
+        let state = WarmState::new(options_with_dir(&dir));
+        let g1 = state.device("edge").unwrap().lut_generation();
+        assert_ne!(g1, 0);
+
+        // A second warm state over the same snapshot — the "other shard"
+        // case — must compute the identical stamp.
+        let state2 = WarmState::new(options_with_dir(&dir));
+        assert_eq!(state2.device("edge").unwrap().lut_generation(), g1);
+
+        // A different predictor (shifted bias) must stamp differently,
+        // and a reload must adopt the new stamp.
+        let path = dir.join("edge-xavier.predictor.json");
+        let mut snapshot: PredictorSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        snapshot.bias_us += 125.0;
+        bump_mtime(&path, &serde_json::to_string(&snapshot).unwrap());
+        state.poll_reload();
+        let g2 = state.device("edge").unwrap().lut_generation();
+        assert_ne!(g2, g1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Evaluates one arch through the memo path, filling `ctx.cache`.
+    fn evaluate_one(device: &Arc<DeviceState>, ctx: &EvalContext, seed: u64) -> Evaluation {
+        use hsconas_evo::Objective;
+        let arch = device.space.sample(&mut StdRng::seed_from_u64(seed));
+        let mut memo = hsconas_evo::MemoObjective::with_shared_cache(
+            hsconas_evo::ParallelObjective::new(device.evaluator(ctx), 1),
+            ctx.cache.clone(),
+        );
+        memo.evaluate(&arch).unwrap()
+    }
+
+    #[test]
+    fn spill_tier_roundtrips_bit_exactly() {
+        let dir = temp_dir("spill");
+        let evals: Vec<Evaluation> = {
+            let state = WarmState::new(options_with_dir(&dir));
+            let device = state.device("edge").unwrap();
+            let ctx = device.eval_context(24.0);
+            let evals = (0..5).map(|s| evaluate_one(&device, &ctx, s)).collect();
+            assert_eq!(ctx.cache.len(), 5);
+            // Below SPILL_EVERY growth: a tick must not spill, the drain
+            // path must.
+            assert_eq!(device.spill_tick(), 0);
+            assert_eq!(device.spill_all(), 5);
+            assert_eq!(device.spill_written.load(Ordering::Relaxed), 5);
+            assert_eq!(device.spill_all(), 0, "nothing new since last spill");
+            evals
+        };
+
+        // A fresh process preloads the spilled entries and returns the
+        // exact same bits without recomputation.
+        let state = WarmState::new(options_with_dir(&dir));
+        let device = state.device("edge").unwrap();
+        let ctx = device.eval_context(24.0);
+        assert_eq!(ctx.cache.len(), 5, "fresh cache must preload the spill");
+        assert_eq!(device.spill_loaded.load(Ordering::Relaxed), 5);
+        for (seed, before) in evals.iter().enumerate() {
+            let after = evaluate_one(&device, &ctx, seed as u64);
+            assert_eq!(before.score.to_bits(), after.score.to_bits());
+            assert_eq!(before.latency_ms.to_bits(), after.latency_ms.to_bits());
+        }
+        assert_eq!(ctx.cache.len(), 5, "all five were memo hits");
+
+        // A different target must not see the file.
+        let other = device.eval_context(30.0);
+        assert_eq!(other.cache.len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_refuses_foreign_or_corrupt_files() {
+        let dir = temp_dir("spill-foreign");
+        let spill = dir.join("spill");
+        std::fs::create_dir_all(&spill).unwrap();
+        let state = WarmState::new(options_with_dir(&dir));
+        let device = state.device("edge").unwrap();
+        let generation = device.lut_generation();
+        let target_bits = 24.0f64.to_bits();
+
+        // A file named for this cache but carrying a mismatched header
+        // generation (e.g. clobbered by an older shard) must be ignored.
+        let path = spill_path(&spill, "edge-xavier", target_bits, generation);
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{:016x} {:016x} {:016x} {:016x}\n",
+                spill_header("edge-xavier", target_bits, generation ^ 1),
+                7u64,
+                1.0f64.to_bits(),
+                0.9f64.to_bits(),
+                20.0f64.to_bits()
+            ),
+        )
+        .unwrap();
+        assert_eq!(device.eval_context(24.0).cache.len(), 0);
+
+        // Corrupt entry lines invalidate the whole file — half a cache
+        // would be fine, but trusting a file that failed validation once
+        // is how subtle corruption spreads.
+        std::fs::write(
+            &path,
+            format!(
+                "{}\nnot hex at all\n",
+                spill_header("edge-xavier", target_bits, generation)
+            ),
+        )
+        .unwrap();
+        assert!(read_spill(&path, "edge-xavier", target_bits, generation).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

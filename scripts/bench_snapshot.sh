@@ -12,7 +12,9 @@
 # `kernels` block (selected GEMM variant, per-variant dispatch counts,
 # GFLOP/s per shape class × variant × band count, and packed-weight-cache
 # counters with the steady-state hit rate). Extra args are forwarded to
-# bench_snapshot (e.g. --threads 8 to cap the band sweep).
+# bench_snapshot (e.g. --threads 8 to cap the band sweep, --fleet 2 to
+# add the single-daemon vs sharded-fleet serving comparison: p50/p99 per
+# request type plus the router's routed/retried/failed counters).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

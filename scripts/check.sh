@@ -87,6 +87,12 @@ run_gate "telemetry-overhead gate (release)" \
 run_gate "serve smoke" \
     scripts/serve_smoke.sh
 
+# Fleet soak: router + 2 spawned workers, mixed traffic, fleet-wide
+# accounting (served + overloaded == sent), kill-one-worker failover,
+# drain, and a PID-scoped leak check.
+run_gate "fleet smoke" \
+    scripts/fleet_smoke.sh
+
 # Graph deployment pipeline: fixed-seed compile, bit-identity compare gate
 # (max-abs-err 0), deterministic artifact round-trip, and loud rejection of
 # corrupted / truncated / foreign-version artifacts.

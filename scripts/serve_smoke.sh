@@ -5,6 +5,9 @@
 # the determinism contract (two identical searches -> identical bytes),
 # shuts down gracefully, and fails if the daemon exits nonzero or leaks.
 #
+# Set SMOKE_PID_FILE to a path to have every spawned PID appended there,
+# so CI can do a PID-scoped leak check instead of a machine-wide pgrep.
+#
 # Usage: scripts/serve_smoke.sh [state-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +36,9 @@ mkdir -p "${STATE_DIR}"
 "${BIN}" serve --port 0 --devices edge --state-dir "${STATE_DIR}" \
     >"${TMP}/serve.out" 2>"${TMP}/serve.err" &
 SERVER_PID=$!
+if [ -n "${SMOKE_PID_FILE:-}" ]; then
+    echo "${SERVER_PID}" >>"${SMOKE_PID_FILE}"
+fi
 
 # Wait for the listen line (calibration on first run takes a moment).
 ADDR=""

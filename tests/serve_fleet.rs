@@ -1,0 +1,300 @@
+//! Black-box fleet suite: the routed worker fleet must be
+//! indistinguishable from a single daemon on the wire. Covers the three
+//! acceptance properties of the fleet soak: bit-identity across worker
+//! counts, fail-then-recover isolation when one worker dies, and exact
+//! request accounting (`served + overloaded == sent`) under flood with a
+//! deliberately slowed shard.
+
+#[path = "serve_harness.rs"]
+mod harness;
+
+use harness::{raw_call, widest_arch_encoding, ServerGuard};
+use hsconas_serve::proto::{Response, CODE_OK, CODE_OVERLOADED, CODE_SHUTTING_DOWN};
+use hsconas_serve::router::{device_target_key, HashRing, VNODES_PER_SHARD};
+use hsconas_serve::Json;
+use std::time::{Duration, Instant};
+
+/// The fixed request lines every topology must answer byte-for-byte
+/// identically. Ends with an unknown-device line: errors route to the
+/// owning shard too, so even failure bytes match the single daemon.
+fn fixed_request_lines() -> Vec<String> {
+    let arch = Json::Arr(
+        widest_arch_encoding()
+            .into_iter()
+            .map(|g| Json::Num(g as f64))
+            .collect(),
+    )
+    .encode();
+    vec![
+        format!(r#"{{"v":1,"id":"p1","cmd":"predict_latency","device":"edge","arch":{arch}}}"#),
+        format!(
+            r#"{{"v":1,"id":"s1","cmd":"score","device":"edge","target_ms":34,"arch":{arch}}}"#
+        ),
+        r#"{"v":1,"id":"q1","cmd":"search","device":"edge","target_ms":34,"seed":11}"#.to_string(),
+        // The infer skeleton is the 4-layer tiny space, not the 20-layer
+        // served search space — [op, scale] x 4.
+        r#"{"v":1,"id":"i1","cmd":"infer","arch":[0,9,0,9,0,9,0,9],"input_seed":3,"batch":2}"#
+            .to_string(),
+        r#"{"v":1,"id":"u1","cmd":"search","device":"tpu","target_ms":5,"seed":0}"#.to_string(),
+    ]
+}
+
+/// Sends every fixed line over one connection and returns the raw reply
+/// lines, then drains the server via protocol shutdown.
+fn replies_from(server: ServerGuard, lines: &[String]) -> Vec<String> {
+    let mut stream = server.connect();
+    let replies = lines.iter().map(|l| raw_call(&mut stream, l)).collect();
+    drop(stream);
+    server.shutdown_and_wait(Duration::from_secs(30));
+    replies
+}
+
+/// Acceptance (b): the router in front of 1 and 3 workers serves the
+/// exact bytes the single daemon serves — the fleet is invisible.
+#[test]
+fn fleet_matches_single_daemon_byte_for_byte() {
+    let lines = fixed_request_lines();
+    let single = replies_from(ServerGuard::spawn(&["--devices", "edge"]), &lines);
+    for reply in &single {
+        let response = Response::decode(reply.as_bytes()).expect("decodable");
+        assert!(
+            response.code == CODE_OK || response.id == "u1",
+            "unexpected failure from single daemon: {reply}"
+        );
+    }
+    for workers in ["1", "3"] {
+        let routed = replies_from(
+            ServerGuard::spawn_raw(&["--port", "0", "--fleet", workers, "--devices", "edge"]),
+            &lines,
+        );
+        assert_eq!(
+            routed, single,
+            "fleet of {workers} must serve the single daemon's exact bytes"
+        );
+    }
+}
+
+/// Finds a `(device_target_key)`-routed target for each of two shards so
+/// the failover test can address shards deterministically from outside.
+fn targets_for_both_shards() -> (f64, f64) {
+    let ring = HashRing::new(2, VNODES_PER_SHARD);
+    let target_on = |shard: usize| {
+        (1..10_000)
+            .map(|t| t as f64)
+            .find(|t| ring.shard_for(device_target_key("edge", *t)) == shard)
+            .expect("some small integer target routes to each of 2 shards")
+    };
+    (target_on(0), target_on(1))
+}
+
+fn score_line(target_ms: f64) -> String {
+    let arch = Json::Arr(
+        widest_arch_encoding()
+            .into_iter()
+            .map(|g| Json::Num(g as f64))
+            .collect(),
+    )
+    .encode();
+    format!(
+        r#"{{"v":1,"id":"f{target_ms}","cmd":"score","device":"edge","target_ms":{target_ms},"arch":{arch}}}"#
+    )
+}
+
+/// Acceptance (c): killing one worker mid-run yields clean 503s for its
+/// key range only — the surviving shard keeps serving, nothing hangs —
+/// and a restart on the same port restores the dead range bit-exactly.
+#[test]
+fn killing_one_worker_fails_only_its_key_range_until_restart() {
+    let mut worker_a = ServerGuard::spawn(&["--devices", "edge"]);
+    let worker_b = ServerGuard::spawn(&["--devices", "edge"]);
+    // Attach mode, health probing off: the only router->worker sockets are
+    // the ones our own requests open, so the test controls close ordering
+    // (and the restarted worker can re-bind its port promptly).
+    let shard_list = format!("{},{}", worker_a.addr, worker_b.addr);
+    let router =
+        ServerGuard::spawn_raw(&["--port", "0", "--workers", &shard_list, "--health-ms", "0"]);
+    let (target_a, target_b) = targets_for_both_shards();
+
+    // Pre-kill baseline through the router; shard A's reply is the byte
+    // string the restarted worker must reproduce.
+    let mut stream = router.connect();
+    let baseline_a = raw_call(&mut stream, &score_line(target_a));
+    let baseline_b = raw_call(&mut stream, &score_line(target_b));
+    for reply in [&baseline_a, &baseline_b] {
+        assert_eq!(
+            Response::decode(reply.as_bytes()).expect("decodable").code,
+            CODE_OK,
+            "{reply}"
+        );
+    }
+    // Close our connection so the router (not the doomed worker) is the
+    // side that owns the pooled-socket teardown.
+    drop(stream);
+    std::thread::sleep(Duration::from_millis(100));
+
+    let port_a = worker_a.addr.rsplit(':').next().expect("port").to_string();
+    worker_a.kill_now();
+
+    // Shard A's key range answers 503 naming the shard; shard B is
+    // untouched — same connection, no hangs, no crosstalk.
+    let mut stream = router.connect();
+    for _ in 0..3 {
+        let down = raw_call(&mut stream, &score_line(target_a));
+        let response = Response::decode(down.as_bytes()).expect("decodable");
+        assert_eq!(response.code, CODE_SHUTTING_DOWN, "{down}");
+        assert!(
+            response.error.unwrap_or_default().contains("shard 0"),
+            "503 must name the dead shard: {down}"
+        );
+        let up = raw_call(&mut stream, &score_line(target_b));
+        assert_eq!(up, baseline_b, "surviving shard must be unaffected");
+    }
+
+    // Restart on the same port (retrying while the OS releases it). The
+    // router reconnects on the next attempt and the range comes back with
+    // the exact pre-kill bytes.
+    let restart_args = ["--port", &port_a, "--devices", "edge"];
+    let deadline = Instant::now() + Duration::from_secs(90);
+    let worker_a2 = loop {
+        match ServerGuard::try_spawn_raw(&restart_args) {
+            Ok(guard) => break guard,
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("restart pending: {e}");
+                std::thread::sleep(Duration::from_millis(500));
+            }
+            Err(e) => panic!("could not re-bind worker port {port_a}: {e}"),
+        }
+    };
+    let recovered = raw_call(&mut stream, &score_line(target_a));
+    assert_eq!(
+        recovered, baseline_a,
+        "restarted shard must serve identical bytes"
+    );
+    drop(stream);
+
+    // Attach mode without --drain-workers: draining the router leaves the
+    // externally owned workers running.
+    router.shutdown_and_wait(Duration::from_secs(30));
+    for mut worker in [worker_a2, worker_b] {
+        assert!(
+            worker.is_running(),
+            "router drain must not touch attached workers"
+        );
+        worker.shutdown_and_wait(Duration::from_secs(30));
+    }
+}
+
+/// Acceptance (a): under flood with one shard artificially slowed and
+/// nearly queue-less, every request is accounted for exactly once —
+/// client-observed 200s and 429s match the aggregated fleet counters and
+/// `served + overloaded == sent`.
+#[test]
+fn flooded_fleet_accounts_for_every_request() {
+    let worker_fast = ServerGuard::spawn(&["--devices", "edge"]);
+    let worker_slow = ServerGuard::spawn(&[
+        "--devices",
+        "edge",
+        "--test-slow-eval-ms",
+        "40",
+        "--queue-cap",
+        "2",
+        "--eval-workers",
+        "1",
+        "--batch-max",
+        "1",
+    ]);
+    let shard_list = format!("{},{}", worker_fast.addr, worker_slow.addr);
+    let router = ServerGuard::spawn_raw(&["--port", "0", "--workers", &shard_list]);
+
+    // Warm the device on both shards so the flood measures queueing, not
+    // first-touch calibration.
+    let (target_a, target_b) = targets_for_both_shards();
+    let mut warm = router.connect();
+    for t in [target_a, target_b] {
+        let reply = raw_call(&mut warm, &score_line(t));
+        assert_eq!(
+            Response::decode(reply.as_bytes()).expect("decodable").code,
+            CODE_OK,
+            "{reply}"
+        );
+    }
+    drop(warm);
+
+    // Flood: 6 clients x 20 scores over distinct fresh targets (distinct
+    // keys spread over both shards and defeat the eval memo).
+    let threads = 6usize;
+    let per_thread = 20usize;
+    let (mut oks, mut overloaded) = (0u64, 0u64);
+    let outcomes: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let router = &router;
+        (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut stream = router.connect();
+                    let (mut ok, mut over) = (0u64, 0u64);
+                    for i in 0..per_thread {
+                        let target = 20_000.0 + (t * per_thread + i) as f64;
+                        let reply = raw_call(&mut stream, &score_line(target));
+                        let response = Response::decode(reply.as_bytes()).expect("decodable");
+                        match response.code {
+                            CODE_OK => ok += 1,
+                            CODE_OVERLOADED => over += 1,
+                            code => panic!("unexpected code {code} under flood: {reply}"),
+                        }
+                    }
+                    (ok, over)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    for (ok, over) in outcomes {
+        oks += ok;
+        overloaded += over;
+    }
+    let sent = (threads * per_thread) as u64;
+    assert_eq!(oks + overloaded, sent, "every request must be answered");
+    assert!(
+        overloaded > 0,
+        "the slowed queue-capped shard must shed some load"
+    );
+
+    // The aggregated fleet status must agree with the client-side tally:
+    // +2 served scores from the warm-up, zero router-level failures.
+    let status = raw_call(
+        &mut router.connect(),
+        r#"{"v":1,"id":"acct","cmd":"status"}"#,
+    );
+    let response = Response::decode(status.as_bytes()).expect("decodable status");
+    assert_eq!(response.code, CODE_OK, "{status}");
+    let result = response.result.expect("status result");
+    let fleet = result.get("fleet").expect("fleet block");
+    let served_score = fleet
+        .get("served")
+        .and_then(|s| s.get("score"))
+        .and_then(Json::as_u64)
+        .expect("fleet.served.score");
+    let rejected_overloaded = fleet
+        .get("rejected")
+        .and_then(|r| r.get("overloaded"))
+        .and_then(Json::as_u64)
+        .expect("fleet.rejected.overloaded");
+    assert_eq!(served_score, oks + 2, "fleet served must match client 200s");
+    assert_eq!(
+        rejected_overloaded, overloaded,
+        "fleet overloaded must match client 429s"
+    );
+    let router_stats = result.get("router").expect("router block");
+    assert_eq!(
+        router_stats.get("failed").and_then(Json::as_u64),
+        Some(0),
+        "no request may fall through the retry path in a healthy fleet"
+    );
+
+    router.shutdown_and_wait(Duration::from_secs(30));
+    for worker in [worker_fast, worker_slow] {
+        worker.shutdown_and_wait(Duration::from_secs(30));
+    }
+}

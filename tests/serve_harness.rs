@@ -24,34 +24,49 @@ impl ServerGuard {
     /// Spawns `hsconas serve --port 0 <extra>` and waits for the
     /// "listening on" line.
     pub fn spawn(extra: &[&str]) -> ServerGuard {
+        let mut args = vec!["--port", "0"];
+        args.extend_from_slice(extra);
+        ServerGuard::spawn_raw(&args)
+    }
+
+    /// Spawns `hsconas serve <args>` verbatim — the caller controls the
+    /// port and the single-daemon/fleet/attach mode — and waits for the
+    /// "listening on" line.
+    pub fn spawn_raw(args: &[&str]) -> ServerGuard {
+        ServerGuard::try_spawn_raw(args).expect("spawn hsconas serve")
+    }
+
+    /// Like [`ServerGuard::spawn_raw`] but reports startup failure (e.g. a
+    /// fixed port still in TIME_WAIT after a crash) instead of panicking,
+    /// so callers can retry.
+    pub fn try_spawn_raw(args: &[&str]) -> Result<ServerGuard, String> {
         let mut child = Command::new(env!("CARGO_BIN_EXE_hsconas"))
             .arg("serve")
-            .arg("--port")
-            .arg("0")
-            .args(extra)
+            .args(args)
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
-            .expect("spawn hsconas serve");
+            .map_err(|e| format!("spawn: {e}"))?;
         let stdout = child.stdout.take().expect("child stdout");
         let mut line = String::new();
         BufReader::new(stdout)
             .read_line(&mut line)
-            .expect("read listen line");
+            .map_err(|e| format!("read listen line: {e}"))?;
         let addr = line
             .trim()
             .rsplit(' ')
             .next()
             .unwrap_or_default()
             .to_string();
-        assert!(
-            line.contains("listening on") && addr.contains(':'),
-            "unexpected startup line: {line:?}"
-        );
-        ServerGuard {
+        if !(line.contains("listening on") && addr.contains(':')) {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!("unexpected startup line: {line:?}"));
+        }
+        Ok(ServerGuard {
             child: Some(child),
             addr,
-        }
+        })
     }
 
     /// A raw TCP connection with a generous read timeout.
@@ -92,6 +107,20 @@ impl ServerGuard {
                 }
                 None => std::thread::sleep(Duration::from_millis(25)),
             }
+        }
+    }
+
+    /// OS process id of the daemon, for PID-scoped liveness checks.
+    pub fn pid(&self) -> u32 {
+        self.child.as_ref().expect("child already taken").id()
+    }
+
+    /// Kills the daemon immediately (no protocol shutdown) and reaps it.
+    /// Used by the fleet failover tests to simulate a crashed worker.
+    pub fn kill_now(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
         }
     }
 
