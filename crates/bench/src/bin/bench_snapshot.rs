@@ -26,6 +26,11 @@
 //!   compile time, patch counts, artifact byte size, and min-of-N
 //!   single-image latency for the specialized graph vs the masked
 //!   supernet forward it is bit-identical to;
+//! * **pareto** — multi-device co-exploration numbers: frontier size /
+//!   evaluations for a fixed-seed NSGA-II run over the three paper
+//!   devices, plus the bench-table fast path — rows, probe hit rate, and
+//!   the table-hit vs live-eval speedup (with bit-identity asserted) the
+//!   serve `--bench-table` path banks on;
 //! * **fleet** (only with `--fleet N`) — the same mixed serving workload
 //!   driven against one in-process daemon and against a router fronting
 //!   N in-process workers: requests/sec plus p50/p99 latency per request
@@ -564,11 +569,198 @@ fn main() {
         ),
         ("kernels", kernels),
         ("graph", graph_block),
+        ("pareto", pareto_bench(seed)),
     ]);
     if let (Value::Object(fields), Some(fleet)) = (&mut snapshot, fleet_block) {
         fields.push(("fleet".to_string(), fleet));
     }
     println!("{}", serde_json::to_string_pretty(&snapshot).expect("json"));
+}
+
+/// The `pareto` snapshot block: a fixed-seed in-process NSGA-II run over
+/// the three paper devices through the serve warm state (frontier size,
+/// evaluations, wall time), plus the bench-table fast path — rows built
+/// via the same `measure` path as `hsconas bench-table`, the hit rate
+/// over a half-covered probe mix, and min-of-N table-hit vs live-eval
+/// latency with bit-identity asserted before timing.
+fn pareto_bench(seed: u64) -> Value {
+    use hsconas_evo::{
+        tradeoff_score, MemoObjective, Objective, ParallelObjective, ParetoObjective, ParetoSearch,
+    };
+    use hsconas_serve::router::arch_route_key;
+    use hsconas_serve::{BenchTable, ServeOptions, TableDevice, TableEntry, WarmState};
+
+    let obj = |fields: Vec<(&str, Value)>| {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+
+    let state = WarmState::new(ServeOptions::default());
+    let mut devices: Vec<_> = ["gpu", "cpu", "edge"]
+        .iter()
+        .map(|name| state.device(name).expect("warm device"))
+        .collect();
+    devices.sort_by(|a, b| a.name.cmp(&b.name));
+    let target_ms = 34.0;
+    let space = devices[0].space.clone();
+
+    // Multi-device frontier over the live evaluators, exactly as the
+    // serve `pareto` request wires them (memoized, pool width 1).
+    let per_device: Vec<(String, Box<dyn Objective>)> = devices
+        .iter()
+        .map(|device| {
+            let ctx = device.eval_context(target_ms);
+            let objective = MemoObjective::with_shared_cache(
+                ParallelObjective::new(device.evaluator(&ctx), 1),
+                ctx.cache.clone(),
+            );
+            (
+                device.name.clone(),
+                Box::new(objective) as Box<dyn Objective>,
+            )
+        })
+        .collect();
+    let config = EvolutionConfig {
+        generations: 4,
+        population: 12,
+        parents: 6,
+        ..Default::default()
+    };
+    let mut objective = ParetoObjective::new(per_device).expect("pareto objective");
+    let start = Instant::now();
+    let frontier = ParetoSearch::new(space.clone(), config)
+        .run(&mut objective, &mut StdRng::seed_from_u64(seed))
+        .expect("pareto search");
+    let search_secs = start.elapsed().as_secs_f64();
+
+    // Bench table over a sampled subspace, through the same `measure`
+    // path the offline `hsconas bench-table` job uses.
+    let columns: Vec<TableDevice> = devices
+        .iter()
+        .map(|device| {
+            let (_, bias_us) = device.predictor_stats();
+            TableDevice {
+                name: device.name.clone(),
+                lut_generation: device.lut_generation(),
+                bias_us,
+            }
+        })
+        .collect();
+    let samples = 32usize;
+    let mut table = BenchTable::new(seed, samples as u64, columns);
+    let covered = space.sample_n(samples, &mut StdRng::seed_from_u64(seed ^ 3));
+    for arch in &covered {
+        let fingerprint = arch_route_key(&arch.encode());
+        if table.get(fingerprint).is_some() {
+            continue;
+        }
+        let mut accuracy = 0.0;
+        let mut latencies_ms = Vec::with_capacity(devices.len());
+        for (i, device) in devices.iter().enumerate() {
+            let (acc, lat) = device.measure(arch).expect("measure");
+            if i == 0 {
+                accuracy = acc;
+            }
+            latencies_ms.push(lat);
+        }
+        table.insert(
+            fingerprint,
+            TableEntry {
+                accuracy,
+                latencies_ms,
+            },
+        );
+    }
+
+    // Hit rate over a probe mix: every covered arch plus as many fresh
+    // ones (expected rate ~0.5 — the point is that misses are counted,
+    // not that coverage is total).
+    let fresh = space.sample_n(samples, &mut StdRng::seed_from_u64(seed ^ 9));
+    let mut hits = 0usize;
+    let mut probes = 0usize;
+    for arch in covered.iter().chain(&fresh) {
+        probes += 1;
+        if table.get(arch_route_key(&arch.encode())).is_some() {
+            hits += 1;
+        }
+    }
+    let hit_rate = hits as f64 / probes as f64;
+
+    // Table-hit vs live-eval latency for one covered arch. The fast path
+    // is a hash lookup plus an Eq. 1 recompute; the live path runs the
+    // oracle and predictor. Bit-identity is asserted before timing, so
+    // the speedup never comes from answering a different question.
+    let probe = covered[0].clone();
+    let fingerprint = arch_route_key(&probe.encode());
+    let ctx = devices[0].eval_context(target_ms);
+    let evaluator = devices[0].evaluator(&ctx);
+    let live = evaluator(&probe).expect("live eval");
+    let entry = table.get(fingerprint).expect("covered row");
+    let beta = hsconas_serve::state::BETA;
+    let table_score = tradeoff_score(entry.accuracy, entry.latencies_ms[0], target_ms, beta);
+    assert_eq!(
+        live.score.to_bits(),
+        table_score.to_bits(),
+        "table-hit score must be bit-identical to live evaluation"
+    );
+    assert_eq!(live.latency_ms.to_bits(), entry.latencies_ms[0].to_bits());
+
+    let time_min = |run: &mut dyn FnMut() -> f64| -> f64 {
+        let reps = 64;
+        for _ in 0..reps {
+            black_box(run());
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..20 {
+            let start = Instant::now();
+            for _ in 0..reps {
+                black_box(run());
+            }
+            best = best.min(start.elapsed().as_secs_f64() / reps as f64);
+        }
+        best
+    };
+    let live_secs = time_min(&mut || evaluator(&probe).expect("live eval").score);
+    let hit_secs = time_min(&mut || {
+        let entry = table.get(fingerprint).expect("covered row");
+        tradeoff_score(entry.accuracy, entry.latencies_ms[0], target_ms, beta)
+    });
+
+    obj(vec![
+        (
+            "devices",
+            Value::Array(
+                frontier
+                    .devices
+                    .iter()
+                    .map(|d| Value::Str(d.clone()))
+                    .collect(),
+            ),
+        ),
+        ("frontier_size", Value::U64(frontier.points.len() as u64)),
+        ("generations", Value::U64(frontier.generations as u64)),
+        ("evaluated", Value::U64(frontier.evaluated)),
+        ("search_ms", Value::F64((search_secs * 1e5).round() / 1e2)),
+        (
+            "bench_table",
+            obj(vec![
+                ("rows", Value::U64(table.len() as u64)),
+                ("probes", Value::U64(probes as u64)),
+                ("hits", Value::U64(hits as u64)),
+                ("probe_hit_rate", Value::F64((hit_rate * 1e4).round() / 1e4)),
+                ("live_eval_us", Value::F64((live_secs * 1e8).round() / 1e2)),
+                ("table_hit_us", Value::F64((hit_secs * 1e8).round() / 1e2)),
+                (
+                    "speedup",
+                    Value::F64((live_secs / hit_secs * 1e2).round() / 1e2),
+                ),
+            ]),
+        ),
+    ])
 }
 
 /// One topology's share of the `--fleet` comparison: requests/sec over

@@ -87,16 +87,15 @@ pub fn run(seed: u64, config: EvolutionConfig) -> EnergyResult {
                 make_latency_metric(seed),
                 latency_target_ms,
                 -20.0,
-            )],
+            )
+            .expect("valid constraint")],
         ),
         (
             "energy-only",
-            vec![Constraint::new(
-                "energy_mj",
-                make_energy_metric(),
-                energy_target_mj,
-                -20.0,
-            )],
+            vec![
+                Constraint::new("energy_mj", make_energy_metric(), energy_target_mj, -20.0)
+                    .expect("valid constraint"),
+            ],
         ),
         (
             "latency+energy",
@@ -106,8 +105,10 @@ pub fn run(seed: u64, config: EvolutionConfig) -> EnergyResult {
                     make_latency_metric(seed),
                     latency_target_ms,
                     -20.0,
-                ),
-                Constraint::new("energy_mj", make_energy_metric(), energy_target_mj, -20.0),
+                )
+                .expect("valid constraint"),
+                Constraint::new("energy_mj", make_energy_metric(), energy_target_mj, -20.0)
+                    .expect("valid constraint"),
             ],
         ),
     ];

@@ -38,13 +38,14 @@ fn main() {
         Some("report") => cmd_report(&args[1..]),
         Some("ckpt") => cmd_ckpt(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-table") => cmd_bench_table(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("infer") => cmd_infer(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hsconas <search|table|baselines|measure|report|ckpt|serve|client|compile|infer|compare> [options]\n\
+                "usage: hsconas <search|table|baselines|measure|report|ckpt|serve|bench-table|client|compile|infer|compare> [options]\n\
                  \n\
                  search    --device gpu|cpu|edge --target-ms N [--layout a|b] [--seed N] [--fast] [--out FILE] [--telemetry RUN.jsonl]\n\
                  \x20         [--checkpoint DIR] [--resume] [--keep-last K]\n\
@@ -56,11 +57,14 @@ fn main() {
                  ckpt      inspect FILE\n\
                  serve     [--host H] [--port N] [--state-dir DIR] [--budget fast|full] [--devices a,b]\n\
                  \x20         [--queue-cap N] [--eval-workers N] [--pool-threads N] [--batch-max N]\n\
-                 \x20         [--lut-watch-ms N] [--telemetry RUN.jsonl]\n\
+                 \x20         [--lut-watch-ms N] [--bench-table FILE] [--telemetry RUN.jsonl]\n\
                  \x20         [--fleet N | --workers H:P,H:P,...] [--vnodes N] [--health-ms N]\n\
                  \x20         [--shard-timeout-ms N] [--drain-workers]\n\
-                 client    --addr HOST:PORT <status|shutdown|predict|score|search|infer> [--device D]\n\
-                 \x20         [--target-ms N] [--seed N] [--arch 0,9,1,3,...] [--input-seed N] [--batch N]\n\
+                 bench-table --out FILE [--devices a,b,c] [--samples N] [--seed N] [--state-dir DIR]\n\
+                 \x20         [--budget fast|full] [--calibration-seed N]\n\
+                 client    --addr HOST:PORT <status|shutdown|predict|score|search|pareto|infer> [--device D]\n\
+                 \x20         [--devices a,b,c] [--target-ms N] [--seed N] [--arch 0,9,1,3,...]\n\
+                 \x20         [--input-seed N] [--batch N]\n\
                  compile   (--arch 0,9,1,3,... | --widest) -o model.hsart [--skeleton tiny|imagenet-a|imagenet-b]\n\
                  \x20         [--classes N] [--seed N] [--warmup N]\n\
                  infer     model.hsart [--input-seed N] [--batch N]\n\
@@ -247,6 +251,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .unwrap_or_default(),
         calibration_seed: parse_num("--calibration-seed", defaults.calibration_seed)?,
         slow_eval_ms: parse_num("--test-slow-eval-ms", 0)?,
+        bench_table: flag(args, "--bench-table").map(std::path::PathBuf::from),
     };
     let _telemetry = telemetry_from_args(args);
     let server = Server::bind(options).map_err(|e| e.to_string())?;
@@ -254,6 +259,116 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     use std::io::Write;
     std::io::stdout().flush().ok();
     server.run().map_err(|e| e.to_string())
+}
+
+/// `hsconas bench-table`: precompute a `.hsbt` table of per-device
+/// latencies plus proxy accuracy over a sampled subspace, using exactly
+/// the warm state (calibration seed, snapshot dir, budget) a server with
+/// the same flags would build — so a server pointed at the artifact via
+/// `--bench-table` answers covered requests bit-identically to live
+/// evaluation.
+fn cmd_bench_table(args: &[String]) -> Result<(), String> {
+    use hsconas_serve::{BenchTable, Budget, ServeOptions, TableDevice, TableEntry, WarmState};
+
+    let out = flag(args, "--out").ok_or("--out FILE is required")?;
+    let samples: usize = flag(args, "--samples")
+        .map(|s| s.parse().map_err(|e| format!("--samples: {e}")))
+        .transpose()?
+        .unwrap_or(64);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(2021);
+    let device_names: Vec<String> = flag(args, "--devices")
+        .unwrap_or_else(|| "gpu,cpu,edge".into())
+        .split(',')
+        .map(|d| d.trim().to_string())
+        .filter(|d| !d.is_empty())
+        .collect();
+    if device_names.is_empty() {
+        return Err("--devices must name at least one device".into());
+    }
+    let defaults = ServeOptions::default();
+    let options = ServeOptions {
+        state_dir: flag(args, "--state-dir").map(std::path::PathBuf::from),
+        budget: match flag(args, "--budget") {
+            None => Budget::Fast,
+            Some(s) => {
+                Budget::parse(&s).ok_or_else(|| format!("unknown budget '{s}' (use fast|full)"))?
+            }
+        },
+        calibration_seed: flag(args, "--calibration-seed")
+            .map(|s| s.parse().map_err(|e| format!("--calibration-seed: {e}")))
+            .transpose()?
+            .unwrap_or(defaults.calibration_seed),
+        ..defaults
+    };
+    let _telemetry = telemetry_from_args(args);
+    let state = WarmState::new(options);
+    let mut devices = Vec::new();
+    for name in &device_names {
+        devices.push(state.device(name).map_err(|e| e.to_string())?);
+    }
+    // Canonical column order: sorted by canonical name, aliases deduped —
+    // the same normalization the serve router applies to device sets.
+    devices.sort_by(|a, b| a.name.cmp(&b.name));
+    devices.dedup_by(|a, b| a.name == b.name);
+    let columns: Vec<TableDevice> = devices
+        .iter()
+        .map(|d| {
+            let (_, bias_us) = d.predictor_stats();
+            TableDevice {
+                name: d.name.clone(),
+                lut_generation: d.lut_generation(),
+                bias_us,
+            }
+        })
+        .collect();
+    let mut table = BenchTable::new(seed, samples as u64, columns);
+    let space = devices[0].space.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for arch in space.sample_n(samples, &mut rng) {
+        let fingerprint = hsconas_serve::router::arch_route_key(&arch.encode());
+        if table.get(fingerprint).is_some() {
+            continue; // duplicate samples collapse onto one row
+        }
+        let mut accuracy = 0.0;
+        let mut latencies_ms = Vec::with_capacity(devices.len());
+        for (i, device) in devices.iter().enumerate() {
+            let (acc, lat) = device
+                .measure(&arch)
+                .map_err(|e| format!("{}: {e}", device.name))?;
+            if i == 0 {
+                accuracy = acc;
+            }
+            latencies_ms.push(lat);
+        }
+        table.insert(
+            fingerprint,
+            TableEntry {
+                accuracy,
+                latencies_ms,
+            },
+        );
+    }
+    table
+        .save(std::path::Path::new(&out))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "devices      : {}",
+        table
+            .devices
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "rows         : {} (from {samples} samples, seed {seed})",
+        table.len()
+    );
+    println!("saved        : {out}");
+    Ok(())
 }
 
 /// `hsconas serve --fleet N` / `--workers A,B`: run the routing front-end
@@ -296,6 +411,7 @@ fn cmd_serve_fleet(
                 "--lut-watch-ms",
                 "--calibration-seed",
                 "--test-slow-eval-ms",
+                "--bench-table",
             ] {
                 if let Some(value) = flag(args, name) {
                     worker_args.push(name.to_string());
@@ -366,7 +482,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         }
     }
     let cmd = cmd.ok_or(
-        "usage: hsconas client --addr HOST:PORT <status|shutdown|predict|score|search|infer>",
+        "usage: hsconas client --addr HOST:PORT <status|shutdown|predict|score|search|pareto|infer>",
     )?;
     let device = || flag(args, "--device").ok_or("--device is required".to_string());
     let target_ms = || -> Result<f64, String> {
@@ -396,6 +512,19 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         },
         "search" => Command::Search {
             device: device()?,
+            target_ms: target_ms()?,
+            seed: flag(args, "--seed")
+                .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+                .transpose()?
+                .unwrap_or(0),
+        },
+        "pareto" => Command::Pareto {
+            devices: flag(args, "--devices")
+                .ok_or("--devices is required (comma-separated device names)")?
+                .split(',')
+                .map(|d| d.trim().to_string())
+                .filter(|d| !d.is_empty())
+                .collect(),
             target_ms: target_ms()?,
             seed: flag(args, "--seed")
                 .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))

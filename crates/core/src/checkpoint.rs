@@ -34,8 +34,9 @@ use std::path::{Path, PathBuf};
 use crate::{PipelineConfig, PipelineError, RealPipelineConfig};
 use hsconas_ckpt::{fnv1a, CheckpointStore, CkptError, Decoder, Encoder, Phase};
 use hsconas_evo::{
-    Evaluation, EvolutionSearch, GenerationStats, Individual, MemoObjective, Objective,
-    SearchResult, SearchState,
+    Evaluation, EvolutionSearch, GenerationStats, Individual, MemoObjective, Objective, ParetoEval,
+    ParetoFrontier, ParetoIndividual, ParetoObjective, ParetoSearch, ParetoState, SearchResult,
+    SearchState,
 };
 use hsconas_hwsim::DeviceSpec;
 use hsconas_shrink::StageRecord;
@@ -537,6 +538,168 @@ fn save_generation<O: Objective>(
         .map(|_| ())
 }
 
+fn put_pareto_eval(e: &mut Encoder, ev: &ParetoEval) {
+    e.put_f64(ev.accuracy);
+    e.put_usize(ev.latencies_ms.len());
+    for &lat in &ev.latencies_ms {
+        e.put_f64(lat);
+    }
+}
+
+fn get_pareto_eval(d: &mut Decoder<'_>) -> Result<ParetoEval, CkptError> {
+    let accuracy = d.get_f64()?;
+    let n = d.get_usize()?;
+    let mut latencies_ms = Vec::with_capacity(n.min(d.remaining()));
+    for _ in 0..n {
+        latencies_ms.push(d.get_f64()?);
+    }
+    Ok(ParetoEval {
+        accuracy,
+        latencies_ms,
+    })
+}
+
+fn put_pareto_individuals(e: &mut Encoder, individuals: &[ParetoIndividual]) {
+    e.put_usize(individuals.len());
+    for ind in individuals {
+        put_arch(e, &ind.arch);
+        put_pareto_eval(e, &ind.eval);
+    }
+}
+
+fn get_pareto_individuals(d: &mut Decoder<'_>) -> Result<Vec<ParetoIndividual>, CkptError> {
+    let n = d.get_usize()?;
+    let mut individuals = Vec::with_capacity(n.min(d.remaining()));
+    for _ in 0..n {
+        individuals.push(ParetoIndividual {
+            arch: get_arch(d)?,
+            eval: get_pareto_eval(d)?,
+        });
+    }
+    Ok(individuals)
+}
+
+fn encode_pareto_payload(state: &ParetoState, rng_state: [u64; 4]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_usize(state.generation);
+    e.put_u64(state.evaluated);
+    put_pareto_individuals(&mut e, &state.population);
+    put_pareto_individuals(&mut e, &state.archive);
+    e.put_u64_slice(&rng_state);
+    e.finish()
+}
+
+fn decode_pareto_payload(payload: &[u8]) -> Result<(ParetoState, [u64; 4]), PipelineError> {
+    let inner = |d: &mut Decoder<'_>| -> Result<(ParetoState, [u64; 4]), CkptError> {
+        let generation = d.get_usize()?;
+        let evaluated = d.get_u64()?;
+        let population = get_pareto_individuals(d)?;
+        let archive = get_pareto_individuals(d)?;
+        let rng_state = get_rng4(d)?;
+        Ok((
+            ParetoState {
+                generation,
+                population,
+                archive,
+                evaluated,
+            },
+            rng_state,
+        ))
+    };
+    let mut d = Decoder::new(payload);
+    let decoded = inner(&mut d).map_err(|e| ckpt_err(e.to_string()))?;
+    d.expect_end().map_err(|e| ckpt_err(e.to_string()))?;
+    Ok(decoded)
+}
+
+/// Hash identifying a checkpointed multi-device Pareto search: the space,
+/// the EA configuration, and the canonical device set the objective
+/// vector is built over.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Ckpt`] if the space cannot be serialized.
+pub fn pareto_config_hash(search: &ParetoSearch, devices: &[String]) -> Result<u64, PipelineError> {
+    let space_json = serde_json::to_string(search.space())
+        .map_err(|e| ckpt_err(format!("serializing search space: {e}")))?;
+    let mut e = Encoder::new();
+    e.put_str("pareto-search-v1");
+    e.put_str(&space_json);
+    put_evolution_config(&mut e, search.config());
+    e.put_usize(devices.len());
+    for device in devices {
+        e.put_str(device);
+    }
+    Ok(fnv1a(&e.finish()))
+}
+
+/// Runs (or resumes) a multi-device Pareto search with a checkpoint after
+/// the initial population and after every generation: the full
+/// [`ParetoState`] (population, archive, counters) and the driving RNG's
+/// state. A run killed at any point and resumed from its latest file
+/// produces the exact frontier the uninterrupted run produces —
+/// evaluations are deterministic, so the re-evaluated prefix is
+/// bit-identical.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on objective failures or checkpoint I/O
+/// failures; resume fails loudly on a corrupt latest checkpoint or a
+/// configuration mismatch (different space, EA config, or device set).
+pub fn run_pareto_checkpointed(
+    search: &ParetoSearch,
+    objective: &mut ParetoObjective,
+    rng: &mut StdRng,
+    opts: &CheckpointOptions,
+) -> Result<ParetoFrontier, PipelineError> {
+    let generations = search.config().generations;
+    let store = CheckpointStore::open(
+        &opts.dir,
+        Phase::Search,
+        pareto_config_hash(search, objective.devices())?,
+        opts.keep_last,
+    )?;
+    let resume = if opts.resume {
+        store.load_latest()?
+    } else {
+        None
+    };
+    let _span = hsconas_telemetry::span!(
+        "pareto.search.checkpointed",
+        generations = generations,
+        devices = objective.devices().len()
+    );
+    let mut state = match resume {
+        Some((_, payload)) => {
+            let (state, rng_state) = decode_pareto_payload(&payload)?;
+            *rng = StdRng::from_state(rng_state);
+            state
+        }
+        None => {
+            let state = search.init_state(objective, rng)?;
+            save_pareto_generation(&store, &state, rng)?;
+            state
+        }
+    };
+    while state.generation < generations {
+        search.step_generation(&mut state, objective, rng)?;
+        save_pareto_generation(&store, &state, rng)?;
+    }
+    Ok(search.finalize(&state, objective))
+}
+
+fn save_pareto_generation(
+    store: &CheckpointStore,
+    state: &ParetoState,
+    rng: &StdRng,
+) -> Result<(), PipelineError> {
+    let payload = encode_pareto_payload(state, rng.state());
+    store
+        .save(state.generation as u64, &payload)
+        .map_err(Into::into)
+        .map(|_| ())
+}
+
 /// Pretty-prints a checkpoint file's header (the `hsconas ckpt inspect`
 /// subcommand): format version, phase, cursor, config hash, payload size,
 /// and checksum. Fails on a missing file, a foreign format, or a payload
@@ -683,6 +846,51 @@ mod tests {
         assert_eq!(s2, state);
         assert_eq!(rng2, [9, 8, 7, 6]);
         assert_eq!(memo2, memo);
+    }
+
+    #[test]
+    fn pareto_payload_roundtrips() {
+        let space = SearchSpace::tiny(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let individuals: Vec<ParetoIndividual> = space
+            .sample_n(3, &mut rng)
+            .into_iter()
+            .enumerate()
+            .map(|(i, arch)| ParetoIndividual {
+                arch,
+                eval: ParetoEval {
+                    accuracy: 70.0 + i as f64,
+                    latencies_ms: vec![10.0 + i as f64, 20.0 - i as f64],
+                },
+            })
+            .collect();
+        let state = ParetoState {
+            generation: 2,
+            population: individuals.clone(),
+            archive: individuals[..1].to_vec(),
+            evaluated: 17,
+        };
+        let payload = encode_pareto_payload(&state, [4, 3, 2, 1]);
+        let (s2, rng2) = decode_pareto_payload(&payload).unwrap();
+        assert_eq!(s2, state);
+        assert_eq!(rng2, [4, 3, 2, 1]);
+
+        let mut bad = payload.clone();
+        bad.push(7);
+        assert!(decode_pareto_payload(&bad).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn pareto_hash_is_sensitive_to_the_device_set() {
+        let search = ParetoSearch::new(SearchSpace::tiny(4), Default::default());
+        let two = ["cpu".to_string(), "edge".to_string()];
+        let h = pareto_config_hash(&search, &two).unwrap();
+        assert_ne!(
+            h,
+            pareto_config_hash(&search, &two[..1]).unwrap(),
+            "device set must matter"
+        );
+        assert_eq!(h, pareto_config_hash(&search, &two).unwrap());
     }
 
     #[test]

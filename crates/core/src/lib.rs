@@ -52,7 +52,9 @@ pub mod pipeline;
 pub mod real_pipeline;
 pub mod report;
 
-pub use checkpoint::{run_search_checkpointed, CheckpointOptions};
+pub use checkpoint::{
+    pareto_config_hash, run_pareto_checkpointed, run_search_checkpointed, CheckpointOptions,
+};
 pub use config::PipelineConfig;
 pub use error::PipelineError;
 pub use persist::{load_json, save_json, SavedModel};

@@ -49,6 +49,7 @@ pub mod aging;
 pub mod memo;
 pub mod multi;
 pub mod objective;
+pub mod pareto;
 pub mod search;
 
 pub use aging::{aging_evolution, AgingConfig, AgingResult};
@@ -56,6 +57,10 @@ pub use error::EvoError;
 pub use memo::{MemoObjective, MemoStats, ParallelObjective, SharedEvalCache};
 pub use multi::{Constraint, MultiConstraintObjective, MultiEvaluation};
 pub use objective::{tradeoff_score, Evaluation, Objective, TradeoffObjective};
+pub use pareto::{
+    dominates, ParetoEval, ParetoFrontier, ParetoIndividual, ParetoObjective, ParetoSearch,
+    ParetoState,
+};
 pub use search::{
     EvolutionConfig, EvolutionSearch, GenerationStats, Individual, SearchResult, SearchState,
 };

@@ -27,23 +27,40 @@ pub struct Constraint {
 impl Constraint {
     /// Creates a constraint.
     ///
-    /// # Panics
+    /// A typed error (not a panic) so callers fed untrusted parameters —
+    /// the serve `pareto` path takes `target_ms` straight off the wire —
+    /// can turn a hostile request into a `400` instead of a dead worker.
     ///
-    /// Panics if `beta >= 0` or `target <= 0`.
+    /// # Errors
+    ///
+    /// Returns [`EvoError::InvalidConfig`] if `beta` is not strictly
+    /// negative or `target` is not strictly positive (both must also be
+    /// finite).
     pub fn new(
         name: impl Into<String>,
         metric: impl FnMut(&Arch) -> Result<f64, String> + 'static,
         target: f64,
         beta: f64,
-    ) -> Self {
-        assert!(beta < 0.0, "constraint beta must be negative");
-        assert!(target > 0.0, "constraint target must be positive");
-        Constraint {
-            name: name.into(),
+    ) -> Result<Self, EvoError> {
+        let name = name.into();
+        if beta >= 0.0 || !beta.is_finite() {
+            return Err(EvoError::InvalidConfig {
+                detail: format!("constraint '{name}' beta must be negative and finite, got {beta}"),
+            });
+        }
+        if target <= 0.0 || !target.is_finite() {
+            return Err(EvoError::InvalidConfig {
+                detail: format!(
+                    "constraint '{name}' target must be positive and finite, got {target}"
+                ),
+            });
+        }
+        Ok(Constraint {
+            name,
             metric: Box::new(metric),
             target,
             beta,
-        }
+        })
     }
 }
 
@@ -153,8 +170,10 @@ mod tests {
         let mut obj = MultiConstraintObjective::new(
             |_| Ok(75.0),
             vec![
-                Constraint::new("latency", |_| Ok(40.0), 20.0, -10.0), // ratio 2 → penalty 10
-                Constraint::new("energy", |_| Ok(15.0), 10.0, -4.0),   // ratio 1.5 → penalty 2
+                // ratio 2 → penalty 10
+                Constraint::new("latency", |_| Ok(40.0), 20.0, -10.0).unwrap(),
+                // ratio 1.5 → penalty 2
+                Constraint::new("energy", |_| Ok(15.0), 10.0, -4.0).unwrap(),
             ],
         );
         let result = obj.evaluate_full(&arch()).unwrap();
@@ -168,8 +187,8 @@ mod tests {
         let mut obj = MultiConstraintObjective::new(
             |_| Ok(80.0),
             vec![
-                Constraint::new("latency", |_| Ok(20.0), 20.0, -10.0),
-                Constraint::new("energy", |_| Ok(10.0), 10.0, -10.0),
+                Constraint::new("latency", |_| Ok(20.0), 20.0, -10.0).unwrap(),
+                Constraint::new("energy", |_| Ok(10.0), 10.0, -10.0).unwrap(),
             ],
         );
         assert_eq!(obj.evaluate(&arch()).unwrap().score, 80.0);
@@ -186,7 +205,7 @@ mod tests {
                 c.set(c.get() + 1);
                 Ok(75.0)
             },
-            vec![Constraint::new("latency", |_| Ok(20.0), 20.0, -1.0)],
+            vec![Constraint::new("latency", |_| Ok(20.0), 20.0, -1.0).unwrap()],
         );
         obj.evaluate(&arch()).unwrap();
         obj.evaluate(&arch()).unwrap();
@@ -197,12 +216,7 @@ mod tests {
     fn metric_failure_propagates() {
         let mut obj = MultiConstraintObjective::new(
             |_| Ok(75.0),
-            vec![Constraint::new(
-                "boom",
-                |_| Err("meter broke".into()),
-                1.0,
-                -1.0,
-            )],
+            vec![Constraint::new("boom", |_| Err("meter broke".into()), 1.0, -1.0).unwrap()],
         );
         assert!(matches!(
             obj.evaluate(&arch()),
@@ -217,8 +231,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "negative")]
-    fn positive_beta_panics() {
-        let _ = Constraint::new("x", |_: &Arch| Ok(1.0), 1.0, 1.0);
+    fn bad_parameters_are_typed_errors_not_panics() {
+        for (target, beta) in [
+            (1.0, 1.0),
+            (1.0, 0.0),
+            (1.0, f64::NAN),
+            (0.0, -1.0),
+            (-3.0, -1.0),
+            (f64::INFINITY, -1.0),
+        ] {
+            let result = Constraint::new("x", |_: &Arch| Ok(1.0), target, beta);
+            assert!(
+                matches!(result, Err(EvoError::InvalidConfig { .. })),
+                "target={target} beta={beta} must be rejected with a typed error"
+            );
+        }
     }
 }

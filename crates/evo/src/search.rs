@@ -37,7 +37,7 @@ impl Default for EvolutionConfig {
 }
 
 impl EvolutionConfig {
-    fn validate(&self) -> Result<(), EvoError> {
+    pub(crate) fn validate(&self) -> Result<(), EvoError> {
         if self.population == 0 || self.generations == 0 {
             return Err(EvoError::InvalidConfig {
                 detail: "population and generations must be positive".into(),
@@ -245,6 +245,7 @@ impl EvolutionSearch {
         let mut gen_span = hsconas_telemetry::span!("ea.generation", gen = generation);
         let parents: Vec<Individual> =
             population[..self.config.parents.min(population.len())].to_vec();
+        let parent_archs: Vec<Arch> = parents.iter().map(|i| i.arch.clone()).collect();
         let mut next: Vec<Individual> = parents.clone();
         // Track fingerprints so clone offspring (frequent at the
         // paper's low crossover/mutation probabilities) don't crowd
@@ -253,7 +254,7 @@ impl EvolutionSearch {
             next.iter().map(|i| i.arch.fingerprint()).collect();
         let mut offspring: Vec<Arch> = Vec::with_capacity(self.config.population - next.len());
         while next.len() + offspring.len() < self.config.population {
-            let mut arch = self.make_offspring(&parents, rng);
+            let mut arch = self.make_offspring(&parent_archs, rng);
             for _ in 0..4 {
                 if !seen.contains(&arch.fingerprint()) {
                     break;
@@ -309,11 +310,15 @@ impl EvolutionSearch {
     /// independently resampled with `gene_mutation_rate`, from the space's
     /// per-layer candidate sets so restricted subspaces are respected).
     /// Both the operator and the channel level evolve, as §III-D requires.
-    fn make_offspring<R: Rng + ?Sized>(&self, parents: &[Individual], rng: &mut R) -> Arch {
-        let p1 = &parents[rng.gen_range(0..parents.len())].arch;
+    ///
+    /// `pub(crate)` so the Pareto search ([`crate::pareto`]) reuses the
+    /// exact variation operators (and RNG consumption order) of the
+    /// scalar EA.
+    pub(crate) fn make_offspring<R: Rng + ?Sized>(&self, parents: &[Arch], rng: &mut R) -> Arch {
+        let p1 = &parents[rng.gen_range(0..parents.len())];
         let mut child = p1.clone();
         if rng.gen_bool(self.config.crossover_prob) {
-            let p2 = &parents[rng.gen_range(0..parents.len())].arch;
+            let p2 = &parents[rng.gen_range(0..parents.len())];
             for layer in 0..child.len() {
                 if rng.gen_bool(0.5) {
                     let gene = p2.genes()[layer];
@@ -338,7 +343,7 @@ impl EvolutionSearch {
         child
     }
 
-    fn mutate_gene<R: Rng + ?Sized>(&self, arch: &mut Arch, layer: usize, rng: &mut R) {
+    pub(crate) fn mutate_gene<R: Rng + ?Sized>(&self, arch: &mut Arch, layer: usize, rng: &mut R) {
         let ops = self.space.allowed_ops(layer);
         let scales = self.space.allowed_scales(layer);
         let gene = Gene::new(

@@ -129,6 +129,24 @@ impl Client {
         })
     }
 
+    /// `pareto` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn pareto(
+        &mut self,
+        devices: &[String],
+        target_ms: f64,
+        seed: u64,
+    ) -> io::Result<Response> {
+        self.call(Command::Pareto {
+            devices: devices.to_vec(),
+            target_ms,
+            seed,
+        })
+    }
+
     /// `predict_latency` convenience wrapper.
     ///
     /// # Errors

@@ -47,11 +47,15 @@ pub mod proto;
 pub mod router;
 pub mod server;
 pub mod state;
+pub mod table;
 
 pub use client::Client;
 pub use fleet::{Fleet, FleetOptions};
 pub use json::Json;
-pub use proto::{Command, Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use proto::{
+    Command, Request, Response, MAX_FRAME_BYTES, MAX_PARETO_DEVICES, PROTOCOL_VERSION,
+};
 pub use router::{HashRing, Router, RouterOptions};
 pub use server::Server;
 pub use state::{Budget, ServeError, ServeOptions, WarmState};
+pub use table::{BenchTable, TableDevice, TableEntry};

@@ -29,12 +29,20 @@ pub struct ServeMetrics {
     pub served_score: AtomicU64,
     /// 200-answered `search` requests.
     pub served_search: AtomicU64,
+    /// 200-answered `pareto` requests.
+    pub served_pareto: AtomicU64,
     /// 200-answered `shutdown` requests.
     pub served_shutdown: AtomicU64,
     /// 200-answered `infer` requests.
     pub served_infer: AtomicU64,
     /// `infer` requests answered from the compiled-artifact cache.
     pub infer_cache_hits: AtomicU64,
+    /// `predict_latency`/`score` requests answered O(1) from the
+    /// precomputed bench table.
+    pub table_hits: AtomicU64,
+    /// Requests that consulted a loaded bench table and missed (uncovered
+    /// arch or stale generation stamp) — these fell through to live eval.
+    pub table_misses: AtomicU64,
     /// 429 responses (queue full).
     pub rejected_overloaded: AtomicU64,
     /// 400 responses (malformed frame or fields).
@@ -59,6 +67,7 @@ pub struct ServeMetrics {
     hist_predict_ms: Histogram,
     hist_score_ms: Histogram,
     hist_search_ms: Histogram,
+    hist_pareto_ms: Histogram,
     hist_infer_ms: Histogram,
     counter_served: Counter,
     counter_rejected: Counter,
@@ -74,9 +83,12 @@ impl ServeMetrics {
             served_predict: AtomicU64::new(0),
             served_score: AtomicU64::new(0),
             served_search: AtomicU64::new(0),
+            served_pareto: AtomicU64::new(0),
             served_shutdown: AtomicU64::new(0),
             served_infer: AtomicU64::new(0),
             infer_cache_hits: AtomicU64::new(0),
+            table_hits: AtomicU64::new(0),
+            table_misses: AtomicU64::new(0),
             rejected_overloaded: AtomicU64::new(0),
             rejected_malformed: AtomicU64::new(0),
             rejected_oversized: AtomicU64::new(0),
@@ -90,6 +102,7 @@ impl ServeMetrics {
             hist_predict_ms: Histogram::register("serve.latency_ms.predict_latency"),
             hist_score_ms: Histogram::register("serve.latency_ms.score"),
             hist_search_ms: Histogram::register("serve.latency_ms.search"),
+            hist_pareto_ms: Histogram::register("serve.latency_ms.pareto"),
             hist_infer_ms: Histogram::register("serve.latency_ms.infer"),
             counter_served: Counter::register("serve.requests_served"),
             counter_rejected: Counter::register("serve.requests_rejected"),
@@ -108,6 +121,7 @@ impl ServeMetrics {
             "predict_latency" => &self.served_predict,
             "score" => &self.served_score,
             "search" => &self.served_search,
+            "pareto" => &self.served_pareto,
             "shutdown" => &self.served_shutdown,
             "infer" => &self.served_infer,
             _ => return,
@@ -118,6 +132,7 @@ impl ServeMetrics {
             "predict_latency" => self.hist_predict_ms.record(elapsed_ms),
             "score" => self.hist_score_ms.record(elapsed_ms),
             "search" => self.hist_search_ms.record(elapsed_ms),
+            "pareto" => self.hist_pareto_ms.record(elapsed_ms),
             "infer" => self.hist_infer_ms.record(elapsed_ms),
             _ => {}
         }
@@ -149,6 +164,7 @@ impl ServeMetrics {
             "predict_latency" => &self.hist_predict_ms,
             "score" => &self.hist_score_ms,
             "search" => &self.hist_search_ms,
+            "pareto" => &self.hist_pareto_ms,
             "infer" => &self.hist_infer_ms,
             _ => return (0, 0.0, 0.0, 0.0),
         };
@@ -180,11 +196,14 @@ mod tests {
             m.record_served("score", 1.0);
         }
         m.record_served("search", 250.0);
+        m.record_served("pareto", 400.0);
         m.record_rejected(proto::CODE_OVERLOADED);
         m.record_rejected(proto::CODE_OVERLOADED);
         m.record_rejected(proto::CODE_BAD_REQUEST);
         assert_eq!(m.served_score.load(Ordering::Relaxed), 3);
         assert_eq!(m.served_search.load(Ordering::Relaxed), 1);
+        assert_eq!(m.served_pareto.load(Ordering::Relaxed), 1);
+        assert_eq!(m.latency_stats("pareto").0, 1);
         assert_eq!(m.rejected_overloaded.load(Ordering::Relaxed), 2);
         assert_eq!(m.rejected_malformed.load(Ordering::Relaxed), 1);
         let (count, p50, p99, max) = m.latency_stats("score");

@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! request  = { "v": 1, "id": string, "cmd": command, ...fields } "\n"
-//! command  = "status" | "predict_latency" | "score" | "search" | "infer"
-//!          | "shutdown"
+//! command  = "status" | "predict_latency" | "score" | "search" | "pareto"
+//!          | "infer" | "shutdown"
 //! response = { "v": 1, "id": string, "code": number,
 //!              "result": value | "error": string } "\n"
 //! ```
@@ -16,6 +16,9 @@
 //! * `predict_latency`: `device` (string), `arch` (array of ints).
 //! * `score`: `device`, `target_ms` (finite, > 0), `arch`.
 //! * `search`: `device`, `target_ms`, `seed` (unsigned int, default 0).
+//! * `pareto`: `devices` (non-empty array of 1..=[`MAX_PARETO_DEVICES`]
+//!   strings; duplicates and any ordering accepted — the server
+//!   canonicalizes), `target_ms`, `seed` (unsigned int, default 0).
 //! * `infer`: `arch`, `input_seed` (unsigned int, default 0), `batch`
 //!   (1..=[`MAX_INFER_BATCH`], default 1). Compiled artifacts are cached
 //!   per genome, so repeated `infer` requests skip compilation.
@@ -41,6 +44,10 @@ pub const MAX_FRAME_BYTES: usize = 64 * 1024;
 /// Largest `infer` batch one request may ask for — keeps the logits
 /// response comfortably inside [`MAX_FRAME_BYTES`].
 pub const MAX_INFER_BATCH: usize = 16;
+
+/// Most devices one `pareto` request may co-optimize over — bounds both
+/// the per-candidate evaluation cost and the frontier response size.
+pub const MAX_PARETO_DEVICES: usize = 8;
 
 /// Request accepted and answered.
 pub const CODE_OK: u16 = 200;
@@ -89,6 +96,18 @@ pub enum Command {
         /// RNG seed driving the EA — same seed, same result bytes.
         seed: u64,
     },
+    /// A multi-device co-exploration: one NSGA-II search returning the
+    /// non-dominated accuracy/latency frontier over a device fleet.
+    Pareto {
+        /// Device names or aliases (1..=[`MAX_PARETO_DEVICES`]); the
+        /// server canonicalizes, dedups, and sorts before searching, so
+        /// permutations of the same set answer identically.
+        devices: Vec<String>,
+        /// Latency target `T` in milliseconds (shared across devices).
+        target_ms: f64,
+        /// RNG seed driving the EA — same seed, same frontier bytes.
+        seed: u64,
+    },
     /// Compile (or fetch from the artifact cache) the genome's optimized
     /// graph and run it on a seeded synthetic batch.
     Infer {
@@ -110,6 +129,7 @@ impl Command {
             Command::PredictLatency { .. } => "predict_latency",
             Command::Score { .. } => "score",
             Command::Search { .. } => "search",
+            Command::Pareto { .. } => "pareto",
             Command::Infer { .. } => "infer",
         }
     }
@@ -263,6 +283,41 @@ impl Request {
                     })?,
                 },
             },
+            "pareto" => {
+                let items = value.get("devices").and_then(Json::as_arr).ok_or_else(|| {
+                    ProtoError::bad("missing or non-array field 'devices'", id_for_err.clone())
+                })?;
+                if items.is_empty() || items.len() > MAX_PARETO_DEVICES {
+                    return Err(ProtoError::bad(
+                        format!(
+                            "devices must list 1..={MAX_PARETO_DEVICES} names, got {}",
+                            items.len()
+                        ),
+                        id_for_err,
+                    ));
+                }
+                let devices = items
+                    .iter()
+                    .map(|v| {
+                        v.as_str().map(str::to_string).ok_or_else(|| {
+                            ProtoError::bad("devices entries must be strings", id_for_err.clone())
+                        })
+                    })
+                    .collect::<Result<Vec<String>, ProtoError>>()?;
+                Command::Pareto {
+                    devices,
+                    target_ms: field_target_ms(&value, &id_for_err)?,
+                    seed: match value.get("seed") {
+                        None => 0,
+                        Some(v) => v.as_u64().ok_or_else(|| {
+                            ProtoError::bad(
+                                "'seed' must be an unsigned integer",
+                                id_for_err.clone(),
+                            )
+                        })?,
+                    },
+                }
+            }
             "infer" => {
                 let batch = match value.get("batch") {
                     None => 1,
@@ -329,6 +384,18 @@ impl Request {
                 seed,
             } => {
                 pairs.push(("device", Json::Str(device.clone())));
+                pairs.push(("target_ms", Json::Num(*target_ms)));
+                pairs.push(("seed", Json::Num(*seed as f64)));
+            }
+            Command::Pareto {
+                devices,
+                target_ms,
+                seed,
+            } => {
+                pairs.push((
+                    "devices",
+                    Json::Arr(devices.iter().map(|d| Json::Str(d.clone())).collect()),
+                ));
                 pairs.push(("target_ms", Json::Num(*target_ms)));
                 pairs.push(("seed", Json::Num(*seed as f64)));
             }
@@ -572,6 +639,14 @@ mod tests {
                 },
             },
             Request {
+                id: "e2".into(),
+                command: Command::Pareto {
+                    devices: vec!["gpu".into(), "edge".into(), "cpu".into()],
+                    target_ms: 24.0,
+                    seed: 11,
+                },
+            },
+            Request {
                 id: "f".into(),
                 command: Command::Infer {
                     arch: vec![3, 3, 0, 9],
@@ -613,6 +688,24 @@ mod tests {
         let e =
             Request::decode(br#"{"id":"r5","cmd":"infer","arch":[0,9],"batch":999}"#).unwrap_err();
         assert!(e.detail.contains("batch"));
+
+        let e = Request::decode(br#"{"id":"p1","cmd":"pareto","target_ms":5}"#).unwrap_err();
+        assert!(e.detail.contains("devices"));
+        assert_eq!(e.id.as_deref(), Some("p1"));
+        let e = Request::decode(br#"{"id":"p2","cmd":"pareto","devices":[],"target_ms":5}"#)
+            .unwrap_err();
+        assert!(e.detail.contains("devices"));
+        let e = Request::decode(br#"{"id":"p3","cmd":"pareto","devices":[1,2],"target_ms":5}"#)
+            .unwrap_err();
+        assert!(e.detail.contains("strings"));
+        let e = Request::decode(br#"{"id":"p4","cmd":"pareto","devices":["edge"],"target_ms":0}"#)
+            .unwrap_err();
+        assert!(e.detail.contains("target_ms"));
+        let e = Request::decode(
+            br#"{"id":"p5","cmd":"pareto","devices":["a","a","a","a","a","a","a","a","a"],"target_ms":5}"#,
+        )
+        .unwrap_err();
+        assert!(e.detail.contains("1..=8"));
 
         let e = Request::decode(br#"{"v":2,"id":"r3","cmd":"status"}"#).unwrap_err();
         assert!(e.detail.contains("version"));

@@ -18,6 +18,10 @@
 //!   `edge-xavier` canonicalize first, so they share a shard.
 //! * `predict_latency` routes on `(canonical device, 0)` — no target in
 //!   the request, and predictions only need the device's warm predictor.
+//! * `pareto` routes on the hash of the canonical (sorted, deduped)
+//!   device set plus the target bits — any permutation or alias spelling
+//!   of the same fleet lands on the same shard, which is what makes the
+//!   frontier bytes permutation-invariant through the router.
 //! * `infer` routes on the genome, so each shard's compiled-graph cache
 //!   accumulates a disjoint slice of the genome space.
 //! * `status` is answered by the router itself as a fleet aggregate;
@@ -152,8 +156,36 @@ pub fn route_key(command: &Command) -> Option<u64> {
         | Command::Search {
             device, target_ms, ..
         } => Some(device_target_key(device, *target_ms)),
+        Command::Pareto {
+            devices, target_ms, ..
+        } => Some(device_set_key(devices, *target_ms)),
         Command::Infer { arch, .. } => Some(arch_route_key(arch)),
     }
+}
+
+/// Hash of `(canonical sorted deduped device set, target_ms bits)` for
+/// `pareto` routing. Aliases canonicalize and the set is sorted and
+/// deduped first, so `["gpu","edge"]`, `["edge","gpu-gv100"]`, and
+/// `["edge","edge","gpu"]` all produce the same key.
+#[must_use]
+pub fn device_set_key(devices: &[String], target_ms: f64) -> u64 {
+    let mut names: Vec<String> = devices
+        .iter()
+        .map(|d| {
+            crate::state::device_by_name(d)
+                .map(|spec| spec.name)
+                .unwrap_or_else(|| d.clone())
+        })
+        .collect();
+    names.sort();
+    names.dedup();
+    let mut keyed = Vec::new();
+    for name in &names {
+        keyed.extend_from_slice(name.as_bytes());
+        keyed.push(0xff); // separator: device names never contain 0xff
+    }
+    keyed.extend_from_slice(&target_ms.to_bits().to_le_bytes());
+    fnv1a_64(&keyed)
 }
 
 /// Hash of `(canonical device, target_ms bits)`. Unknown device names hash
@@ -671,6 +703,7 @@ fn build_fleet_status(shared: &Arc<RouterShared>) -> Json {
         "predict_latency",
         "score",
         "search",
+        "pareto",
         "shutdown",
         "infer",
     ];
@@ -785,6 +818,7 @@ fn build_fleet_status(shared: &Arc<RouterShared>) -> Json {
                         ("predict_latency", latency("predict_latency")),
                         ("score", latency("score")),
                         ("search", latency("search")),
+                        ("pareto", latency("pareto")),
                         ("infer", latency("infer")),
                     ]),
                 ),
@@ -871,6 +905,40 @@ mod tests {
             device_target_key("edge", 34.0),
             device_target_key("cpu", 34.0),
             "devices must shard independently"
+        );
+    }
+
+    #[test]
+    fn pareto_routing_is_permutation_and_alias_invariant() {
+        let key = |devices: &[&str], target: f64| {
+            route_key(&Command::Pareto {
+                devices: devices.iter().map(|d| (*d).to_string()).collect(),
+                target_ms: target,
+                seed: 0,
+            })
+        };
+        let canonical = key(&["cpu-xeon-6136", "edge-xavier", "gpu-gv100"], 24.0);
+        assert_eq!(key(&["gpu", "edge", "cpu"], 24.0), canonical);
+        assert_eq!(key(&["edge", "cpu", "gpu", "gpu", "edge"], 24.0), canonical);
+        assert_ne!(key(&["gpu", "edge"], 24.0), canonical);
+        assert_ne!(
+            key(&["gpu", "edge", "cpu"], 25.0),
+            canonical,
+            "targets must shard independently"
+        );
+        // Seed is deliberately NOT part of the key: same device set, same
+        // shard, so differently seeded frontiers share the memo cache.
+        assert_eq!(
+            route_key(&Command::Pareto {
+                devices: vec!["edge".into()],
+                target_ms: 24.0,
+                seed: 1,
+            }),
+            route_key(&Command::Pareto {
+                devices: vec!["edge".into()],
+                target_ms: 24.0,
+                seed: 2,
+            })
         );
     }
 

@@ -44,8 +44,12 @@ use crate::proto::{
     read_frame, Command, Frame, Request, Response, CODE_INTERNAL, CODE_OK, CODE_SHUTTING_DOWN,
     CODE_UNKNOWN_DEVICE, MAX_FRAME_BYTES,
 };
-use crate::state::{DeviceState, EvalContext, ServeError, ServeOptions, WarmState};
-use hsconas_evo::{EvolutionSearch, MemoObjective, Objective, ParallelObjective};
+use crate::state::{DeviceState, EvalContext, ServeError, ServeOptions, WarmState, BETA};
+use crate::table::BenchTable;
+use hsconas_evo::{
+    tradeoff_score, EvolutionSearch, MemoObjective, Objective, ParallelObjective, ParetoObjective,
+    ParetoSearch,
+};
 use hsconas_par::{BoundedQueue, PushError};
 use hsconas_space::Arch;
 use rand::rngs::StdRng;
@@ -68,8 +72,18 @@ struct EvalJob {
 }
 
 enum JobKind {
-    Score { arch: Arch },
-    Search { seed: u64 },
+    Score {
+        arch: Arch,
+    },
+    Search {
+        seed: u64,
+    },
+    /// Multi-device co-exploration. `devices` is the canonical (sorted,
+    /// deduped) fleet; the job's `device` field holds the first of them.
+    Pareto {
+        devices: Vec<Arc<DeviceState>>,
+        seed: u64,
+    },
 }
 
 impl EvalJob {
@@ -77,6 +91,7 @@ impl EvalJob {
         match self.kind {
             JobKind::Score { .. } => "score",
             JobKind::Search { .. } => "search",
+            JobKind::Pareto { .. } => "pareto",
         }
     }
 }
@@ -108,6 +123,9 @@ struct Shared {
     batch_max: usize,
     pool_threads: usize,
     slow_eval_ms: u64,
+    /// Precomputed `.hsbt` bench table, when `--bench-table` was given and
+    /// the file validated at bind time.
+    table: Option<BenchTable>,
 }
 
 impl Shared {
@@ -148,6 +166,16 @@ impl Server {
         let pool_threads = options.pool_threads;
         let slow_eval_ms = options.slow_eval_ms;
         let preload = options.preload.clone();
+        // A bench table that fails to validate is a startup error, never a
+        // silent fall-through: a corrupt or foreign table must not be
+        // mistaken for "no coverage".
+        let table = match &options.bench_table {
+            None => None,
+            Some(path) => Some(
+                BenchTable::load(path)
+                    .map_err(|detail| io::Error::new(io::ErrorKind::InvalidInput, detail))?,
+            ),
+        };
         let state = WarmState::new(options);
         for name in &preload {
             state
@@ -165,6 +193,7 @@ impl Server {
                 batch_max,
                 pool_threads,
                 slow_eval_ms,
+                table,
             }),
         })
     }
@@ -321,6 +350,18 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<ConnWriter>, request: Request) {
             target_ms,
             arch,
         } => {
+            // Bench-table fast path: a covered arch answers O(1) inline,
+            // bit-identically to the queued live evaluation. Skipped while
+            // draining so the 503 semantics match the live path.
+            if !shared.draining.load(Ordering::Acquire) {
+                if let Some(response) =
+                    score_from_table(shared, &request.id, &device, target_ms, &arch)
+                {
+                    shared.metrics.record_served("score", ms_since(received));
+                    conn.send(&response);
+                    return;
+                }
+            }
             admit(
                 shared,
                 conn,
@@ -344,6 +385,15 @@ fn dispatch(shared: &Arc<Shared>, conn: &Arc<ConnWriter>, request: Request) {
                 target_ms,
                 received,
                 |_| Ok(JobKind::Search { seed }),
+            );
+        }
+        Command::Pareto {
+            devices,
+            target_ms,
+            seed,
+        } => {
+            admit_pareto(
+                shared, conn, request.id, &devices, target_ms, seed, received,
             );
         }
         Command::Infer {
@@ -381,6 +431,17 @@ fn predict_inline(
         Ok(arch) => arch,
         Err(detail) => return Response::fail(id, crate::proto::CODE_BAD_REQUEST, detail),
     };
+    if let Some((idx, entry)) = table_lookup(shared, &device, &arch) {
+        let table = shared.table.as_ref().expect("hit implies a loaded table");
+        return Response::ok(
+            id,
+            Json::obj(vec![
+                ("device", Json::Str(device.name.clone())),
+                ("latency_ms", Json::Num(entry.latencies_ms[idx])),
+                ("bias_us", Json::Num(table.devices[idx].bias_us)),
+            ]),
+        );
+    }
     match device.predict_ms(&arch) {
         Ok((latency_ms, bias_us)) => Response::ok(
             id,
@@ -451,6 +512,63 @@ fn infer_inline(
     )
 }
 
+/// One validated bench-table row for `(device, arch)`: the device has a
+/// column and the table's generation stamp matches the live predictor, so
+/// the stored floats are exactly what live evaluation would compute. A
+/// stale stamp or uncovered arch is a counted miss (silent fall-through);
+/// with no table loaded nothing is counted.
+fn table_lookup<'a>(
+    shared: &'a Shared,
+    device: &DeviceState,
+    arch: &Arch,
+) -> Option<(usize, &'a crate::table::TableEntry)> {
+    let table = shared.table.as_ref()?;
+    let hit = table.device_index(&device.name).and_then(|idx| {
+        if table.devices[idx].lut_generation != device.lut_generation() {
+            return None;
+        }
+        let fingerprint = crate::router::arch_route_key(&arch.encode());
+        table.get(fingerprint).map(|entry| (idx, entry))
+    });
+    let counter = if hit.is_some() {
+        &shared.metrics.table_hits
+    } else {
+        &shared.metrics.table_misses
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    hit
+}
+
+/// The table fast path for `score`: `Some(200)` only on a genuine hit;
+/// any resolution failure returns `None` so the live path produces the
+/// identical 4xx it would have produced anyway.
+fn score_from_table(
+    shared: &Arc<Shared>,
+    id: &str,
+    device: &str,
+    target_ms: f64,
+    arch: &[usize],
+) -> Option<Response> {
+    shared.table.as_ref()?;
+    let device = shared.state.device(device).ok()?;
+    let arch = device.decode_arch(arch).ok()?;
+    let (idx, entry) = table_lookup(shared, &device, &arch)?;
+    let latency_ms = entry.latencies_ms[idx];
+    Some(Response::ok(
+        id,
+        Json::obj(vec![
+            ("device", Json::Str(device.name.clone())),
+            ("target_ms", Json::Num(target_ms)),
+            (
+                "score",
+                Json::Num(tradeoff_score(entry.accuracy, latency_ms, target_ms, BETA)),
+            ),
+            ("accuracy", Json::Num(entry.accuracy)),
+            ("latency_ms", Json::Num(latency_ms)),
+        ]),
+    ))
+}
+
 fn serve_error_response(id: &str, error: &ServeError) -> Response {
     let code = match error {
         ServeError::UnknownDevice(_) => CODE_UNKNOWN_DEVICE,
@@ -502,6 +620,11 @@ fn admit(
         conn: Arc::clone(conn),
         received,
     };
+    enqueue(shared, job);
+}
+
+/// Pushes one built job, answering 429/503 immediately when that fails.
+fn enqueue(shared: &Arc<Shared>, job: EvalJob) {
     match shared.queue.try_push(job) {
         Ok(depth) => shared.metrics.record_queue_depth(depth),
         Err(PushError::Full(job)) => {
@@ -522,6 +645,58 @@ fn admit(
             job.conn.send(&response);
         }
     }
+}
+
+/// Admission for `pareto`: resolve every named device (one unknown name
+/// fails the whole request with the same 404 a single-device command
+/// gets), canonicalize the set — sort by canonical name, dedup — and
+/// enqueue one search job. The canonical ordering is what makes the
+/// frontier bytes invariant under device-list permutations and alias
+/// spellings.
+fn admit_pareto(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnWriter>,
+    id: String,
+    devices: &[String],
+    target_ms: f64,
+    seed: u64,
+    received: Instant,
+) {
+    if shared.draining.load(Ordering::Acquire) {
+        let response = Response::fail(id, CODE_SHUTTING_DOWN, "server is draining");
+        shared.metrics.record_rejected(response.code);
+        conn.send(&response);
+        return;
+    }
+    let mut resolved: Vec<Arc<DeviceState>> = Vec::with_capacity(devices.len());
+    for name in devices {
+        match shared.state.device(name) {
+            Ok(device) => resolved.push(device),
+            Err(e) => {
+                let response = serve_error_response(&id, &e);
+                shared.metrics.record_rejected(response.code);
+                conn.send(&response);
+                return;
+            }
+        }
+    }
+    resolved.sort_by(|a, b| a.name.cmp(&b.name));
+    resolved.dedup_by(|a, b| a.name == b.name);
+    let device = Arc::clone(&resolved[0]);
+    enqueue(
+        shared,
+        EvalJob {
+            id,
+            kind: JobKind::Pareto {
+                devices: resolved,
+                seed,
+            },
+            device,
+            target_ms,
+            conn: Arc::clone(conn),
+            received,
+        },
+    );
 }
 
 /// Two jobs may share a micro-batch iff they score against the same device
@@ -563,6 +738,12 @@ fn execute_batch(shared: &Arc<Shared>, batch: Vec<EvalJob>) {
                 execute_search(shared, &device, &ctx, job);
             }
         }
+        JobKind::Pareto { .. } => {
+            // Like searches, pareto jobs never merge.
+            for job in batch {
+                execute_pareto(shared, job);
+            }
+        }
     }
     // Responses are already on the wire; persisting freshly memoized
     // evaluations is off the request path (a no-op without --state-dir).
@@ -579,7 +760,7 @@ fn execute_scores(
         .iter()
         .map(|job| match &job.kind {
             JobKind::Score { arch } => arch.clone(),
-            JobKind::Search { .. } => unreachable!("compatible() only batches scores"),
+            _ => unreachable!("compatible() only batches scores"),
         })
         .collect();
     let mut objective = MemoObjective::with_shared_cache(
@@ -657,6 +838,93 @@ fn execute_search(
                     "generations",
                     Json::Num(outcome.history.len().saturating_sub(1) as f64),
                 ),
+            ]);
+            respond_evaluated(shared, &job, Response::ok(job.id.clone(), result));
+        }
+        Err(e) => {
+            respond_evaluated(
+                shared,
+                &job,
+                Response::fail(job.id.clone(), CODE_INTERNAL, e.to_string()),
+            );
+        }
+    }
+}
+
+/// Most frontier points serialized into one `pareto` response line —
+/// keeps it comfortably inside [`MAX_FRAME_BYTES`] for 20-layer genomes
+/// over [`crate::proto::MAX_PARETO_DEVICES`] devices. The full frontier
+/// size is always reported, and truncation (deterministic: the points are
+/// encoding-sorted) is flagged.
+const MAX_PARETO_POINTS: usize = 64;
+
+fn execute_pareto(shared: &Arc<Shared>, job: EvalJob) {
+    let JobKind::Pareto { devices, seed } = &job.kind else {
+        unreachable!("execute_pareto only receives pareto jobs");
+    };
+    let seed = *seed;
+    let config = shared.state.options().budget.evolution_config();
+    let mut per_device: Vec<(String, Box<dyn Objective>)> = Vec::with_capacity(devices.len());
+    for device in devices {
+        let ctx = device.eval_context(job.target_ms);
+        per_device.push((
+            device.name.clone(),
+            Box::new(MemoObjective::with_shared_cache(
+                ParallelObjective::new(device.evaluator(&ctx), shared.pool_threads),
+                ctx.cache.clone(),
+            )),
+        ));
+    }
+    let outcome = ParetoObjective::new(per_device).and_then(|mut objective| {
+        let search = ParetoSearch::new(job.device.space.clone(), config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        search.run(&mut objective, &mut rng)
+    });
+    match outcome {
+        Ok(frontier) => {
+            let total = frontier.points.len();
+            let points: Vec<Json> = frontier
+                .points
+                .iter()
+                .take(MAX_PARETO_POINTS)
+                .map(|p| {
+                    Json::obj(vec![
+                        (
+                            "arch",
+                            Json::Arr(
+                                p.arch
+                                    .encode()
+                                    .into_iter()
+                                    .map(|g| Json::Num(g as f64))
+                                    .collect(),
+                            ),
+                        ),
+                        ("accuracy", Json::Num(p.eval.accuracy)),
+                        (
+                            "latencies_ms",
+                            Json::Arr(p.eval.latencies_ms.iter().map(|&l| Json::Num(l)).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            let result = Json::obj(vec![
+                (
+                    "devices",
+                    Json::Arr(
+                        frontier
+                            .devices
+                            .iter()
+                            .map(|d| Json::Str(d.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("target_ms", Json::Num(job.target_ms)),
+                ("seed", Json::Num(seed as f64)),
+                ("generations", Json::Num(frontier.generations as f64)),
+                ("evaluated", Json::Num(frontier.evaluated as f64)),
+                ("frontier_size", Json::Num(total as f64)),
+                ("truncated", Json::Bool(total > MAX_PARETO_POINTS)),
+                ("frontier", Json::Arr(points)),
             ]);
             respond_evaluated(shared, &job, Response::ok(job.id.clone(), result));
         }
@@ -753,6 +1021,7 @@ fn build_status(shared: &Arc<Shared>) -> Json {
                 ("predict_latency", load(&m.served_predict)),
                 ("score", load(&m.served_score)),
                 ("search", load(&m.served_search)),
+                ("pareto", load(&m.served_pareto)),
                 ("shutdown", load(&m.served_shutdown)),
                 ("infer", load(&m.served_infer)),
             ]),
@@ -781,8 +1050,32 @@ fn build_status(shared: &Arc<Shared>) -> Json {
                 ("predict_latency", latency("predict_latency")),
                 ("score", latency("score")),
                 ("search", latency("search")),
+                ("pareto", latency("pareto")),
                 ("infer", latency("infer")),
             ]),
+        ),
+        (
+            // The precomputed `.hsbt` fast path for predict_latency/score.
+            "bench_table",
+            match &shared.table {
+                None => Json::obj(vec![("loaded", Json::Bool(false))]),
+                Some(table) => Json::obj(vec![
+                    ("loaded", Json::Bool(true)),
+                    ("entries", Json::Num(table.len() as f64)),
+                    (
+                        "devices",
+                        Json::Arr(
+                            table
+                                .devices
+                                .iter()
+                                .map(|d| Json::Str(d.name.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("hits", load(&m.table_hits)),
+                    ("misses", load(&m.table_misses)),
+                ]),
+            },
         ),
         (
             // Compiled-artifact cache backing the `infer` command.

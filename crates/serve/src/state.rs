@@ -139,6 +139,9 @@ pub struct ServeOptions {
     /// Test hook: sleep this long per evaluation batch so the soak test
     /// can fill the queue deterministically. 0 in production.
     pub slow_eval_ms: u64,
+    /// Optional precomputed `.hsbt` bench table; covered `predict_latency`
+    /// and `score` requests answer O(1) from it instead of the queue.
+    pub bench_table: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -156,6 +159,7 @@ impl Default for ServeOptions {
             preload: Vec::new(),
             calibration_seed: 2021,
             slow_eval_ms: 0,
+            bench_table: None,
         }
     }
 }
@@ -367,6 +371,21 @@ impl DeviceState {
         let predictor = Arc::clone(&lock(&self.predictor));
         let ms = predictor.predict_ms(arch).map_err(|e| e.to_string())?;
         Ok((ms, predictor.bias_us()))
+    }
+
+    /// Raw (accuracy, latency_ms) for one architecture via the live oracle
+    /// and predictor — exactly the numbers the [`Self::evaluator`] closure
+    /// computes, so bench-table rows built from this are bit-identical to
+    /// live evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the oracle or predictor error text.
+    pub fn measure(&self, arch: &Arch) -> Result<(f64, f64), String> {
+        let accuracy = self.oracle.accuracy(arch).map_err(|e| e.to_string())?;
+        let predictor = Arc::clone(&lock(&self.predictor));
+        let latency_ms = predictor.predict_ms(arch).map_err(|e| e.to_string())?;
+        Ok((accuracy, latency_ms))
     }
 
     /// Decodes and validates a wire-encoded architecture against this

@@ -93,6 +93,12 @@ run_gate "serve smoke" \
 run_gate "fleet smoke" \
     scripts/fleet_smoke.sh
 
+# Pareto + bench-table smoke: deterministic offline table build, loud
+# corrupt-table startup failure, single-vs-fleet frontier byte identity
+# under permutation/aliasing, and table-miss fall-through byte identity.
+run_gate "pareto smoke" \
+    scripts/pareto_smoke.sh
+
 # Graph deployment pipeline: fixed-seed compile, bit-identity compare gate
 # (max-abs-err 0), deterministic artifact round-trip, and loud rejection of
 # corrupted / truncated / foreign-version artifacts.

@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Pareto + bench-table smoke, runnable locally and in CI: builds the
+# release binary, proves the offline `bench-table` builder is
+# byte-deterministic, proves a corrupted table is a loud startup failure
+# (never "no coverage"), then drives the `pareto` request through a
+# single daemon and a `--fleet 2` router and requires byte-identical
+# frontier lines — including under device-set permutation and aliasing —
+# and finally checks the table-miss fall-through answers the exact bytes
+# a table-less daemon answers.
+#
+# Every PID this script spawns is recorded; set SMOKE_PID_FILE to a path
+# to have them appended there so CI can do a PID-scoped leak check.
+#
+# Usage: scripts/pareto_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+PIDS=()
+
+record_pid() {
+    PIDS+=("$1")
+    if [ -n "${SMOKE_PID_FILE:-}" ]; then
+        echo "$1" >>"${SMOKE_PID_FILE}"
+    fi
+}
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        if [ -n "${pid}" ] && kill -0 "${pid}" 2>/dev/null; then
+            kill -9 "${pid}" 2>/dev/null || true
+            wait "${pid}" 2>/dev/null || true
+        fi
+    done
+    rm -rf "${TMP}"
+}
+trap cleanup EXIT
+
+echo "==> build"
+cargo build --release -q -p hsconas --bin hsconas
+BIN=target/release/hsconas
+
+echo "==> bench-table builder is byte-deterministic"
+"${BIN}" bench-table --out "${TMP}/a.hsbt" --devices gpu,cpu,edge --samples 12 --seed 7 >/dev/null
+"${BIN}" bench-table --out "${TMP}/b.hsbt" --devices edge,cpu,gpu,cpu --samples 12 --seed 7 >/dev/null
+if ! cmp -s "${TMP}/a.hsbt" "${TMP}/b.hsbt"; then
+    echo "bench-table artifacts differ across runs / device orderings" >&2
+    exit 1
+fi
+
+echo "==> corrupt table is a loud startup failure"
+head -c "$(($(wc -c <"${TMP}/a.hsbt") - 3))" "${TMP}/a.hsbt" >"${TMP}/torn.hsbt"
+if "${BIN}" serve --port 0 --bench-table "${TMP}/torn.hsbt" \
+    >"${TMP}/torn.out" 2>"${TMP}/torn.err"; then
+    echo "server started from a truncated bench table" >&2
+    exit 1
+fi
+if ! grep -q "invalid bench table" "${TMP}/torn.err"; then
+    echo "startup failure did not name the table defect:" >&2
+    cat "${TMP}/torn.err" >&2
+    exit 1
+fi
+
+# Starts one serve process ($1 = output tag, rest = extra args) and echoes
+# its address once the listen line appears.
+start_server() {
+    local tag="$1"
+    shift
+    "${BIN}" serve --port 0 "$@" >"${TMP}/${tag}.out" 2>"${TMP}/${tag}.err" &
+    local pid=$!
+    record_pid "${pid}"
+    # Workers spawned by a fleet router are children; record them too.
+    local addr=""
+    for _ in $(seq 1 600); do
+        if ! kill -0 "${pid}" 2>/dev/null; then
+            echo "server '${tag}' died during startup:" >&2
+            cat "${TMP}/${tag}.err" >&2
+            exit 1
+        fi
+        addr="$(sed -n 's/.*listening on //p' "${TMP}/${tag}.out" | head -n1)"
+        [ -n "${addr}" ] && break
+        sleep 0.1
+    done
+    if [ -z "${addr}" ]; then
+        echo "server '${tag}' never printed its listen address" >&2
+        exit 1
+    fi
+    for child in $(pgrep -P "${pid}" 2>/dev/null || true); do
+        record_pid "${child}"
+    done
+    eval "${tag}_ADDR='${addr}'"
+    eval "${tag}_PID='${pid}'"
+}
+
+echo "==> start single daemon, table-backed daemon, and fleet router"
+start_server single
+start_server table --bench-table "${TMP}/a.hsbt"
+start_server fleet --fleet 2
+echo "    single=${single_ADDR} table=${table_ADDR} fleet=${fleet_ADDR}"
+
+echo "==> pareto: single vs fleet vs permuted vs aliased, byte-identical"
+"${BIN}" client --addr "${single_ADDR}" pareto \
+    --devices cpu,edge,gpu --target-ms 34 --seed 11 >"${TMP}/ref.json"
+"${BIN}" client --addr "${fleet_ADDR}" pareto \
+    --devices cpu,edge,gpu --target-ms 34 --seed 11 >"${TMP}/fleet.json"
+"${BIN}" client --addr "${fleet_ADDR}" pareto \
+    --devices gpu,cpu,edge --target-ms 34 --seed 11 >"${TMP}/perm.json"
+"${BIN}" client --addr "${single_ADDR}" pareto \
+    --devices edge-xavier,gpu-gv100,cpu,edge --target-ms 34 --seed 11 >"${TMP}/alias.json"
+for variant in fleet perm alias; do
+    if ! cmp -s "${TMP}/ref.json" "${TMP}/${variant}.json"; then
+        echo "pareto '${variant}' response diverged from the single daemon:" >&2
+        diff "${TMP}/ref.json" "${TMP}/${variant}.json" >&2 || true
+        exit 1
+    fi
+done
+
+echo "==> table miss falls through to the live path, byte-identical"
+# Widest genome in the served 20-layer space: (op 0, scale 9) x 20 —
+# vanishingly unlikely to be in a 12-row random sample, so this exercises
+# the miss path (the hit path is covered bit-exactly by tests/bench_table.rs).
+ARCH="0,9"
+for _ in $(seq 1 19); do ARCH="${ARCH},0,9"; done
+for cmd in "predict --device edge --arch ${ARCH}" \
+    "score --device edge --target-ms 34 --arch ${ARCH}"; do
+    # shellcheck disable=SC2086
+    "${BIN}" client --addr "${table_ADDR}" ${cmd} >"${TMP}/hit.json"
+    # shellcheck disable=SC2086
+    "${BIN}" client --addr "${single_ADDR}" ${cmd} >"${TMP}/live.json"
+    if ! cmp -s "${TMP}/hit.json" "${TMP}/live.json"; then
+        echo "table-backed '${cmd}' diverged from the live daemon:" >&2
+        diff "${TMP}/hit.json" "${TMP}/live.json" >&2 || true
+        exit 1
+    fi
+done
+"${BIN}" client --addr "${table_ADDR}" status >"${TMP}/table-status.json"
+if ! grep -q '"bench_table"' "${TMP}/table-status.json"; then
+    echo "table-backed status is missing the bench_table block" >&2
+    exit 1
+fi
+
+echo "==> graceful drain"
+for tag in single table fleet; do
+    addr_var="${tag}_ADDR"
+    pid_var="${tag}_PID"
+    "${BIN}" client --addr "${!addr_var}" shutdown >/dev/null
+    exited=0
+    for _ in $(seq 1 300); do
+        if ! kill -0 "${!pid_var}" 2>/dev/null; then
+            exited=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "${exited}" -ne 1 ]; then
+        echo "server '${tag}' leaked: still running after shutdown" >&2
+        exit 1
+    fi
+    if ! wait "${!pid_var}"; then
+        echo "server '${tag}' exited nonzero:" >&2
+        cat "${TMP}/${tag}.err" >&2
+        exit 1
+    fi
+done
+
+for pid in "${PIDS[@]}"; do
+    if kill -0 "${pid}" 2>/dev/null; then
+        echo "leaked process ${pid} after drain:" >&2
+        ps -p "${pid}" -o pid,cmd >&2 || true
+        exit 1
+    fi
+done
+
+echo "pareto smoke: OK"

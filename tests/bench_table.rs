@@ -1,0 +1,315 @@
+//! Precomputed `.hsbt` bench-table contract: the offline `hsconas
+//! bench-table` builder is deterministic and its artifact round-trips
+//! bit-exactly; corrupt, truncated, or foreign-version tables are
+//! rejected loudly (at load and at server startup); and for every covered
+//! architecture the serve fast path answers `predict_latency` and `score`
+//! byte-identically to live evaluation, while uncovered architectures
+//! fall through to the live path without error.
+
+#[path = "serve_harness.rs"]
+mod harness;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+use harness::{raw_call, widest_arch_encoding, ServerGuard};
+use hsconas_serve::router::arch_route_key;
+use hsconas_serve::{BenchTable, Json, ServeOptions, Server};
+use hsconas_space::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A scratch directory, unique per test, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hsbt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the real `hsconas bench-table` binary into `out`.
+fn build_table(out: &Path, devices: &str, samples: usize, seed: u64) {
+    let output = Command::new(env!("CARGO_BIN_EXE_hsconas"))
+        .args([
+            "bench-table",
+            "--out",
+            out.to_str().expect("utf8 path"),
+            "--devices",
+            devices,
+            "--samples",
+            &samples.to_string(),
+            "--seed",
+            &seed.to_string(),
+        ])
+        .output()
+        .expect("run hsconas bench-table");
+    assert!(
+        output.status.success(),
+        "bench-table failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// The arch sample the builder drew: same space, same seed, same order.
+fn rederive_sample(samples: usize, seed: u64) -> Vec<Vec<usize>> {
+    let space = SearchSpace::hsconas_a();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    space
+        .sample_n(samples, &mut rng)
+        .into_iter()
+        .map(|arch| arch.encode())
+        .filter(|encoded| seen.insert(arch_route_key(encoded)))
+        .collect()
+}
+
+fn encode_json(encoded: &[usize]) -> String {
+    let genes: Vec<String> = encoded.iter().map(|g| g.to_string()).collect();
+    format!("[{}]", genes.join(","))
+}
+
+#[test]
+fn cli_builder_is_deterministic_and_roundtrips_bit_exactly() {
+    let dir = ScratchDir::new("roundtrip");
+    let (a, b) = (dir.path().join("a.hsbt"), dir.path().join("b.hsbt"));
+    build_table(&a, "edge,gpu,cpu", 16, 7);
+    build_table(&b, "cpu,edge,gpu,edge", 16, 7); // permuted + duplicated
+
+    let bytes = fs::read(&a).expect("read table");
+    assert_eq!(
+        bytes,
+        fs::read(&b).expect("read table"),
+        "builder output must be deterministic and device-order independent"
+    );
+
+    let table = BenchTable::load(&a).expect("load table");
+    assert_eq!(table.seed, 7);
+    assert_eq!(table.samples, 16);
+    let names: Vec<&str> = table.devices.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["cpu-xeon-6136", "edge-xavier", "gpu-gv100"],
+        "columns are canonical names, sorted, aliases deduped"
+    );
+    assert!(!table.is_empty());
+
+    // The rows are exactly the (deduped) sample the builder drew.
+    let expected: Vec<u64> = {
+        let mut fps: Vec<u64> = rederive_sample(16, 7)
+            .iter()
+            .map(|e| arch_route_key(e))
+            .collect();
+        fps.sort_unstable();
+        fps
+    };
+    assert_eq!(table.fingerprints(), expected);
+    for fp in table.fingerprints() {
+        let entry = table.get(fp).expect("covered row");
+        assert_eq!(entry.latencies_ms.len(), 3, "one latency per column");
+        assert!(entry.accuracy.is_finite());
+        assert!(entry.latencies_ms.iter().all(|l| l.is_finite() && *l > 0.0));
+    }
+
+    // Save → load → save is byte-stable.
+    let resaved = dir.path().join("resaved.hsbt");
+    table.save(&resaved).expect("resave");
+    assert_eq!(bytes, fs::read(&resaved).expect("read resaved"));
+    assert_eq!(BenchTable::load(&resaved).expect("reload"), table);
+}
+
+#[test]
+fn malformed_tables_are_rejected_loudly_at_load_and_at_startup() {
+    let dir = ScratchDir::new("reject");
+    let good_path = dir.path().join("good.hsbt");
+    build_table(&good_path, "edge", 4, 3);
+    let good = fs::read(&good_path).expect("read table");
+    BenchTable::load(&good_path).expect("pristine table loads");
+
+    let tampered: Vec<(&str, Vec<u8>, &str)> = vec![
+        ("short-header", good[..10].to_vec(), "header"),
+        (
+            "bad-magic",
+            {
+                let mut b = good.clone();
+                b[0] ^= 0xff;
+                b
+            },
+            "magic",
+        ),
+        (
+            "foreign-version",
+            {
+                let mut b = good.clone();
+                b[4] = 99;
+                b
+            },
+            "version",
+        ),
+        ("truncated", good[..good.len() - 3].to_vec(), "truncated"),
+        (
+            "padded",
+            {
+                let mut b = good.clone();
+                b.push(0);
+                b
+            },
+            "truncated or padded",
+        ),
+        (
+            "bit-flip",
+            {
+                let mut b = good.clone();
+                let last = b.len() - 1;
+                b[last] ^= 0x01;
+                b
+            },
+            "checksum",
+        ),
+    ];
+    for (tag, bytes, needle) in tampered {
+        let path = dir.path().join(format!("{tag}.hsbt"));
+        fs::write(&path, &bytes).expect("write tampered table");
+
+        // Load rejects, naming the file and the defect.
+        let err = BenchTable::load(&path).expect_err(tag);
+        assert!(
+            err.contains("invalid bench table") && err.contains(needle),
+            "{tag}: expected '{needle}' in: {err}"
+        );
+
+        // Server startup rejects the same way — a corrupt table is a loud
+        // startup error, never mistaken for "no coverage".
+        let options = ServeOptions {
+            bench_table: Some(path),
+            ..ServeOptions::default()
+        };
+        let bind_err = match Server::bind(options) {
+            Ok(_) => panic!("{tag}: server started from a malformed table"),
+            Err(e) => e,
+        };
+        assert_eq!(bind_err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(
+            bind_err.to_string().contains(needle),
+            "{tag}: expected '{needle}' in bind error: {bind_err}"
+        );
+    }
+}
+
+#[test]
+fn table_hits_answer_byte_identically_to_live_eval_and_misses_fall_through() {
+    let dir = ScratchDir::new("serve");
+    let table_path = dir.path().join("edge.hsbt");
+    let (samples, seed) = (12usize, 5u64);
+    build_table(&table_path, "edge", samples, seed);
+    let table = BenchTable::load(&table_path).expect("load table");
+
+    // Exhaustive covered subspace, re-derived from the builder's contract.
+    let covered = rederive_sample(samples, seed);
+    assert_eq!(covered.len(), table.len(), "sample re-derivation drifted");
+    let widest = widest_arch_encoding();
+    assert!(
+        table.get(arch_route_key(&widest)).is_none(),
+        "widest genome unexpectedly sampled; pick a different seed"
+    );
+
+    let table_server =
+        ServerGuard::spawn(&["--bench-table", table_path.to_str().expect("utf8 path")]);
+    let live_server = ServerGuard::spawn(&[]);
+    let mut on_table = table_server.connect();
+    let mut on_live = live_server.connect();
+
+    // Every covered arch: predict_latency and score answers are
+    // byte-identical between the table fast path and live evaluation.
+    for (i, encoded) in covered.iter().enumerate() {
+        let arch = encode_json(encoded);
+        let predict =
+            format!(r#"{{"id":"p{i}","cmd":"predict_latency","device":"edge","arch":{arch}}}"#);
+        let from_table = raw_call(&mut on_table, &predict);
+        assert_eq!(
+            from_table,
+            raw_call(&mut on_live, &predict),
+            "predict_latency diverged for covered arch {i}"
+        );
+        assert!(from_table.contains("\"latency_ms\""), "{from_table}");
+
+        let score = format!(
+            r#"{{"id":"s{i}","cmd":"score","device":"edge","target_ms":34,"arch":{arch}}}"#
+        );
+        let from_table = raw_call(&mut on_table, &score);
+        assert_eq!(
+            from_table,
+            raw_call(&mut on_live, &score),
+            "score diverged for covered arch {i}"
+        );
+        assert!(from_table.contains("\"score\""), "{from_table}");
+    }
+
+    // Accounting: every covered request was a hit, none a miss.
+    let status = table_server
+        .client()
+        .status()
+        .expect("status")
+        .result
+        .expect("status result");
+    let block = status.get("bench_table").expect("bench_table block");
+    assert_eq!(block.get("loaded").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        block.get("entries").and_then(Json::as_u64),
+        Some(table.len() as u64)
+    );
+    let hits = block.get("hits").and_then(Json::as_u64).expect("hits");
+    assert_eq!(hits, 2 * covered.len() as u64, "every request was a hit");
+    assert_eq!(block.get("misses").and_then(Json::as_u64), Some(0));
+
+    // An uncovered arch falls through to live evaluation without error —
+    // and still answers exactly what the table-less server answers.
+    let arch = encode_json(&widest);
+    for line in [
+        format!(r#"{{"id":"m0","cmd":"predict_latency","device":"edge","arch":{arch}}}"#),
+        format!(r#"{{"id":"m1","cmd":"score","device":"edge","target_ms":34,"arch":{arch}}}"#),
+    ] {
+        let from_table = raw_call(&mut on_table, &line);
+        assert_eq!(from_table, raw_call(&mut on_live, &line));
+        assert!(!from_table.contains("\"error\""), "{from_table}");
+    }
+    let status = table_server
+        .client()
+        .status()
+        .expect("status")
+        .result
+        .expect("status result");
+    let block = status.get("bench_table").expect("bench_table block");
+    assert!(
+        block.get("misses").and_then(Json::as_u64) >= Some(2),
+        "uncovered requests must be counted as misses"
+    );
+
+    // The live server never had a table.
+    let status = live_server
+        .client()
+        .status()
+        .expect("status")
+        .result
+        .expect("status result");
+    let block = status.get("bench_table").expect("bench_table block");
+    assert_eq!(block.get("loaded").and_then(Json::as_bool), Some(false));
+
+    table_server.shutdown_and_wait(Duration::from_secs(30));
+    live_server.shutdown_and_wait(Duration::from_secs(30));
+}

@@ -1,0 +1,387 @@
+//! Property suite for multi-device co-exploration (NSGA-II over N device
+//! latency objectives): the returned frontier is exactly the
+//! non-dominated subset of everything evaluated, its bytes are invariant
+//! to worker-thread count and device-list permutation, and a run killed
+//! at any checkpoint boundary resumes to the bit-identical frontier.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use hsconas::{run_pareto_checkpointed, CheckpointOptions};
+use hsconas_evo::{
+    dominates, Evaluation, EvoError, EvolutionConfig, MemoObjective, Objective, ParallelObjective,
+    ParetoEval, ParetoFrontier, ParetoObjective, ParetoSearch,
+};
+use hsconas_space::{Arch, SearchSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A scratch checkpoint directory, unique per test, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hsck-pareto-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deterministic synthetic evaluation for `device` (an index): accuracy
+/// is a pure function of the genome; the per-device latencies weight ops
+/// vs widths oppositely, so no single arch wins every objective and the
+/// frontier is a genuine trade-off curve.
+fn synth_eval(device: usize, arch: &Arch) -> Evaluation {
+    let accuracy = 60.0 + (arch.fingerprint() % 997) as f64 / 50.0;
+    let latency_ms: f64 = arch
+        .encode()
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| {
+            let weight = if (i + device).is_multiple_of(2) {
+                1.0
+            } else {
+                0.25
+            };
+            (g + 1) as f64 * weight * (device + 1) as f64 / 10.0
+        })
+        .sum();
+    Evaluation {
+        score: 0.0, // ignored by the pareto objective
+        accuracy,
+        latency_ms,
+    }
+}
+
+/// An [`Objective`] over [`synth_eval`] that records every arch it was
+/// asked about, so tests can reconstruct the full evaluated candidate set.
+struct Recorder {
+    device: usize,
+    log: Arc<Mutex<Vec<Arch>>>,
+}
+
+impl Objective for Recorder {
+    fn evaluate(&mut self, arch: &Arch) -> Result<Evaluation, EvoError> {
+        self.log.lock().unwrap().push(arch.clone());
+        Ok(synth_eval(self.device, arch))
+    }
+}
+
+fn config() -> EvolutionConfig {
+    EvolutionConfig {
+        generations: 4,
+        population: 12,
+        parents: 5,
+        ..Default::default()
+    }
+}
+
+/// Builds the pareto objective over `n` synthetic devices named d0..dn,
+/// each evaluated through a `threads`-wide pool (the serve wiring).
+fn synth_objective(n: usize, threads: usize) -> ParetoObjective {
+    let per_device: Vec<(String, Box<dyn Objective>)> = (0..n)
+        .map(|device| {
+            let objective = MemoObjective::new(ParallelObjective::new(
+                move |arch: &Arch| Ok(synth_eval(device, arch)),
+                threads,
+            ));
+            (
+                format!("d{device}"),
+                Box::new(objective) as Box<dyn Objective>,
+            )
+        })
+        .collect();
+    ParetoObjective::new(per_device).expect("pareto objective")
+}
+
+/// A bit-exact signature of a frontier: canonical devices, bookkeeping,
+/// and per point the genome plus every float's bit pattern.
+#[derive(Debug, PartialEq, Eq)]
+struct FrontierSig {
+    devices: Vec<String>,
+    generations: usize,
+    evaluated: u64,
+    points: Vec<(Vec<usize>, u64, Vec<u64>)>,
+}
+
+fn signature(frontier: &ParetoFrontier) -> FrontierSig {
+    FrontierSig {
+        devices: frontier.devices.clone(),
+        generations: frontier.generations,
+        evaluated: frontier.evaluated,
+        points: frontier
+            .points
+            .iter()
+            .map(|p| {
+                (
+                    p.arch.encode(),
+                    p.eval.accuracy.to_bits(),
+                    p.eval.latencies_ms.iter().map(|l| l.to_bits()).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Checks the two frontier correctness properties against the full
+/// evaluated candidate set: mutual non-dominance within the frontier, and
+/// set-equality with the true non-dominated subset of everything
+/// evaluated (so every dominated candidate is excluded and nothing
+/// non-dominated is dropped).
+fn assert_frontier_exact(frontier: &ParetoFrontier, evaluated: &[Arch], devices: usize) {
+    for (i, a) in frontier.points.iter().enumerate() {
+        for (j, b) in frontier.points.iter().enumerate() {
+            if i != j {
+                assert!(
+                    !dominates(&a.eval, &b.eval),
+                    "frontier point {j} is dominated by point {i}"
+                );
+            }
+        }
+    }
+
+    // Reconstruct every candidate's true vector evaluation.
+    let mut candidates: Vec<(u64, Vec<usize>, ParetoEval)> = Vec::new();
+    for arch in evaluated {
+        let fp = arch.fingerprint();
+        if candidates.iter().any(|(f, _, _)| *f == fp) {
+            continue;
+        }
+        let eval = ParetoEval {
+            accuracy: synth_eval(0, arch).accuracy,
+            latencies_ms: (0..devices)
+                .map(|d| synth_eval(d, arch).latency_ms)
+                .collect(),
+        };
+        candidates.push((fp, arch.encode(), eval));
+    }
+    let mut expected: Vec<Vec<usize>> = candidates
+        .iter()
+        .filter(|(_, _, eval)| {
+            !candidates
+                .iter()
+                .any(|(_, _, other)| dominates(other, eval))
+        })
+        .map(|(_, encoded, _)| encoded.clone())
+        .collect();
+    expected.sort();
+    let mut actual: Vec<Vec<usize>> = frontier.points.iter().map(|p| p.arch.encode()).collect();
+    actual.sort();
+    assert_eq!(
+        actual, expected,
+        "frontier must be exactly the non-dominated subset of all evaluated candidates"
+    );
+
+    // And the frontier's stored evaluations are the true ones, bit for bit.
+    for point in &frontier.points {
+        let truth_acc = synth_eval(0, &point.arch).accuracy;
+        assert_eq!(point.eval.accuracy.to_bits(), truth_acc.to_bits());
+        for (d, latency) in point.eval.latencies_ms.iter().enumerate() {
+            let truth = synth_eval(d, &point.arch).latency_ms;
+            assert_eq!(latency.to_bits(), truth.to_bits());
+        }
+    }
+}
+
+#[test]
+fn frontier_is_exactly_the_non_dominated_evaluated_set() {
+    let devices = 3;
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let per_device: Vec<(String, Box<dyn Objective>)> = (0..devices)
+        .map(|device| {
+            let recorder = Recorder {
+                device,
+                log: Arc::clone(&log),
+            };
+            (
+                format!("d{device}"),
+                Box::new(recorder) as Box<dyn Objective>,
+            )
+        })
+        .collect();
+    let mut objective = ParetoObjective::new(per_device).expect("objective");
+    let frontier = ParetoSearch::new(SearchSpace::tiny(4), config())
+        .run(&mut objective, &mut StdRng::seed_from_u64(17))
+        .expect("search");
+    assert!(!frontier.points.is_empty());
+    assert_eq!(frontier.devices, vec!["d0", "d1", "d2"]);
+    let evaluated = log.lock().unwrap().clone();
+    assert!(frontier.evaluated > 0);
+    assert_frontier_exact(&frontier, &evaluated, devices);
+}
+
+#[test]
+fn frontier_is_bit_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let mut objective = synth_objective(3, threads);
+        ParetoSearch::new(SearchSpace::hsconas_a(), config())
+            .run(&mut objective, &mut StdRng::seed_from_u64(23))
+            .expect("search")
+    };
+    let reference = signature(&run(1));
+    assert!(!reference.points.is_empty());
+    assert_eq!(
+        signature(&run(8)),
+        reference,
+        "frontier must not depend on the evaluation pool width"
+    );
+}
+
+#[test]
+fn frontier_is_stable_under_device_list_permutation() {
+    let run = |order: &[usize]| {
+        let per_device: Vec<(String, Box<dyn Objective>)> = order
+            .iter()
+            .map(|&device| {
+                let objective = MemoObjective::new(ParallelObjective::new(
+                    move |arch: &Arch| Ok(synth_eval(device, arch)),
+                    1,
+                ));
+                (
+                    format!("d{device}"),
+                    Box::new(objective) as Box<dyn Objective>,
+                )
+            })
+            .collect();
+        let mut objective = ParetoObjective::new(per_device).expect("objective");
+        ParetoSearch::new(SearchSpace::hsconas_a(), config())
+            .run(&mut objective, &mut StdRng::seed_from_u64(29))
+            .expect("search")
+    };
+    let reference = signature(&run(&[0, 1, 2]));
+    for order in [[2, 1, 0], [1, 2, 0], [2, 0, 1]] {
+        assert_eq!(
+            signature(&run(&order)),
+            reference,
+            "frontier must not depend on device listing order {order:?}"
+        );
+    }
+    // Duplicate device names are refused, not silently merged.
+    let dup: Vec<(String, Box<dyn Objective>)> = [0usize, 0]
+        .iter()
+        .map(|&device| {
+            let objective = MemoObjective::new(ParallelObjective::new(
+                move |arch: &Arch| Ok(synth_eval(device, arch)),
+                1,
+            ));
+            (
+                format!("d{device}"),
+                Box::new(objective) as Box<dyn Objective>,
+            )
+        })
+        .collect();
+    assert!(ParetoObjective::new(dup).is_err());
+}
+
+/// Checkpoint files in a directory, sorted by cursor.
+fn checkpoint_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("checkpoint dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "hsck"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Copies the first `count` checkpoint files into a fresh directory —
+/// simulating a run killed right after writing checkpoint `count - 1`.
+fn copy_prefix(files: &[PathBuf], count: usize, dst: &Path) {
+    fs::create_dir_all(dst).expect("create prefix dir");
+    for file in &files[..count] {
+        let name = file.file_name().expect("file name");
+        fs::copy(file, dst.join(name)).expect("copy checkpoint");
+    }
+}
+
+fn run_checkpointed(dir: &Path, resume: bool, threads: usize, seed: u64) -> ParetoFrontier {
+    let mut objective = synth_objective(3, threads);
+    let search = ParetoSearch::new(SearchSpace::tiny(6), config());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let opts = CheckpointOptions::new(dir).resume(resume).keep_last(0);
+    run_pareto_checkpointed(&search, &mut objective, &mut rng, &opts).expect("pareto search")
+}
+
+#[test]
+fn checkpoint_kill_resume_reproduces_the_exact_frontier() {
+    let full = ScratchDir::new("full");
+    let reference = signature(&run_checkpointed(full.path(), false, 1, 31));
+    assert!(!reference.points.is_empty());
+    let files = checkpoint_files(full.path());
+    // init population + one per generation
+    assert_eq!(files.len(), config().generations + 1);
+
+    // Kill after every boundary; resume under 1 and 8 evaluation threads.
+    for count in 1..=files.len() {
+        for threads in [1usize, 8] {
+            let partial = ScratchDir::new(&format!("prefix-{count}-t{threads}"));
+            copy_prefix(&files, count, partial.path());
+            let resumed = signature(&run_checkpointed(partial.path(), true, threads, 31));
+            assert_eq!(
+                resumed, reference,
+                "frontier diverged resuming from checkpoint {count} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_refuses_a_different_device_set() {
+    let dir = ScratchDir::new("device-set");
+    run_checkpointed(dir.path(), false, 1, 37);
+    // Same space, config, and seed, but a 2-device objective: the config
+    // hash differs, so resume must refuse rather than splice frontiers
+    // from different experiments.
+    let mut objective = synth_objective(2, 1);
+    let search = ParetoSearch::new(SearchSpace::tiny(6), config());
+    let mut rng = StdRng::seed_from_u64(37);
+    let opts = CheckpointOptions::new(dir.path()).resume(true).keep_last(0);
+    let err = run_pareto_checkpointed(&search, &mut objective, &mut rng, &opts)
+        .expect_err("device-set mismatch must fail");
+    assert!(
+        err.to_string().contains("config"),
+        "expected a config-hash error, got: {err}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any seed, the frontier is exactly the non-dominated subset of
+    /// everything evaluated, and thread count never changes its bytes.
+    #[test]
+    fn random_seeds_yield_exact_thread_invariant_frontiers(seed in 0u64..1000) {
+        let devices = 2;
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let per_device: Vec<(String, Box<dyn Objective>)> = (0..devices)
+            .map(|device| {
+                let recorder = Recorder { device, log: Arc::clone(&log) };
+                (format!("d{device}"), Box::new(recorder) as Box<dyn Objective>)
+            })
+            .collect();
+        let mut objective = ParetoObjective::new(per_device).expect("objective");
+        let frontier = ParetoSearch::new(SearchSpace::tiny(3), config())
+            .run(&mut objective, &mut StdRng::seed_from_u64(seed))
+            .expect("search");
+        let evaluated = log.lock().unwrap().clone();
+        assert_frontier_exact(&frontier, &evaluated, devices);
+
+        let mut threaded = synth_objective(devices, 8);
+        let replay = ParetoSearch::new(SearchSpace::tiny(3), config())
+            .run(&mut threaded, &mut StdRng::seed_from_u64(seed))
+            .expect("replay");
+        prop_assert_eq!(signature(&replay), signature(&frontier));
+    }
+}

@@ -1,0 +1,234 @@
+//! Black-box `pareto` suite: the multi-device frontier request must be
+//! byte-identical through a single daemon and through the routed fleet,
+//! invariant to device-set permutation and aliasing, typed in its
+//! rejections, and visible in the status counters of both topologies.
+
+#[path = "serve_harness.rs"]
+mod harness;
+
+use harness::{raw_call, ServerGuard};
+use hsconas_serve::proto::{Response, CODE_BAD_REQUEST, CODE_UNKNOWN_DEVICE};
+use hsconas_serve::Json;
+use std::time::Duration;
+
+fn pareto_line(id: &str, devices: &str, target_ms: &str, seed: u64) -> String {
+    format!(
+        r#"{{"id":"{id}","cmd":"pareto","devices":{devices},"target_ms":{target_ms},"seed":{seed}}}"#
+    )
+}
+
+#[test]
+fn fleet_and_permutations_serve_identical_frontier_bytes() {
+    let single = ServerGuard::spawn(&[]);
+    let fleet = ServerGuard::spawn_raw(&["--port", "0", "--fleet", "3"]);
+
+    // The same logical request, phrased four ways: canonical order on the
+    // single daemon, then through the fleet router, then permuted, then
+    // via aliases. All four must produce the exact same response bytes.
+    let reference = raw_call(
+        &mut single.connect(),
+        &pareto_line("pf", r#"["cpu","edge","gpu"]"#, "34", 11),
+    );
+    let response = Response::decode(reference.as_bytes()).expect("decodable frontier");
+    assert!(response.is_ok(), "{reference}");
+    let result = response.result.expect("frontier result");
+    let devices: Vec<&str> = result
+        .get("devices")
+        .and_then(Json::as_arr)
+        .expect("devices")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(
+        devices,
+        vec!["cpu-xeon-6136", "edge-xavier", "gpu-gv100"],
+        "echoed device set is canonical and sorted"
+    );
+    let frontier = result
+        .get("frontier")
+        .and_then(Json::as_arr)
+        .expect("frontier points");
+    assert!(!frontier.is_empty());
+    assert_eq!(
+        result.get("frontier_size").and_then(Json::as_u64),
+        Some(frontier.len() as u64)
+    );
+    assert_eq!(result.get("truncated").and_then(Json::as_bool), Some(false));
+    for point in frontier {
+        assert_eq!(
+            point
+                .get("latencies_ms")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(3),
+            "one latency per device in every frontier point"
+        );
+    }
+
+    for (tag, devices) in [
+        ("fleet", r#"["cpu","edge","gpu"]"#),
+        ("fleet-permuted", r#"["gpu","cpu","edge"]"#),
+        ("fleet-aliased", r#"["gpu-gv100","edge-xavier","cpu"]"#),
+    ] {
+        let reply = raw_call(&mut fleet.connect(), &pareto_line("pf", devices, "34", 11));
+        assert_eq!(
+            reply, reference,
+            "{tag}: fleet frontier bytes diverged from the single daemon"
+        );
+    }
+    // Duplicated names collapse onto the same canonical set.
+    let reply = raw_call(
+        &mut single.connect(),
+        &pareto_line(
+            "pf",
+            r#"["edge","gpu","cpu","edge-xavier","gpu"]"#,
+            "34",
+            11,
+        ),
+    );
+    assert_eq!(reply, reference, "aliased duplicates must dedup");
+
+    // A different seed is a different search — the echo must not be a
+    // cached artifact of the request key.
+    let other = raw_call(
+        &mut single.connect(),
+        &pareto_line("pf", r#"["cpu","edge","gpu"]"#, "34", 12),
+    );
+    assert!(Response::decode(other.as_bytes())
+        .expect("decodable")
+        .is_ok());
+    assert_ne!(other, reference, "seed must reach the search");
+
+    single.shutdown_and_wait(Duration::from_secs(30));
+    fleet.shutdown_and_wait(Duration::from_secs(30));
+}
+
+#[test]
+fn malformed_device_sets_get_typed_rejections() {
+    let mut server = ServerGuard::spawn(&[]);
+    let mut stream = server.connect();
+
+    let cases: &[(String, &str)] = &[
+        (
+            r#"{"id":"x","cmd":"pareto","target_ms":34}"#.to_string(),
+            "missing or non-array field 'devices'",
+        ),
+        (
+            pareto_line("x", "[]", "34", 0),
+            "devices must list 1..=8 names",
+        ),
+        (
+            pareto_line("x", r#"["a","b","c","d","e","f","g","h","i"]"#, "34", 0),
+            "devices must list 1..=8 names",
+        ),
+        (
+            pareto_line("x", "[1,2]", "34", 0),
+            "devices entries must be strings",
+        ),
+        (pareto_line("x", r#"["edge"]"#, "0", 0), "positive"),
+        (pareto_line("x", r#"["edge","gpu"]"#, "-3.5", 0), "positive"),
+    ];
+    for (frame, needle) in cases {
+        let reply = raw_call(&mut stream, frame);
+        let response = Response::decode(reply.as_bytes()).expect("decodable error reply");
+        assert_eq!(
+            response.code, CODE_BAD_REQUEST,
+            "frame {frame:?} -> {reply}"
+        );
+        let error = response.error.expect("error text");
+        assert!(
+            error.contains(needle),
+            "frame {frame:?}: error {error:?} should mention {needle:?}"
+        );
+    }
+
+    // One unknown name anywhere in the set is a 404, even mixed with
+    // known devices.
+    let reply = raw_call(
+        &mut stream,
+        &pareto_line("d1", r#"["edge","tpu"]"#, "34", 0),
+    );
+    let response = Response::decode(reply.as_bytes()).expect("decodable");
+    assert_eq!(response.code, CODE_UNKNOWN_DEVICE);
+    assert_eq!(response.id, "d1");
+    assert!(response.error.expect("error text").contains("tpu"));
+
+    // The abuse killed nothing: the process is alive and the same
+    // connection still answers real work.
+    assert!(server.is_running(), "server died on malformed pareto input");
+    let reply = raw_call(&mut stream, r#"{"id":"ok","cmd":"status"}"#);
+    assert!(Response::decode(reply.as_bytes())
+        .expect("decodable")
+        .is_ok());
+
+    server.shutdown_and_wait(Duration::from_secs(10));
+}
+
+#[test]
+fn pareto_requests_are_counted_in_single_and_fleet_status() {
+    // Single daemon: the typed client round-trips the command and the
+    // served/latency counters pick it up.
+    let server = ServerGuard::spawn(&[]);
+    let mut client = server.client();
+    let devices: Vec<String> = vec!["edge".into(), "gpu".into()];
+    let response = client.pareto(&devices, 34.0, 3).expect("pareto call");
+    assert!(response.is_ok(), "{response:?}");
+    let frontier = response
+        .result
+        .expect("result")
+        .get("frontier_size")
+        .and_then(Json::as_u64)
+        .expect("frontier_size");
+    assert!(frontier > 0);
+
+    let status = client.status().expect("status").result.expect("result");
+    assert_eq!(
+        status
+            .get("served")
+            .and_then(|s| s.get("pareto"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "served.pareto must count the request"
+    );
+    let latency = status
+        .get("latency_ms")
+        .and_then(|l| l.get("pareto"))
+        .expect("latency_ms.pareto block");
+    assert_eq!(latency.get("count").and_then(Json::as_u64), Some(1));
+    assert!(latency.get("p50_ms").and_then(Json::as_f64).is_some());
+    server.shutdown_and_wait(Duration::from_secs(30));
+
+    // Fleet: the router exposes its own pareto latency histogram and the
+    // aggregated per-shard served counters.
+    let fleet = ServerGuard::spawn_raw(&["--port", "0", "--fleet", "3"]);
+    let reply = raw_call(
+        &mut fleet.connect(),
+        &pareto_line("fp", r#"["edge","gpu"]"#, "34", 3),
+    );
+    assert!(Response::decode(reply.as_bytes())
+        .expect("decodable")
+        .is_ok());
+
+    let status = fleet
+        .client()
+        .status()
+        .expect("status")
+        .result
+        .expect("result");
+    assert_eq!(
+        status
+            .get("fleet")
+            .and_then(|f| f.get("served"))
+            .and_then(|s| s.get("pareto"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "fleet.served.pareto must aggregate shard counters"
+    );
+    let latency = status
+        .get("router")
+        .and_then(|r| r.get("latency_ms"))
+        .and_then(|l| l.get("pareto"))
+        .expect("router.latency_ms.pareto block");
+    assert_eq!(latency.get("count").and_then(Json::as_u64), Some(1));
+    fleet.shutdown_and_wait(Duration::from_secs(30));
+}
